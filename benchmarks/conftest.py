@@ -1,0 +1,38 @@
+"""Benchmark-harness configuration.
+
+Every paper table/figure has one benchmark module that *regenerates* it
+and prints the rows/series the paper reports. Two scales:
+
+- default: reduced problem sizes and budgets; minutes total, same shapes.
+- ``REPRO_FULL=1``: paper-scale budgets (500-sample optima, 5 seeds,
+  250-episode traces); expect a long run.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Paper-scale toggle.
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def scale(ci_value, full_value):
+    """Pick the CI-scale or paper-scale value."""
+    return full_value if FULL else ci_value
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collector that prints experiment output after the bench run."""
+    lines = []
+    yield lines
+    if lines:
+        print()
+        for line in lines:
+            print(line)

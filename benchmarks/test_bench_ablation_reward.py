@@ -1,0 +1,60 @@
+"""Ablation: the paper's aggressive reward (eq. 3) vs raw IPC reward.
+
+``reward = IPC - IPC* + eps`` keeps the return centred near zero so only
+*improvements* are reinforced; raw-IPC rewards reinforce every episode
+(including mediocre ones) and converge slower. This bench trains the LF
+phase with both shapings at the same budget.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import FULL, scale
+from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
+from repro.core.mfrl.env import DseEnvironment
+from repro.core.mfrl.reinforce import ReinforceTrainer
+from repro.experiments.common import build_pool
+
+
+def _train(aggressive: bool, episodes: int, seed: int) -> float:
+    pool = build_pool("mm", data_size=scale(14, None))
+    explorer = MultiFidelityExplorer(
+        pool, config=ExplorerConfig(lf_episodes=episodes), seed=seed
+    )
+    env = DseEnvironment(pool, explorer.inputs, use_gradient_mask=True)
+    trainer = ReinforceTrainer(env, explorer.fnn, explorer.config.trainer)
+    rng = np.random.default_rng(seed)
+    best = np.inf
+    for __ in range(episodes):
+        if aggressive:
+            reference = 1.0 / best if np.isfinite(best) else 0.0
+        else:
+            reference = 0.0  # raw IPC + eps: every episode is "good"
+        record = trainer.run_episode(
+            rng, lambda l: pool.evaluate_low(l).ipc, reference
+        )
+        best = min(best, record.final_cpi)
+    # final greedy quality, not just best-seen: reward shaping is about
+    # what the *policy* converges to
+    greedy = trainer.greedy_design(rng)
+    return pool.evaluate_low(greedy).cpi
+
+
+def test_bench_ablation_reward(benchmark, report):
+    episodes = scale(60, 200)
+    seeds = range(scale(2, 5))
+
+    def run():
+        aggressive = [_train(True, episodes, s) for s in seeds]
+        raw = [_train(False, episodes, s) for s in seeds]
+        return aggressive, raw
+
+    aggressive, raw = benchmark.pedantic(run, rounds=1, iterations=1)
+    mean_aggressive = float(np.mean(aggressive))
+    mean_raw = float(np.mean(raw))
+    report.append("Ablation -- reward shaping (greedy analytical CPI):")
+    report.append(f"  eq.3 (IPC - IPC* + eps): {mean_aggressive:.4f}")
+    report.append(f"  raw IPC reward:          {mean_raw:.4f}")
+
+    # the aggressive shaping must not be worse than raw-IPC reward
+    assert mean_aggressive <= mean_raw * 1.05

@@ -1,0 +1,56 @@
+"""Fidelity-gap bench: the multi-fidelity premise, quantified per kernel.
+
+Not a paper artefact but the reproduction's load-bearing assumption: the
+analytical model must correlate with the simulator on compute-bound
+kernels while disagreeing in structured ways on memory-bound ones
+(Sec. 3's motivation, Sec. 4.3's bias discussion). This bench prints the
+per-workload LF-vs-HF report and asserts the premise.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import FULL, scale
+from repro.designspace import default_design_space
+from repro.proxies import AnalyticalModel, SimulationProxy, measure_fidelity_gap
+from repro.workloads import get_workload
+
+SIZES = {
+    "dijkstra": 96,
+    "mm": 14,
+    "fp-vvadd": 768,
+    "quicksort": 192,
+    "fft": 128,
+    "ss": 768,
+}
+
+
+def test_bench_fidelity_gap(benchmark, report):
+    space = default_design_space()
+
+    def run():
+        reports = {}
+        for name, ci_size in SIZES.items():
+            workload = get_workload(name, data_size=scale(ci_size, None))
+            analytical = AnalyticalModel(workload.profile, space)
+            proxy = SimulationProxy(workload, space)
+            reports[name] = measure_fidelity_gap(
+                analytical, proxy, space, np.random.default_rng(0),
+                num_designs=scale(20, 60), mask_probes=scale(4, 10),
+            )
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.append("Fidelity gap (LF analytical vs HF simulator):")
+    for name, gap in reports.items():
+        report.append("  " + gap.render())
+
+    # compute-bound kernels must correlate clearly
+    for name in ("mm", "fft", "quicksort"):
+        assert reports[name].rank_correlation > 0.3, name
+    # the LF mask must be trustworthy as a *direction* on average
+    precisions = [g.mask_precision for g in reports.values()]
+    assert float(np.mean(precisions)) > 0.6
+    # and at least one kernel must show a material gap (the HF phase's
+    # reason to exist)
+    assert max(g.mean_absolute_error for g in reports.values()) > 0.2

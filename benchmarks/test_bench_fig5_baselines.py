@@ -1,0 +1,43 @@
+"""Fig. 5: general-purpose comparison against the five baselines.
+
+Regenerates the paper's bar chart as text. The shape to reproduce:
+FNN-MBRL-HF beats every baseline's mean best CPI; FNN-MBRL-LF alone is
+mid-pack (the paper's 1.2043 vs baselines ~1.178-1.208 vs ours-HF 1.1251).
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, scale
+from repro.core.mfrl import ExplorerConfig
+from repro.experiments.fig5 import render_fig5, run_fig5
+
+
+def test_bench_fig5(benchmark, report):
+    def run():
+        return run_fig5(
+            seeds=tuple(range(scale(2, 5))),
+            baseline_budget=10,
+            our_budget=9,
+            explorer_config=ExplorerConfig(
+                lf_episodes=scale(120, 260),
+                lf_min_episodes=scale(60, 120),
+                hf_budget=9,
+            ),
+            scale=scale(0.25, 1.0),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.append("Fig. 5 (regenerated):")
+    report.append(render_fig5(result))
+
+    ours = result.mean_cpi["fnn-mbrl-hf"]
+    baselines = {
+        name: cpi
+        for name, cpi in result.mean_cpi.items()
+        if not name.startswith("fnn-")
+    }
+    # the multi-fidelity method must win against every baseline
+    for name, cpi in baselines.items():
+        assert ours <= cpi + 1e-9, f"{name} beat fnn-mbrl-hf"
+    # and the HF phase must add value over the LF phase alone
+    assert ours <= result.mean_cpi["fnn-mbrl-lf"] + 1e-9

@@ -1,0 +1,33 @@
+"""Fig. 7: embedding the decode-width-4 preference on fp-vvadd.
+
+The shape to reproduce: with the preference the decode-width trajectory
+settles at 4; without it, at a smaller width.
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, scale
+from repro.experiments.fig7 import render_fig7, run_fig7
+
+
+def test_bench_fig7(benchmark, report):
+    def run():
+        return run_fig7(
+            episodes=scale(80, 250),
+            seed=0,
+            target_decode=4,
+            data_size=scale(1024, None),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.append("Fig. 7 (regenerated):")
+    report.append(render_fig7(result))
+
+    with_pref = result.final_decode_width(True)
+    without = result.final_decode_width(False)
+    assert with_pref == 4, "preference failed to teach decode width 4"
+    # unaided, fp-vvadd settles elsewhere (the paper's run converged to 3;
+    # on this substrate the LF model favours 5 -- see EXPERIMENTS.md).
+    # The claim under test is that the preference *changed* the outcome
+    # to exactly the requested width.
+    assert without != 4, "preference experiment is vacuous: unaided run already at 4"

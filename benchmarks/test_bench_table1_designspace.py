@@ -1,0 +1,28 @@
+"""Table 1: the design space -- size check plus codec throughput.
+
+The "result" is the table itself (printed); the timed body is the
+level-vector machinery the search engines hammer (sampling, config
+construction, flat-index round-trips).
+"""
+
+import numpy as np
+
+from repro.designspace import default_design_space
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1_codec_throughput(benchmark, report):
+    space = default_design_space()
+    rng = np.random.default_rng(0)
+    batch = space.sample(rng, count=256)
+
+    def codec_pass():
+        total = 0
+        for levels in batch:
+            config = space.config(levels)
+            total += space.flat_index(space.levels_of(config))
+        return total
+
+    benchmark(codec_pass)
+    assert space.size == 3_000_000
+    report.append(run_table1())

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Application-specific DSE across the six-benchmark suite (Table 2).
+
+For each kernel, runs the multi-fidelity explorer under the paper's
+per-benchmark area budget and reports the LF design, the HF design, and
+the improvement -- a compact version of the Table-2 experiment (the
+benchmark harness regenerates the full table with regrets).
+
+Run:
+    python examples/application_specific_dse.py [--fast]
+"""
+
+import argparse
+
+from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
+from repro.experiments.common import AREA_LIMITS, build_pool
+from repro.workloads import BENCHMARK_NAMES
+
+#: Smaller problem sizes for --fast runs (~seconds per benchmark).
+FAST_SIZES = {
+    "dijkstra": 64,
+    "mm": 12,
+    "fp-vvadd": 512,
+    "quicksort": 128,
+    "fft": 128,
+    "ss": 512,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="small problem sizes and budgets (smoke-test mode)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = (
+        ExplorerConfig(lf_episodes=80, hf_budget=6, hf_seed_designs=2)
+        if args.fast
+        else ExplorerConfig()
+    )
+
+    print(f"{'benchmark':<10} {'budget':>7} {'LF cpi':>8} {'HF cpi':>8} "
+          f"{'gain':>6} {'HF sims':>8}")
+    print("-" * 54)
+    for name in BENCHMARK_NAMES:
+        pool = build_pool(
+            name, data_size=FAST_SIZES[name] if args.fast else None
+        )
+        explorer = MultiFidelityExplorer(pool, config=config, seed=args.seed)
+        result = explorer.explore()
+        gain = result.lf_hf_cpi / result.best_hf_cpi
+        print(
+            f"{name:<10} {AREA_LIMITS[name]:>4.1f}mm2 "
+            f"{result.lf_hf_cpi:>8.4f} {result.best_hf_cpi:>8.4f} "
+            f"{gain:>5.2f}x {result.hf_simulations:>8d}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Area-budget sweep: where do extra mm^2 stop paying?
+
+Extension study beyond the paper's fixed Table-2 budgets: re-runs the
+multi-fidelity explorer across a range of area limits on one benchmark
+and prints the CPI-vs-area frontier plus its knee.
+
+Run:
+    python examples/area_sweep.py [--benchmark mm] [--fast]
+"""
+
+import argparse
+
+from repro.core.mfrl import ExplorerConfig
+from repro.experiments.sweep import frontier_knee, render_sweep, run_area_sweep
+from repro.workloads import BENCHMARK_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="mm", choices=BENCHMARK_NAMES)
+    parser.add_argument("--fast", action="store_true")
+    args = parser.parse_args()
+
+    points = run_area_sweep(
+        args.benchmark,
+        area_limits=(5.0, 6.0, 7.5, 9.0, 11.0),
+        explorer_config=(
+            ExplorerConfig(lf_episodes=80, lf_min_episodes=40, hf_budget=6,
+                           hf_seed_designs=2)
+            if args.fast
+            else None
+        ),
+        data_size=14 if args.fast else None,
+    )
+    print(f"CPI-vs-area frontier for {args.benchmark}:")
+    print(render_sweep(points))
+    knee = frontier_knee(points)
+    print()
+    print(f"knee of the frontier: {knee.area_limit_mm2:.1f} mm^2 "
+          f"(CPI {knee.best_hf_cpi:.4f}) -- budgets beyond this buy little")
+
+
+if __name__ == "__main__":
+    main()

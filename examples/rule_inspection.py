@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Rule extraction and inspection (paper Sec. 4.3).
+
+Trains an FNN on one benchmark, translates its weight matrices into
+IF/THEN rules, prunes the redundant parts, and walks through what the
+strongest rules say -- the paper's interpretability workflow.
+
+Run:
+    python examples/rule_inspection.py [--benchmark mm]
+"""
+
+import argparse
+
+from repro.core.fnn import render_rule_base, rules_mentioning
+from repro.experiments.rules import run_rules_demo
+from repro.workloads import BENCHMARK_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="mm", choices=BENCHMARK_NAMES)
+    parser.add_argument("--episodes", type=int, default=200)
+    args = parser.parse_args()
+
+    rules, explorer = run_rules_demo(
+        benchmark=args.benchmark, episodes=args.episodes, top_k=15
+    )
+    print(render_rule_base(rules))
+    print()
+
+    # Per-parameter view: what does the network believe about each knob?
+    fnn = explorer.fnn
+    print("current MF centers (the linguistic boundaries the FNN learned):")
+    for inp, center in zip(fnn.inputs, fnn.centers):
+        kind = "frozen" if inp.kind == "metric" else "trained"
+        print(f"  {inp.name:<7} center={center:6.2f}  "
+              f"scale=[{inp.lo:.0f}, {inp.hi:.0f}]  ({kind})")
+    print()
+
+    for output in ("decode_width", "int_fu", "rob_entries"):
+        relevant = rules_mentioning(rules, output)
+        if relevant:
+            print(f"strongest rule about {output}:")
+            print(f"  {relevant[0].render()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP-660 editable installs (which build a wheel) fail. Keeping a setup.py
+lets ``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

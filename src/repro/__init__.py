@@ -1,0 +1,33 @@
+"""Explainable FNN with Multi-Fidelity RL for micro-architecture DSE.
+
+Reproduction of Fan et al., DAC 2024 (arXiv:2412.10754).
+
+The package is organised as the paper's Fig. 1:
+
+- :mod:`repro.designspace` -- the Table-1 micro-architecture design space.
+- :mod:`repro.workloads`   -- the six benchmark kernels as trace generators.
+- :mod:`repro.simulator`   -- high-fidelity cycle-approximate OoO simulator
+  (stands in for Chipyard BOOM RTL + VCS).
+- :mod:`repro.proxies`     -- the proxy pool: analytical CPI model (with
+  gradients), area model, HF adapter, caching archive.
+- :mod:`repro.core`        -- the paper's contribution: the Fuzzy Neural
+  Network search engine and the multi-fidelity RL trainer.
+- :mod:`repro.baselines`   -- Random Forest, ActBoost, BagGBRT,
+  BOOM-Explorer-style BO and SCBO baselines, from scratch.
+- :mod:`repro.experiments` -- one runner per paper table/figure.
+"""
+
+from repro.designspace import DesignSpace, MicroArchConfig, default_design_space
+from repro.core.fnn import FuzzyNeuralNetwork
+from repro.core.mfrl import MultiFidelityExplorer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignSpace",
+    "MicroArchConfig",
+    "default_design_space",
+    "FuzzyNeuralNetwork",
+    "MultiFidelityExplorer",
+    "__version__",
+]

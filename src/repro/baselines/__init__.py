@@ -1,0 +1,81 @@
+"""Baseline DSE algorithms (paper Sec. 4.2 / Fig. 5), from scratch.
+
+All five comparison methods are implemented on numpy alone:
+
+- :class:`RandomForestExplorer`  -- Random Forest surrogate [2].
+- :class:`ActBoostExplorer`      -- AdaBoost.R2 + active learning [10].
+- :class:`BagGBRTExplorer`       -- bagging-ensembled GBRT [17].
+- :class:`BoomExplorerBaseline`  -- deep-kernel GP Bayesian optimisation
+  in the style of BOOM-Explorer [1].
+- :class:`ScboExplorer`          -- trust-region scalable constrained BO [3].
+
+Each follows the paper's protocol: a budget of HF simulations, online over
+the full 3M-point space, with constraint-violating candidates "directly
+assigned a low reward" and never simulated.
+"""
+
+from repro.baselines.driver import BaselineResult, SurrogateExplorer
+from repro.baselines.trees import RegressionTree
+from repro.baselines.random_forest import RandomForest, RandomForestExplorer
+from repro.baselines.adaboost import AdaBoostR2, ActBoostExplorer
+from repro.baselines.gbrt import GradientBoostedTrees, BaggedGBRT, BagGBRTExplorer
+from repro.baselines.gp import GaussianProcess, DeepKernelFeatureMap
+from repro.baselines.bo import BoomExplorerBaseline
+from repro.baselines.scbo import ScboExplorer
+from repro.baselines.random_search import (
+    RandomSearchExplorer,
+    SimulatedAnnealingExplorer,
+)
+
+#: The paper's Fig.-5 lineup.
+ALL_BASELINES = (
+    "random-forest",
+    "actboost",
+    "bag-gbrt",
+    "boom-explorer",
+    "scbo",
+)
+
+#: Extra sanity anchors (not in the paper's figure).
+EXTRA_BASELINES = ("random-search", "annealing")
+
+
+def make_baseline(name: str, **kwargs):
+    """Factory: baseline explorer by name (Fig.-5 lineup + extras)."""
+    factories = {
+        "random-forest": RandomForestExplorer,
+        "actboost": ActBoostExplorer,
+        "bag-gbrt": BagGBRTExplorer,
+        "boom-explorer": BoomExplorerBaseline,
+        "scbo": ScboExplorer,
+        "random-search": RandomSearchExplorer,
+        "annealing": SimulatedAnnealingExplorer,
+    }
+    if name not in factories:
+        raise KeyError(
+            f"unknown baseline {name!r}; known: {ALL_BASELINES + EXTRA_BASELINES}"
+        )
+    return factories[name](**kwargs)
+
+
+__all__ = [
+    "BaselineResult",
+    "SurrogateExplorer",
+    "RegressionTree",
+    "RandomForest",
+    "RandomForestExplorer",
+    "AdaBoostR2",
+    "ActBoostExplorer",
+    "GradientBoostedTrees",
+    "BaggedGBRT",
+    "BagGBRTExplorer",
+    "GaussianProcess",
+    "DeepKernelFeatureMap",
+    "BoomExplorerBaseline",
+    "ScboExplorer",
+    "RandomSearchExplorer",
+    "SimulatedAnnealingExplorer",
+    "ALL_BASELINES",
+    "EXTRA_BASELINES",
+    "make_baseline",
+]

@@ -1,0 +1,167 @@
+"""Shared surrogate-based DSE driver (the loop all Fig.-5 baselines run).
+
+Protocol (paper Sec. 4.2): each baseline gets a budget of HF simulations
+over the full online design space. Candidates that violate the area
+constraint are "directly assigned a low reward and do not go through
+simulation" -- here the driver simply filters them from the candidate
+pool before the surrogate ever sees them, which is equivalent and wastes
+no budget.
+
+The loop: HF-evaluate a random valid seed set, then repeatedly fit the
+surrogate, score a fresh random valid candidate pool with the baseline's
+acquisition function, and simulate the best unseen candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.proxies.pool import ProxyPool
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline run.
+
+    Attributes:
+        name: Baseline identifier.
+        best_levels: Best design found (level vector).
+        best_cpi: Its HF CPI.
+        history: HF CPI per simulation, in evaluation order.
+        evaluated: Every simulated level vector, in order.
+    """
+
+    name: str
+    best_levels: np.ndarray
+    best_cpi: float
+    history: List[float]
+    evaluated: List[np.ndarray]
+
+
+class Surrogate(Protocol):
+    """Model interface the driver needs: fit, then score candidates."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Surrogate": ...
+
+    def predict(self, x: np.ndarray) -> np.ndarray: ...
+
+
+class SurrogateExplorer:
+    """Generic surrogate-guided explorer; baselines specialise the hooks.
+
+    Subclasses override :meth:`make_surrogate` and, optionally,
+    :meth:`acquisition` (default: greedy on the predicted mean -- pick
+    the candidate with the lowest predicted CPI).
+
+    Args:
+        name: Fig.-5 label.
+        num_initial: Random valid designs simulated before modelling.
+        pool_size: Candidate pool size per iteration.
+    """
+
+    def __init__(self, name: str, num_initial: int = 4, pool_size: int = 2000):
+        if num_initial < 2:
+            raise ValueError("need at least 2 initial samples to fit anything")
+        self.name = name
+        self.num_initial = num_initial
+        self.pool_size = pool_size
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def make_surrogate(self, rng: np.random.Generator) -> Surrogate:
+        """Build a fresh surrogate model (called every iteration)."""
+        raise NotImplementedError
+
+    def acquisition(
+        self,
+        surrogate: Surrogate,
+        candidates: np.ndarray,
+        best_y: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Scores to *minimise* over candidates; default: predicted CPI."""
+        return surrogate.predict(candidates)
+
+    def initial_designs(
+        self, pool: ProxyPool, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Seed designs to simulate before modelling; default: random valid."""
+        return self._sample_valid(pool, rng, self.num_initial)
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sample_valid(
+        pool: ProxyPool, rng: np.random.Generator, count: int, max_tries: int = 50
+    ) -> np.ndarray:
+        """Uniform random *valid* level vectors (constraint-filtered)."""
+        space = pool.space
+        rows: List[np.ndarray] = []
+        for __ in range(max_tries):
+            batch = space.sample(rng, count=4 * count)
+            for levels in batch:
+                if pool.fits(levels):
+                    rows.append(levels)
+                    if len(rows) == count:
+                        return np.array(rows)
+        if not rows:
+            raise RuntimeError("could not sample any valid design")
+        return np.array(rows)
+
+    def explore(
+        self, pool: ProxyPool, hf_budget: int, rng: np.random.Generator
+    ) -> BaselineResult:
+        """Run the DSE loop until ``hf_budget`` simulations are spent."""
+        if hf_budget < self.num_initial + 1:
+            raise ValueError("budget must exceed the initial sample count")
+        space = pool.space
+        seen = set()
+        xs: List[np.ndarray] = []
+        ys: List[float] = []
+        history: List[float] = []
+        evaluated: List[np.ndarray] = []
+
+        def run(levels: np.ndarray) -> None:
+            evaluation = pool.evaluate_high(levels)
+            key = space.flat_index(levels)
+            if key not in seen:
+                seen.add(key)
+                xs.append(space.normalized(levels))
+                ys.append(evaluation.cpi)
+                history.append(evaluation.cpi)
+                evaluated.append(levels.copy())
+
+        for levels in self.initial_designs(pool, rng):
+            if len(seen) < hf_budget:
+                run(levels)
+
+        while len(seen) < hf_budget:
+            surrogate = self.make_surrogate(rng)
+            surrogate.fit(np.array(xs), np.array(ys))
+            candidates = self._sample_valid(pool, rng, self.pool_size)
+            keys = [space.flat_index(c) for c in candidates]
+            fresh = np.array([k not in seen for k in keys])
+            if not fresh.any():
+                continue
+            candidates = candidates[fresh]
+            scores = self.acquisition(
+                surrogate,
+                np.array([space.normalized(c) for c in candidates]),
+                best_y=min(ys),
+                rng=rng,
+            )
+            run(candidates[int(np.argmin(scores))])
+
+        best = int(np.argmin(ys))
+        return BaselineResult(
+            name=self.name,
+            best_levels=evaluated[best],
+            best_cpi=ys[best],
+            history=history,
+            evaluated=evaluated,
+        )

@@ -1,0 +1,156 @@
+"""Gaussian-process regression with an optional deep-kernel feature map.
+
+BOOM-Explorer [1] pairs Bayesian optimisation with a deep-kernel Gaussian
+process [18]: inputs pass through a neural feature extractor before an
+RBF kernel. Offline (no torch), the feature map is a fixed random
+two-layer tanh network -- a random-features stand-in that preserves the
+architecture (nonlinear embedding -> RBF GP) without the kernel-learning
+inner loop; see DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class DeepKernelFeatureMap:
+    """Fixed random two-layer tanh embedding.
+
+    Args:
+        in_dim: Input dimensionality.
+        hidden: Hidden width.
+        out_dim: Embedding dimensionality.
+        rng: Weight-initialisation randomness.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden: int = 32,
+        out_dim: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        scale1 = np.sqrt(2.0 / in_dim)
+        scale2 = np.sqrt(2.0 / hidden)
+        self._w1 = rng.normal(0.0, scale1, size=(in_dim, hidden))
+        self._b1 = rng.normal(0.0, 0.1, size=hidden)
+        self._w2 = rng.normal(0.0, scale2, size=(hidden, out_dim))
+        self._b2 = rng.normal(0.0, 0.1, size=out_dim)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Embed ``(n, in_dim)`` rows into ``(n, out_dim)``."""
+        h = np.tanh(np.asarray(x, dtype=np.float64) @ self._w1 + self._b1)
+        return np.tanh(h @ self._w2 + self._b2)
+
+
+class GaussianProcess:
+    """RBF-kernel GP regressor with marginal-likelihood lengthscale pick.
+
+    Args:
+        lengthscales: Candidate RBF lengthscales; the fit selects the one
+            maximising the log marginal likelihood (a light-weight stand-in
+            for full hyper-parameter optimisation).
+        noise: Observation noise variance.
+        feature_map: Optional input embedding (deep kernel).
+    """
+
+    def __init__(
+        self,
+        lengthscales: Tuple[float, ...] = (0.25, 0.5, 1.0, 2.0),
+        noise: float = 1e-4,
+        feature_map: Optional[DeepKernelFeatureMap] = None,
+    ):
+        if noise <= 0:
+            raise ValueError("noise must be positive")
+        if not lengthscales:
+            raise ValueError("need at least one candidate lengthscale")
+        self.lengthscales = lengthscales
+        self.noise = noise
+        self.feature_map = feature_map
+        self._x: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+        self._mean = 0.0
+        self._scale = 1.0
+        self.lengthscale = lengthscales[0]
+
+    # ------------------------------------------------------------------
+    def _embed(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self.feature_map(x) if self.feature_map is not None else x
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray, lengthscale: float) -> np.ndarray:
+        d2 = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        return np.exp(-0.5 * d2 / lengthscale**2)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Fit: standardise targets, pick lengthscale, cache Cholesky."""
+        x = self._embed(x)
+        y = np.asarray(y, dtype=np.float64)
+        self._mean = float(y.mean())
+        self._scale = float(y.std()) or 1.0
+        z = (y - self._mean) / self._scale
+        best = (-np.inf, None, None, None)
+        n = len(y)
+        for ls in self.lengthscales:
+            k = self._kernel(x, x, ls) + self.noise * np.eye(n)
+            try:
+                chol = np.linalg.cholesky(k)
+            except np.linalg.LinAlgError:
+                continue
+            alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, z))
+            log_ml = (
+                -0.5 * float(z @ alpha)
+                - float(np.log(np.diag(chol)).sum())
+                - 0.5 * n * np.log(2 * np.pi)
+            )
+            if log_ml > best[0]:
+                best = (log_ml, ls, chol, alpha)
+        if best[1] is None:
+            raise RuntimeError("GP fit failed for every candidate lengthscale")
+        __, self.lengthscale, self._chol, self._alpha = best
+        self._x = x
+        return self
+
+    def predict(self, x: np.ndarray, return_std: bool = False):
+        """Posterior mean (and std when requested), in target units."""
+        if self._x is None:
+            raise RuntimeError("GP is not fitted")
+        xe = self._embed(x)
+        ks = self._kernel(xe, self._x, self.lengthscale)
+        mean = self._mean + self._scale * (ks @ self._alpha)
+        if not return_std:
+            return mean
+        v = np.linalg.solve(self._chol, ks.T)
+        var = np.maximum(1.0 - (v**2).sum(axis=0), 1e-12)
+        return mean, self._scale * np.sqrt(var)
+
+
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, best_y: float, xi: float = 0.0
+) -> np.ndarray:
+    """EI for *minimisation* (larger is better).
+
+    Closed form with the standard normal; no scipy needed.
+    """
+    std = np.maximum(std, 1e-12)
+    z = (best_y - mean - xi) / std
+    # standard normal pdf / cdf
+    pdf = np.exp(-0.5 * z**2) / np.sqrt(2 * np.pi)
+    cdf = 0.5 * (1.0 + _erf(z / np.sqrt(2.0)))
+    return (best_y - mean - xi) * cdf + std * pdf
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    """Vectorised Abramowitz-Stegun erf approximation (|err| < 1.5e-7)."""
+    sign = np.sign(x)
+    x = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * x)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * np.exp(-(x**2)))

@@ -1,0 +1,77 @@
+"""Random Forest baseline (Breiman [2], the paper's "classic baseline")."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.driver import SurrogateExplorer
+from repro.baselines.trees import RegressionTree
+
+
+class RandomForest:
+    """Bagged ensemble of decorrelated CART trees.
+
+    Args:
+        num_trees: Ensemble size.
+        max_depth: Per-tree depth bound.
+        max_features: Features per split (None = sqrt(d), Breiman's rule).
+        rng: Randomness for bootstrap resampling and feature subsets.
+    """
+
+    def __init__(
+        self,
+        num_trees: int = 32,
+        max_depth: int = 6,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if num_trees < 1:
+            raise ValueError("num_trees must be >= 1")
+        self.num_trees = num_trees
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self._rng = rng or np.random.default_rng(0)
+        self._trees: List[RegressionTree] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForest":
+        """Fit on bootstrap resamples of ``(x, y)``."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        n, d = x.shape
+        max_features = self.max_features or max(1, int(np.sqrt(d)))
+        self._trees = []
+        for __ in range(self.num_trees):
+            idx = self._rng.integers(0, n, size=n)
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                max_features=max_features,
+                rng=self._rng,
+            )
+            tree.fit(x[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Ensemble-mean prediction."""
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        return np.mean([t.predict(x) for t in self._trees], axis=0)
+
+    def predict_std(self, x: np.ndarray) -> np.ndarray:
+        """Ensemble disagreement (std over trees) -- a cheap uncertainty."""
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        return np.std([t.predict(x) for t in self._trees], axis=0)
+
+
+class RandomForestExplorer(SurrogateExplorer):
+    """Fig.-5 'Random Forest': greedy mean-minimisation over the forest."""
+
+    def __init__(self, num_trees: int = 32, num_initial: int = 4, pool_size: int = 2000):
+        super().__init__("random-forest", num_initial=num_initial, pool_size=pool_size)
+        self.num_trees = num_trees
+
+    def make_surrogate(self, rng: np.random.Generator) -> RandomForest:
+        return RandomForest(num_trees=self.num_trees, rng=rng)

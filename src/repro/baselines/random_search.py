@@ -1,0 +1,124 @@
+"""Reference searchers: uniform random search and simulated annealing.
+
+Not part of the paper's Fig.-5 lineup, but standard sanity anchors for
+any DSE study: a surrogate method that cannot beat random search at the
+same budget is not learning anything, and annealing bounds what pure
+local search achieves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.driver import BaselineResult
+from repro.proxies.pool import ProxyPool
+
+
+class RandomSearchExplorer:
+    """Uniform random valid designs, best-of-budget."""
+
+    name = "random-search"
+
+    def explore(
+        self, pool: ProxyPool, hf_budget: int, rng: np.random.Generator
+    ) -> BaselineResult:
+        """Simulate ``hf_budget`` distinct random valid designs."""
+        if hf_budget < 1:
+            raise ValueError("budget must be >= 1")
+        space = pool.space
+        seen = set()
+        history: List[float] = []
+        evaluated: List[np.ndarray] = []
+        guard = 0
+        while len(seen) < hf_budget and guard < 1000 * hf_budget:
+            guard += 1
+            levels = space.sample(rng)
+            key = space.flat_index(levels)
+            if key in seen or not pool.fits(levels):
+                continue
+            seen.add(key)
+            history.append(pool.evaluate_high(levels).cpi)
+            evaluated.append(levels)
+        best = int(np.argmin(history))
+        return BaselineResult(
+            name=self.name,
+            best_levels=evaluated[best],
+            best_cpi=history[best],
+            history=history,
+            evaluated=evaluated,
+        )
+
+
+class SimulatedAnnealingExplorer:
+    """Metropolis annealing over Hamming-1 moves on valid designs.
+
+    Args:
+        initial_temperature: Starting acceptance temperature (CPI units).
+        cooling: Geometric cooling factor per simulation.
+    """
+
+    name = "annealing"
+
+    def __init__(self, initial_temperature: float = 0.3, cooling: float = 0.75):
+        if initial_temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if not 0 < cooling < 1:
+            raise ValueError("cooling must be in (0, 1)")
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+
+    def explore(
+        self, pool: ProxyPool, hf_budget: int, rng: np.random.Generator
+    ) -> BaselineResult:
+        """Anneal from a random valid start until the budget is spent."""
+        if hf_budget < 2:
+            raise ValueError("annealing needs a budget of at least 2")
+        space = pool.space
+        # random valid start
+        current = None
+        for __ in range(1000):
+            levels = space.sample(rng)
+            if pool.fits(levels):
+                current = levels
+                break
+        if current is None:
+            raise RuntimeError("could not find a valid starting design")
+
+        history: List[float] = []
+        evaluated: List[np.ndarray] = []
+        seen = set()
+
+        def run(levels):
+            key = space.flat_index(levels)
+            cpi = pool.evaluate_high(levels).cpi
+            if key not in seen:
+                seen.add(key)
+                history.append(cpi)
+                evaluated.append(levels.copy())
+            return cpi
+
+        current_cpi = run(current)
+        temperature = self.initial_temperature
+        guard = 0
+        while len(seen) < hf_budget and guard < 100 * hf_budget:
+            guard += 1
+            neighbors = [n for n in space.neighbors(current) if pool.fits(n)]
+            if not neighbors:
+                break
+            candidate = neighbors[int(rng.integers(len(neighbors)))]
+            cand_cpi = run(candidate)
+            delta = cand_cpi - current_cpi
+            if delta <= 0 or rng.random() < np.exp(-delta / temperature):
+                current, current_cpi = candidate, cand_cpi
+            temperature = max(temperature * self.cooling, 1e-4)
+
+        best = int(np.argmin(history))
+        return BaselineResult(
+            name=self.name,
+            best_levels=evaluated[best],
+            best_cpi=history[best],
+            history=history,
+            evaluated=evaluated,
+        )

@@ -1,0 +1,161 @@
+"""CART regression trees (the shared weak learner of three baselines).
+
+Plain binary-split variance-reduction trees over the normalised level
+representation. The datasets here are tiny (a 10-simulation budget), so
+clarity wins over asymptotics: splits are found by exhaustive scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """Internal tree node (leaf when ``feature`` is None)."""
+
+    value: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class RegressionTree:
+    """CART regression tree.
+
+    Args:
+        max_depth: Depth bound.
+        min_samples_leaf: Minimum samples per leaf.
+        max_features: Features considered per split (None = all); the
+            random-forest wrapper sets this for decorrelation.
+        rng: Randomness for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = rng or np.random.default_rng(0)
+        self._root: Optional[_Node] = None
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "RegressionTree":
+        """Fit the tree; ``sample_weight`` supports boosting."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ValueError("x must be (n, d) with matching y")
+        if len(x) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        w = (
+            np.ones(len(y))
+            if sample_weight is None
+            else np.asarray(sample_weight, dtype=np.float64)
+        )
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("sample weights must be non-negative, not all zero")
+        self._root = self._build(x, y, w, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, w: np.ndarray, depth: int) -> _Node:
+        value = float(np.average(y, weights=w))
+        if (
+            depth >= self.max_depth
+            or len(y) < 2 * self.min_samples_leaf
+            or np.allclose(y, y[0])
+        ):
+            return _Node(value=value)
+        split = self._best_split(x, y, w)
+        if split is None:
+            return _Node(value=value)
+        feature, threshold = split
+        left_mask = x[:, feature] <= threshold
+        return _Node(
+            value=value,
+            feature=feature,
+            threshold=threshold,
+            left=self._build(x[left_mask], y[left_mask], w[left_mask], depth + 1),
+            right=self._build(x[~left_mask], y[~left_mask], w[~left_mask], depth + 1),
+        )
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray, w: np.ndarray):
+        n, d = x.shape
+        features = np.arange(d)
+        if self.max_features is not None and self.max_features < d:
+            features = self._rng.choice(d, size=self.max_features, replace=False)
+        best = None
+        best_score = np.inf
+        for feature in features:
+            order = np.argsort(x[:, feature], kind="stable")
+            xs, ys, ws = x[order, feature], y[order], w[order]
+            # candidate thresholds between distinct consecutive values
+            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if i < n and xs[i] == xs[i - 1]:
+                    continue
+                wl, wr = ws[:i], ws[i:]
+                if len(wl) < self.min_samples_leaf or len(wr) < self.min_samples_leaf:
+                    continue
+                sl, sr = wl.sum(), wr.sum()
+                if sl <= 0 or sr <= 0:
+                    continue
+                ml = np.average(ys[:i], weights=wl)
+                mr = np.average(ys[i:], weights=wr)
+                score = float(
+                    (wl * (ys[:i] - ml) ** 2).sum() + (wr * (ys[i:] - mr) ** 2).sum()
+                )
+                if score < best_score:
+                    best_score = score
+                    best = (int(feature), float((xs[i - 1] + xs[i]) / 2.0))
+        return best
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted values, shape ``(n,)``."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        out = np.empty(len(x))
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    @property
+    def depth(self) -> int:
+        """Realised tree depth (0 for a stump-less single leaf)."""
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return walk(self._root)

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+One subcommand per paper artefact plus a quick end-to-end run:
+
+- ``table1``   print the design space.
+- ``table2``   application-specific regrets (LF vs HF per benchmark).
+- ``fig5``     baseline comparison (mean best CPI, bar chart).
+- ``fig6``     MF-center initialisation sweep (line plot).
+- ``fig7``     preference embedding (trajectory view).
+- ``rules``    train and print the extracted rule base.
+- ``explore``  one multi-fidelity run on a chosen benchmark.
+
+All commands accept ``--fast`` to shrink budgets/problem sizes for smoke
+runs, and print to stdout (pipe to a file to archive results).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import viz
+from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
+from repro.workloads import BENCHMARK_NAMES
+
+#: --fast problem sizes (seconds-per-command territory).
+FAST_SIZES = {
+    "dijkstra": 96,
+    "mm": 14,
+    "fp-vvadd": 768,
+    "quicksort": 192,
+    "fft": 128,
+    "ss": 768,
+}
+
+
+def _fast_config() -> ExplorerConfig:
+    return ExplorerConfig(lf_episodes=100, lf_min_episodes=60, hf_budget=6,
+                          hf_seed_designs=2)
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import run_table1
+
+    print(run_table1())
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.table2 import render_table2, run_table2
+
+    rows = run_table2(
+        benchmarks=args.benchmarks or BENCHMARK_NAMES,
+        seed=args.seed,
+        explorer_config=_fast_config() if args.fast else None,
+        optimum_samples=60 if args.fast else 500,
+        data_sizes=FAST_SIZES if args.fast else None,
+    )
+    print(render_table2(rows))
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments.fig5 import run_fig5
+
+    result = run_fig5(
+        seeds=tuple(range(args.seeds)),
+        explorer_config=_fast_config() if args.fast else None,
+        scale=0.25 if args.fast else 1.0,
+    )
+    print("Fig. 5 -- mean best CPI (lower is better):")
+    print(viz.bar_chart(result.mean_cpi, highlight="fnn-mbrl-hf"))
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments.fig6 import PAPER_CENTER_PAIRS, render_fig6, run_fig6
+
+    traces = run_fig6(
+        center_pairs=PAPER_CENTER_PAIRS,
+        episodes=100 if args.fast else 250,
+        seed=args.seed,
+    )
+    print(render_fig6(traces))
+    print()
+    print(viz.line_plot(
+        {f"{t.l1_center:.0f}/{t.l2_center:.0f}": t.episode_cpi for t in traces}
+    ))
+    return 0
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    from repro.experiments.fig7 import render_fig7, run_fig7
+
+    result = run_fig7(
+        episodes=80 if args.fast else 250,
+        seed=args.seed,
+        data_size=1024 if args.fast else None,
+    )
+    print(render_fig7(result))
+    print()
+    print("with preference:")
+    print(viz.trajectory_plot(result.with_preference, focus="decode_width"))
+    print()
+    print("without preference:")
+    print(viz.trajectory_plot(result.without_preference, focus="decode_width"))
+    return 0
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    from repro.core.fnn import render_rule_base
+    from repro.experiments.rules import run_rules_demo
+
+    rules, __ = run_rules_demo(
+        benchmark=args.benchmark,
+        episodes=100 if args.fast else 260,
+        seed=args.seed,
+        data_size=FAST_SIZES.get(args.benchmark) if args.fast else None,
+    )
+    print(render_rule_base(rules))
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from repro.experiments.common import build_pool
+
+    pool = build_pool(
+        args.benchmark,
+        data_size=FAST_SIZES.get(args.benchmark) if args.fast else None,
+    )
+    explorer = MultiFidelityExplorer(
+        pool,
+        config=_fast_config() if args.fast else ExplorerConfig(),
+        seed=args.seed,
+    )
+    result = explorer.explore()
+    space = pool.space
+    print(f"benchmark: {args.benchmark}  "
+          f"(area limit {pool.constraint.limit_mm2} mm^2)")
+    print(f"LF design:   {space.config(result.lf_levels).describe()}")
+    print(f"  HF CPI {result.lf_hf_cpi:.4f}, "
+          f"area {pool.area(result.lf_levels):.2f} mm^2")
+    print(f"best design: {space.config(result.best_levels).describe()}")
+    print(f"  HF CPI {result.best_hf_cpi:.4f}, "
+          f"area {pool.area(result.best_levels):.2f} mm^2")
+    print(f"HF simulations: {result.hf_simulations}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FNN + multi-fidelity-RL micro-architecture DSE "
+        "(DAC 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--fast", action="store_true",
+                       help="reduced budgets/problem sizes")
+
+    p = sub.add_parser("table1", help="print the Table-1 design space")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("table2", help="application-specific DSE regrets")
+    common(p)
+    p.add_argument("--benchmarks", nargs="*", choices=BENCHMARK_NAMES)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("fig5", help="baseline comparison")
+    common(p)
+    p.add_argument("--seeds", type=int, default=5)
+    p.set_defaults(func=cmd_fig5)
+
+    p = sub.add_parser("fig6", help="MF-center initialisation sweep")
+    common(p)
+    p.set_defaults(func=cmd_fig6)
+
+    p = sub.add_parser("fig7", help="preference-embedding demo")
+    common(p)
+    p.set_defaults(func=cmd_fig7)
+
+    p = sub.add_parser("rules", help="extract the learned rule base")
+    common(p)
+    p.add_argument("--benchmark", default="mm", choices=BENCHMARK_NAMES)
+    p.set_defaults(func=cmd_rules)
+
+    p = sub.add_parser("explore", help="one multi-fidelity DSE run")
+    common(p)
+    p.add_argument("--benchmark", default="mm", choices=BENCHMARK_NAMES)
+    p.set_defaults(func=cmd_explore)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

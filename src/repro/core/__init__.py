@@ -1,0 +1,10 @@
+"""The paper's contribution: the FNN search engine and multi-fidelity RL.
+
+- :mod:`repro.core.fnn`  -- the explainable Fuzzy Neural Network (Sec. 2).
+- :mod:`repro.core.mfrl` -- the multi-fidelity reinforcement-learning
+  trainer and the full DSE explorer (Sec. 3).
+"""
+
+from repro.core import fnn, mfrl
+
+__all__ = ["fnn", "mfrl"]

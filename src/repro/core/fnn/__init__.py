@@ -1,0 +1,57 @@
+"""The explainable Fuzzy Neural Network (paper Sec. 2)."""
+
+from repro.core.fnn.membership import (
+    Sigmoid,
+    InverseSigmoid,
+    Bell,
+    metric_membership,
+    param_membership,
+    METRIC_CATEGORIES,
+    PARAM_CATEGORIES,
+)
+from repro.core.fnn.inputs import FuzzyInput, default_inputs, extract_features
+from repro.core.fnn.network import FuzzyNeuralNetwork, ForwardCache, PolicyGradient
+from repro.core.fnn.rules import (
+    FuzzyRule,
+    extract_rules,
+    render_rule_base,
+    rules_mentioning,
+)
+from repro.core.fnn.preferences import (
+    Preference,
+    embed_preference,
+    decode_width_preference,
+)
+from repro.core.fnn.serialization import (
+    fnn_to_dict,
+    fnn_from_dict,
+    save_fnn,
+    load_fnn,
+)
+
+__all__ = [
+    "Sigmoid",
+    "InverseSigmoid",
+    "Bell",
+    "metric_membership",
+    "param_membership",
+    "METRIC_CATEGORIES",
+    "PARAM_CATEGORIES",
+    "FuzzyInput",
+    "default_inputs",
+    "extract_features",
+    "FuzzyNeuralNetwork",
+    "ForwardCache",
+    "PolicyGradient",
+    "FuzzyRule",
+    "extract_rules",
+    "render_rule_base",
+    "rules_mentioning",
+    "Preference",
+    "embed_preference",
+    "decode_width_preference",
+    "fnn_to_dict",
+    "fnn_from_dict",
+    "save_fnn",
+    "load_fnn",
+]

@@ -1,0 +1,146 @@
+"""FNN input specification: how the design state is fuzzified.
+
+Following Sec. 2.3, related design parameters are *merged* into one
+linguistic input each (cache set & way -> cache size; the three FU counts
+-> FU supply) to keep the rule count at ``3^#metrics * 2^#params``. Each
+:class:`FuzzyInput` names the crisp feature, how to extract it from the
+current (metrics, levels) state, its scale, and its initial MF centers.
+
+Cache inputs use log2 of the capacity in *cache lines* -- this is the
+scale on which the paper's Fig. 6 centers live: L1 spans 32..1024 lines
+(log2 in [5, 10], so the swept centers 6..9 are interior), L2 spans
+256..32768 lines (log2 in [8, 15], centers 10..13 interior).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.designspace import DesignSpace, MicroArchConfig
+
+#: State passed to extractors: current design metrics (at least "cpi").
+Metrics = Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class FuzzyInput:
+    """One linguistic input of the FNN.
+
+    Attributes:
+        name: Linguistic name used in extracted rules ("L1", "decode", ...).
+        kind: ``"metric"`` (3 categories, frozen centers) or ``"param"``
+            (2 categories, trainable center).
+        members: Design-space parameter names merged into this input
+            (empty for metrics).
+        extract: Crisp-feature extractor ``(metrics, config) -> float``.
+        lo / hi: Scale bounds of the crisp feature (used for slope
+            defaults, initialisation and sanity checks).
+        center: Initial MF center. For metrics this anchors 'avg'; for
+            parameters it is the low/enough crossover.
+        spread: For metrics only -- offset of the low/high sigmoids and
+            width of the 'avg' bell.
+    """
+
+    name: str
+    kind: str
+    members: Tuple[str, ...]
+    extract: Callable[[Metrics, MicroArchConfig], float]
+    lo: float
+    hi: float
+    center: float
+    spread: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("metric", "param"):
+            raise ValueError("kind must be 'metric' or 'param'")
+        if not self.lo < self.hi:
+            raise ValueError(f"{self.name}: need lo < hi")
+
+    @property
+    def num_categories(self) -> int:
+        """3 for metrics (low/avg/high), 2 for params (low/enough)."""
+        return 3 if self.kind == "metric" else 2
+
+    @property
+    def default_slope(self) -> float:
+        """Sigmoid slope making the transition span ~half the scale."""
+        return 8.0 / (self.hi - self.lo)
+
+
+# ----------------------------------------------------------------------
+# Default input set for the Table-1 space
+# ----------------------------------------------------------------------
+def _cpi(metrics: Metrics, config: MicroArchConfig) -> float:
+    return float(metrics["cpi"])
+
+
+def _l1(metrics: Metrics, config: MicroArchConfig) -> float:
+    return math.log2(config.l1_sets * config.l1_ways)
+
+
+def _l2(metrics: Metrics, config: MicroArchConfig) -> float:
+    return math.log2(config.l2_sets * config.l2_ways)
+
+
+def _mshr(metrics: Metrics, config: MicroArchConfig) -> float:
+    return float(config.n_mshr)
+
+
+def _decode(metrics: Metrics, config: MicroArchConfig) -> float:
+    return float(config.decode_width)
+
+
+def _rob(metrics: Metrics, config: MicroArchConfig) -> float:
+    return config.rob_entries / 32.0
+
+
+def _fu(metrics: Metrics, config: MicroArchConfig) -> float:
+    return float(config.total_fu)
+
+
+def _iq(metrics: Metrics, config: MicroArchConfig) -> float:
+    return float(config.iq_entries)
+
+
+def default_inputs(
+    cpi_center: float = 1.5,
+    cpi_spread: float = 0.4,
+    l1_center: float = 7.5,
+    l2_center: float = 11.5,
+) -> Tuple[FuzzyInput, ...]:
+    """The paper's merged input layout for the Table-1 space.
+
+    One CPI metric input plus seven merged parameter inputs -> the rule
+    base has ``3 * 2^7 = 384`` rules. Centers default to the middle of
+    each scale ("equally dividing the metric scale", Sec. 2.3); the cache
+    centers are exposed because Fig. 6 sweeps them.
+    """
+    return (
+        FuzzyInput("CPI", "metric", (), _cpi, lo=0.5, hi=4.0,
+                   center=cpi_center, spread=cpi_spread),
+        FuzzyInput("L1", "param", ("l1_sets", "l1_ways"), _l1,
+                   lo=5.0, hi=10.0, center=l1_center),
+        FuzzyInput("L2", "param", ("l2_sets", "l2_ways"), _l2,
+                   lo=8.0, hi=15.0, center=l2_center),
+        FuzzyInput("MSHR", "param", ("n_mshr",), _mshr,
+                   lo=2.0, hi=10.0, center=6.0),
+        FuzzyInput("decode", "param", ("decode_width",), _decode,
+                   lo=1.0, hi=5.0, center=3.0),
+        FuzzyInput("ROB", "param", ("rob_entries",), _rob,
+                   lo=1.0, hi=5.0, center=3.0),
+        FuzzyInput("FU", "param", ("mem_fu", "int_fu", "fp_fu"), _fu,
+                   lo=3.0, hi=9.0, center=6.0),
+        FuzzyInput("IQ", "param", ("iq_entries",), _iq,
+                   lo=2.0, hi=24.0, center=12.0),
+    )
+
+
+def extract_features(
+    inputs: Sequence[FuzzyInput], metrics: Metrics, config: MicroArchConfig
+) -> np.ndarray:
+    """Crisp feature vector for the current DSE state."""
+    return np.array([inp.extract(metrics, config) for inp in inputs], dtype=np.float64)

@@ -1,0 +1,140 @@
+"""Membership functions with analytic derivatives.
+
+The paper's FNN fuzzifies design metrics into {low, avg, high} with
+{inverse-sigmoid, bell, sigmoid} membership functions and design
+parameters into {low, enough} with {inverse-sigmoid, sigmoid}. Each MF
+exposes its value and its partial derivative with respect to the *center*,
+because rule learning updates the centers by gradient descent (metric
+centers are frozen, parameter centers train -- Sec. 2.3).
+
+All functions are vector-safe (numpy broadcasting) and clamped away from
+exact 0/1 so rule firing products never vanish entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: Membership values are clamped to [EPS, 1] so products stay positive and
+#: log-gradients stay finite.
+EPS = 1e-6
+
+
+def _clamp(mu: np.ndarray) -> np.ndarray:
+    return np.clip(mu, EPS, 1.0)
+
+
+@dataclass
+class Sigmoid:
+    """Rising sigmoid: models 'high' / 'enough'.
+
+    ``mu(x) = 1 / (1 + exp(-slope * (x - center)))``
+    """
+
+    center: float
+    slope: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.slope <= 0:
+            raise ValueError("sigmoid slope must be positive")
+
+    def value(self, x) -> np.ndarray:
+        z = np.clip(self.slope * (np.asarray(x, dtype=np.float64) - self.center), -60, 60)
+        return _clamp(1.0 / (1.0 + np.exp(-z)))
+
+    def d_center(self, x) -> np.ndarray:
+        """d mu / d center (note the sign: raising the center lowers mu)."""
+        mu = self.value(x)
+        return -self.slope * mu * (1.0 - mu)
+
+    def linguistic(self, x: float) -> float:
+        """Scalar convenience for rule rendering."""
+        return float(self.value(x))
+
+
+@dataclass
+class InverseSigmoid:
+    """Falling sigmoid: models 'low'.
+
+    ``mu(x) = 1 / (1 + exp(+slope * (x - center)))``
+    """
+
+    center: float
+    slope: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.slope <= 0:
+            raise ValueError("sigmoid slope must be positive")
+
+    def value(self, x) -> np.ndarray:
+        z = np.clip(self.slope * (np.asarray(x, dtype=np.float64) - self.center), -60, 60)
+        return _clamp(1.0 / (1.0 + np.exp(z)))
+
+    def d_center(self, x) -> np.ndarray:
+        """d mu / d center (raising the center raises mu)."""
+        mu = self.value(x)
+        return self.slope * mu * (1.0 - mu)
+
+
+@dataclass
+class Bell:
+    """Generalised bell: models 'avg'.
+
+    ``mu(x) = 1 / (1 + |x - center|/width ** (2*shape))``
+    """
+
+    center: float
+    width: float = 1.0
+    shape: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.shape <= 0:
+            raise ValueError("bell width and shape must be positive")
+
+    def value(self, x) -> np.ndarray:
+        u = np.abs((np.asarray(x, dtype=np.float64) - self.center) / self.width)
+        return _clamp(1.0 / (1.0 + u ** (2.0 * self.shape)))
+
+    def d_center(self, x) -> np.ndarray:
+        """d mu / d center."""
+        x = np.asarray(x, dtype=np.float64)
+        diff = x - self.center
+        u = np.abs(diff / self.width)
+        mu = 1.0 / (1.0 + u ** (2.0 * self.shape))
+        # d/dc [u^(2s)] = 2s * u^(2s-1) * (-sign(diff)/width)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            du = np.where(
+                u > 0,
+                2.0 * self.shape * u ** (2.0 * self.shape - 1.0)
+                * (-np.sign(diff) / self.width),
+                0.0,
+            )
+        return -(mu ** 2) * du
+
+
+#: The fuzzy-category layouts (Sec. 2.3): metrics get three categories,
+#: parameters two.
+METRIC_CATEGORIES: Tuple[str, ...] = ("low", "avg", "high")
+PARAM_CATEGORIES: Tuple[str, ...] = ("low", "enough")
+
+
+def metric_membership(center: float, spread: float, slope: float = 1.0):
+    """Build the (low, avg, high) MF triple for a design metric.
+
+    ``center`` anchors 'avg'; 'low'/'high' sit one ``spread`` either side.
+    """
+    if spread <= 0:
+        raise ValueError("spread must be positive")
+    return (
+        InverseSigmoid(center - spread, slope),
+        Bell(center, width=spread),
+        Sigmoid(center + spread, slope),
+    )
+
+
+def param_membership(center: float, slope: float = 1.0):
+    """Build the (low, enough) MF pair for a design parameter."""
+    return (InverseSigmoid(center, slope), Sigmoid(center, slope))

@@ -1,0 +1,328 @@
+"""The Fuzzy Neural Network (Sec. 2.2-2.3).
+
+Five layers, exactly the paper's Fig. 3:
+
+1. **Fuzzification** -- membership degree of each crisp input to each of
+   its categories (metrics: low/avg/high; params: low/enough).
+2. **Ruling** -- product t-norm over one category per input, for every
+   category combination (the full grid, ``3^#metrics * 2^#params`` rules).
+3. **Normalisation** -- firing strengths scaled to sum to one.
+4. **Defuzzification** -- Takagi-Sugeno: each rule carries one crisp
+   consequent per output parameter (the matrix ``W``).
+5. **Output** -- firing-weighted sum: per-parameter "increase" scores.
+
+The network doubles as a stochastic policy: scores feed a masked softmax
+over the increase actions, and :meth:`log_policy_gradient` returns the
+REINFORCE gradient with respect to both the consequents and the
+*trainable* MF centers (metric centers are frozen per Sec. 2.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fnn.inputs import FuzzyInput
+from repro.core.fnn.membership import (
+    Bell,
+    InverseSigmoid,
+    Sigmoid,
+    METRIC_CATEGORIES,
+    PARAM_CATEGORIES,
+)
+
+#: Numerical floor for normalisation / log computations.
+_EPS = 1e-12
+
+
+@dataclass
+class ForwardCache:
+    """Intermediates of one forward pass (reused by the backward pass)."""
+
+    features: np.ndarray          # (n_inputs,)
+    memberships: List[np.ndarray]  # per input: (n_categories,)
+    d_centers: List[np.ndarray]    # per input: (n_categories,) d mu / d c
+    firing: np.ndarray             # (n_rules,)
+    normalized: np.ndarray         # (n_rules,)
+    scores: np.ndarray             # (n_outputs,)
+
+
+@dataclass
+class PolicyGradient:
+    """REINFORCE gradient of ``log pi(action | state)``."""
+
+    d_consequents: np.ndarray  # same shape as W: (n_rules, n_outputs)
+    d_centers: np.ndarray      # (n_inputs,), zero at frozen inputs
+    log_prob: float
+    probs: np.ndarray          # (n_outputs,) masked policy
+
+
+class FuzzyNeuralNetwork:
+    """ANFIS-style fuzzy network over a design space's linguistic inputs.
+
+    Args:
+        inputs: Linguistic input specs (see
+            :func:`repro.core.fnn.inputs.default_inputs`).
+        output_names: One score output per design-space parameter, in the
+            design space's level-vector order.
+        rng: Source of randomness for consequent initialisation.
+        consequent_scale: Std-dev of the initial consequents; small values
+            start the policy near-uniform.
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[FuzzyInput],
+        output_names: Sequence[str],
+        rng: Optional[np.random.Generator] = None,
+        consequent_scale: float = 0.01,
+    ):
+        if not inputs:
+            raise ValueError("need at least one fuzzy input")
+        if not output_names:
+            raise ValueError("need at least one output")
+        self.inputs: Tuple[FuzzyInput, ...] = tuple(inputs)
+        self.output_names: Tuple[str, ...] = tuple(output_names)
+        rng = rng or np.random.default_rng(0)
+
+        # Rule grid: every combination of one category per input.
+        cats = [range(inp.num_categories) for inp in self.inputs]
+        self.rule_grid = np.array(list(itertools.product(*cats)), dtype=np.int8)
+        self.num_rules = len(self.rule_grid)
+        #: Per-input gather matrix: rule_grid[:, i] selects input i's category.
+
+        self.consequents = rng.normal(
+            0.0, consequent_scale, size=(self.num_rules, len(output_names))
+        )
+
+        # Mutable MF parameters: centers (trainable for params) and the
+        # frozen slopes/spreads derived from the input specs.
+        self.centers = np.array([inp.center for inp in self.inputs], dtype=np.float64)
+        self._slopes = np.array([inp.default_slope for inp in self.inputs])
+        self._spreads = np.array([inp.spread for inp in self.inputs])
+        self.trainable = np.array(
+            [inp.kind == "param" for inp in self.inputs], dtype=bool
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        """Number of linguistic inputs."""
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of score outputs (design parameters)."""
+        return len(self.output_names)
+
+    def category_names(self, input_index: int) -> Tuple[str, ...]:
+        """Linguistic category names of one input."""
+        if self.inputs[input_index].kind == "metric":
+            return METRIC_CATEGORIES
+        return PARAM_CATEGORIES
+
+    def membership_functions(self, input_index: int):
+        """Instantiate the MF objects for one input at current centers."""
+        inp = self.inputs[input_index]
+        c = float(self.centers[input_index])
+        s = float(self._slopes[input_index])
+        if inp.kind == "metric":
+            spread = float(self._spreads[input_index])
+            return (
+                InverseSigmoid(c - spread, s),
+                Bell(c, width=spread),
+                Sigmoid(c + spread, s),
+            )
+        return (InverseSigmoid(c, s), Sigmoid(c, s))
+
+    # ------------------------------------------------------------------
+    # Layers 1-5
+    # ------------------------------------------------------------------
+    def forward(self, features: np.ndarray) -> ForwardCache:
+        """Run layers 1-5; returns scores plus cached intermediates."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape != (self.num_inputs,):
+            raise ValueError(
+                f"features must have shape ({self.num_inputs},), got {features.shape}"
+            )
+        memberships: List[np.ndarray] = []
+        d_centers: List[np.ndarray] = []
+        for i in range(self.num_inputs):
+            mfs = self.membership_functions(i)
+            x = features[i]
+            memberships.append(np.array([mf.value(x) for mf in mfs]).ravel())
+            d_centers.append(np.array([mf.d_center(x) for mf in mfs]).ravel())
+
+        # Layer 2: product t-norm across the rule grid.
+        firing = np.ones(self.num_rules, dtype=np.float64)
+        for i in range(self.num_inputs):
+            firing *= memberships[i][self.rule_grid[:, i]]
+
+        # Layer 3: normalisation.
+        total = float(firing.sum())
+        normalized = firing / max(total, _EPS)
+
+        # Layers 4-5: TS defuzzification + weighted sum.
+        scores = normalized @ self.consequents
+        return ForwardCache(
+            features=features,
+            memberships=memberships,
+            d_centers=d_centers,
+            firing=firing,
+            normalized=normalized,
+            scores=scores,
+        )
+
+    def scores(self, features: np.ndarray) -> np.ndarray:
+        """Per-output increase scores (layer-5 output only)."""
+        return self.forward(features).scores
+
+    # ------------------------------------------------------------------
+    # Policy interface
+    # ------------------------------------------------------------------
+    def policy(
+        self,
+        features: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        temperature: float = 1.0,
+    ) -> Tuple[np.ndarray, ForwardCache]:
+        """Masked softmax over increase actions.
+
+        Args:
+            features: Crisp input vector.
+            mask: Boolean validity per output; invalid actions get
+                probability zero. ``None`` means all valid.
+            temperature: Softmax temperature (>0); lower is greedier.
+        """
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        cache = self.forward(features)
+        logits = cache.scores / temperature
+        if mask is None:
+            mask = np.ones(self.num_outputs, dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            if not mask.any():
+                raise ValueError("policy mask excludes every action")
+        shifted = logits - logits[mask].max()
+        weights = np.where(mask, np.exp(shifted), 0.0)
+        probs = weights / weights.sum()
+        return probs, cache
+
+    def act(
+        self,
+        features: np.ndarray,
+        rng: np.random.Generator,
+        mask: Optional[np.ndarray] = None,
+        temperature: float = 1.0,
+        greedy: bool = False,
+    ) -> int:
+        """Sample (or argmax, when ``greedy``) an increase action."""
+        probs, _ = self.policy(features, mask, temperature)
+        if greedy:
+            return int(np.argmax(probs))
+        return int(rng.choice(self.num_outputs, p=probs))
+
+    def log_policy_gradient(
+        self,
+        features: np.ndarray,
+        action: int,
+        mask: Optional[np.ndarray] = None,
+        temperature: float = 1.0,
+    ) -> PolicyGradient:
+        """Gradient of ``log pi(action | features)`` wrt W and centers.
+
+        Uses the softmax identity ``d log pi(a) / d score_k =
+        (1[k==a] - pi_k) / T`` chained through layers 5..1. Center
+        gradients at frozen (metric) inputs are forced to zero.
+        """
+        probs, cache = self.policy(features, mask, temperature)
+        if probs[action] <= 0:
+            raise ValueError(f"action {action} is masked out")
+        dlogp_dscore = -probs / temperature
+        dlogp_dscore[action] += 1.0 / temperature
+
+        # Consequent gradient: scores = g @ W  ->  d score_k / d W[r,k] = g_r
+        d_consequents = np.outer(cache.normalized, dlogp_dscore)
+
+        # Center gradient via the normalised-firing quotient rule:
+        #   rho_r = (d mu_i / d c_i) / mu_i  at input i's category in rule r
+        #   d g_r / d c_i = g_r * (rho_r - sum_s g_s rho_s)
+        d_centers = np.zeros(self.num_inputs)
+        g = cache.normalized
+        for i in range(self.num_inputs):
+            if not self.trainable[i]:
+                continue
+            mu = cache.memberships[i]
+            dmu = cache.d_centers[i]
+            rho = (dmu / np.maximum(mu, _EPS))[self.rule_grid[:, i]]
+            dg = g * (rho - float(g @ rho))
+            dscores = dg @ self.consequents  # (n_outputs,)
+            d_centers[i] = float(dlogp_dscore @ dscores)
+
+        return PolicyGradient(
+            d_consequents=d_consequents,
+            d_centers=d_centers,
+            log_prob=float(np.log(max(probs[action], _EPS))),
+            probs=probs,
+        )
+
+    # ------------------------------------------------------------------
+    # Parameter updates
+    # ------------------------------------------------------------------
+    def apply_update(
+        self,
+        d_consequents: np.ndarray,
+        d_centers: np.ndarray,
+        lr_consequents: float,
+        lr_centers: float,
+        center_bounds: Optional[Sequence[Tuple[float, float]]] = None,
+    ) -> None:
+        """Gradient-ascent step on consequents and trainable centers.
+
+        ``center_bounds`` defaults to each input's [lo, hi] scale -- the
+        paper's interpretability check "if the centers of the MFs are
+        updated beyond the limits of the design space, reduce the learning
+        rate" becomes a hard guarantee here.
+        """
+        if d_consequents.shape != self.consequents.shape:
+            raise ValueError("consequent gradient shape mismatch")
+        self.consequents += lr_consequents * d_consequents
+        step = lr_centers * np.where(self.trainable, d_centers, 0.0)
+        self.centers += step
+        bounds = center_bounds or [(inp.lo, inp.hi) for inp in self.inputs]
+        for i, (lo, hi) in enumerate(bounds):
+            self.centers[i] = float(np.clip(self.centers[i], lo, hi))
+
+    def clone_weights_from(self, other: "FuzzyNeuralNetwork") -> None:
+        """Copy consequents and centers from a same-shape network."""
+        if other.consequents.shape != self.consequents.shape:
+            raise ValueError("incompatible FNN shapes")
+        self.consequents = other.consequents.copy()
+        self.centers = other.centers.copy()
+
+    # ------------------------------------------------------------------
+    # Serialisation (plain dict -- keeps experiments reproducible)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Snapshot of all learnable state."""
+        return {
+            "consequents": self.consequents.copy(),
+            "centers": self.centers.copy(),
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        consequents = np.asarray(state["consequents"], dtype=np.float64)
+        centers = np.asarray(state["centers"], dtype=np.float64)
+        if consequents.shape != self.consequents.shape:
+            raise ValueError("consequents shape mismatch")
+        if centers.shape != self.centers.shape:
+            raise ValueError("centers shape mismatch")
+        self.consequents = consequents.copy()
+        self.centers = centers.copy()

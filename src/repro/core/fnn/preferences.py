@@ -1,0 +1,98 @@
+"""Designer preference injection (Sec. 2.3 / Fig. 7).
+
+"If we wish to favor designs with a decode width of 4, we can define 3 as
+'low' and 4 as 'enough' in the antecedent part of the rule. We then adjust
+the corresponding consequence to increase the decode width when it falls
+short." -- this module implements exactly that: move the relevant input's
+low/enough crossover between the two values, and bias the consequents of
+all 'X is low' rules toward increasing X. The preference lives in the
+*knowledge* of the FNN, so the network generates the preferred decisions
+itself instead of having its outputs post-edited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.fnn.network import FuzzyNeuralNetwork
+
+
+@dataclass(frozen=True)
+class Preference:
+    """A target-value preference on one design parameter.
+
+    Attributes:
+        input_name: The FNN linguistic input to act on (e.g. ``"decode"``).
+        output_name: The design-space parameter to favour increasing
+            (e.g. ``"decode_width"``).
+        below_value: Crisp values below this count as 'low'...
+        target_value: ...and this value counts as 'enough'.
+        strength: Consequent bias added to every 'input is low' rule.
+    """
+
+    input_name: str
+    output_name: str
+    below_value: float
+    target_value: float
+    strength: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.below_value < self.target_value:
+            raise ValueError("below_value must be < target_value")
+        if self.strength <= 0:
+            raise ValueError("strength must be positive")
+
+
+def embed_preference(fnn: FuzzyNeuralNetwork, preference: Preference) -> None:
+    """Embed ``preference`` into the FNN's rule base, in place.
+
+    Raises:
+        KeyError: When the input or output name is unknown.
+        ValueError: When the preferred input is a frozen metric input.
+    """
+    try:
+        input_idx = [inp.name for inp in fnn.inputs].index(preference.input_name)
+    except ValueError as exc:
+        raise KeyError(f"unknown FNN input {preference.input_name!r}") from exc
+    try:
+        output_idx = fnn.output_names.index(preference.output_name)
+    except ValueError as exc:
+        raise KeyError(f"unknown FNN output {preference.output_name!r}") from exc
+    if not fnn.trainable[input_idx]:
+        raise ValueError("cannot place a preference on a frozen metric input")
+
+    # 1. Redefine the linguistic boundary: the crossover sits between the
+    #    "too small" value and the preferred value.
+    fnn.centers[input_idx] = 0.5 * (preference.below_value + preference.target_value)
+
+    # 2. Teach the consequent: every rule whose antecedent says the input
+    #    is 'low' claims the parameter can increase, strongly.
+    low_category = 0  # params: (low, enough)
+    low_rules = fnn.rule_grid[:, input_idx] == low_category
+    fnn.consequents[low_rules, output_idx] += preference.strength
+    # and rules that say it is already 'enough' actively discourage
+    # pushing past the target (the membership functions overlap around
+    # the crossover, so a zero consequent would still let the residual
+    # 'low' firing overshoot the preference).
+    enough_rules = ~low_rules
+    fnn.consequents[enough_rules, output_idx] = np.minimum(
+        fnn.consequents[enough_rules, output_idx], -preference.strength
+    )
+
+
+def decode_width_preference(
+    target: int = 4, strength: float = 1.0
+) -> Preference:
+    """The paper's Fig.-7 preference: favour decode width ``target``."""
+    if not 2 <= target <= 5:
+        raise ValueError("decode-width target must be in 2..5")
+    return Preference(
+        input_name="decode",
+        output_name="decode_width",
+        below_value=float(target - 1),
+        target_value=float(target),
+        strength=strength,
+    )

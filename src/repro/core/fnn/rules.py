@@ -1,0 +1,187 @@
+"""Rule extraction: translating FNN weights into IF/THEN rules (Sec. 4.3).
+
+The paper's script "automatically translates the calculations of FNN into
+rules": matrix entries map to the fuzzy values of the rules, then redundant
+parts are pruned --
+
+- a rule (a row of the consequent matrix) whose 1-norm is nearly 0 is
+  redundant and dropped;
+- an antecedent item X is redundant for a conclusion if 'X is high' and
+  'X is low' both claim the same parameter can increase -- implemented as
+  a Quine-McCluskey-style merge over the category grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fnn.network import FuzzyNeuralNetwork
+
+#: Wildcard category marker after antecedent pruning.
+ANY = -1
+
+
+@dataclass(frozen=True)
+class FuzzyRule:
+    """One extracted IF/THEN rule.
+
+    Attributes:
+        antecedents: ``(input_name, category_name)`` pairs; pruned inputs
+            are absent.
+        output: The design parameter the consequent talks about.
+        weight: Mean consequent strength over the merged rule cells;
+            positive for "can increase" rules, negative for "should not
+            increase" rules.
+        direction: ``"increase"`` (the paper's listing) or ``"hold"``
+            (strong negative consequents -- what the episode loop's FNN
+            veto acts on).
+    """
+
+    antecedents: Tuple[Tuple[str, str], ...]
+    output: str
+    weight: float
+    direction: str = "increase"
+
+    def render(self) -> str:
+        """The paper's textual form."""
+        if self.antecedents:
+            cond = " AND ".join(f"{name} is {cat}" for name, cat in self.antecedents)
+        else:
+            cond = "always"
+        verb = (
+            "can increase" if self.direction == "increase"
+            else "should NOT increase"
+        )
+        return f"IF {cond} THEN {self.output} {verb}  [w={self.weight:+.3f}]"
+
+    def __str__(self) -> str:  # pragma: no cover - delegates to render
+        return self.render()
+
+
+def _merge_patterns(
+    patterns: List[Tuple[int, ...]], num_categories: Sequence[int]
+) -> List[Tuple[int, ...]]:
+    """Quine-McCluskey-style reduction over category patterns.
+
+    A position collapses to :data:`ANY` when patterns covering *all* of
+    that input's categories (with the rest identical) are present.
+    """
+    current = set(patterns)
+    changed = True
+    while changed:
+        changed = False
+        merged = set()
+        used = set()
+        items = sorted(current)
+        for pat in items:
+            for pos, n_cat in enumerate(num_categories):
+                if pat[pos] == ANY:
+                    continue
+                siblings = []
+                for cat in range(n_cat):
+                    sib = pat[:pos] + (cat,) + pat[pos + 1:]
+                    if sib in current:
+                        siblings.append(sib)
+                if len(siblings) == n_cat:
+                    collapsed = pat[:pos] + (ANY,) + pat[pos + 1:]
+                    merged.add(collapsed)
+                    used.update(siblings)
+                    changed = True
+        survivors = {p for p in current if p not in used}
+        current = survivors | merged
+    return sorted(current)
+
+
+def extract_rules(
+    fnn: FuzzyNeuralNetwork,
+    weight_threshold: float = 0.05,
+    norm_threshold: float = 1e-3,
+    top_k: Optional[int] = None,
+    direction: str = "increase",
+) -> List[FuzzyRule]:
+    """Extract a rule base from ``fnn``.
+
+    Args:
+        fnn: A (typically trained) network.
+        weight_threshold: Minimum |consequent| for a cell to count as
+            claiming the rule's direction.
+        norm_threshold: Rules whose consequent-row 1-norm is below this are
+            considered never-fired/redundant and dropped (the paper's
+            "column whose 1-norm is nearly 0" prune, transposed to our
+            ``(rules, outputs)`` layout).
+        top_k: Keep only the strongest ``top_k`` rules overall (by |weight|)
+            when given.
+        direction: ``"increase"`` extracts positive consequents (the
+            paper's Sec.-4.3 listing); ``"hold"`` extracts strong negative
+            consequents ("X should NOT increase"), the knowledge the
+            episode loop's FNN veto enforces.
+    """
+    if direction not in ("increase", "hold"):
+        raise ValueError("direction must be 'increase' or 'hold'")
+    num_categories = [inp.num_categories for inp in fnn.inputs]
+    w = fnn.consequents
+    alive = np.abs(w).sum(axis=1) > norm_threshold
+
+    def selects(value: float) -> bool:
+        if direction == "increase":
+            return value > weight_threshold
+        return value < -weight_threshold
+
+    rules: List[FuzzyRule] = []
+    for k, output in enumerate(fnn.output_names):
+        selected = [
+            tuple(int(c) for c in fnn.rule_grid[r])
+            for r in range(fnn.num_rules)
+            if alive[r] and selects(w[r, k])
+        ]
+        if not selected:
+            continue
+        weight_of = {
+            tuple(int(c) for c in fnn.rule_grid[r]): float(w[r, k])
+            for r in range(fnn.num_rules)
+        }
+        for pattern in _merge_patterns(selected, num_categories):
+            cells = _expand(pattern, num_categories)
+            mean_w = float(np.mean([weight_of[c] for c in cells]))
+            antecedents = tuple(
+                (fnn.inputs[i].name, fnn.category_names(i)[cat])
+                for i, cat in enumerate(pattern)
+                if cat != ANY
+            )
+            rules.append(FuzzyRule(antecedents, output, mean_w, direction))
+
+    rules.sort(key=lambda r: -abs(r.weight))
+    if top_k is not None:
+        rules = rules[:top_k]
+    return rules
+
+
+def _expand(
+    pattern: Tuple[int, ...], num_categories: Sequence[int]
+) -> List[Tuple[int, ...]]:
+    """All concrete category tuples a wildcard pattern covers."""
+    cells = [()]
+    for pos, n_cat in enumerate(num_categories):
+        options = range(n_cat) if pattern[pos] == ANY else (pattern[pos],)
+        cells = [c + (o,) for c in cells for o in options]
+    return cells
+
+
+def render_rule_base(rules: Sequence[FuzzyRule], max_rules: int = 20) -> str:
+    """Multi-line listing in the paper's Sec. 4.3 style."""
+    lines = [f"Extracted rule base ({len(rules)} rules):"]
+    for rule in list(rules)[:max_rules]:
+        lines.append("  - " + rule.render())
+    if len(rules) > max_rules:
+        lines.append(f"  ... {len(rules) - max_rules} more")
+    return "\n".join(lines)
+
+
+def rules_mentioning(
+    rules: Sequence[FuzzyRule], output: str
+) -> List[FuzzyRule]:
+    """Filter the rule base to one conclusion parameter."""
+    return [r for r in rules if r.output == output]

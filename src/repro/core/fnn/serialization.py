@@ -1,0 +1,98 @@
+"""Saving and loading trained FNNs (plain JSON, no pickle).
+
+A trained network is its consequent matrix plus its MF centers plus the
+input/output layout it was built against. The JSON form keeps experiment
+artefacts diffable and lets a rule base trained in one session be
+inspected or reused (e.g. as a warm start) in another.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.fnn.inputs import FuzzyInput
+from repro.core.fnn.network import FuzzyNeuralNetwork
+
+#: Format marker; bump on breaking layout changes.
+FORMAT_VERSION = 1
+
+
+def fnn_to_dict(fnn: FuzzyNeuralNetwork) -> dict:
+    """JSON-serialisable snapshot of a network (weights + layout)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "inputs": [
+            {
+                "name": inp.name,
+                "kind": inp.kind,
+                "members": list(inp.members),
+                "lo": inp.lo,
+                "hi": inp.hi,
+                "center": float(center),
+                "spread": inp.spread,
+            }
+            for inp, center in zip(fnn.inputs, fnn.centers)
+        ],
+        "output_names": list(fnn.output_names),
+        "consequents": fnn.consequents.tolist(),
+    }
+
+
+def fnn_from_dict(data: dict) -> FuzzyNeuralNetwork:
+    """Rebuild a network from :func:`fnn_to_dict` output.
+
+    The reconstructed inputs reuse the default extractors by *name* --
+    custom extractor callables cannot round-trip through JSON, so loading
+    is only supported for the standard Table-1 input layout.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported FNN format version: {version!r}")
+    from repro.core.fnn.inputs import default_inputs
+
+    defaults = {inp.name: inp for inp in default_inputs()}
+    inputs = []
+    for spec in data["inputs"]:
+        name = spec["name"]
+        if name not in defaults:
+            raise ValueError(
+                f"input {name!r} is not part of the standard layout; "
+                "custom extractors cannot be restored from JSON"
+            )
+        base = defaults[name]
+        inputs.append(
+            FuzzyInput(
+                name=name,
+                kind=spec["kind"],
+                members=tuple(spec["members"]),
+                extract=base.extract,
+                lo=spec["lo"],
+                hi=spec["hi"],
+                center=spec["center"],
+                spread=spec["spread"],
+            )
+        )
+    fnn = FuzzyNeuralNetwork(inputs, data["output_names"])
+    consequents = np.asarray(data["consequents"], dtype=np.float64)
+    if consequents.shape != fnn.consequents.shape:
+        raise ValueError(
+            f"consequent shape {consequents.shape} does not match the "
+            f"layout's rule grid {fnn.consequents.shape}"
+        )
+    fnn.consequents = consequents
+    fnn.centers = np.array([spec["center"] for spec in data["inputs"]])
+    return fnn
+
+
+def save_fnn(fnn: FuzzyNeuralNetwork, path: Union[str, Path]) -> None:
+    """Write ``fnn`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(fnn_to_dict(fnn), indent=2))
+
+
+def load_fnn(path: Union[str, Path]) -> FuzzyNeuralNetwork:
+    """Read a network saved by :func:`save_fnn`."""
+    return fnn_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,27 @@
+"""Multi-fidelity reinforcement learning (paper Sec. 3)."""
+
+from repro.core.mfrl.env import DseEnvironment, Episode, EpisodeStep
+from repro.core.mfrl.reinforce import (
+    EPSILON,
+    EpisodeRecord,
+    ReinforceTrainer,
+    TrainerConfig,
+)
+from repro.core.mfrl.explorer import (
+    ExplorerConfig,
+    ExplorationResult,
+    MultiFidelityExplorer,
+)
+
+__all__ = [
+    "DseEnvironment",
+    "Episode",
+    "EpisodeStep",
+    "EPSILON",
+    "EpisodeRecord",
+    "ReinforceTrainer",
+    "TrainerConfig",
+    "ExplorerConfig",
+    "ExplorationResult",
+    "MultiFidelityExplorer",
+]

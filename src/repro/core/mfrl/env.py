@@ -1,0 +1,152 @@
+"""The DSE episode MDP (paper Sec. 3).
+
+An episode starts from a seed design (the smallest design in the LF
+phase; a design sampled from the HF seed set in the HF phase) and
+repeatedly picks one parameter to increase until no increase fits the
+area budget. Every visited design is therefore valid by construction --
+"we enlarge the processor step by step until the area limit is reached so
+that all the sampled designs are valid".
+
+The state the FNN sees is (current design metrics, current parameter
+values); metrics always come from the cheap analytical model, even during
+the HF phase, because per-step HF metrics would blow the simulation
+budget -- only the episode *reward* is high-fidelity there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.fnn.inputs import FuzzyInput, extract_features
+from repro.core.fnn.network import FuzzyNeuralNetwork
+from repro.proxies.pool import ProxyPool
+
+
+@dataclass(frozen=True)
+class EpisodeStep:
+    """One decision: the observed features, mask, and chosen action."""
+
+    features: np.ndarray
+    mask: np.ndarray
+    action: int
+
+
+@dataclass
+class Episode:
+    """One rollout: the step list plus the final design."""
+
+    steps: List[EpisodeStep]
+    final_levels: np.ndarray
+    #: Filled in by the trainer once the final design is evaluated.
+    final_cpi: Optional[float] = None
+    reward: Optional[float] = None
+
+    @property
+    def length(self) -> int:
+        """Number of increase actions taken."""
+        return len(self.steps)
+
+
+class DseEnvironment:
+    """Episode generator bound to a proxy pool and an FNN input layout.
+
+    Args:
+        pool: Evaluation frontend (constraint + LF metrics + masks).
+        inputs: FNN linguistic input specs (feature extraction).
+        use_gradient_mask: When True (the LF phase), the analytical
+            model's beneficial-increase mask intersects the feasibility
+            mask; if the intersection is empty, the episode ends (the
+            model sees no remaining beneficial move). The HF phase runs
+            with this off -- "the actions in the HF phase are no longer
+            restricted by the analytical model".
+        veto_threshold: TS consequents are signed: strongly *negative*
+            scores mean the rule base says the parameter should NOT
+            increase. Actions whose score falls below this threshold are
+            vetoed by the FNN; if every remaining action is vetoed the
+            episode ends with budget to spare. This is what lets an
+            embedded preference (Sec. 2.3) overrule the gradient mask
+            when the mask would otherwise force the un-preferred move.
+            Freshly initialised networks have near-zero scores, so the
+            veto only activates once the rule base holds strong opinions.
+    """
+
+    def __init__(
+        self,
+        pool: ProxyPool,
+        inputs: Sequence[FuzzyInput],
+        use_gradient_mask: bool = True,
+        veto_threshold: float = -1.0,
+    ):
+        if veto_threshold >= 0:
+            raise ValueError("veto_threshold must be negative")
+        self.pool = pool
+        self.inputs = tuple(inputs)
+        self.use_gradient_mask = use_gradient_mask
+        self.veto_threshold = veto_threshold
+
+    # ------------------------------------------------------------------
+    def action_mask(self, levels: np.ndarray) -> np.ndarray:
+        """Valid increase actions at ``levels`` (may be all-False)."""
+        mask = self.pool.feasible_increase_mask(levels)
+        if self.use_gradient_mask and mask.any():
+            beneficial = self.pool.beneficial_mask(levels)
+            combined = mask & beneficial
+            if combined.any():
+                return combined
+            # No model-beneficial move left: the LF episode is done.
+            return np.zeros_like(mask)
+        return mask
+
+    def features_at(self, levels: np.ndarray) -> np.ndarray:
+        """FNN feature vector at ``levels`` (metrics from the LF model)."""
+        config = self.pool.space.config(levels)
+        metrics = self.pool.evaluate_low(levels).metrics
+        return extract_features(self.inputs, metrics, config)
+
+    def rollout(
+        self,
+        fnn: FuzzyNeuralNetwork,
+        rng: np.random.Generator,
+        start_levels: Optional[Sequence[int]] = None,
+        temperature: float = 1.0,
+        greedy: bool = False,
+        max_steps: int = 256,
+    ) -> Episode:
+        """Run one episode under the FNN policy.
+
+        Args:
+            fnn: The policy network.
+            rng: Randomness for action sampling.
+            start_levels: Episode seed; defaults to the smallest design.
+            temperature: Policy softmax temperature.
+            greedy: Take argmax actions (used for convergence probing).
+            max_steps: Hard safety bound on episode length.
+        """
+        space = self.pool.space
+        levels = (
+            space.smallest()
+            if start_levels is None
+            else space.validate_levels(start_levels)
+        )
+        if not self.pool.fits(levels):
+            raise ValueError("episode start design violates the area budget")
+        steps: List[EpisodeStep] = []
+        for __ in range(max_steps):
+            mask = self.action_mask(levels)
+            if not mask.any():
+                break
+            features = self.features_at(levels)
+            # FNN veto: drop actions the rule base strongly argues against.
+            scores = fnn.scores(features)
+            mask = mask & (scores > self.veto_threshold)
+            if not mask.any():
+                break
+            action = fnn.act(
+                features, rng, mask=mask, temperature=temperature, greedy=greedy
+            )
+            steps.append(EpisodeStep(features=features, mask=mask, action=action))
+            levels = space.increase(levels, action)
+        return Episode(steps=steps, final_levels=levels)

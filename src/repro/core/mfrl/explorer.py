@@ -1,0 +1,200 @@
+"""The multi-fidelity explorer: LF phase -> transition -> HF phase (Sec. 3).
+
+Orchestrates the full Fig.-4 flow:
+
+1. **LF phase** (Sec. 3.1): REINFORCE episodes rewarded by analytical IPC
+   (eq. 3, reference = running best), with the analytical gradient mask
+   restricting actions to model-beneficial increases. Runs until the
+   greedy rollout stabilises or the episode budget is hit.
+2. **Transition** (Sec. 3.2): HF-simulate the converged design
+   (-> ``IPC_h0``) and a subset of the LF archive's best designs (-> the
+   seed set ``H``).
+3. **HF phase** (Sec. 3.2): episodes seeded from ``H``, *without* the
+   gradient mask, rewarded by HF IPC against ``IPC_h0`` (eq. 4), until
+   the HF-simulation budget is spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.fnn.inputs import FuzzyInput, default_inputs
+from repro.core.fnn.network import FuzzyNeuralNetwork
+from repro.core.mfrl.env import DseEnvironment
+from repro.core.mfrl.reinforce import EpisodeRecord, ReinforceTrainer, TrainerConfig
+from repro.proxies.interface import Fidelity
+from repro.proxies.pool import ProxyPool
+
+
+@dataclass(frozen=True)
+class ExplorerConfig:
+    """Budgets and schedule of the multi-fidelity exploration.
+
+    Attributes:
+        lf_episodes: Maximum LF-phase episodes.
+        lf_min_episodes: Episodes trained before convergence may stop the
+            phase (LF evaluations are ~free; extra episodes sharpen the
+            rule base the FNN will be read from).
+        lf_check_every: Greedy-probe cadence for convergence detection.
+        lf_patience: Consecutive identical greedy probes => converged.
+        hf_budget: Total distinct HF simulations allowed (the paper uses
+            9 for its method vs 10 for baselines).
+        hf_seed_designs: How many LF-archive best designs to HF-simulate
+            at the transition (beyond the converged design).
+        trainer: REINFORCE hyper-parameters (shared by both phases).
+    """
+
+    lf_episodes: int = 260
+    lf_min_episodes: int = 120
+    lf_check_every: int = 10
+    lf_patience: int = 3
+    hf_budget: int = 9
+    hf_seed_designs: int = 3
+    trainer: TrainerConfig = field(default_factory=TrainerConfig)
+
+    def __post_init__(self) -> None:
+        if self.hf_budget < 2:
+            raise ValueError("hf_budget must cover at least the converged design + 1")
+        if self.hf_seed_designs < 1:
+            raise ValueError("need at least one HF seed design")
+
+
+@dataclass
+class ExplorationResult:
+    """Everything the experiments need from one exploration run."""
+
+    #: LF-converged design and its *HF* CPI (what Table 2 calls "LF").
+    lf_levels: np.ndarray
+    lf_hf_cpi: float
+    #: Best design found by the full multi-fidelity flow and its HF CPI.
+    best_levels: np.ndarray
+    best_hf_cpi: float
+    #: Per-episode telemetry, LF then HF.
+    lf_history: List[EpisodeRecord]
+    hf_history: List[EpisodeRecord]
+    #: Distinct HF simulations actually spent.
+    hf_simulations: int
+    #: The trained network (rule extraction happens on this).
+    fnn: FuzzyNeuralNetwork
+
+
+class MultiFidelityExplorer:
+    """The paper's full DSE framework bound to one proxy pool.
+
+    Args:
+        pool: The proxy pool (defines the workload, area budget, space).
+        inputs: FNN linguistic inputs; defaults to the Table-1 layout.
+        config: Budgets and hyper-parameters.
+        seed: Seed for all stochastic components of the run.
+        fnn: Optionally a pre-built (e.g. preference-loaded) network.
+    """
+
+    def __init__(
+        self,
+        pool: ProxyPool,
+        inputs: Optional[Sequence[FuzzyInput]] = None,
+        config: ExplorerConfig = ExplorerConfig(),
+        seed: int = 0,
+        fnn: Optional[FuzzyNeuralNetwork] = None,
+    ):
+        self.pool = pool
+        self.inputs = tuple(inputs) if inputs is not None else default_inputs()
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+        self.fnn = fnn or FuzzyNeuralNetwork(
+            self.inputs, pool.space.names, rng=self.rng
+        )
+        self._lf_env = DseEnvironment(pool, self.inputs, use_gradient_mask=True)
+        self._hf_env = DseEnvironment(pool, self.inputs, use_gradient_mask=False)
+
+    # ------------------------------------------------------------------
+    # Phase 1: low fidelity
+    # ------------------------------------------------------------------
+    def run_lf_phase(self) -> ReinforceTrainer:
+        """Model-based LF training (Sec. 3.1); returns the trainer."""
+        trainer = ReinforceTrainer(self._lf_env, self.fnn, self.config.trainer)
+        best_ipc = -np.inf
+        stable_probe: Optional[np.ndarray] = None
+        stable_count = 0
+
+        def lf_ipc(levels: np.ndarray) -> float:
+            return self.pool.evaluate_low(levels).ipc
+
+        for episode in range(self.config.lf_episodes):
+            reference = best_ipc if np.isfinite(best_ipc) else 0.0
+            record = trainer.run_episode(self.rng, lf_ipc, reference)
+            ipc = 1.0 / record.final_cpi
+            if ipc > best_ipc:
+                best_ipc = ipc
+            if (episode + 1) % self.config.lf_check_every == 0:
+                probe = trainer.greedy_design(self.rng)
+                if stable_probe is not None and np.array_equal(probe, stable_probe):
+                    stable_count += 1
+                else:
+                    stable_probe = probe
+                    stable_count = 0
+                if (
+                    stable_count >= self.config.lf_patience
+                    and episode + 1 >= self.config.lf_min_episodes
+                ):
+                    break
+        return trainer
+
+    # ------------------------------------------------------------------
+    # Phase 2: transition + high fidelity
+    # ------------------------------------------------------------------
+    def run_hf_phase(
+        self, lf_trainer: ReinforceTrainer
+    ) -> ExplorationResult:
+        """Transition and HF training (Sec. 3.2); returns the result."""
+        pool = self.pool
+        converged = lf_trainer.greedy_design(self.rng)
+
+        # Transition: HF on the converged design and LF-best subset.
+        h0 = pool.evaluate_high(converged)
+        ipc_h0 = h0.ipc
+        seeds = [converged]
+        for evaluation in pool.archive.best_designs(
+            Fidelity.LOW, self.config.hf_seed_designs
+        ):
+            if pool.archive.count(Fidelity.HIGH) >= self.config.hf_budget - 1:
+                break
+            pool.evaluate_high(evaluation.levels)
+            seeds.append(evaluation.levels)
+
+        trainer = ReinforceTrainer(self._hf_env, self.fnn, self.config.trainer)
+
+        def hf_ipc(levels: np.ndarray) -> float:
+            return pool.evaluate_high(levels).ipc
+
+        # HF episodes until the distinct-simulation budget is spent.
+        guard = 0
+        while (
+            pool.archive.count(Fidelity.HIGH) < self.config.hf_budget
+            and guard < 10 * self.config.hf_budget
+        ):
+            guard += 1
+            start = seeds[int(self.rng.integers(len(seeds)))]
+            trainer.run_episode(self.rng, hf_ipc, ipc_h0, start_levels=start)
+
+        best = pool.archive.best(Fidelity.HIGH)
+        assert best is not None  # h0 guarantees at least one HF record
+        return ExplorationResult(
+            lf_levels=converged,
+            lf_hf_cpi=h0.cpi,
+            best_levels=best.levels,
+            best_hf_cpi=best.cpi,
+            lf_history=lf_trainer.history,
+            hf_history=trainer.history,
+            hf_simulations=pool.archive.count(Fidelity.HIGH),
+            fnn=self.fnn,
+        )
+
+    # ------------------------------------------------------------------
+    def explore(self) -> ExplorationResult:
+        """Run the complete multi-fidelity DSE flow."""
+        lf_trainer = self.run_lf_phase()
+        return self.run_hf_phase(lf_trainer)

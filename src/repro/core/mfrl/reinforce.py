@@ -1,0 +1,157 @@
+"""Policy-gradient training of the FNN (paper Sec. 3, ref [14]).
+
+Plain episodic REINFORCE: the CPI-derived reward of an episode's *final*
+design scales the summed log-policy gradients of every action taken in the
+episode ("The CPI of the final design of an episode is the reward of all
+actions in this episode").
+
+The reward is the paper's aggressive form (eq. 3 / eq. 4):
+
+``reward = IPC - IPC_ref + eps``
+
+where ``IPC_ref`` is the running best IPC in the LF phase (eq. 3) or the
+HF IPC of the LF-converged design in the HF phase (eq. 4), and
+``eps = 0.05`` guarantees the incumbent optimum still earns a positive
+reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.fnn.network import FuzzyNeuralNetwork
+from repro.core.mfrl.env import DseEnvironment, Episode
+
+#: The paper's epsilon ("In all our experiments, eps is 0.05").
+EPSILON = 0.05
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """REINFORCE hyper-parameters.
+
+    Attributes:
+        lr_consequents: Learning rate of the TS consequent matrix.
+        lr_centers: Learning rate of the trainable MF centers.
+        temperature: Policy softmax temperature during training.
+        epsilon: Reward offset (eq. 3/4).
+        max_steps: Episode length bound.
+    """
+
+    lr_consequents: float = 1.0
+    lr_centers: float = 0.05
+    temperature: float = 1.0
+    epsilon: float = EPSILON
+    max_steps: int = 256
+
+    def __post_init__(self) -> None:
+        if self.lr_consequents < 0 or self.lr_centers < 0:
+            raise ValueError("learning rates must be non-negative")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+
+
+@dataclass
+class EpisodeRecord:
+    """Per-episode training telemetry (drives Figs. 6 and 7)."""
+
+    episode: int
+    final_levels: np.ndarray
+    final_cpi: float
+    reward: float
+    centers: np.ndarray
+
+
+class ReinforceTrainer:
+    """Episodic REINFORCE over a :class:`DseEnvironment`.
+
+    The trainer is reward-source agnostic: the caller supplies a function
+    mapping an episode's final levels to IPC, so the same loop trains the
+    LF phase (analytical IPC) and the HF phase (simulated IPC).
+    """
+
+    def __init__(
+        self,
+        env: DseEnvironment,
+        fnn: FuzzyNeuralNetwork,
+        config: TrainerConfig = TrainerConfig(),
+    ):
+        self.env = env
+        self.fnn = fnn
+        self.config = config
+        self.history: List[EpisodeRecord] = []
+        self._episode_counter = 0
+
+    # ------------------------------------------------------------------
+    def update_from_episode(self, episode: Episode, reward: float) -> None:
+        """Apply one REINFORCE step from a finished, rewarded episode."""
+        if not episode.steps:
+            return
+        d_w = np.zeros_like(self.fnn.consequents)
+        d_c = np.zeros(self.fnn.num_inputs)
+        for step in episode.steps:
+            grad = self.fnn.log_policy_gradient(
+                step.features,
+                step.action,
+                mask=step.mask,
+                temperature=self.config.temperature,
+            )
+            d_w += grad.d_consequents
+            d_c += grad.d_centers
+        # The paper applies the episode reward to *all* actions of the
+        # episode (Sec. 3): no per-step averaging.
+        scale = reward
+        self.fnn.apply_update(
+            d_w * scale,
+            d_c * scale,
+            lr_consequents=self.config.lr_consequents,
+            lr_centers=self.config.lr_centers,
+        )
+
+    def run_episode(
+        self,
+        rng: np.random.Generator,
+        ipc_of: Callable[[np.ndarray], float],
+        ipc_reference: float,
+        start_levels: Optional[np.ndarray] = None,
+    ) -> EpisodeRecord:
+        """Roll out, reward (eq. 3/4), update, record.
+
+        Args:
+            rng: Randomness source.
+            ipc_of: Final-design IPC evaluator (LF or HF).
+            ipc_reference: ``IPC*`` / ``IPC_h0`` in the reward.
+            start_levels: Episode seed design.
+        """
+        episode = self.env.rollout(
+            self.fnn,
+            rng,
+            start_levels=start_levels,
+            temperature=self.config.temperature,
+            max_steps=self.config.max_steps,
+        )
+        ipc = ipc_of(episode.final_levels)
+        reward = ipc - ipc_reference + self.config.epsilon
+        episode.final_cpi = 1.0 / ipc
+        episode.reward = reward
+        self.update_from_episode(episode, reward)
+        record = EpisodeRecord(
+            episode=self._episode_counter,
+            final_levels=episode.final_levels.copy(),
+            final_cpi=1.0 / ipc,
+            reward=reward,
+            centers=self.fnn.centers.copy(),
+        )
+        self._episode_counter += 1
+        self.history.append(record)
+        return record
+
+    def greedy_design(self, rng: np.random.Generator) -> np.ndarray:
+        """Final design of a greedy (argmax) rollout -- convergence probe."""
+        episode = self.env.rollout(
+            self.fnn, rng, greedy=True, max_steps=self.config.max_steps
+        )
+        return episode.final_levels

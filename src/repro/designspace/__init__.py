@@ -1,0 +1,28 @@
+"""Micro-architecture design space (paper Table 1).
+
+The space has 11 parameters; each takes a small ordered list of candidate
+values. A design point is represented either as a
+:class:`~repro.designspace.config.MicroArchConfig` (concrete values) or as a
+vector of integer *levels* (indices into each candidate list), which is the
+representation the search algorithms operate on.
+"""
+
+from repro.designspace.parameters import (
+    DesignParameter,
+    TABLE1_PARAMETERS,
+    parameter_by_name,
+)
+from repro.designspace.config import MicroArchConfig
+from repro.designspace.space import DesignSpace, default_design_space
+from repro.designspace.constraints import AreaConstraint, ConstraintViolation
+
+__all__ = [
+    "DesignParameter",
+    "TABLE1_PARAMETERS",
+    "parameter_by_name",
+    "MicroArchConfig",
+    "DesignSpace",
+    "default_design_space",
+    "AreaConstraint",
+    "ConstraintViolation",
+]

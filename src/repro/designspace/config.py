@@ -1,0 +1,93 @@
+"""Concrete micro-architecture configuration.
+
+A :class:`MicroArchConfig` carries the *values* of the 11 Table-1 parameters
+plus a handful of derived quantities (cache capacities in bytes, total FU
+count) used by the proxies and the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Dict, Iterator, Tuple
+
+#: Cache line size, bytes. Fixed across the space (BOOM uses 64B lines).
+CACHE_LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class MicroArchConfig:
+    """One concrete design point (values, not levels).
+
+    Construct via :meth:`repro.designspace.space.DesignSpace.config` rather
+    than by hand when starting from a level vector.
+    """
+
+    l1_sets: int
+    l1_ways: int
+    l2_sets: int
+    l2_ways: int
+    n_mshr: int
+    decode_width: int
+    rob_entries: int
+    mem_fu: int
+    int_fu: int
+    fp_fu: int
+    iq_entries: int
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def l1_bytes(self) -> int:
+        """L1 data-cache capacity in bytes."""
+        return self.l1_sets * self.l1_ways * CACHE_LINE_BYTES
+
+    @property
+    def l2_bytes(self) -> int:
+        """L2 cache capacity in bytes."""
+        return self.l2_sets * self.l2_ways * CACHE_LINE_BYTES
+
+    @property
+    def l1_kib(self) -> float:
+        """L1 capacity in KiB."""
+        return self.l1_bytes / 1024.0
+
+    @property
+    def l2_kib(self) -> float:
+        """L2 capacity in KiB."""
+        return self.l2_bytes / 1024.0
+
+    @property
+    def total_fu(self) -> int:
+        """Total functional units across classes."""
+        return self.mem_fu + self.int_fu + self.fp_fu
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, int]:
+        """Plain ``{name: value}`` mapping in Table-1 order."""
+        return asdict(self)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        """Iterate ``(name, value)`` pairs in Table-1 order."""
+        return iter(self.as_dict().items())
+
+    def replace(self, **changes: int) -> "MicroArchConfig":
+        """Return a copy with ``changes`` applied (values, not levels)."""
+        data = self.as_dict()
+        for key, val in changes.items():
+            if key not in data:
+                raise KeyError(f"unknown parameter {key!r}")
+            data[key] = val
+        return MicroArchConfig(**data)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in logs and examples."""
+        return (
+            f"L1 {self.l1_sets}s/{self.l1_ways}w ({self.l1_kib:.0f}KiB) | "
+            f"L2 {self.l2_sets}s/{self.l2_ways}w ({self.l2_kib:.0f}KiB) | "
+            f"MSHR {self.n_mshr} | decode {self.decode_width} | "
+            f"ROB {self.rob_entries} | FU {self.mem_fu}m/{self.int_fu}i/"
+            f"{self.fp_fu}f | IQ {self.iq_entries}"
+        )

@@ -1,0 +1,60 @@
+"""Validity constraints on design points.
+
+The paper's only constraint is the area budget ("optimize processor
+performance within limited chip areas"); episodes enlarge the design until
+the limit would be exceeded. The constraint is expressed against any
+callable area model so the analytical model in :mod:`repro.proxies.area`
+plugs in directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.designspace.config import MicroArchConfig
+
+
+class ConstraintViolation(Exception):
+    """Raised when a design point violates a hard constraint."""
+
+
+class AreaConstraint:
+    """Upper bound on estimated chip area.
+
+    Args:
+        area_model: Callable mapping :class:`MicroArchConfig` to mm^2.
+        limit_mm2: Budget; designs with area strictly above it are invalid.
+    """
+
+    def __init__(
+        self, area_model: Callable[[MicroArchConfig], float], limit_mm2: float
+    ):
+        if limit_mm2 <= 0:
+            raise ValueError("area limit must be positive")
+        self._area_model = area_model
+        self.limit_mm2 = float(limit_mm2)
+
+    def area(self, config: MicroArchConfig) -> float:
+        """Estimated area of ``config`` in mm^2."""
+        return float(self._area_model(config))
+
+    def is_satisfied(self, config: MicroArchConfig) -> bool:
+        """True when ``config`` fits the budget."""
+        return self.area(config) <= self.limit_mm2
+
+    def headroom(self, config: MicroArchConfig) -> float:
+        """Remaining budget (negative when violated)."""
+        return self.limit_mm2 - self.area(config)
+
+    def check(self, config: MicroArchConfig) -> None:
+        """Raise :class:`ConstraintViolation` when the budget is exceeded."""
+        area = self.area(config)
+        if area > self.limit_mm2:
+            raise ConstraintViolation(
+                f"area {area:.3f} mm^2 exceeds limit {self.limit_mm2:.3f} mm^2"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AreaConstraint(limit={self.limit_mm2} mm^2)"

@@ -1,0 +1,166 @@
+"""Design parameter definitions for the Table-1 design space.
+
+Each :class:`DesignParameter` is an ordered, discrete axis of the design
+space.  The paper's search moves along these axes one *level* at a time
+("at each step the parameter with the highest score from the FNN is
+increased by 1"), so ordering of ``candidates`` matters and is always
+ascending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DesignParameter:
+    """One ordered, discrete micro-architecture parameter.
+
+    Attributes:
+        name: Canonical snake_case identifier (e.g. ``"rob_entries"``).
+        label: Human-readable label as printed in the paper's Table 1.
+        candidates: Ascending candidate values; a design point stores an
+            index (*level*) into this tuple.
+        group: Merge group used by the FNN input layer. The paper merges
+            related parameters (e.g. cache set & way -> cache size) to keep
+            the rule base small; parameters sharing a ``group`` are presented
+            to the FNN as one linguistic input.
+        description: Short explanation of the hardware meaning.
+    """
+
+    name: str
+    label: str
+    candidates: Tuple[int, ...]
+    group: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.candidates) < 2:
+            raise ValueError(f"parameter {self.name!r} needs >= 2 candidates")
+        if list(self.candidates) != sorted(set(self.candidates)):
+            raise ValueError(
+                f"parameter {self.name!r} candidates must be strictly ascending"
+            )
+
+    @property
+    def num_levels(self) -> int:
+        """Number of candidate values (levels run 0 .. num_levels-1)."""
+        return len(self.candidates)
+
+    @property
+    def max_level(self) -> int:
+        """Highest valid level index."""
+        return len(self.candidates) - 1
+
+    def value(self, level: int) -> int:
+        """Concrete value at ``level``; raises ``IndexError`` when invalid."""
+        if not 0 <= level < len(self.candidates):
+            raise IndexError(
+                f"{self.name}: level {level} outside 0..{self.max_level}"
+            )
+        return self.candidates[level]
+
+    def level_of(self, value: int) -> int:
+        """Inverse of :meth:`value`; raises ``ValueError`` if not a candidate."""
+        try:
+            return self.candidates.index(value)
+        except ValueError as exc:
+            raise ValueError(
+                f"{self.name}: {value} not in candidates {self.candidates}"
+            ) from exc
+
+
+#: The paper's Table 1, verbatim. Order defines the level-vector layout.
+TABLE1_PARAMETERS: Tuple[DesignParameter, ...] = (
+    DesignParameter(
+        name="l1_sets",
+        label="L1 Cache Set",
+        candidates=(16, 32, 64),
+        group="l1_cache",
+        description="Number of sets in the L1 data cache.",
+    ),
+    DesignParameter(
+        name="l1_ways",
+        label="L1 Cache Way",
+        candidates=(2, 4, 8, 16),
+        group="l1_cache",
+        description="Associativity of the L1 data cache.",
+    ),
+    DesignParameter(
+        name="l2_sets",
+        label="L2 Cache Set",
+        candidates=(128, 256, 512, 1024, 2048),
+        group="l2_cache",
+        description="Number of sets in the unified L2 cache.",
+    ),
+    DesignParameter(
+        name="l2_ways",
+        label="L2 Cache Way",
+        candidates=(2, 4, 8, 16),
+        group="l2_cache",
+        description="Associativity of the unified L2 cache.",
+    ),
+    DesignParameter(
+        name="n_mshr",
+        label="nMSHR",
+        candidates=(2, 4, 6, 8, 10),
+        group="mshr",
+        description="Miss status holding registers of the L1 data cache.",
+    ),
+    DesignParameter(
+        name="decode_width",
+        label="Decode Width",
+        candidates=(1, 2, 3, 4, 5),
+        group="decode",
+        description="Instructions decoded (and renamed) per cycle.",
+    ),
+    DesignParameter(
+        name="rob_entries",
+        label="ROB Entry",
+        candidates=(32, 64, 96, 128, 160),
+        group="rob",
+        description="Reorder-buffer capacity.",
+    ),
+    DesignParameter(
+        name="mem_fu",
+        label="Mem FU",
+        candidates=(1, 2),
+        group="fu",
+        description="Load/store address-generation units.",
+    ),
+    DesignParameter(
+        name="int_fu",
+        label="Int FU",
+        candidates=(1, 2, 3, 4, 5),
+        group="fu",
+        description="Integer ALUs.",
+    ),
+    DesignParameter(
+        name="fp_fu",
+        label="FP FU",
+        candidates=(1, 2),
+        group="fu",
+        description="Floating-point units.",
+    ),
+    DesignParameter(
+        name="iq_entries",
+        label="Issue Queue Entry",
+        candidates=(2, 4, 8, 16, 24),
+        group="iq",
+        description="Unified issue-queue (scheduler) capacity.",
+    ),
+)
+
+
+_BY_NAME = {p.name: p for p in TABLE1_PARAMETERS}
+
+
+def parameter_by_name(name: str) -> DesignParameter:
+    """Look up a Table-1 parameter by canonical name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown parameter {name!r}; known: {sorted(_BY_NAME)}"
+        ) from exc

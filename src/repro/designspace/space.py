@@ -1,0 +1,226 @@
+"""The design space: level-vector algebra over the Table-1 parameters.
+
+All search algorithms in this repo (the FNN/MFRL core and every baseline)
+operate on *level vectors* -- integer numpy arrays where entry ``i`` indexes
+into parameter ``i``'s candidate list. This module provides the conversions,
+sampling, neighbourhood and enumeration utilities they share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.designspace.config import MicroArchConfig
+from repro.designspace.parameters import DesignParameter, TABLE1_PARAMETERS
+
+
+class DesignSpace:
+    """An ordered collection of :class:`DesignParameter` axes.
+
+    The default instance (:func:`default_design_space`) is the paper's
+    Table 1 (3 * 4 * 5 * 4 * 5 * 5 * 5 * 2 * 5 * 2 * 5 = 3,000,000 points;
+    the paper rounds this to "3 million").
+    """
+
+    def __init__(self, parameters: Sequence[DesignParameter] = TABLE1_PARAMETERS):
+        if not parameters:
+            raise ValueError("design space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names")
+        self._parameters: Tuple[DesignParameter, ...] = tuple(parameters)
+        self._index: Dict[str, int] = {p.name: i for i, p in enumerate(parameters)}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> Tuple[DesignParameter, ...]:
+        """The axes, in level-vector order."""
+        return self._parameters
+
+    @property
+    def names(self) -> List[str]:
+        """Parameter names in level-vector order."""
+        return [p.name for p in self._parameters]
+
+    @property
+    def num_parameters(self) -> int:
+        """Dimensionality of a level vector."""
+        return len(self._parameters)
+
+    @property
+    def num_levels(self) -> np.ndarray:
+        """Per-parameter level counts, shape ``(num_parameters,)``."""
+        return np.array([p.num_levels for p in self._parameters], dtype=np.int64)
+
+    @property
+    def max_levels(self) -> np.ndarray:
+        """Per-parameter maximum level index."""
+        return self.num_levels - 1
+
+    @property
+    def size(self) -> int:
+        """Total number of design points."""
+        return int(np.prod(self.num_levels))
+
+    def index_of(self, name: str) -> int:
+        """Position of parameter ``name`` in the level vector."""
+        try:
+            return self._index[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown parameter {name!r}") from exc
+
+    def parameter(self, name: str) -> DesignParameter:
+        """The :class:`DesignParameter` called ``name``."""
+        return self._parameters[self.index_of(name)]
+
+    def groups(self) -> Dict[str, List[str]]:
+        """Mapping of merge-group name to member parameter names."""
+        out: Dict[str, List[str]] = {}
+        for p in self._parameters:
+            out.setdefault(p.group, []).append(p.name)
+        return out
+
+    # ------------------------------------------------------------------
+    # Level-vector <-> config conversions
+    # ------------------------------------------------------------------
+    def validate_levels(self, levels: Sequence[int]) -> np.ndarray:
+        """Check shape and bounds; returns a defensive int64 copy."""
+        arr = np.asarray(levels, dtype=np.int64)
+        if arr.shape != (self.num_parameters,):
+            raise ValueError(
+                f"level vector must have shape ({self.num_parameters},), "
+                f"got {arr.shape}"
+            )
+        if np.any(arr < 0) or np.any(arr > self.max_levels):
+            bad = [
+                f"{p.name}={arr[i]} (max {p.max_level})"
+                for i, p in enumerate(self._parameters)
+                if not 0 <= arr[i] <= p.max_level
+            ]
+            raise ValueError("levels out of range: " + ", ".join(bad))
+        return arr.copy()
+
+    def values(self, levels: Sequence[int]) -> np.ndarray:
+        """Concrete candidate values for a level vector."""
+        arr = self.validate_levels(levels)
+        return np.array(
+            [p.value(int(arr[i])) for i, p in enumerate(self._parameters)],
+            dtype=np.int64,
+        )
+
+    def config(self, levels: Sequence[int]) -> MicroArchConfig:
+        """Build a :class:`MicroArchConfig` from a level vector."""
+        vals = self.values(levels)
+        return MicroArchConfig(**dict(zip(self.names, (int(v) for v in vals))))
+
+    def levels_of(self, config: MicroArchConfig) -> np.ndarray:
+        """Inverse of :meth:`config`."""
+        data = config.as_dict()
+        return np.array(
+            [p.level_of(data[p.name]) for p in self._parameters], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    # Canonical points & ordering
+    # ------------------------------------------------------------------
+    def smallest(self) -> np.ndarray:
+        """The all-zero level vector (paper: the episode start design)."""
+        return np.zeros(self.num_parameters, dtype=np.int64)
+
+    def largest(self) -> np.ndarray:
+        """The all-max level vector."""
+        return self.max_levels.copy()
+
+    def flat_index(self, levels: Sequence[int]) -> int:
+        """Row-major rank of a level vector (stable hashing/archiving key)."""
+        arr = self.validate_levels(levels)
+        idx = 0
+        for level, n in zip(arr, self.num_levels):
+            idx = idx * int(n) + int(level)
+        return idx
+
+    def from_flat_index(self, index: int) -> np.ndarray:
+        """Inverse of :meth:`flat_index`."""
+        if not 0 <= index < self.size:
+            raise ValueError(f"flat index {index} outside 0..{self.size - 1}")
+        out = np.zeros(self.num_parameters, dtype=np.int64)
+        for i in range(self.num_parameters - 1, -1, -1):
+            n = int(self.num_levels[i])
+            out[i] = index % n
+            index //= n
+        return out
+
+    # ------------------------------------------------------------------
+    # Sampling / neighbourhoods
+    # ------------------------------------------------------------------
+    def sample(
+        self, rng: np.random.Generator, count: Optional[int] = None
+    ) -> np.ndarray:
+        """Uniform random level vector(s).
+
+        Returns shape ``(num_parameters,)`` when ``count`` is None, else
+        ``(count, num_parameters)``.
+        """
+        shape = (self.num_parameters,) if count is None else (count, self.num_parameters)
+        return rng.integers(0, self.num_levels, size=shape, dtype=np.int64)
+
+    def increase(self, levels: Sequence[int], name_or_index) -> np.ndarray:
+        """Return a copy with one parameter's level incremented.
+
+        Raises ``ValueError`` when the parameter is already at its maximum;
+        this is what makes DSE episodes terminate cleanly at space edges.
+        """
+        arr = self.validate_levels(levels)
+        i = (
+            self.index_of(name_or_index)
+            if isinstance(name_or_index, str)
+            else int(name_or_index)
+        )
+        if arr[i] >= self.max_levels[i]:
+            raise ValueError(
+                f"{self._parameters[i].name} already at max level {arr[i]}"
+            )
+        arr[i] += 1
+        return arr
+
+    def increasable(self, levels: Sequence[int]) -> np.ndarray:
+        """Boolean mask of parameters not yet at their maximum level."""
+        arr = self.validate_levels(levels)
+        return arr < self.max_levels
+
+    def neighbors(self, levels: Sequence[int]) -> Iterator[np.ndarray]:
+        """All Hamming-1 neighbours (each parameter +/-1 where valid)."""
+        arr = self.validate_levels(levels)
+        for i in range(self.num_parameters):
+            for delta in (-1, 1):
+                lvl = arr[i] + delta
+                if 0 <= lvl <= self.max_levels[i]:
+                    out = arr.copy()
+                    out[i] = lvl
+                    yield out
+
+    def normalized(self, levels: Sequence[int]) -> np.ndarray:
+        """Levels mapped to [0, 1] per axis (for surrogate models)."""
+        arr = self.validate_levels(levels).astype(np.float64)
+        return arr / self.max_levels.astype(np.float64)
+
+    def table(self) -> str:
+        """Render the design space as the paper's Table 1 (text)."""
+        rows = ["Parameters | Candidate values", "-" * 48]
+        for p in self._parameters:
+            rows.append(f"{p.label:<18} | {', '.join(map(str, p.candidates))}")
+        rows.append("-" * 48)
+        rows.append(f"Design space size: {self.size:,}")
+        return "\n".join(rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DesignSpace({self.num_parameters} params, {self.size:,} points)"
+
+
+def default_design_space() -> DesignSpace:
+    """The paper's Table-1 design space (3,000,000 points)."""
+    return DesignSpace(TABLE1_PARAMETERS)

@@ -1,0 +1,36 @@
+"""Experiment runners: one per paper table/figure.
+
+- :mod:`repro.experiments.table1` -- the design space listing.
+- :mod:`repro.experiments.table2` -- application-specific DSE regrets.
+- :mod:`repro.experiments.fig5`   -- general-purpose baseline comparison.
+- :mod:`repro.experiments.fig6`   -- MF-center initialisation sweep.
+- :mod:`repro.experiments.fig7`   -- preference embedding.
+- :mod:`repro.experiments.rules`  -- Sec.-4.3 rule extraction demo.
+- :mod:`repro.experiments.regret` -- sampled-optimum estimation shared by
+  the above.
+"""
+
+from repro.experiments.common import build_pool, build_suite_pool, AREA_LIMITS
+from repro.experiments.regret import estimate_optimum, OptimumEstimate
+from repro.experiments.table2 import run_table2, Table2Row
+from repro.experiments.fig5 import run_fig5, Fig5Result
+from repro.experiments.fig6 import run_fig6, Fig6Trace
+from repro.experiments.fig7 import run_fig7, Fig7Result
+from repro.experiments.rules import run_rules_demo
+
+__all__ = [
+    "build_pool",
+    "build_suite_pool",
+    "AREA_LIMITS",
+    "estimate_optimum",
+    "OptimumEstimate",
+    "run_table2",
+    "Table2Row",
+    "run_fig5",
+    "Fig5Result",
+    "run_fig6",
+    "Fig6Trace",
+    "run_fig7",
+    "Fig7Result",
+    "run_rules_demo",
+]

@@ -1,0 +1,115 @@
+"""Shared experiment plumbing: pools, area limits, seed handling."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.designspace import DesignSpace, default_design_space
+from repro.proxies import AnalyticalModel, ProxyPool, SimulationProxy, SuiteAverageProxy
+from repro.workloads import Workload, get_workload, BENCHMARK_NAMES
+
+#: Per-benchmark area limits, paper Table 2 (mm^2).
+AREA_LIMITS: Dict[str, float] = {
+    "dijkstra": 10.0,
+    "mm": 7.5,
+    "fp-vvadd": 6.0,
+    "quicksort": 7.5,
+    "fft": 8.0,
+    "ss": 6.0,
+}
+
+#: Area limit of the general-purpose experiment (Sec. 4.2).
+GENERAL_PURPOSE_LIMIT = 8.0
+
+
+def build_pool(
+    benchmark: str,
+    area_limit_mm2: Optional[float] = None,
+    data_size: Optional[int] = None,
+    space: Optional[DesignSpace] = None,
+    workload_seed: int = 0,
+) -> ProxyPool:
+    """Proxy pool for one benchmark (Table-2 setting).
+
+    Args:
+        benchmark: One of :data:`repro.workloads.BENCHMARK_NAMES`.
+        area_limit_mm2: Budget; defaults to the paper's Table-2 limit.
+        data_size: Workload problem size (None = calibrated default).
+        space: Design space; defaults to Table 1.
+        workload_seed: Workload-content seed.
+    """
+    space = space or default_design_space()
+    workload = get_workload(benchmark, data_size=data_size, seed=workload_seed)
+    limit = AREA_LIMITS[benchmark] if area_limit_mm2 is None else area_limit_mm2
+    return ProxyPool(
+        space,
+        AnalyticalModel(workload.profile, space),
+        SimulationProxy(workload, space),
+        area_limit_mm2=limit,
+    )
+
+
+def _average_profiles(workloads: Sequence[Workload]):
+    """Profile whose analytical CPI approximates the suite mean.
+
+    The LF model needs *one* profile; for the general-purpose experiment
+    we average the per-workload profiles field-wise (mixes, mispredict
+    rate, MLP) and average the lookup tables point-wise on a common grid.
+    """
+    import numpy as np
+
+    from repro.workloads.profiler import MissRateCurve, WorkloadProfile
+    from repro.workloads.isa import OpClass
+
+    mix = {
+        cls: float(np.mean([w.profile.mix[cls] for w in workloads]))
+        for cls in OpClass
+    }
+    windows = workloads[0].profile.ilp_windows
+    ilp = tuple(
+        float(np.mean([w.profile.ilp_at(win) for w in workloads])) for win in windows
+    )
+    sizes = np.unique(
+        np.concatenate([w.profile.miss_curve.sizes_lines for w in workloads])
+    )
+    rates = np.mean(
+        [[w.profile.miss_curve.rate(s) for s in sizes] for w in workloads], axis=0
+    )
+    return WorkloadProfile(
+        name="suite-average",
+        num_instructions=int(np.mean([w.num_instructions for w in workloads])),
+        mix=mix,
+        ilp_windows=windows,
+        ilp_ipc=ilp,
+        miss_curve=MissRateCurve(sizes_lines=sizes, miss_rates=np.asarray(rates)),
+        branch_mispredict_rate=float(
+            np.mean([w.profile.branch_mispredict_rate for w in workloads])
+        ),
+        footprint_lines=int(np.mean([w.profile.footprint_lines for w in workloads])),
+        mlp_supply=float(np.mean([w.profile.mlp_supply for w in workloads])),
+    )
+
+
+def build_suite_pool(
+    area_limit_mm2: float = GENERAL_PURPOSE_LIMIT,
+    scale: float = 1.0,
+    space: Optional[DesignSpace] = None,
+    workload_seed: int = 0,
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+) -> ProxyPool:
+    """Proxy pool for the general-purpose (suite-average) experiment."""
+    space = space or default_design_space()
+    from repro.workloads.suite import DEFAULT_DATA_SIZES
+
+    workloads = []
+    for name in benchmarks:
+        size = max(int(DEFAULT_DATA_SIZES[name] * scale), 8)
+        if name == "fft":
+            size = max(8, 1 << int(round(size - 1).bit_length()))
+        workloads.append(get_workload(name, data_size=size, seed=workload_seed))
+    return ProxyPool(
+        space,
+        AnalyticalModel(_average_profiles(workloads), space),
+        SuiteAverageProxy(workloads, space),
+        area_limit_mm2=area_limit_mm2,
+    )

@@ -1,0 +1,183 @@
+"""Full reproduction report: run every experiment, write JSON + markdown.
+
+``python -m repro.experiments.report --out results/ [--fast]`` executes
+the Table-2, Fig.-5, Fig.-6, Fig.-7 and rule-extraction experiments and
+writes:
+
+- ``results/report.json``  -- machine-readable numbers for regression
+  tracking across code changes;
+- ``results/report.md``    -- the EXPERIMENTS.md-style human summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.mfrl import ExplorerConfig
+from repro.workloads import BENCHMARK_NAMES
+
+#: --fast problem sizes (shared with the CLI).
+FAST_SIZES = {
+    "dijkstra": 96,
+    "mm": 14,
+    "fp-vvadd": 768,
+    "quicksort": 192,
+    "fft": 128,
+    "ss": 768,
+}
+
+
+def run_all(fast: bool = True, seed: int = 0) -> Dict:
+    """Execute every experiment; returns the JSON-ready result tree."""
+    from repro.core.fnn import render_rule_base
+    from repro.experiments.fig5 import run_fig5
+    from repro.experiments.fig6 import PAPER_CENTER_PAIRS, run_fig6
+    from repro.experiments.fig7 import run_fig7
+    from repro.experiments.rules import run_rules_demo
+    from repro.experiments.table2 import run_table2
+
+    config = (
+        ExplorerConfig(lf_episodes=100, lf_min_episodes=60, hf_budget=9,
+                       hf_seed_designs=3)
+        if fast
+        else ExplorerConfig()
+    )
+
+    table2_rows = run_table2(
+        seed=seed,
+        explorer_config=config,
+        optimum_samples=60 if fast else 500,
+        data_sizes=FAST_SIZES if fast else None,
+    )
+    table2 = [
+        {
+            "benchmark": row.benchmark,
+            "area_limit_mm2": row.area_limit,
+            "lf_regret": row.lf_regret,
+            "hf_regret": row.hf_regret,
+            "improvement": row.improvement,
+            "lf_cpi": row.lf_cpi,
+            "hf_cpi": row.hf_cpi,
+        }
+        for row in table2_rows
+    ]
+
+    fig5 = run_fig5(
+        seeds=tuple(range(2 if fast else 5)),
+        explorer_config=config,
+        scale=0.25 if fast else 1.0,
+    )
+
+    fig6_traces = run_fig6(
+        center_pairs=PAPER_CENTER_PAIRS,
+        episodes=100 if fast else 250,
+        seed=seed,
+    )
+    fig6 = [
+        {
+            "l1_center": t.l1_center,
+            "l2_center": t.l2_center,
+            "best_cpi": min(t.episode_cpi),
+            "converged_by": t.episodes_to_within(),
+            "episode_cpi": t.episode_cpi,
+        }
+        for t in fig6_traces
+    ]
+
+    fig7 = run_fig7(
+        episodes=80 if fast else 250,
+        seed=seed,
+        data_size=1024 if fast else None,
+    )
+
+    rules, __ = run_rules_demo(
+        benchmark="mm",
+        episodes=100 if fast else 260,
+        seed=seed,
+        data_size=FAST_SIZES["mm"] if fast else None,
+        top_k=12,
+    )
+
+    return {
+        "fast": fast,
+        "seed": seed,
+        "table2": table2,
+        "fig5_mean_cpi": fig5.mean_cpi,
+        "fig5_per_seed": fig5.per_seed_cpi,
+        "fig6": fig6,
+        "fig7": {
+            "decode_with_preference": fig7.final_decode_width(True),
+            "decode_without_preference": fig7.final_decode_width(False),
+            "with_trajectory": fig7.with_preference["decode_width"],
+            "without_trajectory": fig7.without_preference["decode_width"],
+        },
+        "rules": [r.render() for r in rules],
+    }
+
+
+def render_markdown(results: Dict) -> str:
+    """The report.md body from :func:`run_all` output."""
+    lines = ["# Reproduction report", ""]
+    lines.append(f"(fast={results['fast']}, seed={results['seed']})")
+
+    lines += ["", "## Table 2", "",
+              "| benchmark | area | LF regret | HF regret | Imp. |",
+              "|---|---|---|---|---|"]
+    for row in results["table2"]:
+        imp = ">999x" if row["hf_regret"] < 1e-6 else f"{row['improvement']:.2f}x"
+        lines.append(
+            f"| {row['benchmark']} | {row['area_limit_mm2']:.1f} | "
+            f"{row['lf_regret']:.3f} | {row['hf_regret']:.3f} | {imp} |"
+        )
+
+    lines += ["", "## Fig. 5 (mean best CPI)", ""]
+    for name, cpi in sorted(results["fig5_mean_cpi"].items(), key=lambda kv: kv[1]):
+        lines.append(f"- {name}: {cpi:.4f}")
+
+    lines += ["", "## Fig. 6 (initialisation sweep)", ""]
+    for trace in results["fig6"]:
+        lines.append(
+            f"- centers {trace['l1_center']:.0f}/{trace['l2_center']:.0f}: "
+            f"best CPI {trace['best_cpi']:.3f}, converged by episode "
+            f"{trace['converged_by']}"
+        )
+
+    fig7 = results["fig7"]
+    lines += ["", "## Fig. 7 (preference embedding)", "",
+              f"- decode width with preference: {fig7['decode_with_preference']}",
+              f"- decode width without preference: "
+              f"{fig7['decode_without_preference']}"]
+
+    lines += ["", "## Extracted rules (mm)", ""]
+    lines += [f"- `{rule}`" for rule in results["rules"]]
+    return "\n".join(lines) + "\n"
+
+
+def write_report(out_dir, fast: bool = True, seed: int = 0) -> Dict:
+    """Run everything and write report.json + report.md to ``out_dir``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    results = run_all(fast=fast, seed=seed)
+    (out / "report.json").write_text(json.dumps(results, indent=2))
+    (out / "report.md").write_text(render_markdown(results))
+    return results
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI: ``python -m repro.experiments.report --out results/``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--fast", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    write_report(args.out, fast=args.fast, seed=args.seed)
+    print(f"report written to {args.out}/report.{{json,md}}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Sec. 4.3 demo: extract the learned rule base after a DSE run."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.fnn import FuzzyRule, extract_rules
+from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
+from repro.experiments.common import build_pool
+
+
+def run_rules_demo(
+    benchmark: str = "mm",
+    episodes: int = 200,
+    seed: int = 0,
+    top_k: int = 12,
+    data_size: Optional[int] = None,
+) -> Tuple[List[FuzzyRule], MultiFidelityExplorer]:
+    """Train an FNN on ``benchmark`` and extract its strongest rules.
+
+    Returns the pruned rule list plus the explorer (whose FNN holds the
+    raw matrices for further inspection).
+    """
+    pool = build_pool(benchmark, data_size=data_size)
+    explorer = MultiFidelityExplorer(
+        pool, config=ExplorerConfig(lf_episodes=episodes), seed=seed
+    )
+    explorer.run_lf_phase()
+    rules = extract_rules(explorer.fnn, top_k=top_k)
+    return rules, explorer
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    from repro.core.fnn import render_rule_base
+
+    rules, __ = run_rules_demo()
+    print(render_rule_base(rules))

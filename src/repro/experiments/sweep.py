@@ -1,0 +1,98 @@
+"""Area-budget sweep: the CPI-vs-area frontier of the explorer.
+
+An extension study beyond the paper's fixed budgets: re-run the
+multi-fidelity explorer at a range of area limits and trace out the
+achievable-CPI frontier. Designers use this to pick the budget where
+returns diminish -- the knee of the curve -- before committing to a
+floorplan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
+from repro.experiments.common import build_pool
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (area limit, best CPI) frontier sample."""
+
+    area_limit_mm2: float
+    best_hf_cpi: float
+    lf_hf_cpi: float
+    best_area_mm2: float
+    hf_simulations: int
+
+
+def run_area_sweep(
+    benchmark: str,
+    area_limits: Sequence[float] = (5.0, 6.0, 7.5, 9.0, 11.0),
+    seed: int = 0,
+    explorer_config: Optional[ExplorerConfig] = None,
+    data_size: Optional[int] = None,
+) -> List[SweepPoint]:
+    """Frontier of best HF CPI over area budgets for ``benchmark``.
+
+    Args:
+        benchmark: Which kernel to optimise.
+        area_limits: Budgets to sweep (mm^2, ascending recommended).
+        seed: Explorer seed, shared across budgets.
+        explorer_config: Budget overrides for fast runs.
+        data_size: Workload problem-size override.
+    """
+    if not area_limits:
+        raise ValueError("need at least one area limit")
+    config = explorer_config or ExplorerConfig()
+    points: List[SweepPoint] = []
+    for limit in area_limits:
+        pool = build_pool(benchmark, area_limit_mm2=limit, data_size=data_size)
+        result = MultiFidelityExplorer(pool, config=config, seed=seed).explore()
+        points.append(
+            SweepPoint(
+                area_limit_mm2=float(limit),
+                best_hf_cpi=result.best_hf_cpi,
+                lf_hf_cpi=result.lf_hf_cpi,
+                best_area_mm2=pool.area(result.best_levels),
+                hf_simulations=result.hf_simulations,
+            )
+        )
+    return points
+
+
+def frontier_knee(points: Sequence[SweepPoint]) -> SweepPoint:
+    """The sweep point with the worst marginal return beyond it.
+
+    Computed as the point maximising distance from the line through the
+    first and last frontier samples (the standard knee heuristic);
+    returns the single point for a one-sample sweep.
+    """
+    if not points:
+        raise ValueError("empty sweep")
+    if len(points) < 3:
+        return points[0]
+    xs = np.array([p.area_limit_mm2 for p in points])
+    ys = np.array([p.best_hf_cpi for p in points])
+    x0, y0 = xs[0], ys[0]
+    x1, y1 = xs[-1], ys[-1]
+    norm = np.hypot(x1 - x0, y1 - y0)
+    dist = np.abs((y1 - y0) * xs - (x1 - x0) * ys + x1 * y0 - y1 * x0) / max(norm, 1e-12)
+    return points[int(np.argmax(dist))]
+
+
+def render_sweep(points: Sequence[SweepPoint]) -> str:
+    """Text table of the frontier."""
+    lines = [f"{'area limit':>10} {'best CPI':>9} {'LF CPI':>8} "
+             f"{'used area':>10} {'HF sims':>8}",
+             "-" * 50]
+    for p in points:
+        lines.append(
+            f"{p.area_limit_mm2:>8.1f}mm2 {p.best_hf_cpi:>9.4f} "
+            f"{p.lf_hf_cpi:>8.4f} {p.best_area_mm2:>8.2f}mm2 "
+            f"{p.hf_simulations:>8d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Table 1: the design space listing (rendered, plus sanity numbers)."""
+
+from __future__ import annotations
+
+from repro.designspace import default_design_space
+
+
+def run_table1() -> str:
+    """Render the paper's Table 1 and the space size."""
+    return default_design_space().table()
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    print(run_table1())

@@ -1,0 +1,109 @@
+"""Table 2: application-specific DSE (LF regret, HF regret, improvement).
+
+For each benchmark, run the multi-fidelity explorer under the paper's
+per-benchmark area limit, estimate the sampled optimum ~opt, and report
+
+``Regret = DSE_best - ~opt``  (eq. 5)   and   ``Imp. = Regret_LF /
+Regret_HF``  (eq. 6 -- the paper prints the ratio as "Imp." with the HF
+regret in the denominator; Table 2's numbers are RegretLF/RegretHF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
+from repro.experiments.common import AREA_LIMITS, build_pool
+from repro.experiments.regret import estimate_optimum
+from repro.workloads import BENCHMARK_NAMES
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One benchmark's row of Table 2."""
+
+    benchmark: str
+    area_limit: float
+    lf_regret: float
+    hf_regret: float
+    sampled_optimum_cpi: float
+    lf_cpi: float
+    hf_cpi: float
+
+    @property
+    def improvement(self) -> float:
+        """``Regret_LF / Regret_HF`` (the "Imp." column)."""
+        return self.lf_regret / max(self.hf_regret, 1e-9)
+
+
+def run_table2(
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    seed: int = 0,
+    explorer_config: Optional[ExplorerConfig] = None,
+    optimum_samples: int = 300,
+    data_sizes: Optional[Dict[str, int]] = None,
+) -> List[Table2Row]:
+    """Run the Table-2 experiment.
+
+    Args:
+        benchmarks: Subset of the suite to run.
+        seed: Master seed (explorer + optimum sampling derive from it).
+        explorer_config: Budget overrides (None = paper defaults).
+        optimum_samples: Promising-area samples for ~opt (paper: >= 500;
+            smaller values keep CI runs fast at slightly looser ~opt).
+        data_sizes: Optional per-benchmark problem-size overrides.
+    """
+    config = explorer_config or ExplorerConfig()
+    rows: List[Table2Row] = []
+    for benchmark in benchmarks:
+        data_size = (data_sizes or {}).get(benchmark)
+        pool = build_pool(benchmark, data_size=data_size)
+        explorer = MultiFidelityExplorer(pool, config=config, seed=seed)
+        result = explorer.explore()
+        opt = estimate_optimum(
+            pool, np.random.default_rng(seed + 1), num_samples=optimum_samples
+        )
+        # Regret is defined on the metric being optimised (CPI, eq. 5);
+        # ~opt may still lose to the DSE best if sampling was unlucky --
+        # clamp at zero like the paper's non-negative regrets.
+        optimum = min(opt.cpi, result.best_hf_cpi, result.lf_hf_cpi)
+        rows.append(
+            Table2Row(
+                benchmark=benchmark,
+                area_limit=AREA_LIMITS[benchmark],
+                lf_regret=max(result.lf_hf_cpi - optimum, 0.0),
+                hf_regret=max(result.best_hf_cpi - optimum, 0.0),
+                sampled_optimum_cpi=optimum,
+                lf_cpi=result.lf_hf_cpi,
+                hf_cpi=result.best_hf_cpi,
+            )
+        )
+    return rows
+
+
+def render_table2(rows: Iterable[Table2Row]) -> str:
+    """Text rendering in the paper's Table-2 layout."""
+    lines = [
+        f"{'benchmark':<10} {'area limit':>10} {'LF regret':>10} "
+        f"{'HF regret':>10} {'Imp.':>8}",
+        "-" * 54,
+    ]
+    for row in rows:
+        if row.hf_regret < 1e-6:
+            # the HF phase hit the sampled optimum exactly; the ratio is
+            # unbounded (the paper's fft row, 299.9x, is the same effect)
+            imp = "   >999x"
+        else:
+            imp = f"{row.improvement:>7.2f}x"
+        lines.append(
+            f"{row.benchmark:<10} {row.area_limit:>8.1f}mm2 "
+            f"{row.lf_regret:>10.3f} {row.hf_regret:>10.3f} {imp}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    print(render_table2(run_table2()))

@@ -1,0 +1,37 @@
+"""The proxy pool (paper Fig. 1): design-metric evaluators of two fidelities.
+
+- :mod:`repro.proxies.area`        -- McPAT-style analytical area model.
+- :mod:`repro.proxies.analytical`  -- low-fidelity differentiable CPI model.
+- :mod:`repro.proxies.highfidelity`-- high-fidelity simulator adapters.
+- :mod:`repro.proxies.archive`     -- evaluation cache ("Archive" in Fig. 1).
+- :mod:`repro.proxies.pool`        -- the pool wiring everything together.
+"""
+
+from repro.proxies.area import AreaModel, AreaBreakdown
+from repro.proxies.analytical import (
+    AnalyticalModel,
+    AnalyticalParams,
+    CPIBreakdown,
+)
+from repro.proxies.interface import Fidelity, EvaluationProxy, Evaluation
+from repro.proxies.highfidelity import SimulationProxy, SuiteAverageProxy
+from repro.proxies.archive import DesignArchive
+from repro.proxies.pool import ProxyPool
+from repro.proxies.validation import FidelityGapReport, measure_fidelity_gap
+
+__all__ = [
+    "AreaModel",
+    "AreaBreakdown",
+    "AnalyticalModel",
+    "AnalyticalParams",
+    "CPIBreakdown",
+    "Fidelity",
+    "EvaluationProxy",
+    "Evaluation",
+    "SimulationProxy",
+    "SuiteAverageProxy",
+    "DesignArchive",
+    "ProxyPool",
+    "FidelityGapReport",
+    "measure_fidelity_gap",
+]

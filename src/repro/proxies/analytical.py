@@ -1,0 +1,304 @@
+"""Low-fidelity proxy: differentiable analytical CPI model.
+
+Reimplementation in the spirit of Jongerius et al. (paper ref [8]): CPI is
+assembled from a bottleneck (interval) abstraction --
+
+``CPI = 1 / min(decode, ILP(window), FU throughputs)``
+``    + branch-mispredict penalty``
+``    + L1-miss and L2-miss penalties / memory-level-parallelism overlap``
+
+with the workload entering through its profile (instruction mix, ILP
+lookup table, LRU miss-rate curve, mispredict rate, MLP supply). Lookup
+tables are piecewise-linear fits, so the whole model is differentiable:
+:meth:`AnalyticalModel.gradient` returns closed-form partials of CPI with
+respect to each Table-1 parameter *value*, and
+:meth:`AnalyticalModel.level_gradient` projects them onto +1-level moves.
+
+Deliberate biases (these are the point of multi-fidelity): the model
+shares the paper's Sec.-4.3 failure modes -- its ILP table is computed at
+L1-hit latency, so it *underestimates the benefit of ROB/IQ growth for
+memory-bound codes*; its branch penalty is a profile constant, so frontend
+parameters never interact with prediction; and its overlap factor is an
+upper bound, so MSHR benefits saturate early. The high-fidelity simulator
+disagrees in exactly these regions, which the HF phase then exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.designspace import DesignSpace, MicroArchConfig
+from repro.workloads.profiler import WorkloadProfile
+
+#: Associativity-efficiency deficit: an A-way cache behaves like a fully
+#: associative cache of ``capacity * (1 - ASSOC_DEFICIT / A)`` lines.
+ASSOC_DEFICIT = 0.35
+
+#: Instruction-window contribution per unified-IQ entry (each scheduler
+#: entry turns over several times while the ROB drains once).
+IQ_WINDOW_FACTOR = 6.0
+
+#: ROB head-of-line contribution to memory-level parallelism: one extra
+#: overlappable miss per this many ROB entries.
+ROB_PER_MLP = 48.0
+
+
+@dataclass(frozen=True)
+class AnalyticalParams:
+    """Timing constants of the analytical model.
+
+    Kept separate from :class:`repro.simulator.params.SimulatorParams` on
+    purpose: a real analytical model is calibrated independently of the
+    RTL and carries its own (slightly wrong) constants.
+    """
+
+    l2_hit_cycles: float = 14.0
+    mem_cycles: float = 90.0
+    branch_penalty_cycles: float = 6.0
+    line_bytes: int = 64
+
+
+@dataclass(frozen=True)
+class CPIBreakdown:
+    """Additive CPI terms plus the active base-IPC limiter."""
+
+    base: float
+    branch: float
+    l1_miss: float
+    l2_miss: float
+    limiter: str
+
+    @property
+    def total(self) -> float:
+        """Total estimated CPI."""
+        return self.base + self.branch + self.l1_miss + self.l2_miss
+
+    def render(self) -> str:
+        """Human-readable breakdown (used by the CLI and examples)."""
+        rows = [
+            ("base (issue-limited)", self.base, f"limiter: {self.limiter}"),
+            ("branch mispredicts", self.branch, ""),
+            ("L1-miss stalls", self.l1_miss, ""),
+            ("L2-miss stalls", self.l2_miss, ""),
+        ]
+        lines = []
+        for label, value, note in rows:
+            share = value / self.total if self.total else 0.0
+            suffix = f"  ({note})" if note else ""
+            lines.append(f"  {label:<22} {value:7.4f}  {share:5.1%}{suffix}")
+        lines.append(f"  {'total CPI':<22} {self.total:7.4f}")
+        return "\n".join(lines)
+
+
+class AnalyticalModel:
+    """Differentiable CPI estimator for one workload profile.
+
+    Args:
+        profile: The workload's profile (from
+            :func:`repro.workloads.profiler.profile_trace`).
+        space: Design space (needed to project value-gradients to levels).
+        params: Timing constants.
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        space: DesignSpace,
+        params: AnalyticalParams = AnalyticalParams(),
+    ):
+        self.profile = profile
+        self.space = space
+        self.params = params
+
+    # ------------------------------------------------------------------
+    # Forward model
+    # ------------------------------------------------------------------
+    def _effective_lines(self, sets: float, ways: float) -> float:
+        return sets * ways * (1.0 - ASSOC_DEFICIT / ways)
+
+    def _window(self, rob: float, iq: float) -> float:
+        return min(rob, IQ_WINDOW_FACTOR * iq)
+
+    def _mlp(self, mshr: float, rob: float) -> float:
+        return max(1.0, min(mshr, self.profile.mlp_supply, 1.0 + rob / ROB_PER_MLP))
+
+    def breakdown(self, config: MicroArchConfig) -> CPIBreakdown:
+        """CPI terms for ``config``."""
+        p = self.profile
+        window = self._window(config.rob_entries, config.iq_entries)
+        candidates = {
+            "decode": float(config.decode_width),
+            "window": p.ilp_at(window),
+            "int_fu": config.int_fu / max(p.frac_int, 1e-9),
+            "fp_fu": config.fp_fu / max(p.frac_fp, 1e-9),
+            "mem_fu": config.mem_fu / max(p.frac_mem, 1e-9),
+        }
+        limiter = min(candidates, key=candidates.get)
+        ipc0 = candidates[limiter]
+        base = 1.0 / ipc0
+
+        branch = p.frac_branches * p.branch_mispredict_rate * self.params.branch_penalty_cycles
+
+        e1 = self._effective_lines(config.l1_sets, config.l1_ways)
+        e2 = self._effective_lines(config.l2_sets, config.l2_ways)
+        mr1 = p.miss_curve.rate(e1)
+        mr2_global = min(p.miss_curve.rate(e2), mr1)
+        mlp = self._mlp(config.n_mshr, config.rob_entries)
+        l1_miss = p.frac_mem * mr1 * self.params.l2_hit_cycles / mlp
+        l2_miss = p.frac_mem * mr2_global * self.params.mem_cycles / mlp
+
+        return CPIBreakdown(
+            base=base, branch=branch, l1_miss=l1_miss, l2_miss=l2_miss, limiter=limiter
+        )
+
+    def cpi(self, config: MicroArchConfig) -> float:
+        """Estimated CPI of ``config`` (about a microsecond per call)."""
+        return self.breakdown(config).total
+
+    def ipc(self, config: MicroArchConfig) -> float:
+        """Estimated IPC (reciprocal CPI)."""
+        return 1.0 / self.cpi(config)
+
+    def explain(self, config: MicroArchConfig) -> str:
+        """Bottleneck narrative for ``config``: the breakdown plus which
+        single +1 parameter move the model believes pays most."""
+        bd = self.breakdown(config)
+        levels = self.space.levels_of(config)
+        deltas = self.finite_difference(levels)
+        lines = [f"analytical CPI breakdown ({self.profile.name}):", bd.render()]
+        finite = np.isfinite(deltas)
+        if finite.any() and deltas[finite].min() < 0:
+            best = int(np.argmin(np.where(finite, deltas, np.inf)))
+            lines.append(
+                f"  best predicted move: +1 {self.space.names[best]} "
+                f"({deltas[best]:+.4f} CPI)"
+            )
+        else:
+            lines.append("  best predicted move: none (model sees no benefit)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Closed-form gradients
+    # ------------------------------------------------------------------
+    def gradient(self, config: MicroArchConfig) -> Dict[str, float]:
+        """``d CPI / d value`` for each Table-1 parameter.
+
+        Hard ``min`` operators use the active-branch subgradient (only the
+        binding limiter receives gradient), matching how the paper uses
+        the gradients: as trustworthy *directions*, not magnitudes.
+        """
+        p = self.profile
+        grad = {name: 0.0 for name in self.space.names}
+        bd = self.breakdown(config)
+        ipc0 = 1.0 / bd.base
+
+        # --- base term -------------------------------------------------
+        d_base = -1.0 / (ipc0 * ipc0)  # d(1/ipc0)/d(ipc0)
+        if bd.limiter == "decode":
+            grad["decode_width"] += d_base * 1.0
+        elif bd.limiter == "window":
+            window = self._window(config.rob_entries, config.iq_entries)
+            slope = p.ilp_slope(window)
+            if config.rob_entries <= IQ_WINDOW_FACTOR * config.iq_entries:
+                grad["rob_entries"] += d_base * slope
+            else:
+                grad["iq_entries"] += d_base * slope * IQ_WINDOW_FACTOR
+        elif bd.limiter == "int_fu":
+            grad["int_fu"] += d_base / max(p.frac_int, 1e-9)
+        elif bd.limiter == "fp_fu":
+            grad["fp_fu"] += d_base / max(p.frac_fp, 1e-9)
+        else:  # mem_fu
+            grad["mem_fu"] += d_base / max(p.frac_mem, 1e-9)
+
+        # --- memory terms ----------------------------------------------
+        e1 = self._effective_lines(config.l1_sets, config.l1_ways)
+        e2 = self._effective_lines(config.l2_sets, config.l2_ways)
+        mr1 = p.miss_curve.rate(e1)
+        mr2 = p.miss_curve.rate(e2)
+        mlp = self._mlp(config.n_mshr, config.rob_entries)
+        k1 = p.frac_mem * self.params.l2_hit_cycles / mlp
+        k2 = p.frac_mem * self.params.mem_cycles / mlp
+
+        s1 = p.miss_curve.slope(e1)
+        # d e / d sets = ways * (1 - deficit/ways) = ways - deficit
+        grad["l1_sets"] += k1 * s1 * (config.l1_ways - ASSOC_DEFICIT)
+        # d e / d ways = sets  (capacity) ... deficit cancels:
+        # e = sets*(ways - deficit) -> d/dways = sets
+        grad["l1_ways"] += k1 * s1 * config.l1_sets
+        if mr2 < mr1:  # the min() in mr2_global is on the L2 branch
+            s2 = p.miss_curve.slope(e2)
+            grad["l2_sets"] += k2 * s2 * (config.l2_ways - ASSOC_DEFICIT)
+            grad["l2_ways"] += k2 * s2 * config.l2_sets
+        else:
+            grad["l1_sets"] += k2 * s1 * (config.l1_ways - ASSOC_DEFICIT)
+            grad["l1_ways"] += k2 * s1 * config.l1_sets
+
+        # --- overlap (MLP) term ------------------------------------------
+        miss_cycles = bd.l1_miss + bd.l2_miss
+        if miss_cycles > 0:
+            d_over = -miss_cycles / mlp  # d(term)/d(mlp) * 1
+            limits = {
+                "mshr": float(config.n_mshr),
+                "supply": p.mlp_supply,
+                "rob": 1.0 + config.rob_entries / ROB_PER_MLP,
+            }
+            active = min(limits, key=limits.get)
+            if limits[active] > 1.0:  # clamped at 1 -> no gradient
+                if active == "mshr":
+                    grad["n_mshr"] += d_over
+                elif active == "rob":
+                    grad["rob_entries"] += d_over / ROB_PER_MLP
+
+        return grad
+
+    def level_gradient(self, levels: Sequence[int]) -> np.ndarray:
+        """Projected gradient: expected CPI change for a +1 level move.
+
+        ``out[i] = dCPI/dvalue_i * (candidates[l+1] - candidates[l])``;
+        parameters at their max level get ``+inf`` (cannot increase).
+        """
+        levels = self.space.validate_levels(levels)
+        config = self.space.config(levels)
+        grad = self.gradient(config)
+        out = np.full(self.space.num_parameters, np.inf)
+        for i, param in enumerate(self.space.parameters):
+            lvl = int(levels[i])
+            if lvl >= param.max_level:
+                continue
+            spacing = param.candidates[lvl + 1] - param.candidates[lvl]
+            out[i] = grad[param.name] * spacing
+        return out
+
+    def finite_difference(self, levels: Sequence[int]) -> np.ndarray:
+        """Exact +1-level CPI deltas (reference for the gradient tests)."""
+        levels = self.space.validate_levels(levels)
+        here = self.cpi(self.space.config(levels))
+        out = np.full(self.space.num_parameters, np.inf)
+        for i in range(self.space.num_parameters):
+            if levels[i] >= self.space.max_levels[i]:
+                continue
+            up = levels.copy()
+            up[i] += 1
+            out[i] = self.cpi(self.space.config(up)) - here
+        return out
+
+    def beneficial_mask(
+        self, levels: Sequence[int], use_finite_difference: bool = True
+    ) -> np.ndarray:
+        """Parameters whose +1 increase the model predicts to reduce CPI.
+
+        This is the Sec.-3.1 action mask: "we only allow the design
+        parameters with negative gradients to be chosen for increasing".
+        The finite-difference form is the default because the model is
+        cheap and the exact delta subsumes kinks in the piecewise-linear
+        tables; the closed-form projection is available for study.
+        """
+        deltas = (
+            self.finite_difference(levels)
+            if use_finite_difference
+            else self.level_gradient(levels)
+        )
+        return deltas < 0.0

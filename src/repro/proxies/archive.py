@@ -1,0 +1,78 @@
+"""Design archive: the evaluation cache of the proxy pool (Fig. 1).
+
+Memoises evaluations per fidelity (keyed by the design's flat index) and
+tracks the best designs seen -- the LF phase's "observed best designs"
+set that seeds the HF phase (Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.designspace import DesignSpace
+from repro.proxies.interface import Evaluation, Fidelity
+
+
+class DesignArchive:
+    """Evaluation memo plus a best-designs leaderboard.
+
+    Args:
+        space: Design space (for flat-index keys).
+        keep_best: Leaderboard length per fidelity.
+    """
+
+    def __init__(self, space: DesignSpace, keep_best: int = 16):
+        if keep_best < 1:
+            raise ValueError("keep_best must be >= 1")
+        self.space = space
+        self.keep_best = keep_best
+        self._memo: Dict[Fidelity, Dict[int, Evaluation]] = {
+            Fidelity.LOW: {},
+            Fidelity.HIGH: {},
+        }
+        self._best: Dict[Fidelity, List[Tuple[float, int]]] = {
+            Fidelity.LOW: [],
+            Fidelity.HIGH: [],
+        }
+
+    # ------------------------------------------------------------------
+    def lookup(self, levels: Sequence[int], fidelity: Fidelity) -> Optional[Evaluation]:
+        """Cached evaluation, or None."""
+        key = self.space.flat_index(levels)
+        return self._memo[fidelity].get(key)
+
+    def record(self, evaluation: Evaluation) -> None:
+        """Insert an evaluation; updates the leaderboard."""
+        key = self.space.flat_index(evaluation.levels)
+        memo = self._memo[evaluation.fidelity]
+        memo[key] = evaluation
+        board = self._best[evaluation.fidelity]
+        entry = (evaluation.cpi, key)
+        if entry not in board:
+            board.append(entry)
+            board.sort()
+            del board[self.keep_best:]
+
+    def count(self, fidelity: Fidelity) -> int:
+        """Number of distinct designs evaluated at ``fidelity``."""
+        return len(self._memo[fidelity])
+
+    def best(self, fidelity: Fidelity) -> Optional[Evaluation]:
+        """Best (lowest-CPI) evaluation at ``fidelity``, or None."""
+        board = self._best[fidelity]
+        if not board:
+            return None
+        __, key = board[0]
+        return self._memo[fidelity][key]
+
+    def best_designs(self, fidelity: Fidelity, k: Optional[int] = None) -> List[Evaluation]:
+        """Top-k leaderboard (ascending CPI)."""
+        board = self._best[fidelity][: (k or self.keep_best)]
+        return [self._memo[fidelity][key] for __, key in board]
+
+    def all_evaluations(self, fidelity: Fidelity) -> List[Evaluation]:
+        """Every distinct evaluation at ``fidelity`` (arbitrary order)."""
+        return list(self._memo[fidelity].values())

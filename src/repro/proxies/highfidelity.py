@@ -1,0 +1,105 @@
+"""High-fidelity proxies: adapters over the cycle-approximate simulator.
+
+In the paper this slot is Chipyard-generated BOOM RTL under VCS (~2 h per
+design). Here it is :mod:`repro.simulator` (see DESIGN.md for the
+substitution argument); the adapters keep the same shape -- expensive,
+accurate, called sparingly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.designspace import DesignSpace
+from repro.proxies.interface import Evaluation, Fidelity
+from repro.simulator import OutOfOrderSimulator, SimulatorParams
+from repro.simulator.params import DEFAULT_PARAMS
+from repro.workloads.suite import Workload
+
+
+class SimulationProxy:
+    """HF proxy for a single workload.
+
+    Args:
+        workload: The benchmark to simulate.
+        space: Design space for level decoding.
+        params: Fixed machine timing constants.
+    """
+
+    fidelity = Fidelity.HIGH
+
+    def __init__(
+        self,
+        workload: Workload,
+        space: DesignSpace,
+        params: SimulatorParams = DEFAULT_PARAMS,
+    ):
+        self.workload = workload
+        self.space = space
+        self._simulator = OutOfOrderSimulator(params)
+        self.num_evaluations = 0
+
+    def evaluate(self, levels: Sequence[int]) -> Evaluation:
+        """Simulate the workload on the design at ``levels``."""
+        levels = self.space.validate_levels(levels)
+        config = self.space.config(levels)
+        result = self._simulator.run(self.workload.trace, config)
+        self.num_evaluations += 1
+        return Evaluation(
+            levels=levels,
+            fidelity=Fidelity.HIGH,
+            metrics={
+                "cpi": result.cpi,
+                "ipc": result.ipc,
+                "l1_miss_rate": result.l1_miss_rate,
+                "l2_miss_rate": result.l2_miss_rate,
+                "branch_mispredict_rate": result.branch_mispredict_rate,
+            },
+        )
+
+
+class SuiteAverageProxy:
+    """HF proxy averaging CPI over several workloads.
+
+    Used for the paper's general-purpose experiment (Sec. 4.2): "DSE on
+    the average of the results of all 6 benchmarks".
+    """
+
+    fidelity = Fidelity.HIGH
+
+    def __init__(
+        self,
+        workloads: Sequence[Workload],
+        space: DesignSpace,
+        params: SimulatorParams = DEFAULT_PARAMS,
+    ):
+        if not workloads:
+            raise ValueError("need at least one workload")
+        self.workloads = tuple(workloads)
+        self.space = space
+        self._simulator = OutOfOrderSimulator(params)
+        self.num_evaluations = 0
+
+    def evaluate(self, levels: Sequence[int]) -> Evaluation:
+        """Mean CPI (and mean IPC) across the suite at ``levels``."""
+        levels = self.space.validate_levels(levels)
+        config = self.space.config(levels)
+        cpis = []
+        for workload in self.workloads:
+            cpis.append(self._simulator.run(workload.trace, config).cpi)
+        self.num_evaluations += 1
+        mean_cpi = float(np.mean(cpis))
+        return Evaluation(
+            levels=levels,
+            fidelity=Fidelity.HIGH,
+            metrics={
+                "cpi": mean_cpi,
+                "ipc": 1.0 / mean_cpi,
+                **{
+                    f"cpi_{w.name}": c
+                    for w, c in zip(self.workloads, cpis)
+                },
+            },
+        )

@@ -1,0 +1,53 @@
+"""Common proxy interface: fidelities, evaluations, the proxy protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+
+class Fidelity(Enum):
+    """Evaluation fidelity level."""
+
+    LOW = "low"    #: analytical model (~microseconds)
+    HIGH = "high"  #: cycle-approximate simulation (the paper's RTL slot)
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One design evaluation.
+
+    Attributes:
+        levels: The evaluated level vector (copied, immutable by convention).
+        fidelity: Which proxy produced the numbers.
+        metrics: At least ``{"cpi": ..., "ipc": ...}``; proxies may add
+            more (miss rates etc.).
+    """
+
+    levels: np.ndarray
+    fidelity: Fidelity
+    metrics: Dict[str, float]
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.metrics["cpi"]
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.metrics["ipc"]
+
+
+@runtime_checkable
+class EvaluationProxy(Protocol):
+    """Anything that can score a level vector."""
+
+    fidelity: Fidelity
+
+    def evaluate(self, levels: Sequence[int]) -> Evaluation:
+        """Evaluate a design point, returning at least cpi/ipc metrics."""
+        ...

@@ -1,0 +1,118 @@
+"""The proxy pool: LF + HF + area model + archive behind one interface.
+
+This is the "Proxy Pool / Objective Function Plugin / Archive" block of
+the paper's Fig. 1. The searching engine talks only to this object; the
+pool routes to the analytical model or the simulator, memoises through the
+archive, and enforces the area constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.designspace import AreaConstraint, DesignSpace, MicroArchConfig
+from repro.proxies.analytical import AnalyticalModel
+from repro.proxies.archive import DesignArchive
+from repro.proxies.area import AreaModel
+from repro.proxies.interface import Evaluation, EvaluationProxy, Fidelity
+
+
+class ProxyPool:
+    """Multi-fidelity evaluation frontend.
+
+    Args:
+        space: The design space.
+        analytical: LF model (also supplies the action-mask gradients).
+        high_fidelity: HF proxy (single-workload or suite-average).
+        area_model: Area estimator for the constraint.
+        area_limit_mm2: The episode budget.
+        keep_best: Archive leaderboard size.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        analytical: AnalyticalModel,
+        high_fidelity: EvaluationProxy,
+        area_model: Optional[AreaModel] = None,
+        area_limit_mm2: float = 8.0,
+        keep_best: int = 16,
+    ):
+        self.space = space
+        self.analytical = analytical
+        self.high_fidelity = high_fidelity
+        self.area_model = area_model or AreaModel()
+        self.constraint = AreaConstraint(self.area_model, area_limit_mm2)
+        self.archive = DesignArchive(space, keep_best=keep_best)
+        self.lf_evaluations = 0
+        self.hf_evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, levels: Sequence[int], fidelity: Fidelity) -> Evaluation:
+        """Evaluate (with memoisation) at the requested fidelity."""
+        levels = self.space.validate_levels(levels)
+        cached = self.archive.lookup(levels, fidelity)
+        if cached is not None:
+            return cached
+        if fidelity is Fidelity.LOW:
+            config = self.space.config(levels)
+            cpi = self.analytical.cpi(config)
+            evaluation = Evaluation(
+                levels=levels,
+                fidelity=Fidelity.LOW,
+                metrics={"cpi": cpi, "ipc": 1.0 / cpi},
+            )
+            self.lf_evaluations += 1
+        else:
+            evaluation = self.high_fidelity.evaluate(levels)
+            self.hf_evaluations += 1
+        self.archive.record(evaluation)
+        return evaluation
+
+    def evaluate_low(self, levels: Sequence[int]) -> Evaluation:
+        """LF (analytical) evaluation."""
+        return self.evaluate(levels, Fidelity.LOW)
+
+    def evaluate_high(self, levels: Sequence[int]) -> Evaluation:
+        """HF (simulation) evaluation."""
+        return self.evaluate(levels, Fidelity.HIGH)
+
+    # ------------------------------------------------------------------
+    # Constraint helpers
+    # ------------------------------------------------------------------
+    def area(self, levels: Sequence[int]) -> float:
+        """Estimated area at ``levels`` (mm^2)."""
+        return self.constraint.area(self.space.config(levels))
+
+    def fits(self, levels: Sequence[int]) -> bool:
+        """True when the design is within the area budget."""
+        return self.constraint.is_satisfied(self.space.config(levels))
+
+    def feasible_increase_mask(self, levels: Sequence[int]) -> np.ndarray:
+        """Which +1 moves stay inside the space *and* the area budget."""
+        levels = self.space.validate_levels(levels)
+        mask = self.space.increasable(levels)
+        for i in np.flatnonzero(mask):
+            up = levels.copy()
+            up[i] += 1
+            if not self.fits(up):
+                mask[i] = False
+        return mask
+
+    def beneficial_mask(self, levels: Sequence[int]) -> np.ndarray:
+        """The LF phase's gradient mask (Sec. 3.1), model-predicted."""
+        return self.analytical.beneficial_mask(levels)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Evaluation counters (distinct designs via the archive)."""
+        return {
+            "lf_evaluations": self.lf_evaluations,
+            "hf_evaluations": self.hf_evaluations,
+            "lf_distinct": self.archive.count(Fidelity.LOW),
+            "hf_distinct": self.archive.count(Fidelity.HIGH),
+        }

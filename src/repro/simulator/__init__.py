@@ -1,0 +1,34 @@
+"""High-fidelity proxy: cycle-approximate out-of-order CPU simulator.
+
+Stands in for the paper's Chipyard BOOM RTL + VCS simulation. The model is
+a one-pass timestamp-propagation simulator (interval-style): it walks the
+instruction trace once, propagating dispatch/issue/complete/commit times
+under the structural constraints the Table-1 parameters control --
+
+- decode/commit width (``decode_width``),
+- ROB occupancy (``rob_entries``),
+- unified issue-queue occupancy (``iq_entries``),
+- per-class functional-unit server counts (``int_fu``/``mem_fu``/``fp_fu``),
+- a functional set-associative LRU L1D/L2 hierarchy (sets x ways), and
+- an L1 MSHR file limiting outstanding misses (``n_mshr``),
+
+plus a gshare branch predictor whose mispredictions stall the frontend.
+It is *far* more faithful than the analytical model (true address streams,
+true dependencies, true contention) while staying fast enough to run
+hundreds of evaluations, which is exactly the fidelity gap the paper's
+multi-fidelity RL exploits.
+"""
+
+from repro.simulator.params import SimulatorParams
+from repro.simulator.cache import SetAssociativeCache
+from repro.simulator.branch import GsharePredictor
+from repro.simulator.core import OutOfOrderSimulator, SimulationResult, simulate
+
+__all__ = [
+    "SimulatorParams",
+    "SetAssociativeCache",
+    "GsharePredictor",
+    "OutOfOrderSimulator",
+    "SimulationResult",
+    "simulate",
+]

@@ -1,0 +1,63 @@
+"""Fixed timing parameters of the simulated machine.
+
+Everything the Table-1 design space does *not* control is pinned here, with
+values typical for a BOOM-class core at 1 GHz (the paper simulates at
+1 GHz). Kept in one place so sensitivity studies can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.designspace.config import MicroArchConfig
+
+
+@dataclass(frozen=True)
+class SimulatorParams:
+    """Fixed micro-architectural timing constants.
+
+    Attributes:
+        l1_hit_cycles: Load-to-use latency on an L1 hit.
+        l2_hit_cycles: Additional latency for an L1 miss that hits in L2.
+        mem_cycles: Additional latency for an L2 miss (DRAM access).
+        redirect_cycles: Frontend refill penalty after a branch mispredict.
+        line_bytes: Cache line size (bytes); fixed across the space.
+        gshare_bits: log2 size of the branch predictor counter table.
+        history_bits: Global-history length of the gshare predictor.
+        store_buffer: Store-buffer entries (stores retire off the critical
+            path until the buffer fills).
+        next_line_prefetch: When True, an L1 load miss also installs the
+            next sequential line (a simple tagged next-line prefetcher).
+            Off by default -- the Table-1 BOOM configs the paper explores
+            do not include a prefetcher -- but exposed for substrate
+            sensitivity studies (see the sensitivity bench).
+    """
+
+    l1_hit_cycles: int = 3
+    l2_hit_cycles: int = 14
+    mem_cycles: int = 90
+    redirect_cycles: int = 4
+    line_bytes: int = 64
+    gshare_bits: int = 10
+    history_bits: int = 8
+    store_buffer: int = 8
+    next_line_prefetch: bool = False
+
+    def validate(self) -> None:
+        """Sanity-check the constants."""
+        if min(self.l1_hit_cycles, self.l2_hit_cycles, self.mem_cycles) < 1:
+            raise ValueError("latencies must be >= 1 cycle")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+
+
+DEFAULT_PARAMS = SimulatorParams()
+
+
+def describe_machine(config: MicroArchConfig, params: SimulatorParams = DEFAULT_PARAMS) -> str:
+    """Human-readable description of the full simulated machine."""
+    return (
+        f"{config.describe()} | L1 hit {params.l1_hit_cycles}c, "
+        f"L2 +{params.l2_hit_cycles}c, mem +{params.mem_cycles}c, "
+        f"redirect {params.redirect_cycles}c"
+    )

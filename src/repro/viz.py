@@ -1,0 +1,121 @@
+"""Terminal visualisation helpers (no plotting dependencies offline).
+
+The experiments produce series (convergence traces, parameter
+trajectories) and categorical values (per-method CPIs). These helpers
+render them as fixed-width text: bar charts for the Fig.-5 comparison,
+sparklines and line plots for the Fig.-6/7 traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+#: Eight-level vertical resolution used by sparklines.
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One-line unicode sparkline of ``values``.
+
+    Args:
+        values: The series; empty input yields an empty string.
+        lo / hi: Optional fixed scale (defaults to the series range).
+    """
+    if len(values) == 0:
+        return ""
+    arr = np.asarray(values, dtype=np.float64)
+    lo = float(arr.min()) if lo is None else float(lo)
+    hi = float(arr.max()) if hi is None else float(hi)
+    if hi <= lo:
+        return _SPARK_CHARS[0] * len(arr)
+    scaled = (arr - lo) / (hi - lo)
+    idx = np.clip((scaled * (len(_SPARK_CHARS) - 1)).round(), 0,
+                  len(_SPARK_CHARS) - 1).astype(int)
+    return "".join(_SPARK_CHARS[i] for i in idx)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    fmt: str = "{:.4f}",
+    highlight: Optional[str] = None,
+) -> str:
+    """Horizontal text bar chart, one row per key (insertion order).
+
+    Args:
+        values: Label -> value (non-negative).
+        width: Character width of the longest bar.
+        fmt: Value format.
+        highlight: Key whose bar is drawn with a distinct fill.
+    """
+    if not values:
+        return "(empty)"
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    vmax = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = []
+    for key, val in values.items():
+        if val < 0:
+            raise ValueError("bar_chart expects non-negative values")
+        n = int(round(width * (val / vmax))) if vmax > 0 else 0
+        fill = "#" if key == highlight else "="
+        lines.append(f"{key:<{label_w}}  {fill * n:<{width}}  {fmt.format(val)}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 72,
+) -> str:
+    """Multi-series ASCII line plot (one digit/symbol per series).
+
+    Series are resampled to ``width`` columns and share one y-scale.
+    Intended for the Fig.-6 convergence traces.
+    """
+    if not series:
+        return "(empty)"
+    if height < 2 or width < 2:
+        raise ValueError("height and width must be >= 2")
+    all_vals = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    lo, hi = float(all_vals.min()), float(all_vals.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for __ in range(height)]
+    symbols = "1234567890"
+    for s, (name, values) in enumerate(series.items()):
+        arr = np.asarray(values, dtype=np.float64)
+        xs = np.linspace(0, len(arr) - 1, width).round().astype(int)
+        for col, x in enumerate(xs):
+            frac = (arr[x] - lo) / (hi - lo)
+            row = height - 1 - int(round(frac * (height - 1)))
+            grid[row][col] = symbols[s % len(symbols)]
+    lines = [f"{hi:8.3f} +" + "".join(grid[0])]
+    lines += ["         |" + "".join(row) for row in grid[1:-1]]
+    lines.append(f"{lo:8.3f} +" + "".join(grid[-1]))
+    legend = "  ".join(
+        f"{symbols[i % len(symbols)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("         " + legend)
+    return "\n".join(lines)
+
+
+def trajectory_plot(
+    trajectories: Mapping[str, Sequence[int]],
+    focus: str,
+    lo: int = 1,
+    hi: int = 5,
+) -> str:
+    """Fig.-7-style view: the focus parameter as a sparkline over
+    episodes, other parameters greyed into a context block."""
+    if focus not in trajectories:
+        raise KeyError(f"focus parameter {focus!r} not in trajectories")
+    lines = [f"{focus} (focus): {sparkline(trajectories[focus], lo, hi)}"]
+    others = [k for k in trajectories if k != focus]
+    for name in others:
+        lines.append(f"{name:>16}: {sparkline(trajectories[name])}")
+    return "\n".join(lines)

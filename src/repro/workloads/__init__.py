@@ -1,0 +1,32 @@
+"""Benchmark workloads as instruction-trace generators.
+
+The paper evaluates six kernels (dijkstra, mm, fp-vvadd, quicksort, fft,
+string search) compiled to RISC-V and run on BOOM RTL. Offline we cannot
+compile or simulate RTL, so each kernel is implemented here as the *actual
+algorithm* instrumented to emit a RISC-like instruction trace with true data
+dependencies and true memory address streams. The trace drives both:
+
+- the high-fidelity cycle-approximate simulator (:mod:`repro.simulator`), and
+- the profiler (:mod:`repro.workloads.profiler`), which produces the
+  aggregate statistics consumed by the analytical CPI model.
+"""
+
+from repro.workloads.isa import OpClass, OP_LATENCY
+from repro.workloads.trace import InstructionTrace, TraceBuilder
+from repro.workloads.suite import (
+    Workload,
+    BENCHMARK_NAMES,
+    get_workload,
+    workload_suite,
+)
+
+__all__ = [
+    "OpClass",
+    "OP_LATENCY",
+    "InstructionTrace",
+    "TraceBuilder",
+    "Workload",
+    "BENCHMARK_NAMES",
+    "get_workload",
+    "workload_suite",
+]

@@ -1,0 +1,27 @@
+"""Kernel trace generators for the paper's six benchmarks.
+
+Each module exposes ``generate(data_size, seed) -> InstructionTrace`` and
+runs the *actual algorithm*, emitting one trace instruction per abstract
+machine operation. ``data_size`` scales the problem (the paper enlarges the
+benchmarks' data sizes "to different extents").
+"""
+
+from repro.workloads.generators import (
+    dijkstra,
+    fft,
+    matmul,
+    quicksort,
+    stringsearch,
+    vvadd,
+)
+
+GENERATORS = {
+    "dijkstra": dijkstra.generate,
+    "mm": matmul.generate,
+    "fp-vvadd": vvadd.generate,
+    "quicksort": quicksort.generate,
+    "fft": fft.generate,
+    "ss": stringsearch.generate,
+}
+
+__all__ = ["GENERATORS", "dijkstra", "matmul", "vvadd", "quicksort", "fft", "stringsearch"]

@@ -1,0 +1,157 @@
+"""Dijkstra shortest paths over a random sparse graph.
+
+Characteristics this kernel contributes to the suite: pointer-chasing
+(CSR adjacency walks), data-dependent branches (heap sift comparisons),
+and a working set dominated by the distance and heap arrays -- an
+irregular, latency-sensitive integer workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.trace import InstructionTrace, TraceBuilder
+
+_WORD = 8
+
+
+def generate(data_size: int = 64, seed: int = 0) -> InstructionTrace:
+    """Trace Dijkstra from node 0 on a random graph of ``data_size`` nodes.
+
+    Args:
+        data_size: Node count; edges average ~4 per node.
+        seed: Graph topology/weights seed.
+    """
+    if data_size < 4:
+        raise ValueError("dijkstra needs at least 4 nodes")
+    rng = np.random.default_rng(seed)
+    n = int(data_size)
+
+    # Random connected-ish sparse graph in CSR form.
+    avg_degree = 4
+    targets = []
+    offsets = [0]
+    weights = []
+    for u in range(n):
+        deg = int(rng.integers(2, 2 * avg_degree))
+        nbrs = rng.choice(n, size=min(deg, n - 1), replace=False)
+        nbrs = [int(v) for v in nbrs if v != u]
+        if u + 1 < n and (u + 1) not in nbrs:
+            nbrs.append(u + 1)  # ring edge keeps the graph connected
+        targets.extend(nbrs)
+        weights.extend(int(w) for w in rng.integers(1, 64, size=len(nbrs)))
+        offsets.append(len(targets))
+
+    tb = TraceBuilder("dijkstra")
+    a_off = tb.alloc((n + 1) * _WORD)
+    a_tgt = tb.alloc(len(targets) * _WORD)
+    a_wgt = tb.alloc(len(weights) * _WORD)
+    a_dist = tb.alloc(n * _WORD)
+    a_heap = tb.alloc(2 * n * _WORD)  # (key, node) pairs, array heap
+
+    INF = 1 << 30
+    dist = [INF] * n
+    dist[0] = 0
+
+    # init dist[] with stores
+    for v in range(n):
+        tb.store(a_dist + v * _WORD)
+
+    heap = [(0, 0)]  # (dist, node)
+    tb.store(a_heap)
+    tb.store(a_heap + _WORD)
+
+    def heap_load(pos: int, field: int):
+        return tb.load(a_heap + (2 * pos + field) * _WORD)
+
+    def heap_store(pos: int, field: int, val=None):
+        return tb.store(a_heap + (2 * pos + field) * _WORD, val)
+
+    def sift_down(start_size: int) -> None:
+        pos = 0
+        while True:
+            child = 2 * pos + 1
+            in_range = child < start_size
+            tb.branch(tb.int_op(), taken=in_range)
+            if not in_range:
+                break
+            kc = heap_load(child, 0)
+            if child + 1 < start_size:
+                kc2 = heap_load(child + 1, 0)
+                use_right = heap[child + 1][0] < heap[child][0]
+                tb.branch(tb.int_op(kc, kc2), taken=use_right)
+                if use_right:
+                    child += 1
+                    kc = kc2
+            kp = heap_load(pos, 0)
+            swap = heap[child][0] < heap[pos][0]
+            tb.branch(tb.int_op(kp, kc), taken=swap)
+            if not swap:
+                break
+            heap[pos], heap[child] = heap[child], heap[pos]
+            vp = heap_load(pos, 1)
+            vc = heap_load(child, 1)
+            heap_store(pos, 0, kc)
+            heap_store(pos, 1, vc)
+            heap_store(child, 0, kp)
+            heap_store(child, 1, vp)
+            pos = child
+
+    def sift_up(pos: int) -> None:
+        while pos > 0:
+            parent = (pos - 1) // 2
+            kp = heap_load(parent, 0)
+            kc = heap_load(pos, 0)
+            swap = heap[pos][0] < heap[parent][0]
+            tb.branch(tb.int_op(kp, kc), taken=swap)
+            if not swap:
+                break
+            heap[pos], heap[parent] = heap[parent], heap[pos]
+            vp = heap_load(parent, 1)
+            vc = heap_load(pos, 1)
+            heap_store(parent, 0, kc)
+            heap_store(parent, 1, vc)
+            heap_store(pos, 0, kp)
+            heap_store(pos, 1, vp)
+            pos = parent
+
+    settled = [False] * n
+    while heap:
+        d_u, u = heap[0]
+        ku = heap_load(0, 0)
+        nu = heap_load(0, 1)
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            kl = heap_load(len(heap), 0)
+            vl = heap_load(len(heap), 1)
+            heap_store(0, 0, kl)
+            heap_store(0, 1, vl)
+            sift_down(len(heap))
+        stale = settled[u] or d_u > dist[u]
+        dv = tb.load(a_dist + u * _WORD)
+        tb.branch(tb.int_op(ku, dv), taken=stale)
+        if stale:
+            continue
+        settled[u] = True
+        # walk CSR row
+        off0 = tb.load(a_off + u * _WORD)
+        off1 = tb.load(a_off + (u + 1) * _WORD)
+        for e in range(offsets[u], offsets[u + 1]):
+            v = targets[e]
+            w = weights[e]
+            tv = tb.load(a_tgt + e * _WORD, addr_dep=off0)
+            wv = tb.load(a_wgt + e * _WORD, addr_dep=off0)
+            nd = tb.int_op(ku, wv)  # dist[u] + w
+            old = tb.load(a_dist + v * _WORD, addr_dep=tv)
+            relax = d_u + w < dist[v]
+            tb.branch(tb.int_op(nd, old), taken=relax)
+            if relax:
+                dist[v] = d_u + w
+                tb.store(a_dist + v * _WORD, nd)
+                heap.append((dist[v], v))
+                heap_store(len(heap) - 1, 0, nd)
+                heap_store(len(heap) - 1, 1)
+                sift_up(len(heap) - 1)
+
+    return tb.build()

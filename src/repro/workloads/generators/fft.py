@@ -1,0 +1,77 @@
+"""Iterative radix-2 complex FFT.
+
+Characteristics: FP-multiply heavy butterflies, strided accesses whose
+stride doubles each stage (cache-hostile at large sizes), twiddle-table
+loads, and a fully static control flow (perfectly predictable branches).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.trace import InstructionTrace, TraceBuilder
+
+_WORD = 8
+
+
+def generate(data_size: int = 256, seed: int = 0) -> InstructionTrace:
+    """Trace an in-place radix-2 FFT over ``data_size`` complex points.
+
+    Args:
+        data_size: Point count; must be a power of two >= 8.
+        seed: Unused; kept for a uniform generator signature.
+    """
+    n = int(data_size)
+    if n < 8 or n & (n - 1):
+        raise ValueError("fft size must be a power of two >= 8")
+
+    tb = TraceBuilder("fft")
+    a_re = tb.alloc(n * _WORD)
+    a_im = tb.alloc(n * _WORD)
+    a_tw = tb.alloc(n * _WORD)  # interleaved twiddle table (re, im pairs)
+
+    # --- bit-reversal permutation -------------------------------------
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+            tb.branch(tb.int_op(), taken=True)
+        j |= bit
+        tb.branch(tb.int_op(), taken=False)
+        if i < j:
+            for arr in (a_re, a_im):
+                vi = tb.load(arr + i * _WORD)
+                vj = tb.load(arr + j * _WORD)
+                tb.store(arr + i * _WORD, vj)
+                tb.store(arr + j * _WORD, vi)
+
+    # --- butterfly stages ----------------------------------------------
+    length = 2
+    while length <= n:
+        half = length // 2
+        for start in range(0, n, length):
+            for k in range(half):
+                tw_idx = k * (n // length)
+                twr = tb.load(a_tw + (2 * tw_idx) * _WORD)
+                twi = tb.load(a_tw + (2 * tw_idx + 1) * _WORD)
+                i0 = start + k
+                i1 = start + k + half
+                xr = tb.load(a_re + i1 * _WORD)
+                xi = tb.load(a_im + i1 * _WORD)
+                # complex multiply x * tw
+                t0 = tb.fp_mul(xr, twr)
+                t1 = tb.fp_mul(xi, twi)
+                t2 = tb.fp_mul(xr, twi)
+                t3 = tb.fp_mul(xi, twr)
+                tr = tb.fp_add(t0, t1)
+                ti = tb.fp_add(t2, t3)
+                ur = tb.load(a_re + i0 * _WORD)
+                ui = tb.load(a_im + i0 * _WORD)
+                tb.store(a_re + i0 * _WORD, tb.fp_add(ur, tr))
+                tb.store(a_im + i0 * _WORD, tb.fp_add(ui, ti))
+                tb.store(a_re + i1 * _WORD, tb.fp_add(ur, tr))
+                tb.store(a_im + i1 * _WORD, tb.fp_add(ui, ti))
+                tb.branch(tb.int_op(), taken=k + 1 < half)
+        length <<= 1
+
+    return tb.build()

@@ -1,0 +1,44 @@
+"""Dense matrix multiplication (the paper's ``mm``).
+
+Characteristics: high FP throughput demand, a long multiply-accumulate
+dependency chain per output element, and column-strided B accesses that
+stress cache capacity as the matrix grows.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.trace import InstructionTrace, TraceBuilder
+
+_WORD = 8
+
+
+def generate(data_size: int = 16, seed: int = 0) -> InstructionTrace:
+    """Trace C = A @ B for square ``data_size`` x ``data_size`` matrices.
+
+    Args:
+        data_size: Matrix dimension n; the trace is Theta(n^3).
+        seed: Unused (the access pattern is data-independent); kept for a
+            uniform generator signature.
+    """
+    if data_size < 2:
+        raise ValueError("mm needs dimension >= 2")
+    n = int(data_size)
+    tb = TraceBuilder("mm")
+    a_base = tb.alloc(n * n * _WORD)
+    b_base = tb.alloc(n * n * _WORD)
+    c_base = tb.alloc(n * n * _WORD)
+
+    for i in range(n):
+        for j in range(n):
+            acc = None
+            for k in range(n):
+                va = tb.load(a_base + (i * n + k) * _WORD)
+                vb = tb.load(b_base + (k * n + j) * _WORD)
+                prod = tb.fp_mul(va, vb)
+                acc = prod if acc is None else tb.fp_add(acc, prod)
+            tb.store(c_base + (i * n + j) * _WORD, acc)
+            # loop bookkeeping: index increment + bound check branch
+            idx = tb.int_op()
+            tb.branch(idx, taken=j + 1 < n)
+
+    return tb.build()

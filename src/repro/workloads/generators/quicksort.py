@@ -1,0 +1,78 @@
+"""In-place quicksort on a random integer array.
+
+Characteristics: hard-to-predict data-dependent branches (the partition
+comparison is ~50/50 on random data), store/load aliasing through swaps,
+and log-depth recursion -- a branch-bound integer workload.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.workloads.trace import InstructionTrace, TraceBuilder
+
+_WORD = 8
+
+
+def generate(data_size: int = 512, seed: int = 0) -> InstructionTrace:
+    """Trace Hoare-partition quicksort over ``data_size`` random ints.
+
+    Args:
+        data_size: Array length; the trace is Theta(n log n) expected.
+        seed: Seed for the array contents (drives branch behaviour).
+    """
+    if data_size < 4:
+        raise ValueError("quicksort needs length >= 4")
+    rng = np.random.default_rng(seed)
+    n = int(data_size)
+    data = [int(x) for x in rng.integers(0, 1 << 20, size=n)]
+
+    tb = TraceBuilder("quicksort")
+    base = tb.alloc(n * _WORD)
+
+    def addr(i: int) -> int:
+        return base + i * _WORD
+
+    # explicit stack avoids Python recursion limits on large sizes
+    stack = [(0, n - 1)]
+    tb.store(addr(0))  # touch to warm the allocator; negligible
+    while stack:
+        lo, hi = stack.pop()
+        go = lo < hi
+        tb.branch(tb.int_op(), taken=go)
+        if not go:
+            continue
+        pivot_val = data[(lo + hi) // 2]
+        pv = tb.load(addr((lo + hi) // 2))
+        i, j = lo - 1, hi + 1
+        while True:
+            while True:
+                i += 1
+                vi = tb.load(addr(i))
+                cond = data[i] < pivot_val
+                tb.branch(tb.int_op(vi, pv), taken=cond)
+                if not cond:
+                    break
+            while True:
+                j -= 1
+                vj = tb.load(addr(j))
+                cond = data[j] > pivot_val
+                tb.branch(tb.int_op(vj, pv), taken=cond)
+                if not cond:
+                    break
+            crossed = i >= j
+            tb.branch(tb.int_op(), taken=crossed)
+            if crossed:
+                break
+            data[i], data[j] = data[j], data[i]
+            vi = tb.load(addr(i))
+            vj = tb.load(addr(j))
+            tb.store(addr(i), vj)
+            tb.store(addr(j), vi)
+        stack.append((lo, j))
+        stack.append((j + 1, hi))
+
+    assert data == sorted(data), "quicksort generator produced unsorted data"
+    return tb.build()

@@ -1,0 +1,68 @@
+"""Multi-pattern substring search (the paper's ``ss``).
+
+Characteristics: byte-granular sequential loads over a large text,
+frequent early-exit branches (mostly taken mismatch exits), and a tiny
+arithmetic footprint -- a frontend/branch-bound workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.trace import InstructionTrace, TraceBuilder
+
+_ALPHABET = 8  # small alphabet -> realistic partial-match rate
+
+
+def generate(data_size: int = 4096, seed: int = 0) -> InstructionTrace:
+    """Trace Horspool search of 4 patterns over a ``data_size``-byte text.
+
+    Args:
+        data_size: Text length in bytes.
+        seed: Text/pattern contents seed.
+    """
+    if data_size < 64:
+        raise ValueError("ss needs text length >= 64")
+    rng = np.random.default_rng(seed)
+    n = int(data_size)
+    text = rng.integers(0, _ALPHABET, size=n).astype(np.int64)
+    patterns = [
+        [int(c) for c in rng.integers(0, _ALPHABET, size=int(m))]
+        for m in (4, 6, 8, 5)
+    ]
+    # plant each pattern a few times so matches actually occur
+    for p, pat in enumerate(patterns):
+        for rep in range(3):
+            pos = int(rng.integers(0, n - len(pat)))
+            text[pos : pos + len(pat)] = pat
+
+    tb = TraceBuilder("ss")
+    a_text = tb.alloc(n)
+    a_pats = tb.alloc(64)
+    a_skip = tb.alloc(_ALPHABET * 8)
+
+    for pat in patterns:
+        m = len(pat)
+        # build the bad-character skip table
+        skip = {c: m for c in range(_ALPHABET)}
+        for k in range(m - 1):
+            skip[pat[k]] = m - 1 - k
+            tb.store(a_skip + pat[k] * 8)
+        pos = 0
+        while pos + m <= n:
+            k = m - 1
+            while k >= 0:
+                tc = tb.load(a_text + pos + k)
+                pc = tb.load(a_pats + k)
+                match = int(text[pos + k]) == pat[k]
+                tb.branch(tb.int_op(tc, pc), taken=match)
+                if not match:
+                    break
+                k -= 1
+            # skip by the bad-character rule on the window's last byte
+            last = int(text[pos + m - 1])
+            sk = tb.load(a_skip + last * 8)
+            pos += skip[last]
+            tb.branch(tb.int_op(sk), taken=pos + m <= n)
+
+    return tb.build()

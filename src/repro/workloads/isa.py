@@ -1,0 +1,59 @@
+"""The trace ISA: operation classes and execution latencies.
+
+The simulator and analytical model only need instruction *classes* (which
+functional unit, what latency, memory or not), not full RISC-V semantics.
+Latencies follow typical BOOM settings at 1 GHz.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict
+
+
+class OpClass(IntEnum):
+    """Operation classes recognised by the pipeline model."""
+
+    INT_ALU = 0  #: add/sub/logic/compare/shift -> Int FU, 1 cycle
+    INT_MUL = 1  #: integer multiply            -> Int FU, 3 cycles
+    INT_DIV = 2  #: integer divide              -> Int FU, 12 cycles, unpipelined
+    FP_ADD = 3   #: FP add/sub/compare          -> FP FU, 3 cycles
+    FP_MUL = 4   #: FP multiply                 -> FP FU, 4 cycles
+    FP_DIV = 5   #: FP divide/sqrt              -> FP FU, 10 cycles, unpipelined
+    LOAD = 6     #: memory load                 -> Mem FU + cache hierarchy
+    STORE = 7    #: memory store                -> Mem FU + store buffer
+    BRANCH = 8   #: conditional branch          -> Int FU, 1 cycle
+
+
+#: Execution latency in cycles (for LOAD this is the address-generation +
+#: L1-hit latency; misses add hierarchy latency on top, see the simulator).
+OP_LATENCY: Dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.INT_DIV: 12,
+    OpClass.FP_ADD: 3,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 10,
+    OpClass.LOAD: 3,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+}
+
+#: Ops issued to the integer ALUs.
+INT_OPS = frozenset({OpClass.INT_ALU, OpClass.INT_MUL, OpClass.INT_DIV, OpClass.BRANCH})
+#: Ops issued to the FP units.
+FP_OPS = frozenset({OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV})
+#: Ops issued to the memory units.
+MEM_OPS = frozenset({OpClass.LOAD, OpClass.STORE})
+
+#: Ops that occupy their FU for the whole latency (not pipelined).
+UNPIPELINED_OPS = frozenset({OpClass.INT_DIV, OpClass.FP_DIV})
+
+
+def fu_class(op: OpClass) -> str:
+    """Functional-unit class name ('int', 'fp' or 'mem') for an op."""
+    if op in INT_OPS:
+        return "int"
+    if op in FP_OPS:
+        return "fp"
+    return "mem"

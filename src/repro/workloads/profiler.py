@@ -1,0 +1,319 @@
+"""Trace profiling: the aggregate statistics the analytical model consumes.
+
+The Jongerius-style analytical CPI model (paper ref [8]) works from a
+profile of the target benchmark: instruction mix, available ILP as a
+function of the instruction window, cache miss-rate curves (from LRU stack
+distances) and branch behaviour. This module computes all of those from an
+:class:`~repro.workloads.trace.InstructionTrace` once per workload; the
+result is cached by the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.isa import (
+    OpClass,
+    OP_LATENCY,
+    INT_OPS,
+    FP_OPS,
+    MEM_OPS,
+)
+from repro.workloads.trace import InstructionTrace, NO_DEP
+
+#: Instruction-window sizes at which the ILP lookup table is evaluated;
+#: matches the ROB candidate list plus anchor points at both ends.
+DEFAULT_ILP_WINDOWS: Tuple[int, ...] = (8, 16, 32, 64, 96, 128, 160, 256)
+
+
+@dataclass(frozen=True)
+class MissRateCurve:
+    """Fraction of memory accesses missing in an LRU cache of a given size.
+
+    ``sizes_lines`` is ascending; ``miss_rates`` is the matching
+    non-increasing miss ratio (cold misses included). Queries interpolate
+    piecewise-linearly in log2(size), which is exactly the "fit linear
+    functions that strictly follow the trend of the table" trick the paper
+    uses to keep the analytical model differentiable.
+    """
+
+    sizes_lines: np.ndarray
+    miss_rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.sizes_lines) != len(self.miss_rates):
+            raise ValueError("curve arrays must have matching length")
+        if np.any(np.diff(self.sizes_lines) <= 0):
+            raise ValueError("sizes must be strictly ascending")
+
+    def rate(self, num_lines: float) -> float:
+        """Interpolated miss ratio for a cache of ``num_lines`` lines."""
+        x = np.log2(max(float(num_lines), 1.0))
+        xs = np.log2(self.sizes_lines.astype(np.float64))
+        return float(np.interp(x, xs, self.miss_rates))
+
+    def slope(self, num_lines: float) -> float:
+        """d(miss rate)/d(num_lines) of the piecewise-linear fit."""
+        x = np.log2(max(float(num_lines), 1.0))
+        xs = np.log2(self.sizes_lines.astype(np.float64))
+        if x <= xs[0] or x >= xs[-1]:
+            return 0.0
+        j = int(np.searchsorted(xs, x, side="right"))
+        d_dlog = (self.miss_rates[j] - self.miss_rates[j - 1]) / (xs[j] - xs[j - 1])
+        # chain rule: dlog2(s)/ds = 1/(s ln 2)
+        return float(d_dlog / (float(num_lines) * np.log(2.0)))
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Aggregate statistics of one workload trace."""
+
+    name: str
+    num_instructions: int
+    #: Fraction of dynamic instructions per OpClass.
+    mix: Dict[OpClass, float]
+    #: Ideal IPC at each instruction-window size (infinite FUs & decode).
+    ilp_windows: Tuple[int, ...]
+    ilp_ipc: Tuple[float, ...]
+    #: Miss-rate curve over cache size in lines (shared by L1 and L2 --
+    #: the global LRU stack-distance property).
+    miss_curve: MissRateCurve
+    #: 2-bit-counter branch mispredict ratio (per branch).
+    branch_mispredict_rate: float
+    #: Distinct cache lines touched.
+    footprint_lines: int
+    #: Mean memory-level parallelism of the L1 miss stream (bounded burst
+    #: size of outstanding misses under an infinite-MSHR window).
+    mlp_supply: float
+
+    # ------------------------------------------------------------------
+    @property
+    def frac_loads(self) -> float:
+        """Dynamic fraction of loads."""
+        return self.mix[OpClass.LOAD]
+
+    @property
+    def frac_stores(self) -> float:
+        """Dynamic fraction of stores."""
+        return self.mix[OpClass.STORE]
+
+    @property
+    def frac_mem(self) -> float:
+        """Dynamic fraction of memory ops."""
+        return self.frac_loads + self.frac_stores
+
+    @property
+    def frac_branches(self) -> float:
+        """Dynamic fraction of branches."""
+        return self.mix[OpClass.BRANCH]
+
+    @property
+    def frac_int(self) -> float:
+        """Dynamic fraction issued to integer ALUs (incl. branches)."""
+        return sum(self.mix[op] for op in INT_OPS)
+
+    @property
+    def frac_fp(self) -> float:
+        """Dynamic fraction issued to FP units."""
+        return sum(self.mix[op] for op in FP_OPS)
+
+    def ilp_at(self, window: float) -> float:
+        """Ideal IPC at instruction-window ``window`` (piecewise-linear)."""
+        return float(
+            np.interp(float(window), np.array(self.ilp_windows, dtype=np.float64),
+                      np.array(self.ilp_ipc, dtype=np.float64))
+        )
+
+    def ilp_slope(self, window: float) -> float:
+        """d(ideal IPC)/d(window) of the piecewise-linear fit."""
+        w = float(window)
+        xs = np.array(self.ilp_windows, dtype=np.float64)
+        ys = np.array(self.ilp_ipc, dtype=np.float64)
+        if w <= xs[0] or w >= xs[-1]:
+            return 0.0
+        j = int(np.searchsorted(xs, w, side="right"))
+        return float((ys[j] - ys[j - 1]) / (xs[j] - xs[j - 1]))
+
+
+# ----------------------------------------------------------------------
+# Profiling passes
+# ----------------------------------------------------------------------
+def _instruction_mix(trace: InstructionTrace) -> Dict[OpClass, float]:
+    counts = trace.op_counts()
+    n = float(trace.num_instructions)
+    return {cls: counts[cls] / n for cls in OpClass}
+
+
+def _ideal_ipc_at_windows(
+    trace: InstructionTrace, windows: Sequence[int]
+) -> Tuple[float, ...]:
+    """Ideal-machine list scheduling under a sliding instruction window.
+
+    Models a machine with infinite fetch/FUs but a finite ROB-like window:
+    instruction ``i`` may not start before instruction ``i - W`` has
+    finished (the window slides by completion order approximated with
+    program order, the standard interval-analysis assumption). Memory ops
+    use their L1-hit latency: the window ILP table captures *dependency*
+    limits; memory penalties are separate analytical terms.
+    """
+    n = trace.num_instructions
+    lat = np.array([OP_LATENCY[OpClass(int(o))] for o in trace.op], dtype=np.int64)
+    src_a = trace.src_a
+    src_b = trace.src_b
+    mem_dep = trace.mem_dep
+    out = []
+    for window in windows:
+        finish = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            start = 0
+            a = src_a[i]
+            if a != NO_DEP and finish[a] > start:
+                start = finish[a]
+            b = src_b[i]
+            if b != NO_DEP and finish[b] > start:
+                start = finish[b]
+            m = mem_dep[i]
+            if m != NO_DEP and finish[m] > start:
+                start = finish[m]
+            if i >= window:
+                w = finish[i - window]
+                if w > start:
+                    start = w
+            finish[i] = start + lat[i]
+        cycles = int(finish.max()) if n else 1
+        out.append(n / max(cycles, 1))
+    return tuple(out)
+
+
+class _FenwickTree:
+    """Binary indexed tree for counting distinct lines (stack distances)."""
+
+    def __init__(self, size: int):
+        self._tree = np.zeros(size + 1, dtype=np.int64)
+        self._size = size
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i <= self._size:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        """Sum of entries [0, i]."""
+        i += 1
+        total = 0
+        while i > 0:
+            total += int(self._tree[i])
+            i -= i & (-i)
+        return total
+
+
+def _stack_distances(line_addrs: np.ndarray) -> np.ndarray:
+    """LRU stack distance per access; -1 marks cold misses.
+
+    Classic Fenwick-tree algorithm: O(N log N) over the memory reference
+    stream at cache-line granularity.
+    """
+    n = len(line_addrs)
+    dist = np.empty(n, dtype=np.int64)
+    tree = _FenwickTree(n)
+    last_pos: Dict[int, int] = {}
+    for t in range(n):
+        line = int(line_addrs[t])
+        prev = last_pos.get(line)
+        if prev is None:
+            dist[t] = -1
+        else:
+            # distinct lines accessed strictly after prev = stack distance
+            dist[t] = tree.prefix(n - 1) - tree.prefix(prev)
+            tree.add(prev, -1)
+        tree.add(t, +1)
+        last_pos[line] = t
+    return dist
+
+
+def _miss_curve_from_distances(
+    distances: np.ndarray, footprint_lines: int
+) -> MissRateCurve:
+    """Miss-rate curve from stack distances, sampled at powers of two."""
+    n = len(distances)
+    max_size = max(int(2 ** np.ceil(np.log2(max(footprint_lines, 2)))), 2)
+    sizes = [1]
+    while sizes[-1] < max_size:
+        sizes.append(sizes[-1] * 2)
+    sizes.append(sizes[-1] * 2)  # one size beyond the footprint -> floor
+    cold = np.count_nonzero(distances < 0)
+    rates = []
+    for size in sizes:
+        capacity_misses = np.count_nonzero(distances >= size)
+        rates.append((cold + capacity_misses) / max(n, 1))
+    return MissRateCurve(
+        sizes_lines=np.array(sizes, dtype=np.int64),
+        miss_rates=np.array(rates, dtype=np.float64),
+    )
+
+
+def _branch_mispredict_rate(taken: np.ndarray) -> float:
+    """Mispredict ratio of a 2-bit saturating counter on the outcome stream."""
+    if len(taken) == 0:
+        return 0.0
+    state = 2  # weakly taken
+    wrong = 0
+    for outcome in taken:
+        predict_taken = state >= 2
+        if bool(outcome) != predict_taken:
+            wrong += 1
+        if outcome:
+            state = min(state + 1, 3)
+        else:
+            state = max(state - 1, 0)
+    return wrong / len(taken)
+
+
+def _mlp_supply(trace: InstructionTrace, line_bytes: int = 64) -> float:
+    """Average burst size of consecutive distinct-line loads.
+
+    A cheap proxy for memory-level parallelism: the mean number of distinct
+    cache lines touched by loads inside non-overlapping 32-instruction
+    windows, clipped at 1 from below. It upper-bounds how many MSHRs the
+    workload can actually keep busy.
+    """
+    loads = np.flatnonzero(trace.op == int(OpClass.LOAD))
+    if len(loads) == 0:
+        return 1.0
+    lines = trace.address[loads] // line_bytes
+    positions = loads // 32
+    bursts: Dict[int, set] = {}
+    for pos, line in zip(positions, lines):
+        bursts.setdefault(int(pos), set()).add(int(line))
+    sizes = [len(s) for s in bursts.values()]
+    return float(max(np.mean(sizes), 1.0))
+
+
+def profile_trace(
+    trace: InstructionTrace,
+    ilp_windows: Sequence[int] = DEFAULT_ILP_WINDOWS,
+    line_bytes: int = 64,
+) -> WorkloadProfile:
+    """Run all profiling passes over ``trace``."""
+    mix = _instruction_mix(trace)
+    ilp_ipc = _ideal_ipc_at_windows(trace, ilp_windows)
+    line_addrs = trace.line_addresses(line_bytes)
+    footprint = int(len(np.unique(line_addrs))) if len(line_addrs) else 1
+    distances = _stack_distances(line_addrs)
+    miss_curve = _miss_curve_from_distances(distances, footprint)
+    branch_taken = trace.taken[trace.op == int(OpClass.BRANCH)]
+    return WorkloadProfile(
+        name=trace.name,
+        num_instructions=trace.num_instructions,
+        mix=mix,
+        ilp_windows=tuple(int(w) for w in ilp_windows),
+        ilp_ipc=ilp_ipc,
+        miss_curve=miss_curve,
+        branch_mispredict_rate=_branch_mispredict_rate(branch_taken),
+        footprint_lines=footprint,
+        mlp_supply=_mlp_supply(trace, line_bytes),
+    )

@@ -1,0 +1,242 @@
+"""Instruction traces and the builder API used by the kernel generators.
+
+A trace is stored structure-of-arrays for fast vectorised access by the
+simulator and profiler. Data dependencies are recorded as *producer
+instruction indices* (classic trace-driven style): each instruction has up
+to two register source producers plus an optional memory producer (the last
+store to the same address, enabling store-to-load forwarding modelling
+without a renamer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.workloads.isa import OpClass, MEM_OPS
+
+#: Sentinel for "no dependency".
+NO_DEP = -1
+
+#: Granularity at which memory dependencies are tracked (bytes). Word
+#: granularity matches how the kernels address their arrays.
+MEM_DEP_GRANULE = 8
+
+
+@dataclass(frozen=True)
+class InstructionTrace:
+    """Immutable structure-of-arrays instruction trace.
+
+    Attributes:
+        name: Workload identifier the trace came from.
+        op: ``(n,)`` int8 array of :class:`OpClass` values.
+        src_a: ``(n,)`` int64 producer index of first source (or ``NO_DEP``).
+        src_b: ``(n,)`` int64 producer index of second source (or ``NO_DEP``).
+        mem_dep: ``(n,)`` int64 index of the youngest earlier store to the
+            same granule for loads (or ``NO_DEP``).
+        address: ``(n,)`` int64 byte address for LOAD/STORE, 0 otherwise.
+        taken: ``(n,)`` bool, branch outcome for BRANCH ops, False otherwise.
+    """
+
+    name: str
+    op: np.ndarray
+    src_a: np.ndarray
+    src_b: np.ndarray
+    mem_dep: np.ndarray
+    address: np.ndarray
+    taken: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.op)
+        if n == 0:
+            raise ValueError("traces must contain at least one instruction")
+        for field_name in ("src_a", "src_b", "mem_dep", "address", "taken"):
+            if len(getattr(self, field_name)) != n:
+                raise ValueError(f"trace field {field_name} length mismatch")
+        # Dependencies must point strictly backwards.
+        idx = np.arange(n, dtype=np.int64)
+        for field_name in ("src_a", "src_b", "mem_dep"):
+            deps = getattr(self, field_name)
+            bad = (deps != NO_DEP) & (deps >= idx)
+            if np.any(bad):
+                raise ValueError(f"{field_name} has forward/self dependencies")
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    @property
+    def num_instructions(self) -> int:
+        """Trace length in dynamic instructions."""
+        return len(self.op)
+
+    def op_counts(self) -> Dict[OpClass, int]:
+        """Dynamic instruction count per op class."""
+        counts = np.bincount(self.op, minlength=len(OpClass))
+        return {cls: int(counts[cls]) for cls in OpClass}
+
+    def memory_indices(self) -> np.ndarray:
+        """Indices of LOAD/STORE instructions, in program order."""
+        mem_codes = np.array(sorted(MEM_OPS), dtype=self.op.dtype)
+        return np.flatnonzero(np.isin(self.op, mem_codes))
+
+    def line_addresses(self, line_bytes: int = 64) -> np.ndarray:
+        """Cache-line addresses of the memory instructions, program order."""
+        mem = self.memory_indices()
+        return self.address[mem] // line_bytes
+
+    def slice(self, start: int, stop: int) -> "InstructionTrace":
+        """A sub-trace with dependencies clipped at the window start.
+
+        Producer indices pointing before ``start`` become ``NO_DEP`` (the
+        value is assumed ready), mirroring warm-start trace sampling.
+        """
+        sl = np.s_[start:stop]
+
+        def clip(deps: np.ndarray) -> np.ndarray:
+            out = deps[sl].copy()
+            out[out != NO_DEP] -= start
+            out[out < 0] = NO_DEP
+            return out
+
+        return InstructionTrace(
+            name=f"{self.name}[{start}:{stop}]",
+            op=self.op[sl].copy(),
+            src_a=clip(self.src_a),
+            src_b=clip(self.src_b),
+            mem_dep=clip(self.mem_dep),
+            address=self.address[sl].copy(),
+            taken=self.taken[sl].copy(),
+        )
+
+
+#: Values flowing through a generator program are producer indices; Python
+#: ints/floats are literals (no producer).
+Value = Union[int, "TraceBuilder._Val"]
+
+
+class TraceBuilder:
+    """Mutable builder used by the kernel generators.
+
+    The generators run the real algorithm; every arithmetic/memory/branch
+    step calls one ``emit_*`` method, which records the instruction and
+    returns a handle representing the produced value. Handles passed as
+    operands become data dependencies.
+    """
+
+    class _Val(int):
+        """A produced value: its int value is the producer index."""
+
+        __slots__ = ()
+
+    def __init__(self, name: str):
+        self.name = name
+        self._op: List[int] = []
+        self._src_a: List[int] = []
+        self._src_b: List[int] = []
+        self._mem_dep: List[int] = []
+        self._address: List[int] = []
+        self._taken: List[bool] = []
+        self._last_store: Dict[int, int] = {}
+        self._heap_top = 0x1000  # bump allocator base
+
+    # ------------------------------------------------------------------
+    # Memory layout helpers
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int, align: int = 64) -> int:
+        """Reserve ``nbytes`` in the flat address space, return base address."""
+        if nbytes <= 0:
+            raise ValueError("allocation must be positive")
+        base = (self._heap_top + align - 1) // align * align
+        self._heap_top = base + nbytes
+        return base
+
+    # ------------------------------------------------------------------
+    # Emission primitives
+    # ------------------------------------------------------------------
+    def _dep(self, value: Optional[Value]) -> int:
+        if isinstance(value, TraceBuilder._Val):
+            return int(value)
+        return NO_DEP
+
+    def _emit(
+        self,
+        op: OpClass,
+        a: Optional[Value] = None,
+        b: Optional[Value] = None,
+        address: int = 0,
+        mem_dep: int = NO_DEP,
+        taken: bool = False,
+    ) -> "TraceBuilder._Val":
+        idx = len(self._op)
+        self._op.append(int(op))
+        self._src_a.append(self._dep(a))
+        self._src_b.append(self._dep(b))
+        self._mem_dep.append(mem_dep)
+        self._address.append(int(address))
+        self._taken.append(bool(taken))
+        return TraceBuilder._Val(idx)
+
+    def int_op(self, a: Optional[Value] = None, b: Optional[Value] = None) -> "TraceBuilder._Val":
+        """Integer ALU op (add/sub/compare/shift/logic)."""
+        return self._emit(OpClass.INT_ALU, a, b)
+
+    def int_mul(self, a: Optional[Value] = None, b: Optional[Value] = None) -> "TraceBuilder._Val":
+        """Integer multiply."""
+        return self._emit(OpClass.INT_MUL, a, b)
+
+    def int_div(self, a: Optional[Value] = None, b: Optional[Value] = None) -> "TraceBuilder._Val":
+        """Integer divide."""
+        return self._emit(OpClass.INT_DIV, a, b)
+
+    def fp_add(self, a: Optional[Value] = None, b: Optional[Value] = None) -> "TraceBuilder._Val":
+        """FP add/sub/compare."""
+        return self._emit(OpClass.FP_ADD, a, b)
+
+    def fp_mul(self, a: Optional[Value] = None, b: Optional[Value] = None) -> "TraceBuilder._Val":
+        """FP multiply."""
+        return self._emit(OpClass.FP_MUL, a, b)
+
+    def fp_div(self, a: Optional[Value] = None, b: Optional[Value] = None) -> "TraceBuilder._Val":
+        """FP divide / sqrt."""
+        return self._emit(OpClass.FP_DIV, a, b)
+
+    def load(self, address: int, addr_dep: Optional[Value] = None) -> "TraceBuilder._Val":
+        """Load from ``address``; ``addr_dep`` is the address computation."""
+        granule = int(address) // MEM_DEP_GRANULE
+        mem_dep = self._last_store.get(granule, NO_DEP)
+        return self._emit(OpClass.LOAD, addr_dep, None, address=address, mem_dep=mem_dep)
+
+    def store(
+        self,
+        address: int,
+        value: Optional[Value] = None,
+        addr_dep: Optional[Value] = None,
+    ) -> "TraceBuilder._Val":
+        """Store ``value`` to ``address``."""
+        handle = self._emit(OpClass.STORE, value, addr_dep, address=address)
+        self._last_store[int(address) // MEM_DEP_GRANULE] = int(handle)
+        return handle
+
+    def branch(self, cond: Optional[Value] = None, taken: bool = True) -> "TraceBuilder._Val":
+        """Conditional branch with resolved outcome ``taken``."""
+        return self._emit(OpClass.BRANCH, cond, None, taken=taken)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._op)
+
+    def build(self) -> InstructionTrace:
+        """Freeze into an immutable :class:`InstructionTrace`."""
+        if not self._op:
+            raise ValueError("cannot build an empty trace")
+        return InstructionTrace(
+            name=self.name,
+            op=np.array(self._op, dtype=np.int8),
+            src_a=np.array(self._src_a, dtype=np.int64),
+            src_b=np.array(self._src_b, dtype=np.int64),
+            mem_dep=np.array(self._mem_dep, dtype=np.int64),
+            address=np.array(self._address, dtype=np.int64),
+            taken=np.array(self._taken, dtype=bool),
+        )

@@ -1,0 +1,51 @@
+"""Shared fixtures: small workloads and pools that keep the suite fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.designspace import default_design_space
+from repro.proxies import AnalyticalModel, ProxyPool, SimulationProxy
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="session")
+def space():
+    """The Table-1 design space (stateless, safe to share)."""
+    return default_design_space()
+
+
+@pytest.fixture(scope="session")
+def small_mm():
+    """A tiny mm workload (cached by the suite; ~3k instructions)."""
+    return get_workload("mm", data_size=10)
+
+
+@pytest.fixture(scope="session")
+def small_vvadd():
+    """A tiny fp-vvadd workload (~2k instructions)."""
+    return get_workload("fp-vvadd", data_size=256)
+
+
+@pytest.fixture(scope="session")
+def small_dijkstra():
+    """A tiny dijkstra workload."""
+    return get_workload("dijkstra", data_size=48)
+
+
+@pytest.fixture()
+def mm_pool(space, small_mm):
+    """Fresh proxy pool on the tiny mm workload (per-test archive)."""
+    return ProxyPool(
+        space,
+        AnalyticalModel(small_mm.profile, space),
+        SimulationProxy(small_mm, space),
+        area_limit_mm2=7.5,
+    )
+
+
+@pytest.fixture()
+def rng():
+    """Deterministic per-test generator."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,122 @@
+"""Tests for the ensemble surrogates: random forest, AdaBoost.R2, GBRT."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AdaBoostR2, BaggedGBRT, GradientBoostedTrees, RandomForest
+
+
+def regression_data(n=60, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, 4))
+    y = 2 * x[:, 0] - x[:, 2] + noise * rng.normal(size=n)
+    return x, y
+
+
+class TestRandomForest:
+    def test_fits_signal(self):
+        x, y = regression_data()
+        forest = RandomForest(num_trees=20, rng=np.random.default_rng(0)).fit(x, y)
+        pred = forest.predict(x)
+        assert np.corrcoef(pred, y)[0, 1] > 0.9
+
+    def test_predict_std_nonnegative(self):
+        x, y = regression_data()
+        forest = RandomForest(num_trees=10, rng=np.random.default_rng(0)).fit(x, y)
+        assert np.all(forest.predict_std(x) >= 0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForest().predict(np.zeros((1, 4)))
+        with pytest.raises(RuntimeError):
+            RandomForest().predict_std(np.zeros((1, 4)))
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForest(num_trees=0)
+
+    def test_seeded_reproducibility(self):
+        x, y = regression_data()
+        a = RandomForest(num_trees=5, rng=np.random.default_rng(3)).fit(x, y)
+        b = RandomForest(num_trees=5, rng=np.random.default_rng(3)).fit(x, y)
+        assert np.allclose(a.predict(x), b.predict(x))
+
+
+class TestAdaBoostR2:
+    def test_fits_signal(self):
+        x, y = regression_data()
+        model = AdaBoostR2(num_estimators=15, rng=np.random.default_rng(0)).fit(x, y)
+        pred = model.predict(x)
+        assert np.corrcoef(pred, y)[0, 1] > 0.85
+
+    def test_perfect_fit_early_stop(self):
+        x = np.arange(10, dtype=float)[:, None]
+        y = (x[:, 0] > 4).astype(float)
+        model = AdaBoostR2(num_estimators=50, rng=np.random.default_rng(0)).fit(x, y)
+        assert len(model._trees) < 50
+
+    def test_committee_std_nonnegative(self):
+        x, y = regression_data()
+        model = AdaBoostR2(rng=np.random.default_rng(0)).fit(x, y)
+        assert np.all(model.committee_std(x) >= 0)
+
+    def test_weighted_median_within_member_range(self):
+        x, y = regression_data()
+        model = AdaBoostR2(rng=np.random.default_rng(0)).fit(x, y)
+        preds = model._member_predictions(x)
+        combined = model.predict(x)
+        assert np.all(combined >= preds.min(axis=0) - 1e-12)
+        assert np.all(combined <= preds.max(axis=0) + 1e-12)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            AdaBoostR2(num_estimators=0)
+
+
+class TestGBRT:
+    def test_boosting_reduces_training_error(self):
+        x, y = regression_data(noise=0.0)
+        weak = GradientBoostedTrees(num_estimators=1, rng=np.random.default_rng(0)).fit(x, y)
+        strong = GradientBoostedTrees(num_estimators=40, rng=np.random.default_rng(0)).fit(x, y)
+        err_weak = np.mean((weak.predict(x) - y) ** 2)
+        err_strong = np.mean((strong.predict(x) - y) ** 2)
+        assert err_strong < err_weak
+
+    def test_subsampling_supported(self):
+        x, y = regression_data()
+        model = GradientBoostedTrees(
+            subsample=0.7, rng=np.random.default_rng(0)
+        ).fit(x, y)
+        assert np.corrcoef(model.predict(x), y)[0, 1] > 0.8
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(subsample=1.5)
+
+    def test_constant_target(self):
+        x = np.random.default_rng(0).random((10, 2))
+        y = np.full(10, 7.0)
+        model = GradientBoostedTrees(rng=np.random.default_rng(0)).fit(x, y)
+        assert np.allclose(model.predict(x), 7.0)
+
+
+class TestBaggedGBRT:
+    def test_fits_signal(self):
+        x, y = regression_data()
+        model = BaggedGBRT(num_bags=4, rng=np.random.default_rng(0)).fit(x, y)
+        assert np.corrcoef(model.predict(x), y)[0, 1] > 0.85
+
+    def test_std_nonnegative(self):
+        x, y = regression_data()
+        model = BaggedGBRT(num_bags=4, rng=np.random.default_rng(0)).fit(x, y)
+        assert np.all(model.predict_std(x) >= 0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BaggedGBRT().predict(np.zeros((1, 4)))
+
+    def test_invalid_bags_rejected(self):
+        with pytest.raises(ValueError):
+            BaggedGBRT(num_bags=0)

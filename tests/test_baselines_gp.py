@@ -1,0 +1,106 @@
+"""Tests for the Gaussian process, deep-kernel map and EI."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DeepKernelFeatureMap, GaussianProcess
+from repro.baselines.gp import expected_improvement, _erf
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((12, 3))
+        y = np.sin(4 * x[:, 0])
+        gp = GaussianProcess(noise=1e-6).fit(x, y)
+        pred = gp.predict(x)
+        assert np.allclose(pred, y, atol=1e-2)
+
+    def test_uncertainty_low_at_data_high_far_away(self):
+        x = np.array([[0.1, 0.1], [0.2, 0.2], [0.3, 0.1]])
+        y = np.array([1.0, 2.0, 1.5])
+        gp = GaussianProcess(noise=1e-6).fit(x, y)
+        __, std_near = gp.predict(x, return_std=True)
+        __, std_far = gp.predict(np.array([[10.0, 10.0]]), return_std=True)
+        assert std_far[0] > std_near.max()
+
+    def test_far_prediction_reverts_to_mean(self):
+        x = np.random.default_rng(0).random((10, 2))
+        y = 3.0 + np.random.default_rng(1).normal(0, 0.1, 10)
+        gp = GaussianProcess().fit(x, y)
+        pred = gp.predict(np.array([[50.0, 50.0]]))
+        assert pred[0] == pytest.approx(y.mean(), abs=0.2)
+
+    def test_lengthscale_selected_by_marginal_likelihood(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((30, 1))
+        y = np.sin(20 * x[:, 0])  # fast-varying -> short lengthscale
+        gp = GaussianProcess(lengthscales=(0.05, 2.0)).fit(x, y)
+        assert gp.lengthscale == 0.05
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(noise=0.0)
+
+    def test_no_lengthscales_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(lengthscales=())
+
+
+class TestDeepKernel:
+    def test_embedding_shape(self):
+        fm = DeepKernelFeatureMap(in_dim=11, hidden=16, out_dim=4)
+        out = fm(np.zeros((5, 11)))
+        assert out.shape == (5, 4)
+
+    def test_embedding_bounded_by_tanh(self):
+        fm = DeepKernelFeatureMap(in_dim=3)
+        out = fm(np.random.default_rng(0).normal(size=(20, 3)) * 100)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_deterministic_given_rng(self):
+        a = DeepKernelFeatureMap(4, rng=np.random.default_rng(5))
+        b = DeepKernelFeatureMap(4, rng=np.random.default_rng(5))
+        x = np.random.default_rng(0).random((3, 4))
+        assert np.allclose(a(x), b(x))
+
+    def test_gp_with_deep_kernel_fits(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((15, 11))
+        y = x @ rng.normal(size=11)
+        fm = DeepKernelFeatureMap(11, rng=rng)
+        gp = GaussianProcess(feature_map=fm).fit(x, y)
+        pred = gp.predict(x)
+        assert np.corrcoef(pred, y)[0, 1] > 0.8
+
+
+class TestExpectedImprovement:
+    def test_zero_std_no_improvement(self):
+        ei = expected_improvement(np.array([2.0]), np.array([0.0]), best_y=1.0)
+        assert ei[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_better_mean_higher_ei(self):
+        std = np.array([0.5, 0.5])
+        ei = expected_improvement(np.array([0.5, 1.5]), std, best_y=1.0)
+        assert ei[0] > ei[1]
+
+    def test_more_uncertainty_higher_ei_at_same_mean(self):
+        ei = expected_improvement(
+            np.array([1.5, 1.5]), np.array([0.1, 1.0]), best_y=1.0
+        )
+        assert ei[1] > ei[0]
+
+    def test_ei_nonnegative(self):
+        rng = np.random.default_rng(0)
+        ei = expected_improvement(rng.normal(size=50), rng.random(50), best_y=0.0)
+        assert np.all(ei >= -1e-12)
+
+    def test_erf_reference_values(self):
+        # erf(0)=0, erf(1)~0.8427, erf(-1)~-0.8427
+        assert _erf(np.array([0.0]))[0] == pytest.approx(0.0, abs=1e-7)
+        assert _erf(np.array([1.0]))[0] == pytest.approx(0.8427008, abs=1e-5)
+        assert _erf(np.array([-1.0]))[0] == pytest.approx(-0.8427008, abs=1e-5)

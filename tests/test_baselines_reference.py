@@ -1,0 +1,109 @@
+"""Tests for the random-search and annealing reference baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EXTRA_BASELINES,
+    RandomSearchExplorer,
+    SimulatedAnnealingExplorer,
+    make_baseline,
+)
+from repro.designspace import default_design_space
+from repro.proxies import Fidelity
+
+SPACE = default_design_space()
+
+
+class TestFactory:
+    def test_extra_names_constructible(self):
+        for name in EXTRA_BASELINES:
+            assert make_baseline(name).name == name
+
+    def test_extras_not_in_fig5_lineup(self):
+        from repro.baselines import ALL_BASELINES
+
+        assert not set(EXTRA_BASELINES) & set(ALL_BASELINES)
+
+
+class TestRandomSearch:
+    def test_budget_and_validity(self, mm_pool, rng):
+        result = RandomSearchExplorer().explore(mm_pool, 6, rng)
+        assert len(result.history) == 6
+        assert mm_pool.archive.count(Fidelity.HIGH) == 6
+        for levels in result.evaluated:
+            assert mm_pool.fits(levels)
+
+    def test_best_is_minimum(self, mm_pool, rng):
+        result = RandomSearchExplorer().explore(mm_pool, 5, rng)
+        assert result.best_cpi == pytest.approx(min(result.history))
+
+    def test_designs_distinct(self, mm_pool, rng):
+        result = RandomSearchExplorer().explore(mm_pool, 6, rng)
+        keys = {SPACE.flat_index(l) for l in result.evaluated}
+        assert len(keys) == 6
+
+    def test_invalid_budget(self, mm_pool, rng):
+        with pytest.raises(ValueError):
+            RandomSearchExplorer().explore(mm_pool, 0, rng)
+
+
+class TestAnnealing:
+    def test_budget_and_validity(self, mm_pool, rng):
+        result = SimulatedAnnealingExplorer().explore(mm_pool, 8, rng)
+        assert len(result.history) <= 8
+        for levels in result.evaluated:
+            assert mm_pool.fits(levels)
+
+    def test_moves_are_hamming_one(self, mm_pool, rng):
+        result = SimulatedAnnealingExplorer().explore(mm_pool, 8, rng)
+        # consecutive *accepted* designs may skip, but every evaluated
+        # design after the first must be a neighbour of some earlier one
+        earlier = [result.evaluated[0]]
+        for levels in result.evaluated[1:]:
+            assert any(np.abs(levels - e).sum() == 1 for e in earlier)
+            earlier.append(levels)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingExplorer(initial_temperature=0.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingExplorer(cooling=1.0)
+
+    def test_seeded_reproducibility(self, small_mm):
+        from repro.proxies import AnalyticalModel, ProxyPool, SimulationProxy
+
+        outcomes = []
+        for __ in range(2):
+            pool = ProxyPool(
+                SPACE,
+                AnalyticalModel(small_mm.profile, SPACE),
+                SimulationProxy(small_mm, SPACE),
+                area_limit_mm2=7.5,
+            )
+            result = SimulatedAnnealingExplorer().explore(
+                pool, 6, np.random.default_rng(9)
+            )
+            outcomes.append(tuple(result.best_levels))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestSurrogatesBeatRandomEventually:
+    def test_forest_not_catastrophically_worse_than_random(self, small_mm):
+        """Sanity anchor: at a tiny budget the surrogate may tie random
+        search, but it must stay in the same league (factor 1.5)."""
+        from repro.proxies import AnalyticalModel, ProxyPool, SimulationProxy
+
+        cpis = {}
+        for name in ("random-forest", "random-search"):
+            pool = ProxyPool(
+                SPACE,
+                AnalyticalModel(small_mm.profile, SPACE),
+                SimulationProxy(small_mm, SPACE),
+                area_limit_mm2=7.5,
+            )
+            result = make_baseline(name).explore(
+                pool, 8, np.random.default_rng(4)
+            )
+            cpis[name] = result.best_cpi
+        assert cpis["random-forest"] <= 1.5 * cpis["random-search"]

@@ -1,0 +1,113 @@
+"""Tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import RegressionTree
+
+
+def step_data(n=40, threshold=0.5, rng=None):
+    rng = rng or np.random.default_rng(0)
+    x = rng.random((n, 3))
+    y = np.where(x[:, 1] > threshold, 2.0, -1.0)
+    return x, y
+
+
+class TestFitting:
+    def test_learns_a_step_function(self):
+        x, y = step_data()
+        tree = RegressionTree(max_depth=3).fit(x, y)
+        pred = tree.predict(x)
+        assert np.allclose(pred, y)
+
+    def test_single_leaf_predicts_mean(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1.0, 2.0, 3.0])
+        tree = RegressionTree(max_depth=1, min_samples_leaf=3).fit(x, y)
+        assert tree.predict(np.array([[5.0]]))[0] == pytest.approx(2.0)
+
+    def test_constant_target_stays_leaf(self):
+        x = np.random.default_rng(0).random((10, 2))
+        y = np.full(10, 3.0)
+        tree = RegressionTree().fit(x, y)
+        assert tree.depth == 0
+        assert np.allclose(tree.predict(x), 3.0)
+
+    def test_depth_bound_respected(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((200, 4))
+        y = rng.random(200)
+        tree = RegressionTree(max_depth=2).fit(x, y)
+        assert tree.depth <= 2
+
+    def test_min_samples_leaf(self):
+        x = np.arange(6, dtype=float)[:, None]
+        y = np.array([0, 0, 0, 1, 1, 1], dtype=float)
+        tree = RegressionTree(max_depth=5, min_samples_leaf=3).fit(x, y)
+        assert tree.depth <= 1  # only the 3|3 split is legal
+
+    def test_sample_weights_bias_the_fit(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        w = np.array([1e-9, 1.0])
+        tree = RegressionTree(max_depth=1, min_samples_leaf=2).fit(x, y, w)
+        # heavily weighted sample dominates the leaf mean
+        assert tree.predict(np.array([[0.5]]))[0] == pytest.approx(10.0, abs=0.1)
+
+
+class TestValidation:
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(
+                np.zeros((2, 1)), np.zeros(2), np.array([-1.0, 1.0])
+            )
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+
+    def test_single_row_prediction_shape(self):
+        x, y = step_data()
+        tree = RegressionTree().fit(x, y)
+        assert tree.predict(x[0]).shape == (1,)
+
+
+class TestProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_predictions_within_target_range(self, seed):
+        """Leaf values are means, so predictions never leave [min, max]."""
+        rng = np.random.default_rng(seed)
+        x = rng.random((30, 3))
+        y = rng.normal(size=30)
+        tree = RegressionTree(max_depth=4, rng=rng).fit(x, y)
+        pred = tree.predict(rng.random((20, 3)))
+        assert np.all(pred >= y.min() - 1e-12)
+        assert np.all(pred <= y.max() + 1e-12)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_training_fit_improves_with_depth(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.random((50, 3))
+        y = x[:, 0] * 3 + rng.normal(0, 0.05, 50)
+        shallow = RegressionTree(max_depth=1).fit(x, y).predict(x)
+        deep = RegressionTree(max_depth=6).fit(x, y).predict(x)
+        assert np.mean((deep - y) ** 2) <= np.mean((shallow - y) ** 2) + 1e-12

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_parses(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+
+    def test_common_flags(self):
+        args = build_parser().parse_args(["table2", "--fast", "--seed", "7"])
+        assert args.fast and args.seed == 7
+
+    def test_benchmark_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--benchmark", "spec"])
+
+    def test_fig5_seeds_flag(self):
+        args = build_parser().parse_args(["fig5", "--seeds", "3"])
+        assert args.seeds == 3
+
+
+class TestCommands:
+    def test_table1_output(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "3,000,000" in out
+
+    def test_explore_fast(self, capsys):
+        assert main(["explore", "--benchmark", "mm", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "best design" in out
+        assert "HF simulations" in out
+
+    def test_rules_fast(self, capsys):
+        assert main(["rules", "--benchmark", "mm", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "rule base" in out
+
+    def test_table2_single_benchmark_fast(self, capsys):
+        assert main(["table2", "--fast", "--benchmarks", "mm"]) == 0
+        out = capsys.readouterr().out
+        assert "mm" in out and "Imp." in out

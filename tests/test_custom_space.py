@@ -1,0 +1,81 @@
+"""Generality tests: the machinery works on non-Table-1 design spaces.
+
+A downstream user should be able to define their own parameter axes and
+reuse the space algebra, the area constraint, and the baselines' driver
+loop. (The default FNN input layout is Table-1-specific by design; these
+tests cover the layers below it.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.designspace import AreaConstraint, DesignParameter, DesignSpace
+
+
+CUSTOM = DesignSpace((
+    DesignParameter("btb_entries", "BTB Entry", (128, 256, 512), "frontend"),
+    DesignParameter("ras_depth", "RAS Depth", (4, 8, 16, 32), "frontend"),
+    DesignParameter("lq_entries", "LQ Entry", (8, 16, 24), "lsu"),
+))
+
+
+class TestCustomSpace:
+    def test_size(self):
+        assert CUSTOM.size == 3 * 4 * 3
+
+    def test_flat_index_roundtrip_exhaustive(self):
+        for idx in range(CUSTOM.size):
+            levels = CUSTOM.from_flat_index(idx)
+            assert CUSTOM.flat_index(levels) == idx
+
+    def test_increase_and_masks(self):
+        levels = CUSTOM.smallest()
+        assert CUSTOM.increasable(levels).all()
+        levels = CUSTOM.increase(levels, "ras_depth")
+        assert levels[CUSTOM.index_of("ras_depth")] == 1
+
+    def test_groups(self):
+        assert CUSTOM.groups()["frontend"] == ["btb_entries", "ras_depth"]
+
+    def test_table_rendering(self):
+        table = CUSTOM.table()
+        assert "BTB Entry" in table and "36" in table
+
+    def test_config_requires_table1_fields(self):
+        """MicroArchConfig is Table-1-shaped; a custom space exposes
+        values() instead."""
+        values = CUSTOM.values(CUSTOM.smallest())
+        assert values.tolist() == [128, 4, 8]
+
+
+class TestCustomConstraint:
+    def test_area_constraint_with_custom_model(self):
+        def custom_area(values) -> float:
+            # values here is whatever the caller passes; use a dict
+            return 0.001 * values["btb_entries"] + 0.01 * values["ras_depth"]
+
+        constraint = AreaConstraint(
+            lambda cfg: custom_area(cfg), limit_mm2=0.5
+        )
+        assert constraint.is_satisfied({"btb_entries": 128, "ras_depth": 8})
+        assert not constraint.is_satisfied({"btb_entries": 512, "ras_depth": 32})
+
+
+class TestGenericSurrogates:
+    def test_trees_work_on_custom_dimensionality(self):
+        from repro.baselines import RandomForest
+
+        rng = np.random.default_rng(0)
+        x = rng.random((30, 3))  # the custom space's dimensionality
+        y = x @ np.array([1.0, -2.0, 0.5])
+        model = RandomForest(num_trees=10, rng=rng).fit(x, y)
+        assert np.corrcoef(model.predict(x), y)[0, 1] > 0.8
+
+    def test_gp_works_on_custom_dimensionality(self):
+        from repro.baselines import GaussianProcess
+
+        rng = np.random.default_rng(0)
+        x = rng.random((20, 3))
+        y = np.sin(3 * x[:, 0]) + x[:, 2]
+        gp = GaussianProcess(noise=1e-5).fit(x, y)
+        assert np.allclose(gp.predict(x), y, atol=0.05)

@@ -1,0 +1,54 @@
+"""Unit tests for MicroArchConfig derived quantities."""
+
+import pytest
+
+from repro.designspace import MicroArchConfig, default_design_space
+
+SPACE = default_design_space()
+SMALL = SPACE.config(SPACE.smallest())
+LARGE = SPACE.config(SPACE.largest())
+
+
+class TestDerivedQuantities:
+    def test_l1_bytes_smallest(self):
+        # 16 sets * 2 ways * 64B lines
+        assert SMALL.l1_bytes == 16 * 2 * 64
+
+    def test_l1_kib_largest(self):
+        assert LARGE.l1_kib == 64.0  # 64*16*64 B
+
+    def test_l2_bytes(self):
+        assert SMALL.l2_bytes == 128 * 2 * 64
+        assert LARGE.l2_bytes == 2048 * 16 * 64
+
+    def test_total_fu(self):
+        assert SMALL.total_fu == 3
+        assert LARGE.total_fu == 9
+
+
+class TestConversions:
+    def test_as_dict_order(self):
+        keys = list(SMALL.as_dict().keys())
+        assert keys == SPACE.names
+
+    def test_items_matches_dict(self):
+        assert dict(SMALL.items()) == SMALL.as_dict()
+
+    def test_replace(self):
+        bigger = SMALL.replace(decode_width=4)
+        assert bigger.decode_width == 4
+        assert bigger.l1_sets == SMALL.l1_sets
+        assert SMALL.decode_width == 1  # original untouched
+
+    def test_replace_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            SMALL.replace(bogus=1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SMALL.decode_width = 5  # type: ignore[misc]
+
+    def test_describe_mentions_key_values(self):
+        text = LARGE.describe()
+        assert "decode 5" in text
+        assert "ROB 160" in text

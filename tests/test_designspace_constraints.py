@@ -1,0 +1,42 @@
+"""Unit tests for the area constraint."""
+
+import pytest
+
+from repro.designspace import AreaConstraint, ConstraintViolation, default_design_space
+from repro.proxies import AreaModel
+
+SPACE = default_design_space()
+MODEL = AreaModel()
+
+
+class TestAreaConstraint:
+    def test_smallest_design_fits_paper_budgets(self):
+        constraint = AreaConstraint(MODEL, 6.0)  # tightest Table-2 budget
+        assert constraint.is_satisfied(SPACE.config(SPACE.smallest()))
+
+    def test_largest_design_violates_paper_budgets(self):
+        constraint = AreaConstraint(MODEL, 10.0)  # loosest Table-2 budget
+        assert not constraint.is_satisfied(SPACE.config(SPACE.largest()))
+
+    def test_headroom_sign(self):
+        constraint = AreaConstraint(MODEL, 8.0)
+        assert constraint.headroom(SPACE.config(SPACE.smallest())) > 0
+        assert constraint.headroom(SPACE.config(SPACE.largest())) < 0
+
+    def test_check_raises_on_violation(self):
+        constraint = AreaConstraint(MODEL, 3.0)
+        with pytest.raises(ConstraintViolation):
+            constraint.check(SPACE.config(SPACE.largest()))
+
+    def test_check_passes_within_budget(self):
+        constraint = AreaConstraint(MODEL, 30.0)
+        constraint.check(SPACE.config(SPACE.largest()))  # must not raise
+
+    def test_non_positive_limit_rejected(self):
+        with pytest.raises(ValueError):
+            AreaConstraint(MODEL, 0.0)
+
+    def test_area_matches_model(self):
+        constraint = AreaConstraint(MODEL, 8.0)
+        config = SPACE.config(SPACE.smallest())
+        assert constraint.area(config) == pytest.approx(MODEL.area(config))

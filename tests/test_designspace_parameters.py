@@ -1,0 +1,85 @@
+"""Unit tests for the Table-1 parameter definitions."""
+
+import pytest
+
+from repro.designspace import DesignParameter, TABLE1_PARAMETERS, parameter_by_name
+
+
+class TestTable1Definitions:
+    def test_eleven_parameters(self):
+        assert len(TABLE1_PARAMETERS) == 11
+
+    def test_names_unique(self):
+        names = [p.name for p in TABLE1_PARAMETERS]
+        assert len(set(names)) == len(names)
+
+    @pytest.mark.parametrize(
+        "name, candidates",
+        [
+            ("l1_sets", (16, 32, 64)),
+            ("l1_ways", (2, 4, 8, 16)),
+            ("l2_sets", (128, 256, 512, 1024, 2048)),
+            ("l2_ways", (2, 4, 8, 16)),
+            ("n_mshr", (2, 4, 6, 8, 10)),
+            ("decode_width", (1, 2, 3, 4, 5)),
+            ("rob_entries", (32, 64, 96, 128, 160)),
+            ("mem_fu", (1, 2)),
+            ("int_fu", (1, 2, 3, 4, 5)),
+            ("fp_fu", (1, 2)),
+            ("iq_entries", (2, 4, 8, 16, 24)),
+        ],
+    )
+    def test_candidates_match_paper(self, name, candidates):
+        assert parameter_by_name(name).candidates == candidates
+
+    def test_total_space_is_three_million(self):
+        size = 1
+        for p in TABLE1_PARAMETERS:
+            size *= p.num_levels
+        assert size == 3_000_000
+
+    def test_groups_merge_cache_set_and_way(self):
+        assert parameter_by_name("l1_sets").group == parameter_by_name("l1_ways").group
+        assert parameter_by_name("l2_sets").group == parameter_by_name("l2_ways").group
+
+    def test_fu_parameters_share_group(self):
+        groups = {parameter_by_name(n).group for n in ("mem_fu", "int_fu", "fp_fu")}
+        assert len(groups) == 1
+
+
+class TestDesignParameter:
+    def test_value_level_roundtrip(self):
+        p = parameter_by_name("rob_entries")
+        for level in range(p.num_levels):
+            assert p.level_of(p.value(level)) == level
+
+    def test_value_out_of_range_raises(self):
+        p = parameter_by_name("l1_sets")
+        with pytest.raises(IndexError):
+            p.value(3)
+        with pytest.raises(IndexError):
+            p.value(-1)
+
+    def test_level_of_unknown_value_raises(self):
+        with pytest.raises(ValueError):
+            parameter_by_name("l1_sets").level_of(48)
+
+    def test_max_level(self):
+        p = parameter_by_name("decode_width")
+        assert p.max_level == 4
+
+    def test_requires_two_candidates(self):
+        with pytest.raises(ValueError):
+            DesignParameter("x", "X", (1,), "g")
+
+    def test_requires_ascending_candidates(self):
+        with pytest.raises(ValueError):
+            DesignParameter("x", "X", (2, 1), "g")
+
+    def test_rejects_duplicate_candidates(self):
+        with pytest.raises(ValueError):
+            DesignParameter("x", "X", (1, 1, 2), "g")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            parameter_by_name("nonexistent")

@@ -1,0 +1,176 @@
+"""Unit + property tests for the DesignSpace level-vector algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.designspace import DesignSpace, default_design_space
+from repro.designspace.parameters import TABLE1_PARAMETERS
+
+SPACE = default_design_space()
+
+
+def level_vectors():
+    """Hypothesis strategy: valid level vectors of the Table-1 space."""
+    return st.tuples(
+        *[st.integers(0, p.max_level) for p in TABLE1_PARAMETERS]
+    ).map(lambda t: np.array(t, dtype=np.int64))
+
+
+class TestBasics:
+    def test_size(self):
+        assert SPACE.size == 3_000_000
+
+    def test_num_parameters(self):
+        assert SPACE.num_parameters == 11
+
+    def test_names_order_matches_parameters(self):
+        assert SPACE.names == [p.name for p in TABLE1_PARAMETERS]
+
+    def test_smallest_and_largest(self):
+        assert np.all(SPACE.smallest() == 0)
+        assert np.all(SPACE.largest() == SPACE.max_levels)
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace(())
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpace((TABLE1_PARAMETERS[0], TABLE1_PARAMETERS[0]))
+
+    def test_groups(self):
+        groups = SPACE.groups()
+        assert groups["l1_cache"] == ["l1_sets", "l1_ways"]
+        assert groups["fu"] == ["mem_fu", "int_fu", "fp_fu"]
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            SPACE.index_of("bogus")
+
+    def test_table_rendering_mentions_every_label(self):
+        table = SPACE.table()
+        for p in TABLE1_PARAMETERS:
+            assert p.label in table
+        assert "3,000,000" in table
+
+
+class TestValidation:
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            SPACE.validate_levels([0, 0])
+
+    def test_negative_level_rejected(self):
+        levels = SPACE.smallest()
+        levels[0] = -1
+        with pytest.raises(ValueError):
+            SPACE.validate_levels(levels)
+
+    def test_overflow_level_rejected(self):
+        levels = SPACE.smallest()
+        levels[0] = 99
+        with pytest.raises(ValueError):
+            SPACE.validate_levels(levels)
+
+    def test_validate_returns_copy(self):
+        levels = SPACE.smallest()
+        out = SPACE.validate_levels(levels)
+        out[0] = 1
+        assert levels[0] == 0
+
+
+class TestConversions:
+    def test_smallest_config_values(self):
+        config = SPACE.config(SPACE.smallest())
+        assert config.l1_sets == 16
+        assert config.decode_width == 1
+        assert config.rob_entries == 32
+
+    def test_largest_config_values(self):
+        config = SPACE.config(SPACE.largest())
+        assert config.l2_sets == 2048
+        assert config.iq_entries == 24
+
+    @given(level_vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_config_levels_roundtrip(self, levels):
+        config = SPACE.config(levels)
+        assert np.array_equal(SPACE.levels_of(config), levels)
+
+    @given(level_vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_flat_index_roundtrip(self, levels):
+        idx = SPACE.flat_index(levels)
+        assert 0 <= idx < SPACE.size
+        assert np.array_equal(SPACE.from_flat_index(idx), levels)
+
+    def test_flat_index_bounds(self):
+        assert SPACE.flat_index(SPACE.smallest()) == 0
+        assert SPACE.flat_index(SPACE.largest()) == SPACE.size - 1
+        with pytest.raises(ValueError):
+            SPACE.from_flat_index(SPACE.size)
+        with pytest.raises(ValueError):
+            SPACE.from_flat_index(-1)
+
+    @given(level_vectors())
+    @settings(max_examples=30, deadline=None)
+    def test_normalized_in_unit_box(self, levels):
+        norm = SPACE.normalized(levels)
+        assert np.all(norm >= 0.0) and np.all(norm <= 1.0)
+
+
+class TestMoves:
+    def test_increase_by_name(self):
+        out = SPACE.increase(SPACE.smallest(), "decode_width")
+        assert out[SPACE.index_of("decode_width")] == 1
+
+    def test_increase_by_index(self):
+        out = SPACE.increase(SPACE.smallest(), 0)
+        assert out[0] == 1
+
+    def test_increase_at_max_raises(self):
+        with pytest.raises(ValueError):
+            SPACE.increase(SPACE.largest(), 0)
+
+    def test_increase_does_not_mutate_input(self):
+        levels = SPACE.smallest()
+        SPACE.increase(levels, 0)
+        assert levels[0] == 0
+
+    def test_increasable_mask(self):
+        assert SPACE.increasable(SPACE.smallest()).all()
+        assert not SPACE.increasable(SPACE.largest()).any()
+
+    @given(level_vectors())
+    @settings(max_examples=30, deadline=None)
+    def test_neighbors_are_hamming_one(self, levels):
+        for neighbor in SPACE.neighbors(levels):
+            diff = np.abs(neighbor - levels)
+            assert diff.sum() == 1
+
+    def test_neighbor_count_at_corner(self):
+        # at the all-zero corner only +1 moves exist
+        assert sum(1 for __ in SPACE.neighbors(SPACE.smallest())) == 11
+
+    def test_neighbor_count_interior(self):
+        levels = np.array([1, 1, 1, 1, 1, 1, 1, 0, 1, 0, 1])
+        count = sum(1 for __ in SPACE.neighbors(levels))
+        # 9 interior params have 2 neighbours, mem_fu/fp_fu at 0 have 1
+        assert count == 9 * 2 + 2
+
+
+class TestSampling:
+    def test_sample_shapes(self):
+        rng = np.random.default_rng(0)
+        assert SPACE.sample(rng).shape == (11,)
+        assert SPACE.sample(rng, count=7).shape == (7, 11)
+
+    def test_samples_valid(self):
+        rng = np.random.default_rng(0)
+        for levels in SPACE.sample(rng, count=100):
+            SPACE.validate_levels(levels)  # must not raise
+
+    def test_sampling_is_seeded(self):
+        a = SPACE.sample(np.random.default_rng(42), count=5)
+        b = SPACE.sample(np.random.default_rng(42), count=5)
+        assert np.array_equal(a, b)

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Fast flags / tiny arguments keep each under ~a minute; the assertions
+check for the banner lines each script promises, not numbers.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExampleScripts:
+    def test_application_specific_fast(self):
+        proc = run_example("application_specific_dse.py", "--fast")
+        assert proc.returncode == 0, proc.stderr
+        for name in ("dijkstra", "mm", "fp-vvadd", "quicksort", "fft", "ss"):
+            assert name in proc.stdout
+
+    def test_area_sweep_fast(self):
+        proc = run_example("area_sweep.py", "--fast")
+        assert proc.returncode == 0, proc.stderr
+        assert "knee of the frontier" in proc.stdout
+
+    def test_rule_inspection_short(self):
+        proc = run_example("rule_inspection.py", "--episodes", "40")
+        assert proc.returncode == 0, proc.stderr
+        assert "MF centers" in proc.stdout
+
+    def test_baseline_comparison_tiny(self):
+        proc = run_example(
+            "baseline_comparison.py", "--seeds", "1", "--scale", "0.15"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "ranking" in proc.stdout
+        assert "fnn-mbrl-hf" in proc.stdout
+
+    def test_all_examples_have_docstring_and_main(self):
+        for script in EXAMPLES.glob("*.py"):
+            text = script.read_text()
+            assert '"""' in text.split("\n", 2)[-1] or text.startswith(
+                ('#!/usr/bin/env python\n"""', '"""')
+            ), script.name
+            assert '__name__ == "__main__"' in text, script.name

@@ -1,0 +1,193 @@
+"""Tests for the experiment runners (tiny budgets; shapes, not numbers)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mfrl import ExplorerConfig
+from repro.experiments import (
+    AREA_LIMITS,
+    build_pool,
+    build_suite_pool,
+    estimate_optimum,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_rules_demo,
+    run_table2,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import render_table2
+from repro.experiments.fig5 import render_fig5
+from repro.experiments.fig6 import render_fig6, Fig6Trace
+from repro.experiments.fig7 import render_fig7
+
+TINY = ExplorerConfig(lf_episodes=30, hf_budget=4, hf_seed_designs=1)
+
+
+class TestCommon:
+    def test_area_limits_match_paper(self):
+        assert AREA_LIMITS == {
+            "dijkstra": 10.0,
+            "mm": 7.5,
+            "fp-vvadd": 6.0,
+            "quicksort": 7.5,
+            "fft": 8.0,
+            "ss": 6.0,
+        }
+
+    def test_build_pool_uses_table2_limit(self):
+        pool = build_pool("fft", data_size=32)
+        assert pool.constraint.limit_mm2 == 8.0
+
+    def test_build_suite_pool_averages(self):
+        pool = build_suite_pool(scale=0.1)
+        evaluation = pool.evaluate_high(pool.space.smallest())
+        per_bench = [v for k, v in evaluation.metrics.items() if k.startswith("cpi_")]
+        assert len(per_bench) == 6
+        assert evaluation.cpi == pytest.approx(float(np.mean(per_bench)))
+
+    def test_suite_profile_is_average(self):
+        pool = build_suite_pool(scale=0.1)
+        assert pool.analytical.profile.name == "suite-average"
+
+
+class TestTable1:
+    def test_lists_space(self):
+        text = run_table1()
+        assert "3,000,000" in text
+        assert "Decode Width" in text
+
+
+class TestOptimumEstimation:
+    def test_optimum_is_feasible_and_best_seen(self):
+        pool = build_pool("mm", data_size=10)
+        opt = estimate_optimum(
+            pool, np.random.default_rng(0), num_samples=15, hill_climb_starts=1,
+            max_climb_steps=5,
+        )
+        assert pool.fits(opt.levels)
+        from repro.proxies import Fidelity
+
+        cpis = [e.cpi for e in pool.archive.all_evaluations(Fidelity.HIGH)]
+        assert opt.cpi == pytest.approx(min(cpis))
+
+    def test_hill_climbing_never_worse_than_sampling(self):
+        pool = build_pool("mm", data_size=10)
+        rng = np.random.default_rng(0)
+        sampled_only = estimate_optimum(
+            pool, rng, num_samples=10, hill_climb_starts=1, max_climb_steps=0
+        )
+        pool2 = build_pool("mm", data_size=10)
+        climbed = estimate_optimum(
+            pool2, np.random.default_rng(0), num_samples=10,
+            hill_climb_starts=1, max_climb_steps=10,
+        )
+        assert climbed.cpi <= sampled_only.cpi + 1e-12
+
+
+class TestTable2:
+    def test_rows_have_expected_shape(self):
+        rows = run_table2(
+            benchmarks=["mm"],
+            explorer_config=TINY,
+            optimum_samples=10,
+            data_sizes={"mm": 10},
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.benchmark == "mm"
+        assert row.hf_regret <= row.lf_regret + 1e-12  # HF never worse
+        assert row.lf_regret >= 0 and row.hf_regret >= 0
+
+    def test_render(self):
+        rows = run_table2(
+            benchmarks=["mm"], explorer_config=TINY, optimum_samples=10,
+            data_sizes={"mm": 10},
+        )
+        text = render_table2(rows)
+        assert "mm" in text and "Imp." in text
+
+
+class TestFig5:
+    def test_shapes_and_budget(self):
+        result = run_fig5(
+            seeds=(0,),
+            baseline_budget=6,
+            our_budget=5,
+            baselines=("random-forest",),
+            explorer_config=ExplorerConfig(lf_episodes=25, hf_budget=5, hf_seed_designs=1),
+            scale=0.1,
+        )
+        assert set(result.mean_cpi) == {"random-forest", "fnn-mbrl-lf", "fnn-mbrl-hf"}
+        assert result.mean_cpi["fnn-mbrl-hf"] <= result.mean_cpi["fnn-mbrl-lf"] + 1e-12
+        text = render_fig5(result)
+        assert "fnn-mbrl-hf" in text
+
+    def test_ranking_sorted(self):
+        result = run_fig5(
+            seeds=(0,),
+            baseline_budget=6,
+            our_budget=5,
+            baselines=("random-forest",),
+            explorer_config=ExplorerConfig(lf_episodes=25, hf_budget=5, hf_seed_designs=1),
+            scale=0.1,
+        )
+        ranking = result.ranking()
+        cpis = [result.mean_cpi[name] for name in ranking]
+        assert cpis == sorted(cpis)
+
+
+class TestFig6:
+    def test_traces_cover_requested_inits(self):
+        traces = run_fig6(
+            center_pairs=((6.0, 10.0), (9.0, 13.0)),
+            episodes=15,
+            data_size=96,
+        )
+        assert len(traces) == 2
+        assert all(len(t.episode_cpi) == 15 for t in traces)
+        assert "6/10" in render_fig6(traces)
+
+    def test_best_so_far_monotone(self):
+        trace = Fig6Trace(6.0, 10.0, [2.0, 1.5, 1.8, 1.2])
+        assert trace.best_so_far() == [2.0, 1.5, 1.5, 1.2]
+
+    def test_episodes_to_within(self):
+        trace = Fig6Trace(6.0, 10.0, [2.0, 1.5, 1.2, 1.2])
+        assert trace.episodes_to_within(0.01) == 2
+
+    def test_episodes_to_within_flat_trace(self):
+        trace = Fig6Trace(6.0, 10.0, [1.0, 1.0, 1.0])
+        assert trace.episodes_to_within() == 0
+
+    def test_episodes_to_within_late_spike(self):
+        trace = Fig6Trace(6.0, 10.0, [1.0, 1.0, 2.0, 1.0])
+        assert trace.episodes_to_within(0.01) == 3
+
+
+class TestFig7:
+    def test_preference_run_shapes(self):
+        result = run_fig7(episodes=20, data_size=256)
+        assert len(result.with_preference["decode_width"]) == 20
+        assert len(result.without_preference["decode_width"]) == 20
+        text = render_fig7(result)
+        assert "with preference" in text
+
+    def test_final_decode_width_is_mode_of_tail(self):
+        from repro.experiments.fig7 import Fig7Result
+
+        result = Fig7Result(
+            without_preference={"decode_width": [1] * 5 + [3] * 15},
+            with_preference={"decode_width": [1] * 5 + [4] * 15},
+        )
+        assert result.final_decode_width(False) == 3
+        assert result.final_decode_width(True) == 4
+
+
+class TestRulesDemo:
+    def test_returns_rules(self):
+        rules, explorer = run_rules_demo(
+            benchmark="mm", episodes=40, data_size=10, top_k=5
+        )
+        assert len(rules) <= 5
+        assert explorer.fnn is not None

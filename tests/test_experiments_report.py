@@ -1,0 +1,81 @@
+"""Tests for the reproduction-report writer."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import render_markdown, write_report
+
+
+SYNTHETIC = {
+    "fast": True,
+    "seed": 0,
+    "table2": [
+        {
+            "benchmark": "mm",
+            "area_limit_mm2": 7.5,
+            "lf_regret": 0.5,
+            "hf_regret": 0.1,
+            "improvement": 5.0,
+            "lf_cpi": 1.5,
+            "hf_cpi": 1.1,
+        },
+        {
+            "benchmark": "fft",
+            "area_limit_mm2": 8.0,
+            "lf_regret": 0.2,
+            "hf_regret": 0.0,
+            "improvement": 1e9,
+            "lf_cpi": 1.2,
+            "hf_cpi": 1.0,
+        },
+    ],
+    "fig5_mean_cpi": {"random-forest": 1.5, "fnn-mbrl-hf": 1.2},
+    "fig5_per_seed": {"random-forest": [1.5], "fnn-mbrl-hf": [1.2]},
+    "fig6": [
+        {"l1_center": 6.0, "l2_center": 10.0, "best_cpi": 0.8,
+         "converged_by": 90, "episode_cpi": [0.9, 0.8]},
+    ],
+    "fig7": {
+        "decode_with_preference": 4,
+        "decode_without_preference": 5,
+        "with_trajectory": [4, 4],
+        "without_trajectory": [5, 5],
+    },
+    "rules": ["IF L1 is low THEN rob_entries can increase  [w=+0.3]"],
+}
+
+
+class TestRenderMarkdown:
+    def test_sections_present(self):
+        md = render_markdown(SYNTHETIC)
+        for section in ("## Table 2", "## Fig. 5", "## Fig. 6", "## Fig. 7",
+                        "## Extracted rules"):
+            assert section in md
+
+    def test_exact_optimum_rendered_unbounded(self):
+        md = render_markdown(SYNTHETIC)
+        assert ">999x" in md      # the fft row
+        assert "5.00x" in md      # the mm row
+
+    def test_fig5_sorted_best_first(self):
+        md = render_markdown(SYNTHETIC)
+        assert md.index("fnn-mbrl-hf") < md.index("random-forest")
+
+    def test_preference_values_rendered(self):
+        md = render_markdown(SYNTHETIC)
+        assert "with preference: 4" in md
+        assert "without preference: 5" in md
+
+
+class TestWriteReport:
+    def test_writes_both_files(self, tmp_path, monkeypatch):
+        # patch run_all so the smoke test stays fast
+        import repro.experiments.report as report
+
+        monkeypatch.setattr(report, "run_all", lambda fast, seed: SYNTHETIC)
+        results = write_report(tmp_path / "out", fast=True, seed=0)
+        assert (tmp_path / "out" / "report.json").exists()
+        assert (tmp_path / "out" / "report.md").exists()
+        loaded = json.loads((tmp_path / "out" / "report.json").read_text())
+        assert loaded == results

@@ -1,0 +1,74 @@
+"""Tests for the area-budget sweep extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.mfrl import ExplorerConfig
+from repro.experiments.sweep import (
+    SweepPoint,
+    frontier_knee,
+    render_sweep,
+    run_area_sweep,
+)
+
+FAST = ExplorerConfig(lf_episodes=30, lf_min_episodes=15, hf_budget=4,
+                      hf_seed_designs=1)
+
+
+def make_point(area, cpi):
+    return SweepPoint(
+        area_limit_mm2=area, best_hf_cpi=cpi, lf_hf_cpi=cpi + 0.1,
+        best_area_mm2=area - 0.2, hf_simulations=4,
+    )
+
+
+class TestRunSweep:
+    def test_bigger_budgets_never_hurt(self):
+        points = run_area_sweep(
+            "mm", area_limits=(5.0, 7.5, 10.0), explorer_config=FAST,
+            data_size=10,
+        )
+        assert len(points) == 3
+        # monotone frontier within noise: the largest budget's CPI must
+        # not exceed the smallest budget's
+        assert points[-1].best_hf_cpi <= points[0].best_hf_cpi + 1e-9
+
+    def test_designs_respect_their_budgets(self):
+        points = run_area_sweep(
+            "mm", area_limits=(6.0, 9.0), explorer_config=FAST, data_size=10
+        )
+        for p in points:
+            assert p.best_area_mm2 <= p.area_limit_mm2 + 1e-9
+
+    def test_empty_limits_rejected(self):
+        with pytest.raises(ValueError):
+            run_area_sweep("mm", area_limits=())
+
+
+class TestKnee:
+    def test_single_point(self):
+        p = make_point(6.0, 1.0)
+        assert frontier_knee([p]) is p
+
+    def test_knee_of_elbow_curve(self):
+        # steep drop then flat: the knee is where the drop ends
+        points = [
+            make_point(5.0, 2.0),
+            make_point(6.0, 1.0),
+            make_point(7.0, 0.95),
+            make_point(8.0, 0.93),
+        ]
+        knee = frontier_knee(points)
+        assert knee.area_limit_mm2 == 6.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            frontier_knee([])
+
+
+class TestRendering:
+    def test_render_contains_rows(self):
+        points = [make_point(5.0, 2.0), make_point(6.0, 1.5)]
+        text = render_sweep(points)
+        assert "5.0mm2" in text and "6.0mm2" in text
+        assert "2.0000" in text

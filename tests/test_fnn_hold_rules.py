@@ -1,0 +1,63 @@
+"""Tests for negative ("hold") rule extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.fnn import (
+    FuzzyNeuralNetwork,
+    decode_width_preference,
+    default_inputs,
+    embed_preference,
+    extract_rules,
+)
+from repro.designspace import default_design_space
+
+SPACE = default_design_space()
+
+
+def fresh_fnn():
+    return FuzzyNeuralNetwork(
+        default_inputs(), SPACE.names, rng=np.random.default_rng(0),
+        consequent_scale=0.0,
+    )
+
+
+class TestHoldRules:
+    def test_negative_cells_become_hold_rules(self):
+        fnn = fresh_fnn()
+        fnn.consequents[0, 3] = -1.0
+        rules = extract_rules(fnn, direction="hold")
+        assert len(rules) == 1
+        assert rules[0].direction == "hold"
+        assert rules[0].weight == pytest.approx(-1.0)
+        assert "should NOT increase" in rules[0].render()
+
+    def test_directions_do_not_mix(self):
+        fnn = fresh_fnn()
+        fnn.consequents[0, 3] = -1.0
+        fnn.consequents[1, 4] = +1.0
+        increase = extract_rules(fnn, direction="increase")
+        hold = extract_rules(fnn, direction="hold")
+        assert {r.output for r in increase} == {SPACE.names[4]}
+        assert {r.output for r in hold} == {SPACE.names[3]}
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            extract_rules(fresh_fnn(), direction="sideways")
+
+    def test_hold_rules_sorted_by_magnitude(self):
+        fnn = fresh_fnn()
+        fnn.consequents[0, 3] = -0.5
+        fnn.consequents[1, 4] = -2.0
+        rules = extract_rules(fnn, direction="hold")
+        assert abs(rules[0].weight) >= abs(rules[1].weight)
+
+    def test_preference_produces_hold_rules(self):
+        """The Fig.-7 preference must be visible as hold knowledge: past
+        the target width, decode should NOT increase."""
+        fnn = fresh_fnn()
+        embed_preference(fnn, decode_width_preference(4, strength=2.0))
+        hold = extract_rules(fnn, direction="hold")
+        decode_hold = [r for r in hold if r.output == "decode_width"]
+        assert decode_hold
+        assert ("decode", "enough") in decode_hold[0].antecedents

@@ -1,0 +1,129 @@
+"""Unit + property tests for the membership functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fnn import (
+    Bell,
+    InverseSigmoid,
+    Sigmoid,
+    metric_membership,
+    param_membership,
+)
+from repro.core.fnn.membership import EPS
+
+finite_floats = st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+centers = st.floats(-10, 10, allow_nan=False, allow_infinity=False)
+
+
+class TestRanges:
+    @given(finite_floats, centers)
+    @settings(max_examples=60, deadline=None)
+    def test_sigmoid_in_unit_interval(self, x, c):
+        mu = float(Sigmoid(c, 1.0).value(x))
+        assert EPS <= mu <= 1.0
+
+    @given(finite_floats, centers)
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_sigmoid_in_unit_interval(self, x, c):
+        mu = float(InverseSigmoid(c, 1.0).value(x))
+        assert EPS <= mu <= 1.0
+
+    @given(finite_floats, centers)
+    @settings(max_examples=60, deadline=None)
+    def test_bell_in_unit_interval(self, x, c):
+        mu = float(Bell(c, 1.0).value(x))
+        assert EPS <= mu <= 1.0
+
+    def test_extreme_inputs_do_not_overflow(self):
+        for mf in (Sigmoid(0.0, 5.0), InverseSigmoid(0.0, 5.0), Bell(0.0)):
+            assert np.isfinite(mf.value(1e9))
+            assert np.isfinite(mf.value(-1e9))
+
+
+class TestShapes:
+    def test_sigmoid_is_high_detector(self):
+        mf = Sigmoid(center=3.0, slope=2.0)
+        assert mf.value(5.0) > 0.9
+        assert mf.value(1.0) < 0.1
+        assert mf.value(3.0) == pytest.approx(0.5)
+
+    def test_inverse_sigmoid_is_low_detector(self):
+        mf = InverseSigmoid(center=3.0, slope=2.0)
+        assert mf.value(1.0) > 0.9
+        assert mf.value(5.0) < 0.1
+
+    def test_sigmoid_pair_complementary(self):
+        lo, hi = param_membership(center=3.0, slope=2.0)
+        for x in (0.0, 1.5, 3.0, 4.5, 6.0):
+            assert float(lo.value(x)) + float(hi.value(x)) == pytest.approx(
+                1.0, abs=2 * EPS
+            )
+
+    def test_bell_peaks_at_center(self):
+        mf = Bell(center=2.0, width=1.0)
+        assert mf.value(2.0) == pytest.approx(1.0)
+        assert mf.value(2.0) > mf.value(2.5) > mf.value(4.0)
+
+    def test_bell_symmetric(self):
+        mf = Bell(center=2.0, width=1.5)
+        assert mf.value(0.5) == pytest.approx(float(mf.value(3.5)))
+
+    def test_monotonicity_of_sigmoid(self):
+        mf = Sigmoid(center=0.0, slope=1.0)
+        xs = np.linspace(-5, 5, 30)
+        mus = mf.value(xs)
+        assert np.all(np.diff(mus) >= 0)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda c: Sigmoid(c, 1.3),
+            lambda c: InverseSigmoid(c, 1.3),
+            lambda c: Bell(c, 1.2),
+        ],
+    )
+    @pytest.mark.parametrize("x", [-2.0, 0.3, 1.7, 4.0])
+    def test_d_center_matches_finite_difference(self, factory, x):
+        c, h = 1.0, 1e-6
+        analytic = float(factory(c).d_center(x))
+        numeric = (
+            float(factory(c + h).value(x)) - float(factory(c - h).value(x))
+        ) / (2 * h)
+        assert analytic == pytest.approx(numeric, abs=1e-4)
+
+    def test_sigmoid_d_center_sign(self):
+        # raising the 'high' threshold lowers membership
+        assert Sigmoid(1.0, 1.0).d_center(1.0) < 0
+
+    def test_inverse_sigmoid_d_center_sign(self):
+        # raising the 'low' threshold raises membership
+        assert InverseSigmoid(1.0, 1.0).d_center(1.0) > 0
+
+    def test_bell_d_center_zero_at_peak(self):
+        assert Bell(2.0, 1.0).d_center(2.0) == pytest.approx(0.0)
+
+
+class TestBuilders:
+    def test_metric_membership_layout(self):
+        low, avg, high = metric_membership(center=1.5, spread=0.5)
+        assert isinstance(low, InverseSigmoid)
+        assert isinstance(avg, Bell)
+        assert isinstance(high, Sigmoid)
+        assert low.center == 1.0 and avg.center == 1.5 and high.center == 2.0
+
+    def test_param_membership_layout(self):
+        low, enough = param_membership(center=3.0)
+        assert isinstance(low, InverseSigmoid)
+        assert isinstance(enough, Sigmoid)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            Sigmoid(0.0, slope=0.0)
+        with pytest.raises(ValueError):
+            Bell(0.0, width=0.0)
+        with pytest.raises(ValueError):
+            metric_membership(1.0, spread=0.0)

@@ -1,0 +1,231 @@
+"""Tests for the five-layer FNN: forward pass, policy, gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fnn import FuzzyNeuralNetwork, default_inputs
+from repro.designspace import default_design_space
+
+SPACE = default_design_space()
+INPUTS = default_inputs()
+OUTPUTS = tuple(SPACE.names)
+
+
+def make_fnn(seed=0, scale=0.1):
+    return FuzzyNeuralNetwork(
+        INPUTS, OUTPUTS, rng=np.random.default_rng(seed), consequent_scale=scale
+    )
+
+
+def random_features(rng):
+    return np.array(
+        [rng.uniform(inp.lo, inp.hi) for inp in INPUTS], dtype=np.float64
+    )
+
+
+class TestStructure:
+    def test_rule_count_is_three_times_two_to_the_params(self):
+        # 1 metric (3 categories) x 7 params (2 categories each)
+        assert make_fnn().num_rules == 3 * 2**7
+
+    def test_rule_grid_covers_all_combinations(self):
+        fnn = make_fnn()
+        unique = {tuple(row) for row in fnn.rule_grid}
+        assert len(unique) == fnn.num_rules
+
+    def test_consequent_shape(self):
+        fnn = make_fnn()
+        assert fnn.consequents.shape == (fnn.num_rules, 11)
+
+    def test_metric_centers_frozen_param_centers_trainable(self):
+        fnn = make_fnn()
+        assert not fnn.trainable[0]          # CPI
+        assert fnn.trainable[1:].all()       # all merged params
+
+    def test_category_names(self):
+        fnn = make_fnn()
+        assert fnn.category_names(0) == ("low", "avg", "high")
+        assert fnn.category_names(1) == ("low", "enough")
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzyNeuralNetwork((), OUTPUTS)
+
+    def test_empty_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzyNeuralNetwork(INPUTS, ())
+
+
+class TestForward:
+    def test_normalized_firing_sums_to_one(self, rng):
+        fnn = make_fnn()
+        cache = fnn.forward(random_features(rng))
+        assert cache.normalized.sum() == pytest.approx(1.0)
+        assert np.all(cache.normalized >= 0)
+
+    def test_scores_are_convex_combination_of_consequents(self, rng):
+        fnn = make_fnn()
+        cache = fnn.forward(random_features(rng))
+        lo = fnn.consequents.min(axis=0)
+        hi = fnn.consequents.max(axis=0)
+        assert np.all(cache.scores >= lo - 1e-9)
+        assert np.all(cache.scores <= hi + 1e-9)
+
+    def test_wrong_feature_shape_rejected(self):
+        with pytest.raises(ValueError):
+            make_fnn().forward(np.zeros(3))
+
+    def test_deterministic(self, rng):
+        fnn = make_fnn()
+        x = random_features(rng)
+        assert np.array_equal(fnn.scores(x), fnn.scores(x))
+
+    def test_zero_consequents_zero_scores(self, rng):
+        fnn = make_fnn(scale=0.0)
+        assert np.allclose(fnn.scores(random_features(rng)), 0.0)
+
+
+class TestPolicy:
+    def test_probs_sum_to_one(self, rng):
+        fnn = make_fnn()
+        probs, __ = fnn.policy(random_features(rng))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_mask_zeroes_invalid(self, rng):
+        fnn = make_fnn()
+        mask = np.zeros(11, dtype=bool)
+        mask[3] = mask[7] = True
+        probs, __ = fnn.policy(random_features(rng), mask=mask)
+        assert probs[~mask].sum() == 0.0
+        assert probs[mask].sum() == pytest.approx(1.0)
+
+    def test_all_masked_raises(self, rng):
+        fnn = make_fnn()
+        with pytest.raises(ValueError):
+            fnn.policy(random_features(rng), mask=np.zeros(11, dtype=bool))
+
+    def test_temperature_sharpens(self, rng):
+        fnn = make_fnn(scale=1.0)
+        x = random_features(rng)
+        hot, __ = fnn.policy(x, temperature=10.0)
+        cold, __ = fnn.policy(x, temperature=0.05)
+        assert cold.max() > hot.max()
+
+    def test_invalid_temperature(self, rng):
+        with pytest.raises(ValueError):
+            make_fnn().policy(random_features(rng), temperature=0.0)
+
+    def test_act_respects_mask(self, rng):
+        fnn = make_fnn()
+        mask = np.zeros(11, dtype=bool)
+        mask[5] = True
+        for __ in range(10):
+            assert fnn.act(random_features(rng), rng, mask=mask) == 5
+
+    def test_greedy_act_is_argmax(self, rng):
+        fnn = make_fnn(scale=1.0)
+        x = random_features(rng)
+        probs, __ = fnn.policy(x)
+        assert fnn.act(x, rng, greedy=True) == int(np.argmax(probs))
+
+
+class TestPolicyGradient:
+    def test_consequent_gradient_matches_finite_difference(self, rng):
+        fnn = make_fnn(scale=0.5)
+        x = random_features(rng)
+        action = 2
+        grad = fnn.log_policy_gradient(x, action)
+        h = 1e-6
+        # check a handful of entries
+        check = [(0, 0), (10, 2), (100, 5), (383, 10)]
+        for r, k in check:
+            fnn.consequents[r, k] += h
+            up = np.log(fnn.policy(x)[0][action])
+            fnn.consequents[r, k] -= 2 * h
+            down = np.log(fnn.policy(x)[0][action])
+            fnn.consequents[r, k] += h
+            numeric = (up - down) / (2 * h)
+            assert grad.d_consequents[r, k] == pytest.approx(numeric, abs=1e-4)
+
+    def test_center_gradient_matches_finite_difference(self, rng):
+        fnn = make_fnn(scale=0.5)
+        x = random_features(rng)
+        action = 4
+        grad = fnn.log_policy_gradient(x, action)
+        h = 1e-6
+        for i in range(fnn.num_inputs):
+            if not fnn.trainable[i]:
+                continue
+            fnn.centers[i] += h
+            up = np.log(fnn.policy(x)[0][action])
+            fnn.centers[i] -= 2 * h
+            down = np.log(fnn.policy(x)[0][action])
+            fnn.centers[i] += h
+            numeric = (up - down) / (2 * h)
+            assert grad.d_centers[i] == pytest.approx(numeric, abs=1e-4)
+
+    def test_frozen_metric_center_gets_zero_gradient(self, rng):
+        fnn = make_fnn(scale=0.5)
+        grad = fnn.log_policy_gradient(random_features(rng), 0)
+        assert grad.d_centers[0] == 0.0
+
+    def test_masked_action_raises(self, rng):
+        fnn = make_fnn()
+        mask = np.ones(11, dtype=bool)
+        mask[2] = False
+        with pytest.raises(ValueError):
+            fnn.log_policy_gradient(random_features(rng), 2, mask=mask)
+
+    def test_log_prob_consistent_with_policy(self, rng):
+        fnn = make_fnn(scale=0.5)
+        x = random_features(rng)
+        probs, __ = fnn.policy(x)
+        grad = fnn.log_policy_gradient(x, 3)
+        assert grad.log_prob == pytest.approx(float(np.log(probs[3])))
+
+
+class TestUpdates:
+    def test_update_moves_policy_toward_action(self, rng):
+        fnn = make_fnn(scale=0.1)
+        x = random_features(rng)
+        action = 6
+        before = fnn.policy(x)[0][action]
+        for __ in range(20):
+            grad = fnn.log_policy_gradient(x, action)
+            fnn.apply_update(grad.d_consequents, grad.d_centers, 0.5, 0.05)
+        after = fnn.policy(x)[0][action]
+        assert after > before
+
+    def test_centers_clipped_to_scale(self, rng):
+        fnn = make_fnn()
+        huge = np.full(fnn.num_inputs, 1e6)
+        fnn.apply_update(np.zeros_like(fnn.consequents), huge, 0.0, 1.0)
+        for i, inp in enumerate(fnn.inputs):
+            assert inp.lo <= fnn.centers[i] <= inp.hi
+
+    def test_gradient_shape_checked(self):
+        fnn = make_fnn()
+        with pytest.raises(ValueError):
+            fnn.apply_update(np.zeros((2, 2)), np.zeros(fnn.num_inputs), 0.1, 0.1)
+
+    def test_state_dict_roundtrip(self, rng):
+        fnn = make_fnn(seed=1, scale=0.5)
+        state = fnn.state_dict()
+        other = make_fnn(seed=2, scale=0.5)
+        other.load_state_dict(state)
+        x = random_features(rng)
+        assert np.allclose(fnn.scores(x), other.scores(x))
+
+    def test_state_dict_is_a_copy(self):
+        fnn = make_fnn()
+        state = fnn.state_dict()
+        state["consequents"][0, 0] = 999.0
+        assert fnn.consequents[0, 0] != 999.0
+
+    def test_clone_weights(self, rng):
+        a = make_fnn(seed=1, scale=0.5)
+        b = make_fnn(seed=2, scale=0.5)
+        b.clone_weights_from(a)
+        x = random_features(rng)
+        assert np.allclose(a.scores(x), b.scores(x))

@@ -1,0 +1,129 @@
+"""Tests for designer-preference injection (Sec. 2.3 / Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fnn import (
+    FuzzyNeuralNetwork,
+    Preference,
+    decode_width_preference,
+    default_inputs,
+    embed_preference,
+    extract_rules,
+)
+from repro.designspace import default_design_space
+
+SPACE = default_design_space()
+INPUTS = default_inputs()
+
+
+def fresh_fnn(scale=0.0):
+    return FuzzyNeuralNetwork(
+        INPUTS, SPACE.names, rng=np.random.default_rng(0), consequent_scale=scale
+    )
+
+
+class TestPreferenceObject:
+    def test_decode_width_preference_defaults(self):
+        pref = decode_width_preference(4)
+        assert pref.input_name == "decode"
+        assert pref.output_name == "decode_width"
+        assert pref.below_value == 3.0
+        assert pref.target_value == 4.0
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            decode_width_preference(1)
+        with pytest.raises(ValueError):
+            decode_width_preference(6)
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            Preference("decode", "decode_width", 4.0, 3.0)
+
+    def test_invalid_strength_rejected(self):
+        with pytest.raises(ValueError):
+            Preference("decode", "decode_width", 3.0, 4.0, strength=0.0)
+
+
+class TestEmbedding:
+    def test_center_moved_between_values(self):
+        fnn = fresh_fnn()
+        embed_preference(fnn, decode_width_preference(4))
+        idx = [inp.name for inp in fnn.inputs].index("decode")
+        assert fnn.centers[idx] == pytest.approx(3.5)
+
+    def test_low_rules_boosted(self):
+        fnn = fresh_fnn()
+        embed_preference(fnn, decode_width_preference(4, strength=2.0))
+        idx = [inp.name for inp in fnn.inputs].index("decode")
+        k = SPACE.index_of("decode_width")
+        low_rules = fnn.rule_grid[:, idx] == 0
+        assert np.all(fnn.consequents[low_rules, k] == pytest.approx(2.0))
+
+    def test_enough_rules_clamped_nonpositive(self):
+        fnn = fresh_fnn(scale=0.3)
+        embed_preference(fnn, decode_width_preference(4))
+        idx = [inp.name for inp in fnn.inputs].index("decode")
+        k = SPACE.index_of("decode_width")
+        enough_rules = fnn.rule_grid[:, idx] == 1
+        assert np.all(fnn.consequents[enough_rules, k] <= 0.0)
+
+    def test_other_outputs_untouched(self):
+        fnn = fresh_fnn(scale=0.3)
+        before = fnn.consequents.copy()
+        embed_preference(fnn, decode_width_preference(4))
+        k = SPACE.index_of("decode_width")
+        untouched = np.delete(np.arange(11), k)
+        assert np.allclose(fnn.consequents[:, untouched], before[:, untouched])
+
+    def test_unknown_input_raises(self):
+        with pytest.raises(KeyError):
+            embed_preference(
+                fresh_fnn(), Preference("bogus", "decode_width", 3.0, 4.0)
+            )
+
+    def test_unknown_output_raises(self):
+        with pytest.raises(KeyError):
+            embed_preference(fresh_fnn(), Preference("decode", "bogus", 3.0, 4.0))
+
+    def test_metric_input_rejected(self):
+        with pytest.raises(ValueError):
+            embed_preference(fresh_fnn(), Preference("CPI", "decode_width", 1.0, 2.0))
+
+
+class TestBehaviouralEffect:
+    def test_preference_visible_in_extracted_rules(self):
+        fnn = fresh_fnn()
+        embed_preference(fnn, decode_width_preference(4))
+        rules = extract_rules(fnn)
+        decode_rules = [r for r in rules if r.output == "decode_width"]
+        assert decode_rules
+        assert ("decode", "low") in decode_rules[0].antecedents
+
+    def test_policy_prefers_decode_when_below_target(self):
+        """At decode width 3 (below the preferred 4), the policy must put
+        its largest mass on increasing decode."""
+        from repro.core.fnn.inputs import extract_features
+
+        fnn = fresh_fnn()
+        embed_preference(fnn, decode_width_preference(4, strength=3.0))
+        levels = SPACE.smallest()
+        levels[SPACE.index_of("decode_width")] = 2  # width 3
+        config = SPACE.config(levels)
+        features = extract_features(INPUTS, {"cpi": 1.5}, config)
+        probs, __ = fnn.policy(features)
+        assert int(np.argmax(probs)) == SPACE.index_of("decode_width")
+
+    def test_policy_stops_pushing_at_target(self):
+        from repro.core.fnn.inputs import extract_features
+
+        fnn = fresh_fnn()
+        embed_preference(fnn, decode_width_preference(4, strength=3.0))
+        levels = SPACE.smallest()
+        levels[SPACE.index_of("decode_width")] = 3  # width 4 reached
+        config = SPACE.config(levels)
+        features = extract_features(INPUTS, {"cpi": 1.5}, config)
+        probs, __ = fnn.policy(features)
+        # no longer the dominant action
+        assert probs[SPACE.index_of("decode_width")] < 0.5

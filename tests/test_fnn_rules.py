@@ -1,0 +1,167 @@
+"""Tests for rule extraction and pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core.fnn import (
+    FuzzyNeuralNetwork,
+    default_inputs,
+    extract_rules,
+    render_rule_base,
+    rules_mentioning,
+)
+from repro.core.fnn.rules import ANY, _merge_patterns
+from repro.designspace import default_design_space
+
+SPACE = default_design_space()
+INPUTS = default_inputs()
+
+
+def fresh_fnn():
+    return FuzzyNeuralNetwork(
+        INPUTS, SPACE.names, rng=np.random.default_rng(0), consequent_scale=0.0
+    )
+
+
+def rule_index(fnn, **categories):
+    """Index of the rule whose grid matches the given categories
+    (input-name -> category-index); unspecified inputs must be 0."""
+    pattern = [0] * fnn.num_inputs
+    names = [inp.name for inp in fnn.inputs]
+    for name, cat in categories.items():
+        pattern[names.index(name)] = cat
+    for r in range(fnn.num_rules):
+        if list(fnn.rule_grid[r]) == pattern:
+            return r
+    raise AssertionError("rule not found")
+
+
+class TestMergePatterns:
+    def test_merge_binary_pair(self):
+        # (0,) and (1,) over one binary input collapse to ANY
+        merged = _merge_patterns([(0,), (1,)], [2])
+        assert merged == [(ANY,)]
+
+    def test_no_merge_when_partial(self):
+        merged = _merge_patterns([(0, 0), (1, 1)], [2, 2])
+        assert (ANY, 0) not in merged and (0, ANY) not in merged
+
+    def test_merge_requires_all_categories(self):
+        # ternary input: two of three categories do not collapse
+        merged = _merge_patterns([(0,), (1,)], [3])
+        assert merged == [(0,), (1,)]
+        merged = _merge_patterns([(0,), (1,), (2,)], [3])
+        assert merged == [(ANY,)]
+
+    def test_cascading_merges(self):
+        patterns = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        merged = _merge_patterns(patterns, [2, 2])
+        assert merged == [(ANY, ANY)]
+
+
+class TestExtraction:
+    def test_empty_network_yields_no_rules(self):
+        assert extract_rules(fresh_fnn()) == []
+
+    def test_single_strong_cell_becomes_one_rule(self):
+        fnn = fresh_fnn()
+        r = rule_index(fnn, decode=0)  # "decode is low", everything else cat 0
+        k = SPACE.index_of("decode_width")
+        fnn.consequents[r, k] = 1.0
+        rules = extract_rules(fnn)
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.output == "decode_width"
+        assert ("decode", "low") in rule.antecedents
+        assert rule.weight == pytest.approx(1.0)
+
+    def test_redundant_antecedent_pruned(self):
+        """'X is low' and 'X is high' both claiming increase -> X dropped."""
+        fnn = fresh_fnn()
+        k = SPACE.index_of("iq_entries")
+        r_low = rule_index(fnn, IQ=0)
+        r_high = rule_index(fnn, IQ=1)
+        fnn.consequents[r_low, k] = 1.0
+        fnn.consequents[r_high, k] = 1.0
+        rules = extract_rules(fnn)
+        assert len(rules) == 1
+        names = [name for name, __ in rules[0].antecedents]
+        assert "IQ" not in names
+
+    def test_below_threshold_ignored(self):
+        fnn = fresh_fnn()
+        fnn.consequents[0, 0] = 0.01  # below the default 0.05
+        assert extract_rules(fnn) == []
+
+    def test_negative_consequents_never_reported_as_increase(self):
+        fnn = fresh_fnn()
+        fnn.consequents[:, 3] = -1.0
+        assert extract_rules(fnn) == []
+
+    def test_norm_prune_drops_dead_rules(self):
+        fnn = fresh_fnn()
+        fnn.consequents[5, 2] = 1.0
+        rules_loose = extract_rules(fnn, norm_threshold=1e-3)
+        rules_tight = extract_rules(fnn, norm_threshold=10.0)
+        assert len(rules_loose) == 1
+        assert rules_tight == []
+
+    def test_top_k(self):
+        fnn = fresh_fnn()
+        for r in range(6):
+            fnn.consequents[r, r % 3] = 1.0 + r
+        rules = extract_rules(fnn, top_k=2)
+        assert len(rules) == 2
+        assert rules[0].weight >= rules[1].weight
+
+    def test_rules_sorted_by_weight(self):
+        fnn = fresh_fnn()
+        fnn.consequents[0, 0] = 0.5
+        fnn.consequents[1, 1] = 2.0
+        rules = extract_rules(fnn)
+        weights = [r.weight for r in rules]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestRendering:
+    def test_render_mentions_antecedents_and_output(self):
+        fnn = fresh_fnn()
+        r = rule_index(fnn, L1=1)
+        fnn.consequents[r, SPACE.index_of("int_fu")] = 1.0
+        rules = extract_rules(fnn)
+        text = rules[0].render()
+        assert "IF" in text and "THEN int_fu can increase" in text
+        assert "L1 is enough" in text
+
+    def test_render_rule_base_truncates(self):
+        fnn = fresh_fnn()
+        for k in range(6):  # distinct outputs cannot merge together
+            fnn.consequents[k, k] = 1.0 + 0.01 * k
+        rules = extract_rules(fnn)
+        assert len(rules) == 6
+        text = render_rule_base(rules, max_rules=2)
+        assert "4 more" in text
+
+    def test_rules_mentioning_filters(self):
+        fnn = fresh_fnn()
+        fnn.consequents[0, SPACE.index_of("int_fu")] = 1.0
+        fnn.consequents[1, SPACE.index_of("fp_fu")] = 1.0
+        rules = extract_rules(fnn)
+        assert all(r.output == "int_fu" for r in rules_mentioning(rules, "int_fu"))
+        assert len(rules_mentioning(rules, "int_fu")) == 1
+
+
+class TestTrainedNetworkRules:
+    def test_trained_fnn_yields_interpretable_rules(self, mm_pool):
+        """After a short LF training run the rule base must be non-empty
+        and mention real parameters -- the paper's Sec.-4.3 workflow."""
+        from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
+
+        explorer = MultiFidelityExplorer(
+            mm_pool, config=ExplorerConfig(lf_episodes=40), seed=0
+        )
+        explorer.run_lf_phase()
+        rules = extract_rules(explorer.fnn, weight_threshold=0.01)
+        assert rules, "training left no extractable rules"
+        outputs = {r.output for r in rules}
+        assert outputs <= set(SPACE.names)

@@ -1,0 +1,83 @@
+"""Tests for FNN JSON serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.fnn import (
+    FuzzyNeuralNetwork,
+    default_inputs,
+    fnn_from_dict,
+    fnn_to_dict,
+    load_fnn,
+    save_fnn,
+)
+from repro.designspace import default_design_space
+
+SPACE = default_design_space()
+
+
+def trained_like_fnn(seed=0):
+    fnn = FuzzyNeuralNetwork(
+        default_inputs(), SPACE.names, rng=np.random.default_rng(seed),
+        consequent_scale=0.3,
+    )
+    fnn.centers[3] = 7.0  # pretend training moved a center
+    return fnn
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_scores(self, rng):
+        fnn = trained_like_fnn()
+        restored = fnn_from_dict(fnn_to_dict(fnn))
+        x = np.array([1.4, 7.0, 11.0, 6.0, 3.0, 3.0, 6.0, 12.0])
+        assert np.allclose(fnn.scores(x), restored.scores(x))
+
+    def test_dict_roundtrip_preserves_centers(self):
+        fnn = trained_like_fnn()
+        restored = fnn_from_dict(fnn_to_dict(fnn))
+        assert np.allclose(fnn.centers, restored.centers)
+
+    def test_file_roundtrip(self, tmp_path):
+        fnn = trained_like_fnn()
+        path = tmp_path / "fnn.json"
+        save_fnn(fnn, path)
+        restored = load_fnn(path)
+        assert np.allclose(fnn.consequents, restored.consequents)
+
+    def test_saved_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "fnn.json"
+        save_fnn(trained_like_fnn(), path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert len(data["output_names"]) == 11
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self):
+        data = fnn_to_dict(trained_like_fnn())
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            fnn_from_dict(data)
+
+    def test_unknown_input_rejected(self):
+        data = fnn_to_dict(trained_like_fnn())
+        data["inputs"][0]["name"] = "mystery"
+        with pytest.raises(ValueError):
+            fnn_from_dict(data)
+
+    def test_consequent_shape_checked(self):
+        data = fnn_to_dict(trained_like_fnn())
+        data["consequents"] = data["consequents"][:5]
+        with pytest.raises(ValueError):
+            fnn_from_dict(data)
+
+    def test_preference_survives_roundtrip(self):
+        from repro.core.fnn import decode_width_preference, embed_preference
+
+        fnn = trained_like_fnn()
+        embed_preference(fnn, decode_width_preference(4, strength=2.0))
+        restored = fnn_from_dict(fnn_to_dict(fnn))
+        decode_idx = [i.name for i in fnn.inputs].index("decode")
+        assert restored.centers[decode_idx] == pytest.approx(3.5)

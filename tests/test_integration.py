@@ -1,0 +1,139 @@
+"""Cross-module integration tests: the full pipelines users run."""
+
+import numpy as np
+import pytest
+
+from repro.core.fnn import extract_rules, load_fnn, save_fnn
+from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
+from repro.designspace import default_design_space
+from repro.proxies import AnalyticalModel, Fidelity, ProxyPool, SimulationProxy
+from repro.workloads import get_workload
+
+SPACE = default_design_space()
+FAST = ExplorerConfig(lf_episodes=40, lf_min_episodes=20, hf_budget=5,
+                      hf_seed_designs=2)
+
+
+def make_pool(name="mm", size=10, limit=7.5):
+    workload = get_workload(name, data_size=size)
+    return ProxyPool(
+        SPACE,
+        AnalyticalModel(workload.profile, SPACE),
+        SimulationProxy(workload, SPACE),
+        area_limit_mm2=limit,
+    )
+
+
+class TestExploreThenInterpret:
+    """The quickstart flow: explore -> extract rules -> save -> reload."""
+
+    def test_full_interpretability_pipeline(self, tmp_path):
+        pool = make_pool()
+        explorer = MultiFidelityExplorer(pool, config=FAST, seed=0)
+        result = explorer.explore()
+
+        rules = extract_rules(result.fnn, weight_threshold=0.01)
+        assert rules
+
+        path = tmp_path / "trained.json"
+        save_fnn(result.fnn, path)
+        restored = load_fnn(path)
+        restored_rules = extract_rules(restored, weight_threshold=0.01)
+        assert [r.render() for r in rules] == [r.render() for r in restored_rules]
+
+    def test_warm_start_from_saved_fnn(self, tmp_path):
+        """A rule base trained on one run seeds another explorer."""
+        pool1 = make_pool()
+        explorer1 = MultiFidelityExplorer(pool1, config=FAST, seed=0)
+        explorer1.run_lf_phase()
+        path = tmp_path / "warm.json"
+        save_fnn(explorer1.fnn, path)
+
+        pool2 = make_pool()
+        warm = load_fnn(path)
+        explorer2 = MultiFidelityExplorer(
+            pool2, inputs=warm.inputs, config=FAST, seed=1, fnn=warm
+        )
+        result = explorer2.explore()
+        assert result.hf_simulations <= FAST.hf_budget
+
+
+class TestFidelityConsistency:
+    """The two proxies must agree with their underlying components."""
+
+    def test_pool_hf_matches_direct_simulation(self):
+        from repro.simulator import simulate
+
+        pool = make_pool()
+        levels = SPACE.smallest()
+        via_pool = pool.evaluate_high(levels).cpi
+        direct = simulate(
+            get_workload("mm", data_size=10).trace, SPACE.config(levels)
+        ).cpi
+        assert via_pool == pytest.approx(direct)
+
+    def test_pool_lf_matches_direct_analytical(self):
+        pool = make_pool()
+        levels = SPACE.smallest()
+        assert pool.evaluate_low(levels).cpi == pytest.approx(
+            pool.analytical.cpi(SPACE.config(levels))
+        )
+
+    def test_explorer_result_cpi_matches_archive(self):
+        pool = make_pool()
+        result = MultiFidelityExplorer(pool, config=FAST, seed=2).explore()
+        cached = pool.archive.lookup(result.best_levels, Fidelity.HIGH)
+        assert cached is not None
+        assert cached.cpi == pytest.approx(result.best_hf_cpi)
+
+
+class TestBaselineVsOursProtocol:
+    """Fig.-5 fairness: both consume the same kind of budget."""
+
+    def test_equal_footing_on_one_seed(self):
+        from repro.baselines import make_baseline
+
+        pool_base = make_pool()
+        baseline = make_baseline("random-forest").explore(
+            pool_base, hf_budget=6, rng=np.random.default_rng(0)
+        )
+        pool_ours = make_pool()
+        ours = MultiFidelityExplorer(
+            pool_ours,
+            config=ExplorerConfig(lf_episodes=60, lf_min_episodes=30,
+                                  hf_budget=5, hf_seed_designs=2),
+            seed=0,
+        ).explore()
+        # ours uses strictly fewer HF simulations
+        assert pool_ours.archive.count(Fidelity.HIGH) < pool_base.archive.count(
+            Fidelity.HIGH
+        )
+        # and both return valid designs
+        assert pool_base.fits(baseline.best_levels)
+        assert pool_ours.fits(ours.best_levels)
+
+
+class TestAnalyticalExplain:
+    def test_explain_mentions_limiter_and_move(self):
+        pool = make_pool()
+        text = pool.analytical.explain(SPACE.config(SPACE.smallest()))
+        assert "limiter" in text
+        assert "best predicted move" in text
+
+    def test_explain_at_top_of_space(self):
+        pool = make_pool()
+        text = pool.analytical.explain(SPACE.config(SPACE.largest()))
+        assert "none" in text  # nothing can increase
+
+
+class TestDeterminismAcrossModules:
+    def test_whole_pipeline_is_seeded(self):
+        """Same seeds end-to-end -> byte-identical rule bases."""
+        renders = []
+        for __ in range(2):
+            pool = make_pool()
+            explorer = MultiFidelityExplorer(pool, config=FAST, seed=5)
+            result = explorer.explore()
+            rules = extract_rules(result.fnn, weight_threshold=0.01)
+            renders.append("\n".join(r.render() for r in rules))
+        assert renders[0] == renders[1]

@@ -1,0 +1,103 @@
+"""Tests for the DSE episode environment."""
+
+import numpy as np
+import pytest
+
+from repro.core.fnn import FuzzyNeuralNetwork, default_inputs
+from repro.core.mfrl import DseEnvironment
+from repro.designspace import default_design_space
+
+SPACE = default_design_space()
+INPUTS = default_inputs()
+
+
+@pytest.fixture()
+def fnn():
+    return FuzzyNeuralNetwork(INPUTS, SPACE.names, rng=np.random.default_rng(0))
+
+
+class TestActionMask:
+    def test_lf_mask_is_subset_of_feasible(self, mm_pool):
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=True)
+        levels = SPACE.smallest()
+        lf_mask = env.action_mask(levels)
+        feasible = mm_pool.feasible_increase_mask(levels)
+        assert np.all(~lf_mask | feasible)  # lf -> feasible
+
+    def test_hf_mask_equals_feasible(self, mm_pool):
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=False)
+        levels = SPACE.smallest()
+        assert np.array_equal(
+            env.action_mask(levels), mm_pool.feasible_increase_mask(levels)
+        )
+
+    def test_lf_mask_empty_when_no_beneficial_move(self, mm_pool):
+        """When the model sees no beneficial increase the LF episode must
+        end even though feasible moves remain."""
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=True)
+        # find a design where the model's beneficial set is empty but
+        # feasible moves exist: near the area budget this happens;
+        # fabricate it by monkeypatching the beneficial mask.
+        mm_pool.analytical.beneficial_mask = lambda levels, **kw: np.zeros(
+            11, dtype=bool
+        )
+        mask = env.action_mask(SPACE.smallest())
+        assert not mask.any()
+
+
+class TestRollout:
+    def test_episode_ends_within_budget(self, mm_pool, fnn, rng):
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=False)
+        episode = env.rollout(fnn, rng)
+        assert mm_pool.fits(episode.final_levels)
+        assert not env.action_mask(episode.final_levels).any()
+
+    def test_episode_starts_at_smallest_by_default(self, mm_pool, fnn, rng):
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=False)
+        episode = env.rollout(fnn, rng, max_steps=0)
+        assert np.array_equal(episode.final_levels, SPACE.smallest())
+
+    def test_steps_match_level_distance(self, mm_pool, fnn, rng):
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=False)
+        episode = env.rollout(fnn, rng)
+        assert episode.length == int(episode.final_levels.sum())
+
+    def test_custom_start(self, mm_pool, fnn, rng):
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=False)
+        start = SPACE.smallest()
+        start[SPACE.index_of("decode_width")] = 2
+        episode = env.rollout(fnn, rng, start_levels=start)
+        assert episode.final_levels[SPACE.index_of("decode_width")] >= 2
+
+    def test_infeasible_start_rejected(self, mm_pool, fnn, rng):
+        env = DseEnvironment(mm_pool, INPUTS)
+        with pytest.raises(ValueError):
+            env.rollout(fnn, rng, start_levels=SPACE.largest())
+
+    def test_greedy_rollout_deterministic(self, mm_pool, fnn):
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=False)
+        a = env.rollout(fnn, np.random.default_rng(0), greedy=True)
+        b = env.rollout(fnn, np.random.default_rng(99), greedy=True)
+        assert np.array_equal(a.final_levels, b.final_levels)
+
+    def test_max_steps_bounds_episode(self, mm_pool, fnn, rng):
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=False)
+        episode = env.rollout(fnn, rng, max_steps=3)
+        assert episode.length <= 3
+
+    def test_all_visited_designs_valid(self, mm_pool, fnn, rng):
+        """Paper: 'all the sampled designs are valid'. Replay the actions
+        and check the area constraint at every step."""
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=False)
+        episode = env.rollout(fnn, rng)
+        levels = SPACE.smallest()
+        for step in episode.steps:
+            levels = SPACE.increase(levels, step.action)
+            assert mm_pool.fits(levels)
+
+    def test_features_include_lf_cpi(self, mm_pool):
+        env = DseEnvironment(mm_pool, INPUTS)
+        features = env.features_at(SPACE.smallest())
+        expected_cpi = mm_pool.evaluate_low(SPACE.smallest()).cpi
+        assert features[0] == pytest.approx(expected_cpi)
+        assert len(features) == len(INPUTS)

@@ -1,0 +1,118 @@
+"""Integration tests for the multi-fidelity explorer."""
+
+import numpy as np
+import pytest
+
+from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
+from repro.designspace import default_design_space
+from repro.proxies import Fidelity
+
+SPACE = default_design_space()
+
+FAST = ExplorerConfig(lf_episodes=40, hf_budget=6, hf_seed_designs=2)
+
+
+class TestConfig:
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            ExplorerConfig(hf_budget=1)
+        with pytest.raises(ValueError):
+            ExplorerConfig(hf_seed_designs=0)
+
+
+class TestFullFlow:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # class-scoped: the flow is the expensive part; assertions share it
+        from repro.proxies import AnalyticalModel, ProxyPool, SimulationProxy
+        from repro.workloads import get_workload
+
+        w = get_workload("mm", data_size=10)
+        pool = ProxyPool(
+            SPACE,
+            AnalyticalModel(w.profile, SPACE),
+            SimulationProxy(w, SPACE),
+            area_limit_mm2=7.5,
+        )
+        explorer = MultiFidelityExplorer(pool, config=FAST, seed=3)
+        res = explorer.explore()
+        return res, pool
+
+    def test_hf_budget_respected(self, result):
+        res, pool = result
+        assert res.hf_simulations <= FAST.hf_budget
+        assert pool.archive.count(Fidelity.HIGH) == res.hf_simulations
+
+    def test_best_not_worse_than_lf(self, result):
+        res, __ = result
+        assert res.best_hf_cpi <= res.lf_hf_cpi + 1e-12
+
+    def test_designs_fit_budget(self, result):
+        res, pool = result
+        assert pool.fits(res.lf_levels)
+        assert pool.fits(res.best_levels)
+
+    def test_histories_populated(self, result):
+        res, __ = result
+        assert len(res.lf_history) > 0
+        assert len(res.hf_history) > 0
+
+    def test_best_is_archive_minimum(self, result):
+        res, pool = result
+        cpis = [e.cpi for e in pool.archive.all_evaluations(Fidelity.HIGH)]
+        assert res.best_hf_cpi == pytest.approx(min(cpis))
+
+    def test_fnn_returned_for_rule_extraction(self, result):
+        res, __ = result
+        from repro.core.fnn import FuzzyNeuralNetwork
+
+        assert isinstance(res.fnn, FuzzyNeuralNetwork)
+
+
+class TestReproducibility:
+    def test_same_seed_same_result(self, small_mm):
+        from repro.proxies import AnalyticalModel, ProxyPool, SimulationProxy
+
+        outcomes = []
+        for __ in range(2):
+            pool = ProxyPool(
+                SPACE,
+                AnalyticalModel(small_mm.profile, SPACE),
+                SimulationProxy(small_mm, SPACE),
+                area_limit_mm2=7.5,
+            )
+            res = MultiFidelityExplorer(pool, config=FAST, seed=11).explore()
+            outcomes.append((tuple(res.best_levels), res.best_hf_cpi))
+        assert outcomes[0] == outcomes[1]
+
+    def test_different_seeds_allowed_to_differ(self, small_mm):
+        """Not an equality assertion -- just that both seeds complete and
+        respect the budget (stochastic search may coincide)."""
+        from repro.proxies import AnalyticalModel, ProxyPool, SimulationProxy
+
+        for seed in (0, 1):
+            pool = ProxyPool(
+                SPACE,
+                AnalyticalModel(small_mm.profile, SPACE),
+                SimulationProxy(small_mm, SPACE),
+                area_limit_mm2=7.5,
+            )
+            res = MultiFidelityExplorer(pool, config=FAST, seed=seed).explore()
+            assert res.hf_simulations <= FAST.hf_budget
+
+
+class TestLfPhase:
+    def test_lf_phase_spends_no_hf(self, mm_pool):
+        explorer = MultiFidelityExplorer(mm_pool, config=FAST, seed=0)
+        explorer.run_lf_phase()
+        assert mm_pool.archive.count(Fidelity.HIGH) == 0
+        assert mm_pool.archive.count(Fidelity.LOW) > 0
+
+    def test_early_stop_on_converged_probe(self, mm_pool):
+        config = ExplorerConfig(
+            lf_episodes=200, lf_check_every=5, lf_patience=1, hf_budget=4
+        )
+        explorer = MultiFidelityExplorer(mm_pool, config=config, seed=0)
+        trainer = explorer.run_lf_phase()
+        # early stopping must usually kick in well before 200 episodes
+        assert len(trainer.history) <= 200

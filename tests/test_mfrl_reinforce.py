@@ -1,0 +1,108 @@
+"""Tests for the REINFORCE trainer and the reward shaping."""
+
+import numpy as np
+import pytest
+
+from repro.core.fnn import FuzzyNeuralNetwork, default_inputs
+from repro.core.mfrl import DseEnvironment, ReinforceTrainer, TrainerConfig, EPSILON
+from repro.designspace import default_design_space
+
+SPACE = default_design_space()
+INPUTS = default_inputs()
+
+
+@pytest.fixture()
+def trainer(mm_pool):
+    fnn = FuzzyNeuralNetwork(INPUTS, SPACE.names, rng=np.random.default_rng(0))
+    env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=True)
+    return ReinforceTrainer(env, fnn, TrainerConfig())
+
+
+class TestConfig:
+    def test_epsilon_matches_paper(self):
+        assert EPSILON == 0.05
+        assert TrainerConfig().epsilon == 0.05
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(lr_consequents=-1.0)
+        with pytest.raises(ValueError):
+            TrainerConfig(temperature=0.0)
+
+
+class TestRewardShaping:
+    def test_reward_formula(self, trainer, rng, mm_pool):
+        record = trainer.run_episode(
+            rng,
+            ipc_of=lambda levels: mm_pool.evaluate_low(levels).ipc,
+            ipc_reference=0.7,
+        )
+        ipc = 1.0 / record.final_cpi
+        assert record.reward == pytest.approx(ipc - 0.7 + EPSILON)
+
+    def test_incumbent_gets_positive_reward(self, trainer, rng, mm_pool):
+        """eq. 3: with reference = own IPC, reward = eps > 0."""
+        def ipc_of(levels):
+            return mm_pool.evaluate_low(levels).ipc
+
+        record = trainer.run_episode(rng, ipc_of, ipc_reference=0.0)
+        ipc = 1.0 / record.final_cpi
+        record2 = trainer.run_episode(rng, ipc_of, ipc_reference=ipc)
+        # reward of a design no better than the reference stays near eps
+        assert record2.reward <= (1.0 / record2.final_cpi) - ipc + EPSILON + 1e-9
+
+
+class TestTrainingDynamics:
+    def test_history_grows(self, trainer, rng, mm_pool):
+        for __ in range(3):
+            trainer.run_episode(
+                rng, lambda l: mm_pool.evaluate_low(l).ipc, ipc_reference=0.0
+            )
+        assert len(trainer.history) == 3
+        assert [r.episode for r in trainer.history] == [0, 1, 2]
+
+    def test_weights_change_with_nonzero_reward(self, trainer, rng, mm_pool):
+        before = trainer.fnn.consequents.copy()
+        trainer.run_episode(
+            rng, lambda l: mm_pool.evaluate_low(l).ipc, ipc_reference=0.0
+        )
+        assert not np.allclose(trainer.fnn.consequents, before)
+
+    def test_empty_episode_is_noop(self, trainer):
+        from repro.core.mfrl.env import Episode
+
+        before = trainer.fnn.consequents.copy()
+        trainer.update_from_episode(
+            Episode(steps=[], final_levels=SPACE.smallest()), reward=5.0
+        )
+        assert np.allclose(trainer.fnn.consequents, before)
+
+    def test_training_improves_final_design(self, mm_pool):
+        """Over a short LF run the best-so-far analytical CPI must drop
+        below the first episode's result."""
+        rng = np.random.default_rng(7)
+        fnn = FuzzyNeuralNetwork(INPUTS, SPACE.names, rng=rng)
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=True)
+        trainer = ReinforceTrainer(env, fnn, TrainerConfig())
+        best = np.inf
+        first = None
+        for __ in range(30):
+            reference = 1.0 / best if np.isfinite(best) else 0.0
+            record = trainer.run_episode(
+                rng, lambda l: mm_pool.evaluate_low(l).ipc, reference
+            )
+            if first is None:
+                first = record.final_cpi
+            best = min(best, record.final_cpi)
+        assert best <= first
+
+    def test_greedy_design_valid(self, trainer, rng, mm_pool):
+        levels = trainer.greedy_design(rng)
+        assert mm_pool.fits(levels)
+
+    def test_centers_recorded_in_history(self, trainer, rng, mm_pool):
+        trainer.run_episode(
+            rng, lambda l: mm_pool.evaluate_low(l).ipc, ipc_reference=0.0
+        )
+        record = trainer.history[-1]
+        assert record.centers.shape == (len(INPUTS),)

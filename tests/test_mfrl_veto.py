@@ -1,0 +1,73 @@
+"""Tests for the FNN veto in the episode loop.
+
+The veto lets strongly negative consequents ("should NOT increase")
+terminate growth early -- the mechanism behind Fig. 7's preference cap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fnn import FuzzyNeuralNetwork, default_inputs
+from repro.core.mfrl import DseEnvironment
+from repro.designspace import default_design_space
+
+SPACE = default_design_space()
+INPUTS = default_inputs()
+
+
+def neutral_fnn():
+    return FuzzyNeuralNetwork(
+        INPUTS, SPACE.names, rng=np.random.default_rng(0), consequent_scale=0.0
+    )
+
+
+class TestVetoConfiguration:
+    def test_nonnegative_threshold_rejected(self, mm_pool):
+        with pytest.raises(ValueError):
+            DseEnvironment(mm_pool, INPUTS, veto_threshold=0.0)
+
+    def test_default_threshold_negative(self, mm_pool):
+        assert DseEnvironment(mm_pool, INPUTS).veto_threshold < 0
+
+
+class TestVetoBehaviour:
+    def test_neutral_network_is_never_vetoed(self, mm_pool, rng):
+        """Zero consequents -> scores 0 > threshold -> episodes fill the
+        budget exactly as without the veto."""
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=False)
+        episode = env.rollout(neutral_fnn(), rng)
+        assert not mm_pool.feasible_increase_mask(episode.final_levels).any()
+
+    def test_universally_negative_network_refuses_to_grow(self, mm_pool, rng):
+        fnn = neutral_fnn()
+        fnn.consequents[:, :] = -5.0  # "nothing should increase"
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=False)
+        episode = env.rollout(fnn, rng)
+        assert episode.length == 0
+        assert np.array_equal(episode.final_levels, SPACE.smallest())
+
+    def test_single_vetoed_parameter_never_chosen(self, mm_pool, rng):
+        fnn = neutral_fnn()
+        decode_idx = SPACE.index_of("decode_width")
+        fnn.consequents[:, decode_idx] = -5.0
+        env = DseEnvironment(mm_pool, INPUTS, use_gradient_mask=False)
+        episode = env.rollout(fnn, rng)
+        assert episode.final_levels[decode_idx] == 0
+        # other parameters still grow to the budget
+        assert episode.length > 0
+
+    def test_threshold_boundary(self, mm_pool, rng):
+        """Scores above the threshold survive; below it they are vetoed."""
+        fnn = neutral_fnn()
+        decode_idx = SPACE.index_of("decode_width")
+        env = DseEnvironment(
+            mm_pool, INPUTS, use_gradient_mask=False, veto_threshold=-1.0
+        )
+        fnn.consequents[:, decode_idx] = -0.5  # above -1: allowed
+        episode = env.rollout(fnn, rng)
+        grew_mildly_negative = episode.final_levels[decode_idx]
+        fnn.consequents[:, decode_idx] = -1.5  # below -1: vetoed
+        episode = env.rollout(fnn, rng)
+        assert episode.final_levels[decode_idx] == 0
+        # the mild case is merely *unlikely*, not forbidden
+        assert grew_mildly_negative >= 0

@@ -1,0 +1,176 @@
+"""Tests for the analytical CPI model and its gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.designspace import default_design_space
+from repro.designspace.parameters import TABLE1_PARAMETERS
+from repro.proxies import AnalyticalModel, AnalyticalParams
+from repro.workloads import get_workload
+
+SPACE = default_design_space()
+
+
+def level_vectors():
+    return st.tuples(*[st.integers(0, p.max_level) for p in TABLE1_PARAMETERS]).map(
+        lambda t: np.array(t, dtype=np.int64)
+    )
+
+
+@pytest.fixture(scope="module")
+def mm_model():
+    return AnalyticalModel(get_workload("mm", data_size=10).profile, SPACE)
+
+
+@pytest.fixture(scope="module")
+def vvadd_model():
+    return AnalyticalModel(get_workload("fp-vvadd", data_size=256).profile, SPACE)
+
+
+class TestForward:
+    def test_cpi_positive(self, mm_model):
+        rng = np.random.default_rng(0)
+        for levels in SPACE.sample(rng, count=50):
+            assert mm_model.cpi(SPACE.config(levels)) > 0
+
+    def test_breakdown_sums(self, mm_model):
+        config = SPACE.config(SPACE.smallest())
+        bd = mm_model.breakdown(config)
+        assert bd.total == pytest.approx(mm_model.cpi(config))
+
+    def test_ipc_reciprocal(self, mm_model):
+        config = SPACE.config(SPACE.smallest())
+        assert mm_model.ipc(config) == pytest.approx(1.0 / mm_model.cpi(config))
+
+    def test_largest_beats_smallest(self, mm_model, vvadd_model):
+        small = SPACE.config(SPACE.smallest())
+        large = SPACE.config(SPACE.largest())
+        for model in (mm_model, vvadd_model):
+            assert model.cpi(large) < model.cpi(small)
+
+    def test_smallest_design_limited_by_decode(self, mm_model):
+        bd = mm_model.breakdown(SPACE.config(SPACE.smallest()))
+        # decode width 1 is the binding limiter of the minimal design
+        assert bd.limiter == "decode"
+
+    @pytest.mark.parametrize(
+        "name, data_size", [("mm", 10), ("quicksort", 64), ("fft", 64)]
+    )
+    def test_correlates_with_simulator(self, name, data_size):
+        """Rank correlation against the HF proxy must be clearly positive
+        on compute-bound kernels (the LF phase is useless otherwise).
+        Streaming kernels (fp-vvadd) are deliberately *not* asserted:
+        their LF/HF disagreement is the multi-fidelity story."""
+        from repro.simulator import simulate
+
+        w = get_workload(name, data_size=data_size)
+        model = AnalyticalModel(w.profile, SPACE)
+        rng = np.random.default_rng(1)
+        lf, hf = [], []
+        for levels in SPACE.sample(rng, count=25):
+            config = SPACE.config(levels)
+            lf.append(model.cpi(config))
+            hf.append(simulate(w.trace, config).cpi)
+        lf, hf = np.array(lf), np.array(hf)
+        rank_corr = np.corrcoef(np.argsort(np.argsort(lf)), np.argsort(np.argsort(hf)))[0, 1]
+        assert rank_corr > 0.35
+
+    def test_speed_is_low_fidelity(self, mm_model):
+        """The whole point: ~1e4 evaluations per second or better."""
+        import time
+
+        config = SPACE.config(SPACE.smallest())
+        t0 = time.perf_counter()
+        for __ in range(1000):
+            mm_model.cpi(config)
+        assert time.perf_counter() - t0 < 2.0
+
+
+class TestGradients:
+    @given(level_vectors())
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_covers_all_parameters(self, levels):
+        model = AnalyticalModel(get_workload("mm", data_size=10).profile, SPACE)
+        grad = model.gradient(SPACE.config(levels))
+        assert set(grad) == set(SPACE.names)
+
+    def test_level_gradient_inf_at_max(self, mm_model):
+        deltas = mm_model.level_gradient(SPACE.largest())
+        assert np.all(np.isinf(deltas))
+
+    def test_finite_difference_matches_forward(self, mm_model):
+        levels = SPACE.smallest()
+        deltas = mm_model.finite_difference(levels)
+        here = mm_model.cpi(SPACE.config(levels))
+        up = levels.copy()
+        up[SPACE.index_of("decode_width")] += 1
+        expected = mm_model.cpi(SPACE.config(up)) - here
+        assert deltas[SPACE.index_of("decode_width")] == pytest.approx(expected)
+
+    @given(level_vectors())
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_signs_agree_with_finite_differences(self, levels):
+        """The paper's requirement: gradients "can only guarantee correct
+        increasing or decreasing trends". Where the analytic projection is
+        clearly nonzero, its sign must match the exact delta."""
+        model = AnalyticalModel(get_workload("mm", data_size=10).profile, SPACE)
+        analytic = model.level_gradient(levels)
+        exact = model.finite_difference(levels)
+        for i in range(SPACE.num_parameters):
+            if not np.isfinite(analytic[i]) or abs(analytic[i]) < 1e-4:
+                continue
+            if abs(exact[i]) < 1e-9:
+                continue
+            assert np.sign(analytic[i]) == np.sign(exact[i])
+
+    def test_beneficial_mask_decode_at_start(self, mm_model):
+        mask = mm_model.beneficial_mask(SPACE.smallest())
+        assert mask[SPACE.index_of("decode_width")]
+
+    def test_beneficial_mask_empty_at_top(self, mm_model):
+        mask = mm_model.beneficial_mask(SPACE.largest())
+        assert not mask.any()
+
+    def test_mask_finite_difference_definition(self, mm_model):
+        levels = SPACE.smallest()
+        mask = mm_model.beneficial_mask(levels)
+        exact = mm_model.finite_difference(levels)
+        assert np.array_equal(mask, exact < 0)
+
+
+class TestDeliberateBiases:
+    """The Sec.-4.3 failure modes must exist for the HF phase to matter."""
+
+    def test_branch_term_ignores_all_parameters(self, mm_model):
+        small = mm_model.breakdown(SPACE.config(SPACE.smallest()))
+        large = mm_model.breakdown(SPACE.config(SPACE.largest()))
+        assert small.branch == pytest.approx(large.branch)
+
+    def test_lf_and_hf_disagree_on_rob_for_streaming(self, vvadd_model):
+        """The model couples ROB to miss overlap through a smooth MLP
+        bound, while the simulator's MSHR file (2 entries at the smallest
+        design) hard-caps the overlap -- so the two proxies materially
+        disagree on the benefit of ROB growth for a streaming kernel.
+        This structured disagreement is what the HF phase exploits."""
+        from repro.simulator import simulate
+
+        w = get_workload("fp-vvadd", data_size=256)
+        base = SPACE.config(SPACE.smallest())
+        big_rob = base.replace(rob_entries=160)
+        lf_gain = vvadd_model.cpi(base) - vvadd_model.cpi(big_rob)
+        hf_gain = (
+            simulate(w.trace, base).cpi - simulate(w.trace, big_rob).cpi
+        )
+        assert abs(lf_gain - hf_gain) > 0.25
+
+    def test_params_configurable(self):
+        profile = get_workload("mm", data_size=10).profile
+        slow_mem = AnalyticalModel(
+            profile, SPACE, AnalyticalParams(mem_cycles=500.0)
+        )
+        fast_mem = AnalyticalModel(
+            profile, SPACE, AnalyticalParams(mem_cycles=10.0)
+        )
+        config = SPACE.config(SPACE.smallest())
+        assert slow_mem.cpi(config) > fast_mem.cpi(config)

@@ -1,0 +1,128 @@
+"""Tests for the design archive and the proxy pool."""
+
+import numpy as np
+import pytest
+
+from repro.designspace import default_design_space
+from repro.proxies import DesignArchive, Evaluation, Fidelity
+
+SPACE = default_design_space()
+
+
+def make_eval(levels, cpi, fidelity=Fidelity.LOW):
+    return Evaluation(
+        levels=np.asarray(levels),
+        fidelity=fidelity,
+        metrics={"cpi": cpi, "ipc": 1.0 / cpi},
+    )
+
+
+class TestArchive:
+    def test_lookup_miss_returns_none(self):
+        archive = DesignArchive(SPACE)
+        assert archive.lookup(SPACE.smallest(), Fidelity.LOW) is None
+
+    def test_record_and_lookup(self):
+        archive = DesignArchive(SPACE)
+        archive.record(make_eval(SPACE.smallest(), 2.0))
+        found = archive.lookup(SPACE.smallest(), Fidelity.LOW)
+        assert found is not None and found.cpi == 2.0
+
+    def test_fidelities_are_separate(self):
+        archive = DesignArchive(SPACE)
+        archive.record(make_eval(SPACE.smallest(), 2.0, Fidelity.LOW))
+        assert archive.lookup(SPACE.smallest(), Fidelity.HIGH) is None
+
+    def test_best_tracks_minimum_cpi(self):
+        archive = DesignArchive(SPACE)
+        rng = np.random.default_rng(0)
+        cpis = [3.0, 1.5, 2.5, 1.9]
+        for cpi in cpis:
+            archive.record(make_eval(SPACE.sample(rng), cpi))
+        assert archive.best(Fidelity.LOW).cpi == 1.5
+
+    def test_best_designs_sorted(self):
+        archive = DesignArchive(SPACE, keep_best=3)
+        rng = np.random.default_rng(0)
+        for cpi in (3.0, 1.0, 2.0, 4.0, 1.5):
+            archive.record(make_eval(SPACE.sample(rng), cpi))
+        board = archive.best_designs(Fidelity.LOW)
+        assert [e.cpi for e in board] == [1.0, 1.5, 2.0]
+
+    def test_leaderboard_truncated(self):
+        archive = DesignArchive(SPACE, keep_best=2)
+        rng = np.random.default_rng(0)
+        for cpi in (3.0, 1.0, 2.0):
+            archive.record(make_eval(SPACE.sample(rng), cpi))
+        assert len(archive.best_designs(Fidelity.LOW)) == 2
+
+    def test_count(self):
+        archive = DesignArchive(SPACE)
+        rng = np.random.default_rng(0)
+        for i, levels in enumerate(SPACE.sample(rng, count=5)):
+            archive.record(make_eval(levels, 1.0 + i))
+        assert archive.count(Fidelity.LOW) == 5
+        assert archive.count(Fidelity.HIGH) == 0
+
+    def test_best_none_when_empty(self):
+        assert DesignArchive(SPACE).best(Fidelity.HIGH) is None
+
+    def test_invalid_keep_best(self):
+        with pytest.raises(ValueError):
+            DesignArchive(SPACE, keep_best=0)
+
+
+class TestProxyPool:
+    def test_low_fidelity_uses_analytical(self, mm_pool):
+        evaluation = mm_pool.evaluate_low(SPACE.smallest())
+        expected = mm_pool.analytical.cpi(SPACE.config(SPACE.smallest()))
+        assert evaluation.cpi == pytest.approx(expected)
+        assert evaluation.fidelity is Fidelity.LOW
+
+    def test_high_fidelity_uses_simulator(self, mm_pool):
+        evaluation = mm_pool.evaluate_high(SPACE.smallest())
+        assert evaluation.fidelity is Fidelity.HIGH
+        assert "l1_miss_rate" in evaluation.metrics
+
+    def test_memoisation(self, mm_pool):
+        mm_pool.evaluate_high(SPACE.smallest())
+        mm_pool.evaluate_high(SPACE.smallest())
+        assert mm_pool.hf_evaluations == 1
+        assert mm_pool.archive.count(Fidelity.HIGH) == 1
+
+    def test_area_helpers(self, mm_pool):
+        assert mm_pool.fits(SPACE.smallest())
+        assert not mm_pool.fits(SPACE.largest())
+        assert mm_pool.area(SPACE.smallest()) > 0
+
+    def test_feasible_mask_respects_budget(self, mm_pool):
+        mask = mm_pool.feasible_increase_mask(SPACE.smallest())
+        assert mask.any()  # the smallest design can always grow
+        # verify every masked-in move really fits
+        for i in np.flatnonzero(mask):
+            up = SPACE.increase(SPACE.smallest(), i)
+            assert mm_pool.fits(up)
+
+    def test_feasible_mask_empty_near_budget(self, mm_pool):
+        """Grow greedily until the mask empties; the final design must be
+        within budget and all increases must overflow."""
+        levels = SPACE.smallest()
+        for __ in range(200):
+            mask = mm_pool.feasible_increase_mask(levels)
+            if not mask.any():
+                break
+            levels = SPACE.increase(levels, int(np.flatnonzero(mask)[0]))
+        assert mm_pool.fits(levels)
+        assert not mm_pool.feasible_increase_mask(levels).any()
+
+    def test_beneficial_mask_delegates_to_analytical(self, mm_pool):
+        expected = mm_pool.analytical.beneficial_mask(SPACE.smallest())
+        assert np.array_equal(mm_pool.beneficial_mask(SPACE.smallest()), expected)
+
+    def test_summary_counters(self, mm_pool):
+        mm_pool.evaluate_low(SPACE.smallest())
+        mm_pool.evaluate_high(SPACE.smallest())
+        summary = mm_pool.summary()
+        assert summary["lf_evaluations"] == 1
+        assert summary["hf_evaluations"] == 1
+        assert summary["hf_distinct"] == 1

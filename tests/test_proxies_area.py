@@ -1,0 +1,78 @@
+"""Unit tests for the McPAT-style area model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.designspace import default_design_space
+from repro.designspace.parameters import TABLE1_PARAMETERS
+from repro.proxies import AreaModel
+
+SPACE = default_design_space()
+MODEL = AreaModel()
+
+
+def level_vectors():
+    return st.tuples(*[st.integers(0, p.max_level) for p in TABLE1_PARAMETERS]).map(
+        lambda t: np.array(t, dtype=np.int64)
+    )
+
+
+class TestCalibration:
+    def test_smallest_design_area(self):
+        area = MODEL.area(SPACE.config(SPACE.smallest()))
+        assert 2.0 < area < 4.0  # must fit the 6 mm^2 budget comfortably
+
+    def test_largest_design_area(self):
+        area = MODEL.area(SPACE.config(SPACE.largest()))
+        assert area > 15.0  # must overflow every Table-2 budget
+
+    def test_paper_budgets_bind(self):
+        """Every Table-2 budget must exclude some designs and admit others."""
+        rng = np.random.default_rng(0)
+        areas = [MODEL.area(SPACE.config(l)) for l in SPACE.sample(rng, count=300)]
+        for limit in (6.0, 7.5, 8.0, 10.0):
+            inside = sum(a <= limit for a in areas)
+            assert 0 < inside < len(areas)
+
+
+class TestStructure:
+    def test_breakdown_sums_to_total(self):
+        config = SPACE.config(SPACE.largest())
+        bd = MODEL.breakdown(config)
+        assert bd.total == pytest.approx(MODEL.area(config))
+
+    def test_as_dict_has_total(self):
+        bd = MODEL.breakdown(SPACE.config(SPACE.smallest()))
+        d = bd.as_dict()
+        assert d["total"] == pytest.approx(bd.total)
+        assert set(d) == {"base", "l1", "l2", "mshr", "decode", "rob", "fu", "iq", "total"}
+
+    def test_callable_interface(self):
+        config = SPACE.config(SPACE.smallest())
+        assert MODEL(config) == MODEL.area(config)
+
+    @given(level_vectors())
+    @settings(max_examples=40, deadline=None)
+    def test_strictly_increasing_per_parameter(self, levels):
+        """Raising any level must raise area (the constraint semantics
+        of the episode termination depend on this)."""
+        base_area = MODEL.area(SPACE.config(levels))
+        for i in range(SPACE.num_parameters):
+            if levels[i] >= SPACE.max_levels[i]:
+                continue
+            up = levels.copy()
+            up[i] += 1
+            assert MODEL.area(SPACE.config(up)) > base_area
+
+    def test_decode_is_superlinear(self):
+        small = SPACE.config(SPACE.smallest())
+        step1 = MODEL.area(small.replace(decode_width=2)) - MODEL.area(small)
+        step4 = MODEL.area(small.replace(decode_width=5)) - MODEL.area(
+            small.replace(decode_width=4)
+        )
+        assert step4 > step1
+
+    def test_components_positive(self):
+        bd = MODEL.breakdown(SPACE.config(SPACE.smallest()))
+        assert all(v > 0 for v in bd.as_dict().values())

@@ -1,0 +1,70 @@
+"""Tests for the fidelity-gap analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.designspace import default_design_space
+from repro.proxies import (
+    AnalyticalModel,
+    Fidelity,
+    SimulationProxy,
+    measure_fidelity_gap,
+)
+from repro.proxies.validation import _spearman
+from repro.workloads import get_workload
+
+SPACE = default_design_space()
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert _spearman(a, a * 10 + 5) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert _spearman(a, -a) == pytest.approx(-1.0)
+
+    def test_constant_series(self):
+        assert _spearman(np.ones(5), np.arange(5.0)) == 0.0
+
+
+class TestFidelityGap:
+    @pytest.fixture(scope="class")
+    def gap(self):
+        workload = get_workload("mm", data_size=10)
+        analytical = AnalyticalModel(workload.profile, SPACE)
+        proxy = SimulationProxy(workload, SPACE)
+        return measure_fidelity_gap(
+            analytical, proxy, SPACE, np.random.default_rng(0),
+            num_designs=15, mask_probes=3,
+        )
+
+    def test_correlation_positive_on_compute_bound(self, gap):
+        assert gap.rank_correlation > 0.2
+
+    def test_error_stats_finite(self, gap):
+        assert np.isfinite(gap.mean_absolute_error)
+        assert np.isfinite(gap.mean_bias)
+        assert gap.mean_absolute_error >= abs(gap.mean_bias) - 1e-12
+
+    def test_mask_precision_in_unit_interval(self, gap):
+        assert 0.0 <= gap.mask_precision <= 1.0
+
+    def test_mask_precision_reasonable(self, gap):
+        """Most LF-claimed-beneficial moves must not hurt the HF proxy --
+        otherwise the LF phase would actively mislead."""
+        assert gap.mask_precision >= 0.5
+
+    def test_render(self, gap):
+        text = gap.render()
+        assert "rank=" in text and "mask-precision=" in text
+
+    def test_too_few_designs_rejected(self):
+        workload = get_workload("mm", data_size=10)
+        analytical = AnalyticalModel(workload.profile, SPACE)
+        proxy = SimulationProxy(workload, SPACE)
+        with pytest.raises(ValueError):
+            measure_fidelity_gap(
+                analytical, proxy, SPACE, np.random.default_rng(0), num_designs=2
+            )

@@ -1,0 +1,65 @@
+"""Unit tests for the gshare branch predictor."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import GsharePredictor
+
+
+class TestGshare:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(table_bits=0)
+        with pytest.raises(ValueError):
+            GsharePredictor(history_bits=0)
+        with pytest.raises(ValueError):
+            GsharePredictor(history_bits=31)
+
+    def test_all_taken_learns_quickly(self):
+        predictor = GsharePredictor()
+        for __ in range(200):
+            predictor.predict_and_update(True)
+        assert predictor.mispredict_rate < 0.1
+
+    def test_alternating_pattern_learned_via_history(self):
+        predictor = GsharePredictor()
+        for i in range(400):
+            predictor.predict_and_update(i % 2 == 0)
+        # gshare keys on history, so the strict alternation becomes
+        # predictable after warmup
+        assert predictor.mispredict_rate < 0.2
+
+    def test_short_period_pattern_learned(self):
+        pattern = [True, True, False]
+        predictor = GsharePredictor()
+        for i in range(600):
+            predictor.predict_and_update(pattern[i % 3])
+        assert predictor.mispredict_rate < 0.2
+
+    def test_random_stream_mispredicts_heavily(self):
+        rng = np.random.default_rng(0)
+        predictor = GsharePredictor()
+        for outcome in rng.random(2000) < 0.5:
+            predictor.predict_and_update(bool(outcome))
+        assert predictor.mispredict_rate > 0.35
+
+    def test_counters_saturate(self):
+        predictor = GsharePredictor(table_bits=2, history_bits=1)
+        for __ in range(50):
+            predictor.predict_and_update(True)
+        # one not-taken after heavy training should still predict taken next
+        predictor.predict_and_update(False)
+        mis_before = predictor.mispredictions
+        predictor.predict_and_update(True)
+        # at most one extra mispredict from the perturbation
+        assert predictor.mispredictions - mis_before <= 1
+
+    def test_rate_before_any_prediction(self):
+        assert GsharePredictor().mispredict_rate == 0.0
+
+    def test_prediction_counters(self):
+        predictor = GsharePredictor()
+        for __ in range(17):
+            predictor.predict_and_update(True)
+        assert predictor.predictions == 17
+        assert 0 <= predictor.mispredictions <= 17

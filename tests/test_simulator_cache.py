@@ -1,0 +1,113 @@
+"""Unit + property tests for the set-associative LRU cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator import SetAssociativeCache
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(sets=4, ways=2)
+        assert cache.access(10) is False
+        assert cache.access(10) is True
+
+    def test_capacity(self):
+        assert SetAssociativeCache(16, 4).capacity_lines == 64
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 2)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(4, 0)
+
+    def test_lru_eviction_order(self):
+        cache = SetAssociativeCache(sets=1, ways=2)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)      # 0 is now MRU
+        cache.access(2)      # evicts 1 (LRU)
+        assert cache.probe(0)
+        assert not cache.probe(1)
+        assert cache.probe(2)
+
+    def test_conflict_misses_across_sets(self):
+        cache = SetAssociativeCache(sets=2, ways=1)
+        cache.access(0)  # set 0
+        cache.access(1)  # set 1 -- different set, no conflict
+        assert cache.probe(0) and cache.probe(1)
+        cache.access(2)  # set 0 -- evicts 0
+        assert not cache.probe(0)
+
+    def test_probe_does_not_touch_stats_or_lru(self):
+        cache = SetAssociativeCache(sets=1, ways=2)
+        cache.access(0)
+        cache.access(1)
+        cache.probe(0)       # must NOT refresh 0's recency
+        cache.access(2)      # evicts 0, the true LRU
+        assert not cache.probe(0)
+        assert cache.accesses == 3
+
+    def test_warm_installs_without_stats(self):
+        cache = SetAssociativeCache(sets=2, ways=2)
+        cache.warm(5)
+        assert cache.accesses == 0
+        assert cache.access(5) is True
+
+    def test_warm_existing_line_is_noop(self):
+        cache = SetAssociativeCache(sets=1, ways=2)
+        cache.warm(1)
+        cache.warm(1)
+        assert cache.probe(1)
+
+    def test_reset_stats_keeps_contents(self):
+        cache = SetAssociativeCache(sets=2, ways=2)
+        cache.access(3)
+        cache.reset_stats()
+        assert cache.accesses == 0
+        assert cache.access(3) is True
+
+    def test_miss_rate_empty_cache(self):
+        assert SetAssociativeCache(2, 2).miss_rate == 0.0
+
+
+class TestWorkingSetBehaviour:
+    def test_working_set_within_capacity_all_hits_after_warmup(self):
+        cache = SetAssociativeCache(sets=8, ways=2)
+        lines = list(range(16))
+        for line in lines:       # warmup pass
+            cache.access(line)
+        cache.reset_stats()
+        for __ in range(3):
+            for line in lines:
+                assert cache.access(line) is True
+
+    def test_cyclic_overflow_thrashes_lru(self):
+        # classic LRU pathology: loop over capacity+1 distinct lines
+        # mapping to the same set -> zero hits
+        cache = SetAssociativeCache(sets=1, ways=4)
+        for __ in range(5):
+            for line in range(5):
+                cache.access(line)
+        assert cache.hits == 0
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_bigger_cache_never_misses_more(self, addrs):
+        """LRU inclusion property: more ways -> subset of misses."""
+        small = SetAssociativeCache(sets=4, ways=2)
+        big = SetAssociativeCache(sets=4, ways=8)
+        for addr in addrs:
+            small.access(addr)
+            big.access(addr)
+        assert big.misses <= small.misses
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_stats_are_consistent(self, addrs):
+        cache = SetAssociativeCache(sets=4, ways=2)
+        for addr in addrs:
+            cache.access(addr)
+        assert cache.hits + cache.misses == len(addrs)
+        assert 0.0 <= cache.miss_rate <= 1.0

@@ -1,0 +1,259 @@
+"""Behavioural tests for the out-of-order timing model.
+
+Synthetic traces pin down each structural constraint (width, ROB, IQ,
+FUs, cache, MSHR, branch redirect); real kernels check end-to-end
+monotonicity in the Table-1 parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.designspace import default_design_space
+from repro.simulator import SimulatorParams, simulate
+from repro.workloads import get_workload
+from repro.workloads.trace import TraceBuilder
+
+SPACE = default_design_space()
+
+
+def config(**overrides):
+    """Mid-size baseline config with keyword overrides (values)."""
+    base = dict(
+        l1_sets=64, l1_ways=8, l2_sets=512, l2_ways=8, n_mshr=8,
+        decode_width=4, rob_entries=128, mem_fu=2, int_fu=4, fp_fu=2,
+        iq_entries=24,
+    )
+    base.update(overrides)
+    from repro.designspace import MicroArchConfig
+
+    return MicroArchConfig(**base)
+
+
+def independent_ints(n=400):
+    tb = TraceBuilder("ind")
+    for __ in range(n):
+        tb.int_op()
+    return tb.build()
+
+
+def serial_chain(n=400):
+    tb = TraceBuilder("chain")
+    v = tb.int_op()
+    for __ in range(n - 1):
+        v = tb.int_op(v)
+    return tb.build()
+
+
+class TestWidthAndDependencies:
+    def test_serial_chain_cpi_near_one(self):
+        result = simulate(serial_chain(), config())
+        assert result.cpi == pytest.approx(1.0, rel=0.05)
+
+    def test_serial_chain_insensitive_to_width(self):
+        narrow = simulate(serial_chain(), config(decode_width=1))
+        wide = simulate(serial_chain(), config(decode_width=5))
+        assert wide.cycles == pytest.approx(narrow.cycles, rel=0.02)
+
+    def test_independent_ops_scale_with_width(self):
+        w1 = simulate(independent_ints(), config(decode_width=1, int_fu=5))
+        w4 = simulate(independent_ints(), config(decode_width=4, int_fu=5))
+        assert w1.cpi == pytest.approx(1.0, rel=0.1)
+        assert w4.cpi == pytest.approx(0.25, rel=0.2)
+
+    def test_cycles_lower_bound_is_commit_width(self):
+        result = simulate(independent_ints(400), config(decode_width=4, int_fu=5))
+        assert result.cycles >= 400 / 4
+
+    def test_ipc_is_reciprocal_cpi(self):
+        result = simulate(independent_ints(), config())
+        assert result.ipc == pytest.approx(1.0 / result.cpi)
+
+
+class TestFunctionalUnits:
+    def test_int_fu_contention(self):
+        one = simulate(independent_ints(), config(int_fu=1, decode_width=4))
+        four = simulate(independent_ints(), config(int_fu=4, decode_width=4))
+        assert one.cpi > 2.5 * four.cpi
+
+    def test_fp_pipelining(self):
+        # independent FP adds: 1 pipelined FPU sustains 1/cycle
+        tb = TraceBuilder("fp")
+        for __ in range(300):
+            tb.fp_add()
+        result = simulate(tb.build(), config(fp_fu=1, decode_width=1))
+        assert result.cpi == pytest.approx(1.0, rel=0.1)
+
+    def test_divides_are_unpipelined(self):
+        tb = TraceBuilder("div")
+        for __ in range(60):
+            tb.int_div()
+        result = simulate(tb.build(), config(int_fu=1, decode_width=4))
+        # each divide occupies the unit for its full 12-cycle latency
+        assert result.cpi > 10.0
+
+    def test_more_int_fu_helps_divides(self):
+        tb = TraceBuilder("div")
+        for __ in range(60):
+            tb.int_div()
+        one = simulate(tb.build(), config(int_fu=1))
+        five = simulate(tb.build(), config(int_fu=5))
+        assert five.cycles < one.cycles / 2
+
+    def test_fu_issue_counts(self):
+        tb = TraceBuilder("mix")
+        addr = tb.alloc(64)
+        tb.int_op()
+        tb.fp_add()
+        tb.load(addr)
+        tb.store(addr)
+        tb.branch(taken=True)
+        result = simulate(tb.build(), config())
+        assert result.fu_issue_counts == {"int": 2, "mem": 2, "fp": 1}
+
+
+class TestWindowLimits:
+    def _latency_shadow_trace(self):
+        """A long-latency divide followed by many independent ops."""
+        tb = TraceBuilder("shadow")
+        for __ in range(20):
+            tb.fp_div()          # 10-cycle unpipelined stalls commit
+            for ___ in range(40):
+                tb.int_op()
+        return tb.build()
+
+    def test_bigger_rob_hides_latency(self):
+        small = simulate(self._latency_shadow_trace(), config(rob_entries=32))
+        large = simulate(self._latency_shadow_trace(), config(rob_entries=160))
+        assert large.cycles < small.cycles
+
+    def test_bigger_iq_helps_when_tiny(self):
+        trace = self._latency_shadow_trace()
+        tiny = simulate(trace, config(iq_entries=2))
+        big = simulate(trace, config(iq_entries=24))
+        assert big.cycles < tiny.cycles
+
+
+class TestMemoryHierarchy:
+    def _streaming_loads(self, lines=256, line_bytes=64):
+        tb = TraceBuilder("stream")
+        base = tb.alloc(lines * line_bytes)
+        for i in range(lines):
+            tb.load(base + i * line_bytes)
+        return tb.build()
+
+    def test_l1_hits_are_cheap(self):
+        tb = TraceBuilder("hits")
+        addr = tb.alloc(64)
+        for __ in range(200):
+            tb.load(addr)
+        result = simulate(tb.build(), config())
+        assert result.l1_miss_rate < 0.02
+        assert result.cpi < 1.5
+
+    def test_streaming_misses_cost_memory_latency(self):
+        result = simulate(
+            self._streaming_loads(),
+            config(l1_sets=16, l1_ways=2, l2_sets=128, l2_ways=2, n_mshr=2),
+        )
+        assert result.l1_miss_rate > 0.9
+        assert result.cpi > 10
+
+    def test_more_mshrs_overlap_misses(self):
+        trace = self._streaming_loads()
+        few = simulate(trace, config(n_mshr=2, rob_entries=160, iq_entries=24))
+        many = simulate(trace, config(n_mshr=10, rob_entries=160, iq_entries=24))
+        assert many.cycles < few.cycles
+        assert many.mshr_stall_cycles < few.mshr_stall_cycles
+
+    def test_same_line_misses_merge_in_mshr(self):
+        tb = TraceBuilder("merge")
+        base = tb.alloc(64)
+        for __ in range(8):
+            tb.load(base)  # one line, 8 loads -> 1 miss + merged/hit
+        result = simulate(tb.build(), config())
+        assert result.l1_miss_rate <= 1 / 8 + 1e-9
+
+    def test_bigger_l1_reduces_misses(self):
+        w = get_workload("dijkstra", data_size=48)
+        small = simulate(w.trace, config(l1_sets=16, l1_ways=2))
+        big = simulate(w.trace, config(l1_sets=64, l1_ways=16))
+        assert big.l1_miss_rate <= small.l1_miss_rate
+
+    def test_l2_catches_l1_victims(self):
+        result = simulate(
+            self._streaming_loads(512),
+            config(l1_sets=16, l1_ways=2, l2_sets=2048, l2_ways=16),
+        )
+        repeat = self._streaming_loads(512)
+        # second pass through the same footprint: L2 should hit
+        tb = TraceBuilder("two-pass")
+        base = tb.alloc(512 * 64)
+        for __ in range(2):
+            for i in range(512):
+                tb.load(base + i * 64)
+        two_pass = simulate(
+            tb.build(), config(l1_sets=16, l1_ways=2, l2_sets=2048, l2_ways=16)
+        )
+        assert two_pass.l2_miss_rate < 0.7
+
+
+class TestBranches:
+    def test_random_branches_slower_than_biased(self):
+        rng = np.random.default_rng(0)
+
+        def branch_trace(outcomes):
+            tb = TraceBuilder("br")
+            for outcome in outcomes:
+                v = tb.int_op()
+                tb.branch(v, taken=bool(outcome))
+            return tb.build()
+
+        biased = simulate(branch_trace(np.ones(500, bool)), config())
+        random = simulate(branch_trace(rng.random(500) < 0.5), config())
+        assert random.cycles > 1.2 * biased.cycles
+        assert random.branch_mispredict_rate > biased.branch_mispredict_rate
+
+
+class TestEndToEndMonotonicity:
+    @pytest.mark.parametrize(
+        "name",
+        ["n_mshr", "decode_width", "rob_entries", "int_fu", "mem_fu", "iq_entries"],
+    )
+    def test_structural_params_never_hurt_much(self, name):
+        """Raising a queue/width/FU parameter must not degrade CPI
+        beyond noise (cache geometry is excluded: set-mapping changes can
+        legitimately go either way)."""
+        w = get_workload("mm", data_size=10)
+        lo = SPACE.smallest()
+        hi = lo.copy()
+        hi[SPACE.index_of(name)] = SPACE.max_levels[SPACE.index_of(name)]
+        cpi_lo = simulate(w.trace, SPACE.config(lo)).cpi
+        cpi_hi = simulate(w.trace, SPACE.config(hi)).cpi
+        assert cpi_hi <= cpi_lo * 1.02
+
+    def test_largest_design_dominates_smallest(self):
+        for name in ("mm", "fp-vvadd", "quicksort"):
+            w = get_workload(name, data_size={"mm": 10, "fp-vvadd": 256, "quicksort": 64}[name])
+            small = simulate(w.trace, SPACE.config(SPACE.smallest())).cpi
+            large = simulate(w.trace, SPACE.config(SPACE.largest())).cpi
+            assert large < small
+
+    def test_deterministic(self):
+        w = get_workload("mm", data_size=10)
+        cfg = SPACE.config(SPACE.smallest())
+        assert simulate(w.trace, cfg).cycles == simulate(w.trace, cfg).cycles
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self):
+        tb = TraceBuilder("x")
+        tb.int_op()
+        trace = tb.build()
+        with pytest.raises(ValueError):
+            trace.slice(0, 0)  # empty traces cannot exist
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            SimulatorParams(l1_hit_cycles=0).validate()
+        with pytest.raises(ValueError):
+            SimulatorParams(line_bytes=48).validate()

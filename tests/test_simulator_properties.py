@@ -1,0 +1,137 @@
+"""Property-based simulator invariants over random synthetic traces.
+
+These pin the structural soundness of the timing model: resources can
+only help, timestamps are deterministic, and basic lower bounds hold for
+*any* dependency/address pattern -- not just the six kernels.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.designspace import MicroArchConfig
+from repro.simulator import simulate
+from repro.workloads.isa import OpClass
+from repro.workloads.trace import TraceBuilder
+
+
+@st.composite
+def random_traces(draw, max_len=120):
+    """Random well-formed traces mixing every op class."""
+    n = draw(st.integers(10, max_len))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    tb = TraceBuilder("random")
+    base = tb.alloc(64 * 64)
+    handles = []
+    for i in range(n):
+        kind = int(rng.integers(0, 6))
+        dep = None
+        if handles and rng.random() < 0.6:
+            dep = handles[int(rng.integers(max(0, len(handles) - 8), len(handles)))]
+        if kind == 0:
+            handles.append(tb.int_op(dep))
+        elif kind == 1:
+            handles.append(tb.fp_add(dep))
+        elif kind == 2:
+            handles.append(tb.fp_mul(dep))
+        elif kind == 3:
+            addr = base + int(rng.integers(0, 64)) * 64
+            handles.append(tb.load(addr, addr_dep=dep))
+        elif kind == 4:
+            addr = base + int(rng.integers(0, 64)) * 64
+            handles.append(tb.store(addr, dep))
+        else:
+            handles.append(tb.branch(dep, taken=bool(rng.random() < 0.7)))
+    return tb.build()
+
+
+def config(**overrides):
+    base = dict(
+        l1_sets=16, l1_ways=2, l2_sets=128, l2_ways=2, n_mshr=2,
+        decode_width=1, rob_entries=32, mem_fu=1, int_fu=1, fp_fu=1,
+        iq_entries=2,
+    )
+    base.update(overrides)
+    return MicroArchConfig(**base)
+
+
+class TestLowerBounds:
+    @given(random_traces())
+    @settings(max_examples=25, deadline=None)
+    def test_cycles_at_least_width_bound(self, trace):
+        for width in (1, 4):
+            result = simulate(trace, config(decode_width=width))
+            assert result.cycles >= len(trace) / width
+
+    @given(random_traces())
+    @settings(max_examples=25, deadline=None)
+    def test_cpi_ipc_consistency(self, trace):
+        result = simulate(trace, config())
+        assert result.cpi > 0
+        assert result.cpi * result.ipc == pytest.approx(1.0)
+        assert result.instructions == len(trace)
+
+
+class TestResourceMonotonicity:
+    """Adding hardware never makes the machine slower."""
+
+    @given(random_traces())
+    @settings(max_examples=20, deadline=None)
+    def test_wider_decode_never_slower(self, trace):
+        narrow = simulate(trace, config(decode_width=1))
+        wide = simulate(trace, config(decode_width=5))
+        assert wide.cycles <= narrow.cycles
+
+    @given(random_traces())
+    @settings(max_examples=20, deadline=None)
+    def test_bigger_rob_never_slower(self, trace):
+        small = simulate(trace, config(rob_entries=32))
+        big = simulate(trace, config(rob_entries=160))
+        assert big.cycles <= small.cycles
+
+    @given(random_traces())
+    @settings(max_examples=20, deadline=None)
+    def test_bigger_iq_never_slower(self, trace):
+        small = simulate(trace, config(iq_entries=2))
+        big = simulate(trace, config(iq_entries=24))
+        assert big.cycles <= small.cycles
+
+    @given(random_traces())
+    @settings(max_examples=20, deadline=None)
+    def test_more_fus_never_slower(self, trace):
+        few = simulate(trace, config(int_fu=1, fp_fu=1, mem_fu=1))
+        many = simulate(trace, config(int_fu=5, fp_fu=2, mem_fu=2))
+        assert many.cycles <= few.cycles
+
+    @given(random_traces())
+    @settings(max_examples=20, deadline=None)
+    def test_more_mshrs_never_slower(self, trace):
+        few = simulate(trace, config(n_mshr=2))
+        many = simulate(trace, config(n_mshr=10))
+        assert many.cycles <= few.cycles
+
+
+class TestDeterminismAndStats:
+    @given(random_traces())
+    @settings(max_examples=15, deadline=None)
+    def test_repeat_runs_identical(self, trace):
+        cfg = config(decode_width=3, int_fu=2)
+        a = simulate(trace, cfg)
+        b = simulate(trace, cfg)
+        assert a.cycles == b.cycles
+        assert a.l1_miss_rate == b.l1_miss_rate
+
+    @given(random_traces())
+    @settings(max_examples=15, deadline=None)
+    def test_rates_in_unit_interval(self, trace):
+        result = simulate(trace, config())
+        assert 0.0 <= result.l1_miss_rate <= 1.0
+        assert 0.0 <= result.l2_miss_rate <= 1.0
+        assert 0.0 <= result.branch_mispredict_rate <= 1.0
+
+    @given(random_traces())
+    @settings(max_examples=15, deadline=None)
+    def test_fu_counts_partition_the_trace(self, trace):
+        result = simulate(trace, config())
+        assert sum(result.fu_issue_counts.values()) == len(trace)

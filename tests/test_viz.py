@@ -1,0 +1,114 @@
+"""Tests for the terminal visualisation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import viz
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert viz.sparkline([]) == ""
+
+    def test_length_matches_input(self):
+        assert len(viz.sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_series_uses_lowest_glyph(self):
+        assert viz.sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = viz.sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_fixed_scale(self):
+        # with lo/hi fixed, the same value maps to the same glyph
+        a = viz.sparkline([5], lo=0, hi=10)
+        b = viz.sparkline([5, 0, 10], lo=0, hi=10)
+        assert a[0] == b[0]
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid_glyphs(self, values):
+        line = viz.sparkline(values)
+        assert len(line) == len(values)
+        assert all(c in "▁▂▃▄▅▆▇█" for c in line)
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert viz.bar_chart({}) == "(empty)"
+
+    def test_rows_match_entries(self):
+        chart = viz.bar_chart({"a": 1.0, "b": 2.0})
+        assert len(chart.splitlines()) == 2
+
+    def test_largest_value_gets_full_width(self):
+        chart = viz.bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        rows = chart.splitlines()
+        assert "=" * 10 in rows[1]
+        assert "=" * 10 not in rows[0]
+
+    def test_highlight_uses_distinct_fill(self):
+        chart = viz.bar_chart({"a": 1.0, "b": 1.0}, highlight="b")
+        rows = chart.splitlines()
+        assert "#" in rows[1] and "#" not in rows[0]
+
+    def test_values_printed(self):
+        chart = viz.bar_chart({"x": 1.2345})
+        assert "1.2345" in chart
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            viz.bar_chart({"a": -1.0})
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            viz.bar_chart({"a": 1.0}, width=0)
+
+    def test_all_zero_values(self):
+        chart = viz.bar_chart({"a": 0.0, "b": 0.0})
+        assert "=" not in chart
+
+
+class TestLinePlot:
+    def test_empty(self):
+        assert viz.line_plot({}) == "(empty)"
+
+    def test_dimensions(self):
+        plot = viz.line_plot({"s": [1, 2, 3]}, height=6, width=20)
+        lines = plot.splitlines()
+        assert len(lines) == 6 + 1  # rows + legend
+
+    def test_legend_mentions_series(self):
+        plot = viz.line_plot({"alpha": [1, 2], "beta": [2, 1]})
+        assert "1=alpha" in plot and "2=beta" in plot
+
+    def test_scale_labels_present(self):
+        plot = viz.line_plot({"s": [1.0, 3.0]})
+        assert "3.000" in plot and "1.000" in plot
+
+    def test_constant_series_handled(self):
+        plot = viz.line_plot({"s": [2.0, 2.0, 2.0]})
+        assert "2.000" in plot
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            viz.line_plot({"s": [1, 2]}, height=1)
+        with pytest.raises(ValueError):
+            viz.line_plot({"s": [1, 2]}, width=1)
+
+
+class TestTrajectoryPlot:
+    def test_focus_first(self):
+        plot = viz.trajectory_plot(
+            {"decode_width": [1, 2, 3], "rob_entries": [32, 64, 96]},
+            focus="decode_width",
+        )
+        lines = plot.splitlines()
+        assert lines[0].startswith("decode_width")
+        assert len(lines) == 2
+
+    def test_unknown_focus_rejected(self):
+        with pytest.raises(KeyError):
+            viz.trajectory_plot({"a": [1]}, focus="b")

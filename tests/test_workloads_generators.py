@@ -1,0 +1,125 @@
+"""Tests for the six kernel trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import GENERATORS
+from repro.workloads.isa import OpClass
+
+#: Small sizes that still exercise each kernel's full control flow.
+SMALL_SIZES = {
+    "dijkstra": 24,
+    "mm": 6,
+    "fp-vvadd": 64,
+    "quicksort": 48,
+    "fft": 32,
+    "ss": 256,
+}
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        name: gen(data_size=SMALL_SIZES[name], seed=0)
+        for name, gen in GENERATORS.items()
+    }
+
+
+class TestAllGenerators:
+    def test_six_benchmarks_registered(self):
+        assert set(GENERATORS) == {
+            "dijkstra", "mm", "fp-vvadd", "quicksort", "fft", "ss"
+        }
+
+    @pytest.mark.parametrize("name", sorted(SMALL_SIZES))
+    def test_nonempty(self, traces, name):
+        assert traces[name].num_instructions > 50
+
+    @pytest.mark.parametrize("name", sorted(SMALL_SIZES))
+    def test_deterministic_given_seed(self, name):
+        a = GENERATORS[name](data_size=SMALL_SIZES[name], seed=3)
+        b = GENERATORS[name](data_size=SMALL_SIZES[name], seed=3)
+        assert np.array_equal(a.op, b.op)
+        assert np.array_equal(a.address, b.address)
+        assert np.array_equal(a.taken, b.taken)
+
+    @pytest.mark.parametrize("name", ["dijkstra", "quicksort", "ss"])
+    def test_seed_changes_data_dependent_traces(self, name):
+        a = GENERATORS[name](data_size=SMALL_SIZES[name], seed=0)
+        b = GENERATORS[name](data_size=SMALL_SIZES[name], seed=1)
+        assert (
+            a.num_instructions != b.num_instructions
+            or not np.array_equal(a.taken, b.taken)
+        )
+
+    @pytest.mark.parametrize("name", sorted(SMALL_SIZES))
+    def test_bigger_data_means_longer_trace(self, name):
+        small = GENERATORS[name](data_size=SMALL_SIZES[name], seed=0)
+        big = GENERATORS[name](data_size=SMALL_SIZES[name] * 2, seed=0)
+        assert big.num_instructions > small.num_instructions
+
+    @pytest.mark.parametrize("name", sorted(SMALL_SIZES))
+    def test_memory_addresses_positive(self, traces, name):
+        trace = traces[name]
+        mem = trace.memory_indices()
+        assert np.all(trace.address[mem] > 0)
+
+
+class TestKernelSignatures:
+    """Each kernel must carry its characteristic instruction mix."""
+
+    def test_vvadd_is_fp_streaming(self, traces):
+        counts = traces["fp-vvadd"].op_counts()
+        n = traces["fp-vvadd"].num_instructions
+        # 2 loads + 1 store per 1 fp-add
+        assert counts[OpClass.FP_ADD] > 0
+        assert counts[OpClass.LOAD] == pytest.approx(2 * counts[OpClass.FP_ADD], rel=0.1)
+        assert (counts[OpClass.LOAD] + counts[OpClass.STORE]) / n > 0.4
+
+    def test_mm_is_multiply_heavy(self, traces):
+        counts = traces["mm"].op_counts()
+        assert counts[OpClass.FP_MUL] > 0
+        # one fp_mul per inner iteration, fp_adds one fewer per dot product
+        assert counts[OpClass.FP_MUL] >= counts[OpClass.FP_ADD]
+
+    def test_quicksort_is_branchy_integer(self, traces):
+        trace = traces["quicksort"]
+        counts = trace.op_counts()
+        assert counts[OpClass.FP_ADD] == 0 and counts[OpClass.FP_MUL] == 0
+        assert counts[OpClass.BRANCH] / trace.num_instructions > 0.2
+
+    def test_quicksort_branches_are_data_dependent(self, traces):
+        taken = traces["quicksort"].taken[
+            traces["quicksort"].op == int(OpClass.BRANCH)
+        ]
+        rate = taken.mean()
+        assert 0.2 < rate < 0.8  # neither all-taken nor all-not-taken
+
+    def test_fft_has_complex_multiplies(self, traces):
+        counts = traces["fft"].op_counts()
+        # 4 multiplies per butterfly
+        assert counts[OpClass.FP_MUL] >= counts[OpClass.FP_ADD] / 2
+
+    def test_dijkstra_is_integer_pointer_chasing(self, traces):
+        trace = traces["dijkstra"]
+        counts = trace.op_counts()
+        assert counts[OpClass.FP_ADD] == 0
+        assert counts[OpClass.LOAD] / trace.num_instructions > 0.25
+
+    def test_ss_is_load_compare_branch(self, traces):
+        trace = traces["ss"]
+        counts = trace.op_counts()
+        assert counts[OpClass.STORE] / trace.num_instructions < 0.05
+        assert counts[OpClass.BRANCH] / trace.num_instructions > 0.2
+
+    def test_fft_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            GENERATORS["fft"](data_size=24)
+
+    @pytest.mark.parametrize(
+        "name, minimum",
+        [("dijkstra", 4), ("mm", 2), ("fp-vvadd", 8), ("quicksort", 4), ("ss", 64)],
+    )
+    def test_size_floors(self, name, minimum):
+        with pytest.raises(ValueError):
+            GENERATORS[name](data_size=minimum - 1)

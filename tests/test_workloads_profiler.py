@@ -1,0 +1,170 @@
+"""Tests for the trace profiler (analytical-model inputs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.generators import GENERATORS
+from repro.workloads.profiler import (
+    MissRateCurve,
+    _branch_mispredict_rate,
+    _stack_distances,
+    profile_trace,
+)
+from repro.workloads.trace import TraceBuilder
+
+
+@pytest.fixture(scope="module")
+def vvadd_profile():
+    trace = GENERATORS["fp-vvadd"](data_size=256, seed=0)
+    return profile_trace(trace)
+
+
+@pytest.fixture(scope="module")
+def mm_profile():
+    trace = GENERATORS["mm"](data_size=8, seed=0)
+    return profile_trace(trace)
+
+
+class TestMix:
+    def test_mix_sums_to_one(self, vvadd_profile):
+        assert sum(vvadd_profile.mix.values()) == pytest.approx(1.0)
+
+    def test_fu_fractions_partition(self, vvadd_profile):
+        p = vvadd_profile
+        assert p.frac_int + p.frac_fp + p.frac_mem == pytest.approx(1.0)
+
+    def test_vvadd_memory_heavy(self, vvadd_profile):
+        assert vvadd_profile.frac_mem > 0.4
+
+
+class TestIlpTable:
+    def test_monotone_in_window(self, mm_profile):
+        ipcs = list(mm_profile.ilp_ipc)
+        assert all(b >= a - 1e-9 for a, b in zip(ipcs, ipcs[1:]))
+
+    def test_interpolation_between_anchors(self, mm_profile):
+        w0, w1 = mm_profile.ilp_windows[2], mm_profile.ilp_windows[3]
+        mid = mm_profile.ilp_at((w0 + w1) / 2)
+        assert min(mm_profile.ilp_at(w0), mm_profile.ilp_at(w1)) - 1e-9 <= mid
+        assert mid <= max(mm_profile.ilp_at(w0), mm_profile.ilp_at(w1)) + 1e-9
+
+    def test_slope_nonnegative(self, mm_profile):
+        for w in (20, 48, 100, 140):
+            assert mm_profile.ilp_slope(w) >= 0.0
+
+    def test_slope_zero_outside_range(self, mm_profile):
+        assert mm_profile.ilp_slope(1) == 0.0
+        assert mm_profile.ilp_slope(10_000) == 0.0
+
+    def test_serial_chain_has_unit_ilp(self):
+        tb = TraceBuilder("chain")
+        v = tb.int_op()
+        for __ in range(200):
+            v = tb.int_op(v)
+        profile = profile_trace(tb.build())
+        # fully serial: IPC ~= 1/latency = 1.0 for INT_ALU
+        assert profile.ilp_at(160) == pytest.approx(1.0, abs=0.05)
+
+    def test_independent_ops_have_high_ilp(self):
+        tb = TraceBuilder("parallel")
+        for __ in range(200):
+            tb.int_op()
+        profile = profile_trace(tb.build())
+        assert profile.ilp_at(160) > 20
+
+
+class TestStackDistances:
+    def test_first_access_is_cold(self):
+        dist = _stack_distances(np.array([1, 2, 3]))
+        assert (dist == -1).all()
+
+    def test_immediate_reuse_distance_zero(self):
+        dist = _stack_distances(np.array([5, 5]))
+        assert dist[1] == 0
+
+    def test_classic_pattern(self):
+        # a b c a : the second 'a' has stack distance 2 (b, c in between)
+        dist = _stack_distances(np.array([1, 2, 3, 1]))
+        assert dist[3] == 2
+
+    def test_repeated_interleave(self):
+        dist = _stack_distances(np.array([1, 2, 1, 2]))
+        assert dist[2] == 1 and dist[3] == 1
+
+    @given(st.lists(st.integers(0, 8), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_distance_bounded_by_unique_lines(self, addrs):
+        arr = np.array(addrs)
+        dist = _stack_distances(arr)
+        n_unique = len(np.unique(arr))
+        assert np.all(dist[dist >= 0] < n_unique)
+
+
+class TestMissRateCurve:
+    def test_monotone_nonincreasing(self, vvadd_profile):
+        curve = vvadd_profile.miss_curve
+        rates = list(curve.miss_rates)
+        assert all(b <= a + 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_rate_bounds(self, vvadd_profile):
+        curve = vvadd_profile.miss_curve
+        for size in (1, 10, 1000, 10**6):
+            assert 0.0 <= curve.rate(size) <= 1.0
+
+    def test_large_cache_only_cold_misses(self, vvadd_profile):
+        curve = vvadd_profile.miss_curve
+        footprint = vvadd_profile.footprint_lines
+        # beyond the footprint, only cold misses remain
+        cold = curve.rate(4 * footprint)
+        assert cold > 0
+        assert cold == pytest.approx(curve.rate(8 * footprint), abs=1e-9)
+
+    def test_slope_nonpositive_inside(self, vvadd_profile):
+        curve = vvadd_profile.miss_curve
+        for size in (8, 64, 512):
+            assert curve.slope(size) <= 0.0
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            MissRateCurve(np.array([1, 2, 4]), np.array([1.0, 0.5]))
+
+    def test_non_ascending_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MissRateCurve(np.array([4, 2]), np.array([1.0, 0.5]))
+
+
+class TestBranchPredictorProfile:
+    def test_all_taken_predicts_well(self):
+        taken = np.ones(500, dtype=bool)
+        assert _branch_mispredict_rate(taken) < 0.02
+
+    def test_alternating_confuses_two_bit_counter(self):
+        taken = np.tile([True, False], 250).astype(bool)
+        assert _branch_mispredict_rate(taken) > 0.3
+
+    def test_empty_stream(self):
+        assert _branch_mispredict_rate(np.array([], dtype=bool)) == 0.0
+
+    def test_rate_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        taken = rng.random(300) < 0.5
+        rate = _branch_mispredict_rate(taken)
+        assert 0.0 <= rate <= 1.0
+
+
+class TestProfileAggregates:
+    def test_footprint_positive(self, vvadd_profile):
+        assert vvadd_profile.footprint_lines > 0
+
+    def test_vvadd_footprint_matches_arrays(self, vvadd_profile):
+        # 3 arrays * 256 doubles = 6 KiB -> ~96 lines
+        assert 80 <= vvadd_profile.footprint_lines <= 120
+
+    def test_mlp_supply_at_least_one(self, vvadd_profile, mm_profile):
+        assert vvadd_profile.mlp_supply >= 1.0
+        assert mm_profile.mlp_supply >= 1.0
+
+    def test_vvadd_streaming_mlp(self, vvadd_profile):
+        # streaming kernels expose multiple concurrent miss lines
+        assert vvadd_profile.mlp_supply > 1.5

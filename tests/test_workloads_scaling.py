@@ -1,0 +1,61 @@
+"""Workload scaling properties: the paper's data-size knob must act on
+the quantities the DSE cares about (footprint, miss curves, trace size).
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import get_workload
+from repro.workloads.generators import GENERATORS
+
+SMALL = {"dijkstra": 32, "mm": 8, "fp-vvadd": 128, "quicksort": 64,
+         "fft": 32, "ss": 512}
+LARGE = {"dijkstra": 128, "mm": 16, "fp-vvadd": 512, "quicksort": 256,
+         "fft": 128, "ss": 2048}
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+class TestScaling:
+    def test_footprint_grows_with_data_size(self, name):
+        small = get_workload(name, data_size=SMALL[name]).profile
+        large = get_workload(name, data_size=LARGE[name]).profile
+        assert large.footprint_lines > small.footprint_lines
+
+    def test_miss_curve_shifts_right(self, name):
+        """A larger working set needs a larger cache for the same miss
+        rate: at the small workload's half-footprint size, the large
+        workload must miss at least as often."""
+        small = get_workload(name, data_size=SMALL[name]).profile
+        large = get_workload(name, data_size=LARGE[name]).profile
+        probe = max(small.footprint_lines // 2, 2)
+        assert large.miss_curve.rate(probe) >= small.miss_curve.rate(probe) - 0.05
+
+    def test_mix_is_size_stable(self, name):
+        """Scaling data must not change what the kernel *is*: FU-class
+        fractions stay within a few points."""
+        small = get_workload(name, data_size=SMALL[name]).profile
+        large = get_workload(name, data_size=LARGE[name]).profile
+        assert small.frac_mem == pytest.approx(large.frac_mem, abs=0.12)
+        assert small.frac_fp == pytest.approx(large.frac_fp, abs=0.12)
+
+
+class TestScalingShiftsOptima:
+    def test_bigger_data_wants_bigger_caches(self):
+        """The paper scales data sizes 'to avoid the optimal results
+        being concentrated on smaller designs': with a bigger working
+        set, the analytical model must reward cache growth more."""
+        from repro.designspace import default_design_space
+        from repro.proxies import AnalyticalModel
+
+        space = default_design_space()
+        small = AnalyticalModel(
+            get_workload("dijkstra", data_size=48).profile, space
+        )
+        large = AnalyticalModel(
+            get_workload("dijkstra", data_size=384).profile, space
+        )
+        base = space.config(space.smallest())
+        grown = base.replace(l1_sets=64, l1_ways=16, l2_sets=2048, l2_ways=16)
+        gain_small = small.cpi(base) - small.cpi(grown)
+        gain_large = large.cpi(base) - large.cpi(grown)
+        assert gain_large > gain_small

@@ -1,0 +1,53 @@
+"""Tests for the workload suite registry."""
+
+import pytest
+
+from repro.workloads import BENCHMARK_NAMES, get_workload, workload_suite
+from repro.workloads.suite import DEFAULT_DATA_SIZES
+
+
+class TestRegistry:
+    def test_benchmark_names_match_paper(self):
+        assert BENCHMARK_NAMES == ("dijkstra", "mm", "fp-vvadd", "quicksort", "fft", "ss")
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("spec2006")
+
+    def test_default_sizes_cover_all(self):
+        assert set(DEFAULT_DATA_SIZES) == set(BENCHMARK_NAMES)
+
+    def test_workload_carries_trace_and_profile(self):
+        w = get_workload("mm", data_size=8)
+        assert w.trace.num_instructions == w.profile.num_instructions
+        assert w.num_instructions > 0
+
+    def test_caching_returns_same_object(self):
+        a = get_workload("mm", data_size=8)
+        b = get_workload("mm", data_size=8)
+        assert a is b
+
+    def test_different_seed_different_object(self):
+        a = get_workload("quicksort", data_size=64, seed=0)
+        b = get_workload("quicksort", data_size=64, seed=1)
+        assert a is not b
+
+
+class TestSuite:
+    def test_suite_contains_all_benchmarks(self):
+        suite = workload_suite(scale=0.1)
+        assert set(suite) == set(BENCHMARK_NAMES)
+
+    def test_scale_shrinks_problems(self):
+        small = workload_suite(scale=0.1)
+        for name in ("mm", "fp-vvadd"):
+            assert small[name].data_size < DEFAULT_DATA_SIZES[name]
+
+    def test_fft_size_stays_power_of_two(self):
+        suite = workload_suite(scale=0.37)
+        size = suite["fft"].data_size
+        assert size >= 8 and size & (size - 1) == 0
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ValueError):
+            workload_suite(scale=0.0)

@@ -1,0 +1,158 @@
+"""Unit + property tests for the trace builder and container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.isa import OpClass
+from repro.workloads.trace import (
+    InstructionTrace,
+    TraceBuilder,
+    NO_DEP,
+    MEM_DEP_GRANULE,
+)
+
+
+def build_tiny():
+    tb = TraceBuilder("tiny")
+    a = tb.int_op()
+    b = tb.int_op(a)
+    addr = tb.alloc(64)
+    s = tb.store(addr, b)
+    ld = tb.load(addr)
+    tb.branch(ld, taken=True)
+    return tb.build()
+
+
+class TestTraceBuilder:
+    def test_length(self):
+        assert len(build_tiny()) == 5
+
+    def test_dependencies_recorded(self):
+        trace = build_tiny()
+        assert trace.src_a[1] == 0  # b depends on a
+        assert trace.src_a[2] == 1  # store value is b
+
+    def test_store_to_load_dependency(self):
+        trace = build_tiny()
+        assert trace.mem_dep[3] == 2  # load sees the store
+
+    def test_loads_without_prior_store_have_no_mem_dep(self):
+        tb = TraceBuilder("t")
+        addr = tb.alloc(8)
+        tb.load(addr)
+        trace = tb.build()
+        assert trace.mem_dep[0] == NO_DEP
+
+    def test_mem_dep_granularity(self):
+        tb = TraceBuilder("t")
+        base = tb.alloc(64)
+        tb.store(base)
+        tb.load(base + MEM_DEP_GRANULE)  # adjacent granule: no dep
+        trace = tb.build()
+        assert trace.mem_dep[1] == NO_DEP
+
+    def test_literal_operands_have_no_dependency(self):
+        tb = TraceBuilder("t")
+        tb.int_op(5, 7)  # plain ints are literals
+        trace = tb.build()
+        assert trace.src_a[0] == NO_DEP
+        assert trace.src_b[0] == NO_DEP
+
+    def test_alloc_is_monotonic_and_aligned(self):
+        tb = TraceBuilder("t")
+        a = tb.alloc(100)
+        b = tb.alloc(10)
+        assert b >= a + 100
+        assert a % 64 == 0 and b % 64 == 0
+
+    def test_alloc_rejects_non_positive(self):
+        tb = TraceBuilder("t")
+        with pytest.raises(ValueError):
+            tb.alloc(0)
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuilder("t").build()
+
+    def test_branch_outcome_recorded(self):
+        tb = TraceBuilder("t")
+        tb.branch(taken=True)
+        tb.branch(taken=False)
+        trace = tb.build()
+        assert trace.taken.tolist() == [True, False]
+
+
+class TestInstructionTrace:
+    def test_op_counts(self):
+        counts = build_tiny().op_counts()
+        assert counts[OpClass.INT_ALU] == 2
+        assert counts[OpClass.STORE] == 1
+        assert counts[OpClass.LOAD] == 1
+        assert counts[OpClass.BRANCH] == 1
+
+    def test_memory_indices(self):
+        assert build_tiny().memory_indices().tolist() == [2, 3]
+
+    def test_line_addresses(self):
+        trace = build_tiny()
+        lines = trace.line_addresses(64)
+        assert len(lines) == 2
+        assert lines[0] == lines[1]  # same address, same line
+
+    def test_forward_dependency_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionTrace(
+                name="bad",
+                op=np.array([0, 0], dtype=np.int8),
+                src_a=np.array([1, NO_DEP]),  # points forward
+                src_b=np.array([NO_DEP, NO_DEP]),
+                mem_dep=np.array([NO_DEP, NO_DEP]),
+                address=np.zeros(2, dtype=np.int64),
+                taken=np.zeros(2, dtype=bool),
+            )
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionTrace(
+                name="bad",
+                op=np.array([0], dtype=np.int8),
+                src_a=np.array([0]),
+                src_b=np.array([NO_DEP]),
+                mem_dep=np.array([NO_DEP]),
+                address=np.zeros(1, dtype=np.int64),
+                taken=np.zeros(1, dtype=bool),
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionTrace(
+                name="bad",
+                op=np.array([0, 0], dtype=np.int8),
+                src_a=np.array([NO_DEP]),
+                src_b=np.array([NO_DEP, NO_DEP]),
+                mem_dep=np.array([NO_DEP, NO_DEP]),
+                address=np.zeros(2, dtype=np.int64),
+                taken=np.zeros(2, dtype=bool),
+            )
+
+
+class TestSlice:
+    def test_slice_clips_dangling_dependencies(self):
+        trace = build_tiny()
+        sub = trace.slice(1, 5)
+        assert len(sub) == 4
+        # instruction 1 depended on 0, which is outside the window
+        assert sub.src_a[0] == NO_DEP
+        # store->load dep (2->3 originally) survives, shifted
+        assert sub.mem_dep[2] == 1
+
+    @given(st.integers(0, 4), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_slice_always_valid(self, start, length):
+        trace = build_tiny()
+        stop = min(start + length, len(trace))
+        if stop <= start:
+            return
+        sub = trace.slice(start, stop)  # constructor re-validates deps
+        assert len(sub) == stop - start
