@@ -17,9 +17,11 @@ compares final HF CPI.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import FULL, scale
+from benchmarks.conftest import scale
 from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
 from repro.experiments.common import build_pool
+
+pytestmark = pytest.mark.slow  # multi-second run; CI smoke lane skips it
 
 
 def _explore(use_mask: bool, episodes: int, seed: int) -> float:

@@ -9,11 +9,13 @@ phase with both shapings at the same budget.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import FULL, scale
+from benchmarks.conftest import scale
 from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
 from repro.core.mfrl.env import DseEnvironment
 from repro.core.mfrl.reinforce import ReinforceTrainer
 from repro.experiments.common import build_pool
+
+pytestmark = pytest.mark.slow  # multi-second run; CI smoke lane skips it
 
 
 def _train(aggressive: bool, episodes: int, seed: int) -> float:

@@ -1,0 +1,113 @@
+"""Engine throughput bench: serial vs parallel HF evaluations per second.
+
+Not a paper artefact but the scaling baseline for the evaluation engine:
+every future batching/parallelism PR should move these numbers and can
+cite this bench. Records, for one batch of distinct valid designs on the
+``mm`` workload:
+
+- ``SerialBackend`` HF evaluations/sec (the reference),
+- ``ProcessPoolBackend`` evaluations/sec and its speedup,
+- ``BatchBackend`` LF evaluations/sec vs the scalar LF loop.
+
+The >1.5x parallel-speedup assertion only applies on multi-core runners;
+single-core machines still record both numbers (speedup ~1x, by design:
+the backend short-circuits to serial when it cannot win).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import scale
+from repro.designspace import default_design_space
+from repro.engine import (
+    BatchBackend,
+    EvaluationEngine,
+    ProcessPoolBackend,
+    SerialBackend,
+)
+from repro.proxies import AnalyticalModel, Fidelity, SimulationProxy
+from repro.workloads import get_workload
+
+
+def _distinct_batch(space, count, seed=0):
+    rng = np.random.default_rng(seed)
+    seen = set()
+    batch = []
+    while len(batch) < count:
+        levels = space.sample(rng)
+        key = space.flat_index(levels)
+        if key not in seen:
+            seen.add(key)
+            batch.append(levels)
+    return batch
+
+
+def _throughput(engine, batch, fidelity):
+    start = time.perf_counter()
+    engine.evaluate_many(batch, fidelity)
+    elapsed = time.perf_counter() - start
+    return len(batch) / elapsed, elapsed
+
+
+def test_bench_engine_throughput(benchmark, report):
+    space = default_design_space()
+    workload = get_workload("mm", data_size=scale(14, None))
+    analytical = AnalyticalModel(workload.profile, space)
+    hf_batch = _distinct_batch(space, scale(24, 96))
+    lf_batch = _distinct_batch(space, scale(2000, 20000), seed=1)
+    cores = os.cpu_count() or 1
+    workers = min(cores, 4)
+
+    def build(backend):
+        return EvaluationEngine(
+            space,
+            analytical=analytical,
+            high_fidelity=SimulationProxy(workload, space),
+            backend=backend,
+        )
+
+    def run():
+        out = {}
+        out["hf_serial"], __ = _throughput(
+            build(SerialBackend()), hf_batch, Fidelity.HIGH
+        )
+        out["hf_parallel"], __ = _throughput(
+            build(ProcessPoolBackend(workers=workers)), hf_batch, Fidelity.HIGH
+        )
+        out["lf_scalar"], __ = _throughput(
+            build(SerialBackend()), lf_batch, Fidelity.LOW
+        )
+        out["lf_vector"], __ = _throughput(
+            build(BatchBackend()), lf_batch, Fidelity.LOW
+        )
+        return out
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    hf_speedup = rates["hf_parallel"] / rates["hf_serial"]
+    lf_speedup = rates["lf_vector"] / rates["lf_scalar"]
+
+    report.append("Evaluation-engine throughput (evaluations/sec):")
+    report.append(
+        f"  HF serial   {rates['hf_serial']:>9.1f}/s   "
+        f"HF process-pool({workers}) {rates['hf_parallel']:>9.1f}/s   "
+        f"speedup {hf_speedup:.2f}x  ({cores} cores)"
+    )
+    report.append(
+        f"  LF scalar   {rates['lf_scalar']:>9.1f}/s   "
+        f"LF vectorised       {rates['lf_vector']:>9.1f}/s   "
+        f"speedup {lf_speedup:.2f}x"
+    )
+
+    # The vectorised LF path must pay off everywhere.
+    assert lf_speedup > 1.5, f"vectorised LF only {lf_speedup:.2f}x"
+    if cores >= 2:
+        # On a multi-core runner the process pool must clearly win.
+        assert hf_speedup > 1.5, f"parallel HF only {hf_speedup:.2f}x on {cores} cores"
+    else:
+        # Single core: the pool must at least not collapse (short-circuit
+        # plus fork overhead keeps it near parity).
+        assert hf_speedup > 0.5, f"parallel HF collapsed to {hf_speedup:.2f}x"

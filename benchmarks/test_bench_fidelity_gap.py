@@ -10,10 +10,13 @@ per-workload LF-vs-HF report and asserts the premise.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import FULL, scale
+from benchmarks.conftest import scale
 from repro.designspace import default_design_space
 from repro.proxies import AnalyticalModel, SimulationProxy, measure_fidelity_gap
 from repro.workloads import get_workload
+
+pytestmark = pytest.mark.slow  # multi-second run; CI smoke lane skips it
+
 
 SIZES = {
     "dijkstra": 96,

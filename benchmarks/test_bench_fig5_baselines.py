@@ -7,9 +7,11 @@ mid-pack (the paper's 1.2043 vs baselines ~1.178-1.208 vs ours-HF 1.1251).
 
 import pytest
 
-from benchmarks.conftest import FULL, scale
+from benchmarks.conftest import scale
 from repro.core.mfrl import ExplorerConfig
 from repro.experiments.fig5 import render_fig5, run_fig5
+
+pytestmark = pytest.mark.slow  # multi-second run; CI smoke lane skips it
 
 
 def test_bench_fig5(benchmark, report):

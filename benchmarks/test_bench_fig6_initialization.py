@@ -6,11 +6,12 @@ cache centers reach near-final CPI in no more episodes than the lowest
 initialisation.
 """
 
-import numpy as np
 import pytest
 
-from benchmarks.conftest import FULL, scale
+from benchmarks.conftest import scale
 from repro.experiments.fig6 import PAPER_CENTER_PAIRS, render_fig6, run_fig6
+
+pytestmark = pytest.mark.slow  # multi-second run; CI smoke lane skips it
 
 
 def test_bench_fig6(benchmark, report):

@@ -6,8 +6,10 @@ settles at 4; without it, at a smaller width.
 
 import pytest
 
-from benchmarks.conftest import FULL, scale
+from benchmarks.conftest import scale
 from repro.experiments.fig7 import render_fig7, run_fig7
+
+pytestmark = pytest.mark.slow  # multi-second run; CI smoke lane skips it
 
 
 def test_bench_fig7(benchmark, report):

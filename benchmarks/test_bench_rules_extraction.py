@@ -4,9 +4,7 @@ Times the translation of the weight matrices into pruned IF/THEN rules
 and prints the strongest rules -- the paper's interpretability listing.
 """
 
-import pytest
-
-from benchmarks.conftest import FULL, scale
+from benchmarks.conftest import scale
 from repro.core.fnn import extract_rules, render_rule_base
 from repro.experiments.rules import run_rules_demo
 

@@ -8,15 +8,17 @@ experiment across a DRAM-latency sweep and with the next-line prefetcher
 enabled, asserting the LF->HF improvement each time.
 """
 
-import numpy as np
 import pytest
 
-from benchmarks.conftest import FULL, scale
+from benchmarks.conftest import scale
 from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
 from repro.designspace import default_design_space
 from repro.proxies import AnalyticalModel, ProxyPool, SimulationProxy
 from repro.simulator import SimulatorParams
 from repro.workloads import get_workload
+
+pytestmark = pytest.mark.slow  # multi-second run; CI smoke lane skips it
+
 
 VARIANTS = {
     "mem=45c": SimulatorParams(mem_cycles=45),

@@ -12,6 +12,9 @@ from repro.core.mfrl import ExplorerConfig
 from repro.experiments.table2 import render_table2, run_table2
 from repro.workloads import BENCHMARK_NAMES
 
+pytestmark = pytest.mark.slow  # multi-second run; CI smoke lane skips it
+
+
 #: Reduced problem sizes for the CI-scale run.
 CI_SIZES = {
     "dijkstra": 96,

@@ -9,8 +9,6 @@ Run:
     python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro.core.fnn import extract_rules, render_rule_base
 from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
 from repro.designspace import default_design_space

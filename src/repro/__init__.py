@@ -12,6 +12,8 @@ The package is organised as the paper's Fig. 1:
   gradients), area model, HF adapter, caching archive.
 - :mod:`repro.core`        -- the paper's contribution: the Fuzzy Neural
   Network search engine and the multi-fidelity RL trainer.
+- :mod:`repro.engine`      -- batched/parallel evaluation engine with a
+  persistent cross-run result cache, behind the proxy pool.
 - :mod:`repro.baselines`   -- Random Forest, ActBoost, BagGBRT,
   BOOM-Explorer-style BO and SCBO baselines, from scratch.
 - :mod:`repro.experiments` -- one runner per paper table/figure.
@@ -20,11 +22,13 @@ The package is organised as the paper's Fig. 1:
 from repro.designspace import DesignSpace, MicroArchConfig, default_design_space
 from repro.core.fnn import FuzzyNeuralNetwork
 from repro.core.mfrl import MultiFidelityExplorer
+from repro.engine import EvaluationEngine
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DesignSpace",
+    "EvaluationEngine",
     "MicroArchConfig",
     "default_design_space",
     "FuzzyNeuralNetwork",

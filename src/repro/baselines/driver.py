@@ -14,11 +14,12 @@ acquisition function, and simulate the best unseen candidate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Protocol
 
 import numpy as np
 
+from repro.proxies.interface import Fidelity
 from repro.proxies.pool import ProxyPool
 
 
@@ -126,8 +127,7 @@ class SurrogateExplorer:
         history: List[float] = []
         evaluated: List[np.ndarray] = []
 
-        def run(levels: np.ndarray) -> None:
-            evaluation = pool.evaluate_high(levels)
+        def record(levels: np.ndarray, evaluation) -> None:
             key = space.flat_index(levels)
             if key not in seen:
                 seen.add(key)
@@ -136,9 +136,18 @@ class SurrogateExplorer:
                 history.append(evaluation.cpi)
                 evaluated.append(levels.copy())
 
-        for levels in self.initial_designs(pool, rng):
+        def run(levels: np.ndarray) -> None:
+            record(levels, pool.evaluate_high(levels))
+
+        # The seed set is independent designs: one batched dispatch, so a
+        # parallel backend simulates them concurrently. (The budget guard
+        # is vacuous here -- num_initial < hf_budget is enforced above.)
+        initial = list(self.initial_designs(pool, rng))
+        for levels, evaluation in zip(
+            initial, pool.evaluate_many(initial, Fidelity.HIGH)
+        ):
             if len(seen) < hf_budget:
-                run(levels)
+                record(levels, evaluation)
 
         while len(seen) < hf_budget:
             surrogate = self.make_surrogate(rng)

@@ -8,7 +8,7 @@ local search achieves.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -15,12 +15,13 @@ budget in Fig. 5, and the behaviour is reproduced deliberately.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
 from repro.baselines.driver import BaselineResult
 from repro.baselines.gp import GaussianProcess
+from repro.proxies.interface import Fidelity
 from repro.proxies.pool import ProxyPool
 
 
@@ -83,11 +84,10 @@ class ScboExplorer:
         history: List[float] = []
         region = _TrustRegion()
 
-        def run(levels: np.ndarray) -> None:
+        def record(levels: np.ndarray, evaluation) -> None:
             key = space.flat_index(levels)
             if key in seen:
                 return
-            evaluation = pool.evaluate_high(levels)  # yes, even invalid ones
             seen.add(key)
             levels_list.append(levels.copy())
             xs.append(space.normalized(levels))
@@ -95,9 +95,27 @@ class ScboExplorer:
             cs.append(pool.area(levels) - limit)
             history.append(evaluation.cpi)
 
+        def run(levels: np.ndarray) -> None:
+            key = space.flat_index(levels)
+            if key in seen:
+                return
+            record(levels, pool.evaluate_high(levels))  # yes, even invalid ones
+
+        # Unfiltered seed designs, simulated as one (parallelisable)
+        # batch. Selection replays the sequential guard: distinct designs
+        # only, stopping once the budget is committed.
+        initial: List[np.ndarray] = []
+        committed = set()
         for levels in space.sample(rng, count=self.num_initial):
-            if len(seen) < hf_budget:
-                run(levels)
+            key = space.flat_index(levels)
+            if len(committed) >= hf_budget or key in committed:
+                continue
+            committed.add(key)
+            initial.append(levels)
+        for levels, evaluation in zip(
+            initial, pool.evaluate_many(initial, Fidelity.HIGH)
+        ):
+            record(levels, evaluation)
 
         while len(seen) < hf_budget:
             x_arr = np.array(xs)

@@ -9,9 +9,13 @@ One subcommand per paper artefact plus a quick end-to-end run:
 - ``fig7``     preference embedding (trajectory view).
 - ``rules``    train and print the extracted rule base.
 - ``explore``  one multi-fidelity run on a chosen benchmark.
+- ``sweep``    area-budget frontier of the explorer.
 
 All commands accept ``--fast`` to shrink budgets/problem sizes for smoke
-runs, and print to stdout (pipe to a file to archive results).
+runs, and print to stdout (pipe to a file to archive results). Commands
+that simulate (``table2``, ``fig5``, ``explore``, ``sweep``) also accept
+``--workers N`` (process-pool size for high-fidelity batches) and
+``--cache-dir DIR`` (persistent cross-run evaluation cache).
 """
 
 from __future__ import annotations
@@ -59,6 +63,8 @@ def cmd_table2(args: argparse.Namespace) -> int:
         explorer_config=_fast_config() if args.fast else None,
         optimum_samples=60 if args.fast else 500,
         data_sizes=FAST_SIZES if args.fast else None,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     print(render_table2(rows))
     return 0
@@ -71,6 +77,8 @@ def cmd_fig5(args: argparse.Namespace) -> int:
         seeds=tuple(range(args.seeds)),
         explorer_config=_fast_config() if args.fast else None,
         scale=0.25 if args.fast else 1.0,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     print("Fig. 5 -- mean best CPI (lower is better):")
     print(viz.bar_chart(result.mean_cpi, highlight="fnn-mbrl-hf"))
@@ -131,6 +139,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
     pool = build_pool(
         args.benchmark,
         data_size=FAST_SIZES.get(args.benchmark) if args.fast else None,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     explorer = MultiFidelityExplorer(
         pool,
@@ -151,6 +161,25 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import frontier_knee, render_sweep, run_area_sweep
+
+    points = run_area_sweep(
+        args.benchmark,
+        area_limits=tuple(args.limits) if args.limits else (5.0, 6.0, 7.5, 9.0, 11.0),
+        seed=args.seed,
+        explorer_config=_fast_config() if args.fast else None,
+        data_size=FAST_SIZES.get(args.benchmark) if args.fast else None,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    print(render_sweep(points))
+    knee = frontier_knee(points)
+    print(f"knee: {knee.area_limit_mm2:.1f} mm^2 "
+          f"(best CPI {knee.best_hf_cpi:.4f})")
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
@@ -166,16 +195,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--fast", action="store_true",
                        help="reduced budgets/problem sizes")
 
+    def engine_flags(p):
+        p.add_argument("--workers", type=int, default=0,
+                       help="process-pool size for HF evaluation batches "
+                       "(0/1 = serial)")
+        p.add_argument("--cache-dir", default=None,
+                       help="persistent evaluation-cache directory "
+                       "(shared across runs)")
+
     p = sub.add_parser("table1", help="print the Table-1 design space")
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser("table2", help="application-specific DSE regrets")
     common(p)
+    engine_flags(p)
     p.add_argument("--benchmarks", nargs="*", choices=BENCHMARK_NAMES)
     p.set_defaults(func=cmd_table2)
 
     p = sub.add_parser("fig5", help="baseline comparison")
     common(p)
+    engine_flags(p)
     p.add_argument("--seeds", type=int, default=5)
     p.set_defaults(func=cmd_fig5)
 
@@ -194,8 +233,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("explore", help="one multi-fidelity DSE run")
     common(p)
+    engine_flags(p)
     p.add_argument("--benchmark", default="mm", choices=BENCHMARK_NAMES)
     p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("sweep", help="area-budget frontier sweep")
+    common(p)
+    engine_flags(p)
+    p.add_argument("--benchmark", default="mm", choices=BENCHMARK_NAMES)
+    p.add_argument("--limits", nargs="*", type=float,
+                   help="area budgets to sweep (mm^2)")
+    p.set_defaults(func=cmd_sweep)
 
     return parser
 

@@ -15,12 +15,12 @@ scale on which the paper's Fig. 6 centers live: L1 spans 32..1024 lines
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.designspace import DesignSpace, MicroArchConfig
+from repro.designspace import MicroArchConfig
 
 #: State passed to extractors: current design metrics (at least "cpi").
 Metrics = Mapping[str, float]

@@ -13,7 +13,6 @@ itself instead of having its outputs post-edited.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -15,7 +15,7 @@ budget -- only the episode *reward* is high-fidelity there.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

@@ -153,17 +153,32 @@ class MultiFidelityExplorer:
         pool = self.pool
         converged = lf_trainer.greedy_design(self.rng)
 
-        # Transition: HF on the converged design and LF-best subset.
+        # Transition: HF on the converged design and LF-best subset. The
+        # seed verifications are independent, so they go to the engine as
+        # one batch (parallel under a ProcessPoolBackend); the selection
+        # logic mirrors the sequential budget check -- only designs not
+        # yet HF-archived consume budget.
         h0 = pool.evaluate_high(converged)
         ipc_h0 = h0.ipc
         seeds = [converged]
+        pending: List[np.ndarray] = []
+        projected = pool.archive.count(Fidelity.HIGH)
+        pending_keys = set()
         for evaluation in pool.archive.best_designs(
             Fidelity.LOW, self.config.hf_seed_designs
         ):
-            if pool.archive.count(Fidelity.HIGH) >= self.config.hf_budget - 1:
+            if projected >= self.config.hf_budget - 1:
                 break
-            pool.evaluate_high(evaluation.levels)
             seeds.append(evaluation.levels)
+            pending.append(evaluation.levels)
+            key = pool.space.flat_index(evaluation.levels)
+            if (
+                pool.archive.lookup(evaluation.levels, Fidelity.HIGH) is None
+                and key not in pending_keys
+            ):
+                pending_keys.add(key)
+                projected += 1
+        pool.evaluate_many(pending, Fidelity.HIGH)
 
         trainer = ReinforceTrainer(self._hf_env, self.fnn, self.config.trainer)
 

@@ -9,9 +9,8 @@ plugs in directly.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable
 
-import numpy as np
 
 from repro.designspace.config import MicroArchConfig
 

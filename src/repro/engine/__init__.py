@@ -1,0 +1,33 @@
+"""Parallel evaluation engine: backends + persistent cache for the pool.
+
+- :mod:`repro.engine.backends` -- serial / process-pool / vectorised
+  execution strategies behind one ``map_evaluate`` interface.
+- :mod:`repro.engine.cache`    -- JSON-lines on-disk result cache shared
+  across runs and explorers.
+- :mod:`repro.engine.core`     -- :class:`EvaluationEngine`, the batched
+  evaluation funnel the :class:`~repro.proxies.pool.ProxyPool` routes
+  everything through.
+"""
+
+from repro.engine.backends import (
+    BatchBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+    vectorized_lf_metrics,
+)
+from repro.engine.cache import ResultCache, space_signature
+from repro.engine.core import EvaluationEngine
+
+__all__ = [
+    "BatchBackend",
+    "EvaluationEngine",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "ResultCache",
+    "SerialBackend",
+    "make_backend",
+    "space_signature",
+    "vectorized_lf_metrics",
+]

@@ -1,0 +1,295 @@
+"""Execution backends: how a batch of evaluations is actually run.
+
+Three strategies behind one ``map_evaluate`` interface:
+
+- :class:`SerialBackend`     -- in-process loop (the reference semantics).
+- :class:`ProcessPoolBackend`-- chunked fan-out over ``concurrent.futures``
+  worker processes; right for the high-fidelity simulator where each
+  evaluation is tens of milliseconds of pure Python.
+- :class:`BatchBackend`      -- numpy vectorisation of the analytical LF
+  model over the whole batch at once; right for low fidelity where the
+  per-call overhead dominates the arithmetic.
+
+All backends are deterministic given the batch: a backend may change
+*where* an evaluation runs, never *what* it computes, so results are
+bit-identical across backends for the scalar paths and float-accurate for
+the vectorised one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+#: A scalar evaluation task: one level vector in, one metrics dict out.
+EvalFn = Callable[[np.ndarray], Dict[str, float]]
+
+#: A vectorised task: a (batch, params) level matrix in, metrics out.
+VectorFn = Callable[[np.ndarray], List[Dict[str, float]]]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can run a batch of evaluation tasks."""
+
+    name: str
+
+    def map_evaluate(
+        self,
+        fn: EvalFn,
+        batch: Sequence[np.ndarray],
+        vector_fn: Optional[VectorFn] = None,
+    ) -> List[Dict[str, float]]:
+        """Run ``fn`` over every level vector in ``batch``, in order."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Serial
+# ----------------------------------------------------------------------
+class SerialBackend:
+    """In-process, in-order evaluation -- the reference backend."""
+
+    name = "serial"
+
+    def map_evaluate(
+        self,
+        fn: EvalFn,
+        batch: Sequence[np.ndarray],
+        vector_fn: Optional[VectorFn] = None,
+    ) -> List[Dict[str, float]]:
+        """Evaluate sequentially in the calling process."""
+        return [fn(levels) for levels in batch]
+
+
+# ----------------------------------------------------------------------
+# Process pool
+# ----------------------------------------------------------------------
+# The task function is installed once per worker via the executor
+# initializer; chunks then reference it through this module-level slot,
+# so the (potentially large) simulator state is pickled once per worker
+# instead of once per design.
+_WORKER_FN: Optional[EvalFn] = None
+
+
+def _init_worker(fn: EvalFn) -> None:
+    global _WORKER_FN
+    _WORKER_FN = fn
+
+
+def _run_chunk(chunk: List[np.ndarray]) -> List[Dict[str, float]]:
+    assert _WORKER_FN is not None, "worker initializer did not run"
+    return [_WORKER_FN(levels) for levels in chunk]
+
+
+class ProcessPoolBackend:
+    """Chunked dispatch over a ``concurrent.futures`` process pool.
+
+    The executor (and the task function its workers were initialised
+    with) persists across ``map_evaluate`` calls, so the simulator state
+    is forked/pickled into the workers once per task function -- not once
+    per batch. Callers that pass a *different* task function (e.g. a new
+    pool on another workload) transparently get a fresh executor.
+
+    Args:
+        workers: Worker processes (default: all CPUs).
+        chunk_size: Designs per dispatched chunk; default splits the
+            batch into ~4 chunks per worker so stragglers rebalance.
+        min_batch: Below this batch size the pool is skipped entirely
+            and the batch runs serially -- process startup would dominate.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        min_batch: int = 2,
+    ):
+        self.workers = max(int(workers or (os.cpu_count() or 1)), 1)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = chunk_size
+        self.min_batch = max(int(min_batch), 1)
+        self._serial = SerialBackend()
+        self._executor = None
+        self._installed_fn: Optional[EvalFn] = None
+
+    def _chunks(self, batch: Sequence[np.ndarray]) -> List[List[np.ndarray]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(batch) // (4 * self.workers)))
+        return [list(batch[i:i + size]) for i in range(0, len(batch), size)]
+
+    def _executor_for(self, fn: EvalFn):
+        if self._executor is not None and self._installed_fn is fn:
+            return self._executor
+        self.close()
+        from concurrent.futures import ProcessPoolExecutor
+
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_init_worker, initargs=(fn,)
+        )
+        self._installed_fn = fn
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (a later call restarts it)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._installed_fn = None
+
+    def __del__(self):  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def map_evaluate(
+        self,
+        fn: EvalFn,
+        batch: Sequence[np.ndarray],
+        vector_fn: Optional[VectorFn] = None,
+    ) -> List[Dict[str, float]]:
+        """Evaluate the batch across worker processes, preserving order."""
+        if self.workers == 1 or len(batch) < self.min_batch:
+            return self._serial.map_evaluate(fn, batch)
+        executor = self._executor_for(fn)
+        results: List[Dict[str, float]] = []
+        for chunk_result in executor.map(_run_chunk, self._chunks(batch)):
+            results.extend(chunk_result)
+        return results
+
+
+# ----------------------------------------------------------------------
+# Vectorised (low fidelity)
+# ----------------------------------------------------------------------
+class BatchBackend:
+    """Vectorises the analytical LF model; falls back for everything else.
+
+    The engine hands this backend a ``vector_fn`` whenever one exists for
+    the requested fidelity (the LF analytical model); batches without one
+    (the HF simulator) run on the ``fallback`` backend.
+    """
+
+    name = "batch"
+
+    def __init__(self, fallback: Optional[ExecutionBackend] = None):
+        self.fallback: ExecutionBackend = fallback or SerialBackend()
+
+    def map_evaluate(
+        self,
+        fn: EvalFn,
+        batch: Sequence[np.ndarray],
+        vector_fn: Optional[VectorFn] = None,
+    ) -> List[Dict[str, float]]:
+        """Vectorise when possible, delegate otherwise."""
+        if vector_fn is None or len(batch) == 0:
+            return self.fallback.map_evaluate(fn, batch)
+        return vector_fn(np.asarray(batch, dtype=np.int64))
+
+
+def vectorized_lf_metrics(
+    analytical, space, batch: np.ndarray
+) -> List[Dict[str, float]]:
+    """Analytical CPI of a whole level-vector batch in one numpy pass.
+
+    Mirrors :meth:`repro.proxies.analytical.AnalyticalModel.breakdown`
+    term by term (same interpolation tables, same constants) so the
+    result agrees with the scalar model to float precision.
+    """
+    from repro.proxies.analytical import ASSOC_DEFICIT, IQ_WINDOW_FACTOR, ROB_PER_MLP
+
+    batch = np.asarray(batch, dtype=np.int64)
+    if batch.ndim != 2 or batch.shape[1] != space.num_parameters:
+        raise ValueError(
+            f"batch must have shape (n, {space.num_parameters}), got {batch.shape}"
+        )
+    p = analytical.profile
+    params = analytical.params
+
+    # levels -> concrete values, one gather per parameter axis
+    value = {}
+    for i, parameter in enumerate(space.parameters):
+        candidates = np.asarray(parameter.candidates, dtype=np.float64)
+        value[parameter.name] = candidates[batch[:, i]]
+
+    # base (issue-limited) term
+    window = np.minimum(
+        value["rob_entries"], IQ_WINDOW_FACTOR * value["iq_entries"]
+    )
+    ilp_xs = np.array(p.ilp_windows, dtype=np.float64)
+    ilp_ys = np.array(p.ilp_ipc, dtype=np.float64)
+    ipc0 = np.minimum.reduce([
+        value["decode_width"],
+        np.interp(window, ilp_xs, ilp_ys),
+        value["int_fu"] / max(p.frac_int, 1e-9),
+        value["fp_fu"] / max(p.frac_fp, 1e-9),
+        value["mem_fu"] / max(p.frac_mem, 1e-9),
+    ])
+    base = 1.0 / ipc0
+
+    branch = (
+        p.frac_branches * p.branch_mispredict_rate * params.branch_penalty_cycles
+    )
+
+    # memory terms
+    def effective_lines(sets: np.ndarray, ways: np.ndarray) -> np.ndarray:
+        return sets * ways * (1.0 - ASSOC_DEFICIT / ways)
+
+    curve_xs = np.log2(p.miss_curve.sizes_lines.astype(np.float64))
+    curve_ys = p.miss_curve.miss_rates
+
+    def miss_rate(lines: np.ndarray) -> np.ndarray:
+        return np.interp(np.log2(np.maximum(lines, 1.0)), curve_xs, curve_ys)
+
+    mr1 = miss_rate(effective_lines(value["l1_sets"], value["l1_ways"]))
+    mr2 = np.minimum(
+        miss_rate(effective_lines(value["l2_sets"], value["l2_ways"])), mr1
+    )
+    mlp = np.maximum(
+        1.0,
+        np.minimum.reduce([
+            value["n_mshr"],
+            np.full(len(batch), p.mlp_supply),
+            1.0 + value["rob_entries"] / ROB_PER_MLP,
+        ]),
+    )
+    l1_miss = p.frac_mem * mr1 * params.l2_hit_cycles / mlp
+    l2_miss = p.frac_mem * mr2 * params.mem_cycles / mlp
+
+    cpi = base + branch + l1_miss + l2_miss
+    return [{"cpi": float(c), "ipc": float(1.0 / c)} for c in cpi]
+
+
+# ----------------------------------------------------------------------
+# Factory
+# ----------------------------------------------------------------------
+def make_backend(
+    spec: Optional[str] = None, workers: int = 0
+) -> ExecutionBackend:
+    """Backend from a CLI-style spec.
+
+    Args:
+        spec: ``"serial"``, ``"process"`` or ``"batch"``; ``None`` picks
+            ``"process"`` when ``workers > 1`` else ``"serial"``.
+        workers: Worker count for the process pool (0 = all CPUs when a
+            process backend is requested explicitly).
+    """
+    if spec is None:
+        spec = "process" if workers > 1 else "serial"
+    if spec == "serial":
+        return SerialBackend()
+    if spec == "process":
+        return ProcessPoolBackend(workers=workers or None)
+    if spec == "batch":
+        return BatchBackend(
+            fallback=ProcessPoolBackend(workers=workers or None)
+            if workers > 1
+            else SerialBackend()
+        )
+    raise ValueError(f"unknown backend {spec!r}; known: serial, process, batch")

@@ -1,0 +1,188 @@
+"""Persistent evaluation cache: JSON-lines on disk, dict in memory.
+
+The cache is the cross-run complement of the in-memory
+:class:`~repro.proxies.archive.DesignArchive`: the archive memoises within
+one pool's lifetime, this cache survives the process and is shared by
+every explorer that points at the same directory. Entries are keyed by
+
+``(space signature, workload tag, fidelity, levels tuple)``
+
+so caches from different design spaces or workloads never collide, and an
+area-budget sweep over one benchmark pays for each simulation exactly
+once across all budgets.
+
+The on-disk format is append-only JSON lines -- one evaluation per line --
+which makes partial writes (a killed run) recoverable: corrupt or
+truncated lines are counted and skipped at load time instead of poisoning
+the whole file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+#: Cache key: (space signature, workload tag, fidelity value, levels).
+CacheKey = Tuple[str, str, str, Tuple[int, ...]]
+
+#: Default file name inside a cache directory.
+CACHE_FILE = "evaluations.jsonl"
+
+
+def space_signature(space) -> str:
+    """Stable short signature of a design space (names + candidates).
+
+    Two spaces share a signature iff they have the same parameters with
+    the same candidate lists in the same order -- exactly the condition
+    under which level vectors mean the same design.
+    """
+    payload = json.dumps(
+        [[p.name, list(map(int, p.candidates))] for p in space.parameters],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class ResultCache:
+    """On-disk evaluation memo shared across runs.
+
+    Args:
+        path: A JSONL file, or a directory (the file is created inside it
+            as :data:`CACHE_FILE`). ``None`` makes the cache memory-only
+            (useful for tests).
+
+    Attributes:
+        hits / misses: Lookup counters for this process.
+        corrupt_lines: Undecodable lines skipped at load time.
+    """
+
+    def __init__(self, path: Union[str, Path, None] = None):
+        self._memo: Dict[CacheKey, Dict[str, float]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_lines = 0
+        if path is None:
+            self.path: Optional[Path] = None
+        else:
+            path = Path(path)
+            if path.suffix != ".jsonl":
+                if path.exists() and not path.is_dir():
+                    raise ValueError(
+                        f"cache path {path} exists and is not a directory; "
+                        "pass a directory or a .jsonl file path"
+                    )
+                path = path / CACHE_FILE
+            self.path = path
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(
+        space_sig: str, workload_tag: str, fidelity: str, levels: Sequence[int]
+    ) -> CacheKey:
+        """Build a cache key from its components."""
+        return (space_sig, workload_tag, fidelity, tuple(int(v) for v in levels))
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[Dict[str, float]]:
+        """Cached metrics for ``key``, or None (counts hits/misses)."""
+        metrics = self._memo.get(key)
+        if metrics is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dict(metrics)
+
+    def put(self, key: CacheKey, metrics: Dict[str, float]) -> None:
+        """Insert metrics; appends one JSON line when file-backed."""
+        if key in self._memo:
+            return
+        self._memo[key] = dict(metrics)
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "space": key[0],
+            "workload": key[1],
+            "fidelity": key[2],
+            "levels": list(key[3]),
+            "metrics": {k: float(v) for k, v in metrics.items()},
+        }
+        # flush-only (no fsync): a torn tail line after a crash is
+        # exactly what the corrupt-line recovery path absorbs at load.
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            fh.flush()
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._memo
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        """Read the JSONL file, skipping corrupt/truncated lines."""
+        if self.path is None or not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = self.key(
+                        record["space"],
+                        record["workload"],
+                        record["fidelity"],
+                        record["levels"],
+                    )
+                    metrics = {
+                        k: float(v) for k, v in record["metrics"].items()
+                    }
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    self.corrupt_lines += 1
+                    continue
+                self._memo[key] = metrics
+
+    def compact(self) -> int:
+        """Rewrite the file without corrupt/duplicate lines.
+
+        Returns the number of entries written. A no-op for memory-only
+        caches.
+        """
+        if self.path is None:
+            return len(self._memo)
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for key, metrics in self._memo.items():
+                record = {
+                    "space": key[0],
+                    "workload": key[1],
+                    "fidelity": key[2],
+                    "levels": list(key[3]),
+                    "metrics": metrics,
+                }
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        tmp.replace(self.path)
+        self.corrupt_lines = 0
+        return len(self._memo)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for reporting."""
+        return {
+            "entries": len(self._memo),
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt_lines": self.corrupt_lines,
+        }

@@ -1,0 +1,259 @@
+"""The evaluation engine: batching, backends and the persistent cache.
+
+``EvaluationEngine`` is the single funnel between the search layers and
+the raw proxies. The :class:`~repro.proxies.pool.ProxyPool` owns one and
+routes every evaluation -- single or batched -- through it, so swapping a
+``SerialBackend`` for a ``ProcessPoolBackend`` (or pointing two runs at
+the same ``--cache-dir``) changes evaluation *throughput* without any
+search strategy noticing.
+
+Pipeline of :meth:`EvaluationEngine.evaluate_many`:
+
+1. validate every level vector;
+2. collapse in-batch duplicates (one computation per distinct design);
+3. resolve what the persistent cache already knows;
+4. dispatch the remaining misses to the execution backend;
+5. persist fresh results and return evaluations in input order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    vectorized_lf_metrics,
+)
+from repro.engine.cache import ResultCache, space_signature
+from repro.proxies.interface import Evaluation, Fidelity
+
+
+class _AnalyticalTask:
+    """Picklable scalar LF task (module-level so workers can import it)."""
+
+    def __init__(self, analytical, space):
+        self.analytical = analytical
+        self.space = space
+
+    def __call__(self, levels: np.ndarray) -> Dict[str, float]:
+        cpi = self.analytical.cpi(self.space.config(levels))
+        return {"cpi": cpi, "ipc": 1.0 / cpi}
+
+
+class _ProxyTask:
+    """Picklable scalar HF task wrapping an ``EvaluationProxy``."""
+
+    def __init__(self, proxy):
+        self.proxy = proxy
+
+    def __call__(self, levels: np.ndarray) -> Dict[str, float]:
+        return dict(self.proxy.evaluate(levels).metrics)
+
+
+class EvaluationEngine:
+    """Batched, cached, backend-pluggable evaluation of design points.
+
+    Args:
+        space: The design space (validation + cache signature).
+        analytical: LF model; required for LOW-fidelity requests.
+        high_fidelity: HF proxy; required for HIGH-fidelity requests.
+        backend: Execution backend (default: serial).
+        cache: Persistent result cache (default: none).
+    """
+
+    def __init__(
+        self,
+        space,
+        analytical=None,
+        high_fidelity=None,
+        backend: Optional[ExecutionBackend] = None,
+        cache: Optional[ResultCache] = None,
+    ):
+        self.space = space
+        self.analytical = analytical
+        self.high_fidelity = high_fidelity
+        self.backend: ExecutionBackend = backend or SerialBackend()
+        self.cache = cache
+        self._space_sig = space_signature(space)
+        #: Evaluations actually computed by a backend, per fidelity value.
+        self.computed: Dict[str, int] = {f.value: 0 for f in Fidelity}
+        #: Requests answered from the persistent cache.
+        self.cache_hits = 0
+        # Task objects are cached so their identity is stable across
+        # batches -- a ProcessPoolBackend keys its persistent worker pool
+        # on that identity and skips re-initialisation. Workload tags are
+        # memoised because they are invariant per engine and hashing them
+        # is measurable on the LF hot path.
+        self._tasks: Dict[Fidelity, object] = {}
+        self._workload_tags: Dict[Fidelity, str] = {}
+
+    # ------------------------------------------------------------------
+    # Tags / tasks
+    # ------------------------------------------------------------------
+    def workload_tag(self, fidelity: Fidelity) -> str:
+        """Cache namespace for one fidelity of this engine's proxies.
+
+        Tags must pin everything the metrics depend on besides the level
+        vector: the workload identity *and* the model's own timing
+        constants, so two runs with different parameter sets sharing one
+        cache directory never read each other's results.
+        """
+        cached = self._workload_tags.get(fidelity)
+        if cached is not None:
+            return cached
+        if fidelity is Fidelity.LOW:
+            if self.analytical is None:
+                raise ValueError("engine has no analytical model for LF requests")
+            from repro.proxies.highfidelity import params_signature
+
+            p = self.analytical.profile
+            # Every profile field the analytical CPI reads goes into the
+            # fingerprint -- two profiles that differ anywhere the model
+            # can see must never share cache entries.
+            payload = json.dumps(
+                {
+                    "name": p.name,
+                    "n": p.num_instructions,
+                    "mix": {str(k): v for k, v in p.mix.items()},
+                    "ilp_windows": list(p.ilp_windows),
+                    "ilp_ipc": list(p.ilp_ipc),
+                    "miss_sizes": p.miss_curve.sizes_lines.tolist(),
+                    "miss_rates": p.miss_curve.miss_rates.tolist(),
+                    "branch": p.branch_mispredict_rate,
+                    "footprint": p.footprint_lines,
+                    "mlp": p.mlp_supply,
+                },
+                sort_keys=True,
+            )
+            fingerprint = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:8]
+            tag = (
+                f"lf:{p.name}:n{p.num_instructions}:w{fingerprint}"
+                f":p{params_signature(self.analytical.params)}"
+            )
+        else:
+            proxy_tag = getattr(self.high_fidelity, "cache_tag", None)
+            tag = f"hf:{proxy_tag or type(self.high_fidelity).__name__}"
+        self._workload_tags[fidelity] = tag
+        return tag
+
+    def _task(self, fidelity: Fidelity):
+        task = self._tasks.get(fidelity)
+        if task is not None:
+            return task
+        if fidelity is Fidelity.LOW:
+            if self.analytical is None:
+                raise ValueError("engine has no analytical model for LF requests")
+            task = _AnalyticalTask(self.analytical, self.space)
+        else:
+            if self.high_fidelity is None:
+                raise ValueError(
+                    "engine has no high-fidelity proxy for HF requests"
+                )
+            task = _ProxyTask(self.high_fidelity)
+        self._tasks[fidelity] = task
+        return task
+
+    def _vector_fn(self, fidelity: Fidelity):
+        if fidelity is not Fidelity.LOW or self.analytical is None:
+            return None
+        analytical, space = self.analytical, self.space
+
+        def vector(batch: np.ndarray) -> List[Dict[str, float]]:
+            return vectorized_lf_metrics(analytical, space, batch)
+
+        return vector
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, levels: Sequence[int], fidelity: Fidelity) -> Evaluation:
+        """Single-design convenience wrapper over :meth:`evaluate_many`."""
+        return self.evaluate_many([levels], fidelity)[0]
+
+    def evaluate_many(
+        self, levels_batch: Sequence[Sequence[int]], fidelity: Fidelity
+    ) -> List[Evaluation]:
+        """Evaluate a batch at one fidelity; results align with inputs.
+
+        Duplicate designs inside the batch are computed once and the
+        resulting :class:`Evaluation` is shared across their positions.
+        """
+        validated = [self.space.validate_levels(lv) for lv in levels_batch]
+        if not validated:
+            return []
+        tag = self.workload_tag(fidelity) if self.cache is not None else ""
+
+        # In-batch dedupe: first position of each distinct design.
+        order: List[int] = []          # representative input index per distinct
+        rep_of: Dict[int, int] = {}    # flat key -> position in `order`
+        slot: List[int] = []           # per input: index into `order`
+        for i, levels in enumerate(validated):
+            key = self.space.flat_index(levels)
+            if key not in rep_of:
+                rep_of[key] = len(order)
+                order.append(i)
+            slot.append(rep_of[key])
+
+        distinct = [validated[i] for i in order]
+        metrics_out: List[Optional[Dict[str, float]]] = [None] * len(distinct)
+
+        # Persistent-cache resolution.
+        misses: List[int] = []
+        if self.cache is not None:
+            for j, levels in enumerate(distinct):
+                cached = self.cache.get(
+                    ResultCache.key(self._space_sig, tag, fidelity.value, levels)
+                )
+                if cached is not None:
+                    metrics_out[j] = cached
+                    self.cache_hits += 1
+                else:
+                    misses.append(j)
+        else:
+            misses = list(range(len(distinct)))
+
+        # Backend dispatch for the remaining distinct designs.
+        if misses:
+            batch = [distinct[j] for j in misses]
+            computed = self.backend.map_evaluate(
+                self._task(fidelity), batch, vector_fn=self._vector_fn(fidelity)
+            )
+            if len(computed) != len(batch):
+                raise RuntimeError(
+                    f"backend {self.backend.name!r} returned "
+                    f"{len(computed)} results for {len(batch)} designs"
+                )
+            self.computed[fidelity.value] += len(batch)
+            for j, metrics in zip(misses, computed):
+                metrics_out[j] = metrics
+                if self.cache is not None:
+                    self.cache.put(
+                        ResultCache.key(
+                            self._space_sig, tag, fidelity.value, distinct[j]
+                        ),
+                        metrics,
+                    )
+
+        evaluations = [
+            Evaluation(levels=distinct[j], fidelity=fidelity, metrics=metrics)
+            for j, metrics in enumerate(metrics_out)
+        ]
+        return [evaluations[slot[i]] for i in range(len(validated))]
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Engine counters (plus cache stats when persistent)."""
+        out: Dict[str, float] = {
+            "backend": self.backend.name,
+            "computed_low": self.computed[Fidelity.LOW.value],
+            "computed_high": self.computed[Fidelity.HIGH.value],
+            "cache_hits": self.cache_hits,
+        }
+        if self.cache is not None:
+            out.update({f"cache_{k}": v for k, v in self.cache.stats().items()})
+        return out

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
 
 from repro.designspace import DesignSpace, default_design_space
 from repro.proxies import AnalyticalModel, ProxyPool, SimulationProxy, SuiteAverageProxy
@@ -28,6 +29,8 @@ def build_pool(
     data_size: Optional[int] = None,
     space: Optional[DesignSpace] = None,
     workload_seed: int = 0,
+    workers: int = 0,
+    cache_dir: Union[str, Path, None] = None,
 ) -> ProxyPool:
     """Proxy pool for one benchmark (Table-2 setting).
 
@@ -37,6 +40,9 @@ def build_pool(
         data_size: Workload problem size (None = calibrated default).
         space: Design space; defaults to Table 1.
         workload_seed: Workload-content seed.
+        workers: ``> 1`` runs HF batches on a process pool of this size.
+        cache_dir: Persistent evaluation-cache directory (shared across
+            runs; safe to reuse between benchmarks and area limits).
     """
     space = space or default_design_space()
     workload = get_workload(benchmark, data_size=data_size, seed=workload_seed)
@@ -46,6 +52,8 @@ def build_pool(
         AnalyticalModel(workload.profile, space),
         SimulationProxy(workload, space),
         area_limit_mm2=limit,
+        workers=workers,
+        cache_dir=cache_dir,
     )
 
 
@@ -96,6 +104,8 @@ def build_suite_pool(
     space: Optional[DesignSpace] = None,
     workload_seed: int = 0,
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    workers: int = 0,
+    cache_dir: Union[str, Path, None] = None,
 ) -> ProxyPool:
     """Proxy pool for the general-purpose (suite-average) experiment."""
     space = space or default_design_space()
@@ -112,4 +122,6 @@ def build_suite_pool(
         AnalyticalModel(_average_profiles(workloads), space),
         SuiteAverageProxy(workloads, space),
         area_limit_mm2=area_limit_mm2,
+        workers=workers,
+        cache_dir=cache_dir,
     )

@@ -9,8 +9,8 @@ FNN-MBRL-HF < every baseline, with FNN-MBRL-LF mid-pack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +40,8 @@ def run_fig5(
     explorer_config: Optional[ExplorerConfig] = None,
     scale: float = 1.0,
     area_limit_mm2: float = GENERAL_PURPOSE_LIMIT,
+    workers: int = 0,
+    cache_dir=None,
 ) -> Fig5Result:
     """Run the Fig.-5 comparison.
 
@@ -50,6 +52,10 @@ def run_fig5(
         explorer_config: LF/HF schedule overrides for our method.
         scale: Workload problem-size scale (tests shrink it).
         area_limit_mm2: Budget (paper: 8 mm^2).
+        workers: Process-pool size for HF candidate batches.
+        cache_dir: Persistent evaluation cache shared by all methods --
+            every baseline sees the same workloads, so designs revisited
+            across methods and seeds simulate once.
     """
     per_seed: Dict[str, List[float]] = {name: [] for name in baselines}
     per_seed["fnn-mbrl-lf"] = []
@@ -57,12 +63,18 @@ def run_fig5(
 
     for seed in seeds:
         for name in baselines:
-            pool = build_suite_pool(area_limit_mm2=area_limit_mm2, scale=scale)
+            pool = build_suite_pool(
+                area_limit_mm2=area_limit_mm2, scale=scale,
+                workers=workers, cache_dir=cache_dir,
+            )
             rng = np.random.default_rng(1000 + seed)
             result = make_baseline(name).explore(pool, baseline_budget, rng)
             per_seed[name].append(result.best_cpi)
 
-        pool = build_suite_pool(area_limit_mm2=area_limit_mm2, scale=scale)
+        pool = build_suite_pool(
+            area_limit_mm2=area_limit_mm2, scale=scale,
+            workers=workers, cache_dir=cache_dir,
+        )
         config = explorer_config or ExplorerConfig(hf_budget=our_budget)
         explorer = MultiFidelityExplorer(pool, config=config, seed=seed)
         ours = explorer.explore()

@@ -9,17 +9,12 @@ centers converge faster; all converge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.fnn import default_inputs
-from repro.core.mfrl import (
-    DseEnvironment,
-    ExplorerConfig,
-    MultiFidelityExplorer,
-    ReinforceTrainer,
-)
+from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
 from repro.experiments.common import build_pool
 
 #: The paper's four (L1 center, L2 center) initialisations.

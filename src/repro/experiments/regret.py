@@ -11,7 +11,7 @@ paper's "promising area" intent, made explicit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -13,12 +13,10 @@ from __future__ import annotations
 
 import argparse
 import json
-from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional
 
 from repro.core.mfrl import ExplorerConfig
-from repro.workloads import BENCHMARK_NAMES
 
 #: --fast problem sizes (shared with the CLI).
 FAST_SIZES = {
@@ -33,7 +31,6 @@ FAST_SIZES = {
 
 def run_all(fast: bool = True, seed: int = 0) -> Dict:
     """Execute every experiment; returns the JSON-ready result tree."""
-    from repro.core.fnn import render_rule_base
     from repro.experiments.fig5 import run_fig5
     from repro.experiments.fig6 import PAPER_CENTER_PAIRS, run_fig6
     from repro.experiments.fig7 import run_fig7

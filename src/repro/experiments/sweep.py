@@ -35,6 +35,8 @@ def run_area_sweep(
     seed: int = 0,
     explorer_config: Optional[ExplorerConfig] = None,
     data_size: Optional[int] = None,
+    workers: int = 0,
+    cache_dir=None,
 ) -> List[SweepPoint]:
     """Frontier of best HF CPI over area budgets for ``benchmark``.
 
@@ -44,13 +46,23 @@ def run_area_sweep(
         seed: Explorer seed, shared across budgets.
         explorer_config: Budget overrides for fast runs.
         data_size: Workload problem-size override.
+        workers: Process-pool size for HF batches (0/1 = serial).
+        cache_dir: Persistent evaluation cache. The sweep is the ideal
+            customer: the cache key excludes the area limit, so designs
+            re-visited at different budgets simulate once.
     """
     if not area_limits:
         raise ValueError("need at least one area limit")
     config = explorer_config or ExplorerConfig()
     points: List[SweepPoint] = []
     for limit in area_limits:
-        pool = build_pool(benchmark, area_limit_mm2=limit, data_size=data_size)
+        pool = build_pool(
+            benchmark,
+            area_limit_mm2=limit,
+            data_size=data_size,
+            workers=workers,
+            cache_dir=cache_dir,
+        )
         result = MultiFidelityExplorer(pool, config=config, seed=seed).explore()
         points.append(
             SweepPoint(

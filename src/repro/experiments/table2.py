@@ -45,6 +45,8 @@ def run_table2(
     explorer_config: Optional[ExplorerConfig] = None,
     optimum_samples: int = 300,
     data_sizes: Optional[Dict[str, int]] = None,
+    workers: int = 0,
+    cache_dir=None,
 ) -> List[Table2Row]:
     """Run the Table-2 experiment.
 
@@ -55,12 +57,16 @@ def run_table2(
         optimum_samples: Promising-area samples for ~opt (paper: >= 500;
             smaller values keep CI runs fast at slightly looser ~opt).
         data_sizes: Optional per-benchmark problem-size overrides.
+        workers: Process-pool size for HF batches (0/1 = serial).
+        cache_dir: Persistent evaluation cache shared across benchmarks.
     """
     config = explorer_config or ExplorerConfig()
     rows: List[Table2Row] = []
     for benchmark in benchmarks:
         data_size = (data_sizes or {}).get(benchmark)
-        pool = build_pool(benchmark, data_size=data_size)
+        pool = build_pool(
+            benchmark, data_size=data_size, workers=workers, cache_dir=cache_dir
+        )
         explorer = MultiFidelityExplorer(pool, config=config, seed=seed)
         result = explorer.explore()
         opt = estimate_optimum(

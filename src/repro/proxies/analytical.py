@@ -25,8 +25,8 @@ disagrees in exactly these regions, which the HF phase then exploits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -7,10 +7,7 @@ set that seeds the HF phase (Sec. 3.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
 
 from repro.designspace import DesignSpace
 from repro.proxies.interface import Evaluation, Fidelity

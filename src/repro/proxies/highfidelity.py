@@ -8,7 +8,10 @@ accurate, called sparingly.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import dataclasses
+import hashlib
+import json
+from typing import Sequence
 
 import numpy as np
 
@@ -17,6 +20,16 @@ from repro.proxies.interface import Evaluation, Fidelity
 from repro.simulator import OutOfOrderSimulator, SimulatorParams
 from repro.simulator.params import DEFAULT_PARAMS
 from repro.workloads.suite import Workload
+
+
+def params_signature(params) -> str:
+    """Short stable hash of a (frozen-dataclass) parameter set.
+
+    Folded into persistent-cache tags so runs with different machine
+    timing constants never read each other's results.
+    """
+    payload = json.dumps(dataclasses.asdict(params), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:8]
 
 
 class SimulationProxy:
@@ -40,6 +53,14 @@ class SimulationProxy:
         self.space = space
         self._simulator = OutOfOrderSimulator(params)
         self.num_evaluations = 0
+
+    @property
+    def cache_tag(self) -> str:
+        """Persistent-cache namespace: pins the exact workload instance
+        *and* the machine timing constants."""
+        w = self.workload
+        sig = params_signature(self._simulator.params)
+        return f"{w.name}:d{w.data_size}:s{w.seed}:p{sig}"
 
     def evaluate(self, levels: Sequence[int]) -> Evaluation:
         """Simulate the workload on the design at ``levels``."""
@@ -81,6 +102,16 @@ class SuiteAverageProxy:
         self.space = space
         self._simulator = OutOfOrderSimulator(params)
         self.num_evaluations = 0
+
+    @property
+    def cache_tag(self) -> str:
+        """Persistent-cache namespace: pins every workload in the suite
+        and the machine timing constants."""
+        parts = ",".join(
+            f"{w.name}:d{w.data_size}:s{w.seed}" for w in self.workloads
+        )
+        sig = params_signature(self._simulator.params)
+        return f"avg({parts}):p{sig}"
 
     def evaluate(self, levels: Sequence[int]) -> Evaluation:
         """Mean CPI (and mean IPC) across the suite at ``levels``."""

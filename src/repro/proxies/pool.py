@@ -8,19 +8,28 @@ archive, and enforces the area constraint.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.designspace import AreaConstraint, DesignSpace, MicroArchConfig
+from repro.designspace import AreaConstraint, DesignSpace
 from repro.proxies.analytical import AnalyticalModel
 from repro.proxies.archive import DesignArchive
 from repro.proxies.area import AreaModel
 from repro.proxies.interface import Evaluation, EvaluationProxy, Fidelity
 
+if TYPE_CHECKING:  # imported lazily at runtime (engine depends on proxies)
+    from repro.engine import EvaluationEngine
+
 
 class ProxyPool:
     """Multi-fidelity evaluation frontend.
+
+    Every evaluation -- single or batched -- funnels through one
+    :class:`~repro.engine.EvaluationEngine`, so the execution strategy
+    (serial, process pool, vectorised) and the persistent cross-run cache
+    are pool construction choices, invisible to the search layers.
 
     Args:
         space: The design space.
@@ -29,6 +38,10 @@ class ProxyPool:
         area_model: Area estimator for the constraint.
         area_limit_mm2: The episode budget.
         keep_best: Archive leaderboard size.
+        engine: Pre-built evaluation engine; overrides the next two.
+        workers: ``> 1`` selects a :class:`ProcessPoolBackend` with this
+            many workers for the default engine.
+        cache_dir: Directory for the persistent JSONL result cache.
     """
 
     def __init__(
@@ -39,6 +52,9 @@ class ProxyPool:
         area_model: Optional[AreaModel] = None,
         area_limit_mm2: float = 8.0,
         keep_best: int = 16,
+        engine: Optional[EvaluationEngine] = None,
+        workers: int = 0,
+        cache_dir: Union[str, Path, None] = None,
     ):
         self.space = space
         self.analytical = analytical
@@ -46,6 +62,19 @@ class ProxyPool:
         self.area_model = area_model or AreaModel()
         self.constraint = AreaConstraint(self.area_model, area_limit_mm2)
         self.archive = DesignArchive(space, keep_best=keep_best)
+        if engine is None:
+            from repro.engine import EvaluationEngine, ResultCache, make_backend
+
+            backend = make_backend(None, workers=workers)
+            cache = ResultCache(cache_dir) if cache_dir is not None else None
+            engine = EvaluationEngine(
+                space,
+                analytical=analytical,
+                high_fidelity=high_fidelity,
+                backend=backend,
+                cache=cache,
+            )
+        self.engine = engine
         self.lf_evaluations = 0
         self.hf_evaluations = 0
 
@@ -58,20 +87,55 @@ class ProxyPool:
         cached = self.archive.lookup(levels, fidelity)
         if cached is not None:
             return cached
+        evaluation = self.engine.evaluate(levels, fidelity)
         if fidelity is Fidelity.LOW:
-            config = self.space.config(levels)
-            cpi = self.analytical.cpi(config)
-            evaluation = Evaluation(
-                levels=levels,
-                fidelity=Fidelity.LOW,
-                metrics={"cpi": cpi, "ipc": 1.0 / cpi},
-            )
             self.lf_evaluations += 1
         else:
-            evaluation = self.high_fidelity.evaluate(levels)
             self.hf_evaluations += 1
         self.archive.record(evaluation)
         return evaluation
+
+    def evaluate_many(
+        self, levels_batch: Sequence[Sequence[int]], fidelity: Fidelity
+    ) -> List[Evaluation]:
+        """Batched :meth:`evaluate`: one engine dispatch for the misses.
+
+        Results align with ``levels_batch``; designs already in the
+        archive (or repeated within the batch) are not re-evaluated and
+        do not bump the evaluation counters -- exactly the bookkeeping a
+        sequential loop over :meth:`evaluate` would produce, but with all
+        archive misses dispatched to the backend as one batch.
+        """
+        validated = [self.space.validate_levels(lv) for lv in levels_batch]
+        results: List[Optional[Evaluation]] = [None] * len(validated)
+        miss_positions: List[int] = []
+        miss_keys = set()
+        for i, levels in enumerate(validated):
+            cached = self.archive.lookup(levels, fidelity)
+            if cached is not None:
+                results[i] = cached
+                continue
+            key = self.space.flat_index(levels)
+            if key not in miss_keys:
+                miss_keys.add(key)
+                miss_positions.append(i)
+        if miss_positions:
+            fresh = self.engine.evaluate_many(
+                [validated[i] for i in miss_positions], fidelity
+            )
+            if fidelity is Fidelity.LOW:
+                self.lf_evaluations += len(fresh)
+            else:
+                self.hf_evaluations += len(fresh)
+            for evaluation in fresh:
+                self.archive.record(evaluation)
+            for i in miss_positions:
+                results[i] = self.archive.lookup(validated[i], fidelity)
+        # In-batch duplicates of a freshly evaluated design resolve last.
+        for i, levels in enumerate(validated):
+            if results[i] is None:
+                results[i] = self.archive.lookup(levels, fidelity)
+        return results  # type: ignore[return-value]
 
     def evaluate_low(self, levels: Sequence[int]) -> Evaluation:
         """LF (analytical) evaluation."""
@@ -80,6 +144,18 @@ class ProxyPool:
     def evaluate_high(self, levels: Sequence[int]) -> Evaluation:
         """HF (simulation) evaluation."""
         return self.evaluate(levels, Fidelity.HIGH)
+
+    def evaluate_many_low(
+        self, levels_batch: Sequence[Sequence[int]]
+    ) -> List[Evaluation]:
+        """Batched LF evaluation."""
+        return self.evaluate_many(levels_batch, Fidelity.LOW)
+
+    def evaluate_many_high(
+        self, levels_batch: Sequence[Sequence[int]]
+    ) -> List[Evaluation]:
+        """Batched HF evaluation."""
+        return self.evaluate_many(levels_batch, Fidelity.HIGH)
 
     # ------------------------------------------------------------------
     # Constraint helpers
@@ -115,4 +191,5 @@ class ProxyPool:
             "hf_evaluations": self.hf_evaluations,
             "lf_distinct": self.archive.count(Fidelity.LOW),
             "hf_distinct": self.archive.count(Fidelity.HIGH),
+            **{f"engine_{k}": v for k, v in self.engine.summary().items()},
         }

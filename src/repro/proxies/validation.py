@@ -11,7 +11,6 @@ library feature for anyone swapping in their own proxies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ first; with <= 16 ways a list scan beats fancier structures in CPython.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 
 class SetAssociativeCache:

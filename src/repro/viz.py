@@ -8,7 +8,7 @@ sparklines and line plots for the Fig.-6/7 traces.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 

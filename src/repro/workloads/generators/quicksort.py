@@ -7,7 +7,6 @@ and log-depth recursion -- a branch-bound integer workload.
 
 from __future__ import annotations
 
-import sys
 
 import numpy as np
 

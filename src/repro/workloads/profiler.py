@@ -10,18 +10,12 @@ result is cached by the suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-from repro.workloads.isa import (
-    OpClass,
-    OP_LATENCY,
-    INT_OPS,
-    FP_OPS,
-    MEM_OPS,
-)
+from repro.workloads.isa import OpClass, OP_LATENCY, INT_OPS, FP_OPS
 from repro.workloads.trace import InstructionTrace, NO_DEP
 
 #: Instruction-window sizes at which the ILP lookup table is evaluated;

@@ -46,6 +46,23 @@ def mm_pool(space, small_mm):
 
 
 @pytest.fixture()
+def mm_pool_factory(space, small_mm):
+    """Builds fresh, independent mm pools (for sequential-vs-batched
+    comparisons that must not share an archive)."""
+
+    def build(**kwargs):
+        return ProxyPool(
+            space,
+            AnalyticalModel(small_mm.profile, space),
+            SimulationProxy(small_mm, space),
+            area_limit_mm2=7.5,
+            **kwargs,
+        )
+
+    return build
+
+
+@pytest.fixture()
 def rng():
     """Deterministic per-test generator."""
     return np.random.default_rng(1234)

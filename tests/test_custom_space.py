@@ -7,7 +7,6 @@ tests cover the layers below it.)
 """
 
 import numpy as np
-import pytest
 
 from repro.designspace import AreaConstraint, DesignParameter, DesignSpace
 

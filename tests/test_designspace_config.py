@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.designspace import MicroArchConfig, default_design_space
+from repro.designspace import default_design_space
 
 SPACE = default_design_space()
 SMALL = SPACE.config(SPACE.smallest())

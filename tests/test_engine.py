@@ -1,0 +1,331 @@
+"""Tests for the evaluation engine: cache, backends, batch semantics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.designspace import default_design_space
+from repro.engine import (
+    BatchBackend,
+    EvaluationEngine,
+    ProcessPoolBackend,
+    ResultCache,
+    make_backend,
+    space_signature,
+    vectorized_lf_metrics,
+)
+from repro.proxies import AnalyticalModel, Fidelity, SimulationProxy
+from repro.workloads import get_workload
+
+SPACE = default_design_space()
+WORKLOAD = get_workload("mm", data_size=12)
+
+
+@pytest.fixture
+def engine():
+    return EvaluationEngine(
+        SPACE,
+        analytical=AnalyticalModel(WORKLOAD.profile, SPACE),
+        high_fidelity=SimulationProxy(WORKLOAD, SPACE),
+    )
+
+
+def sample_batch(count, seed=0):
+    return list(SPACE.sample(np.random.default_rng(seed), count=count))
+
+
+# ----------------------------------------------------------------------
+# Persistent cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_memory_only_round_trip(self):
+        cache = ResultCache()
+        key = ResultCache.key("sig", "wl", "high", [0, 1, 2])
+        assert cache.get(key) is None
+        cache.put(key, {"cpi": 1.5, "ipc": 1 / 1.5})
+        assert cache.get(key)["cpi"] == 1.5
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_disk_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = ResultCache.key("sig", "wl", "low", [3, 0, 1])
+        cache.put(key, {"cpi": 2.0, "ipc": 0.5})
+        reloaded = ResultCache(tmp_path)
+        assert reloaded.get(key) == {"cpi": 2.0, "ipc": 0.5}
+        assert len(reloaded) == 1
+
+    def test_float_precision_survives_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        value = 1.0 / 3.0 + 1e-16
+        key = ResultCache.key("s", "w", "high", [1])
+        cache.put(key, {"cpi": value})
+        assert ResultCache(tmp_path).get(key)["cpi"] == value
+
+    def test_keys_namespace_by_all_components(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(ResultCache.key("s1", "w", "high", [0]), {"cpi": 1.0})
+        assert cache.get(ResultCache.key("s2", "w", "high", [0])) is None
+        assert cache.get(ResultCache.key("s1", "x", "high", [0])) is None
+        assert cache.get(ResultCache.key("s1", "w", "low", [0])) is None
+        assert cache.get(ResultCache.key("s1", "w", "high", [1])) is None
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "evaluations.jsonl"
+        good = {
+            "space": "s", "workload": "w", "fidelity": "high",
+            "levels": [1, 2], "metrics": {"cpi": 1.25},
+        }
+        path.write_text(
+            json.dumps(good) + "\n"
+            + "{not json at all\n"
+            + '{"space": "s", "workload": "w"}\n'  # missing fields
+            + json.dumps(good)[: len(json.dumps(good)) // 2] + "\n"  # truncated
+        )
+        cache = ResultCache(tmp_path)
+        assert cache.corrupt_lines == 3
+        assert cache.get(ResultCache.key("s", "w", "high", [1, 2]))["cpi"] == 1.25
+
+    def test_compact_drops_corruption(self, tmp_path):
+        path = tmp_path / "evaluations.jsonl"
+        path.write_text("garbage\n")
+        cache = ResultCache(tmp_path)
+        cache.put(ResultCache.key("s", "w", "high", [0]), {"cpi": 1.0})
+        assert cache.compact() == 1
+        assert ResultCache(tmp_path).corrupt_lines == 0
+
+    def test_space_signature_stability(self):
+        assert space_signature(SPACE) == space_signature(default_design_space())
+
+    def test_rejects_plain_file_path(self, tmp_path):
+        not_a_dir = tmp_path / "cache"
+        not_a_dir.write_text("")
+        with pytest.raises(ValueError, match="not a directory"):
+            ResultCache(not_a_dir)
+
+    def test_explicit_jsonl_path(self, tmp_path):
+        path = tmp_path / "evals.jsonl"
+        cache = ResultCache(path)
+        cache.put(ResultCache.key("s", "w", "high", [0]), {"cpi": 1.0})
+        assert path.exists()
+        assert len(ResultCache(path)) == 1
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class TestBackends:
+    def test_process_pool_matches_serial_bit_identical(self, engine):
+        batch = sample_batch(8)
+        serial = engine.evaluate_many(batch, Fidelity.HIGH)
+        parallel_engine = EvaluationEngine(
+            SPACE,
+            analytical=engine.analytical,
+            high_fidelity=engine.high_fidelity,
+            backend=ProcessPoolBackend(workers=2, chunk_size=3),
+        )
+        parallel = parallel_engine.evaluate_many(batch, Fidelity.HIGH)
+        for a, b in zip(serial, parallel):
+            assert a.metrics == b.metrics  # exact float equality
+            assert np.array_equal(a.levels, b.levels)
+
+    def test_process_pool_small_batch_short_circuits(self):
+        backend = ProcessPoolBackend(workers=4, min_batch=100)
+        out = backend.map_evaluate(lambda lv: {"cpi": float(lv[0])}, sample_batch(3))
+        assert len(out) == 3
+
+    def test_chunking_covers_batch(self):
+        backend = ProcessPoolBackend(workers=2, chunk_size=3)
+        chunks = backend._chunks(sample_batch(8))
+        assert [len(c) for c in chunks] == [3, 3, 2]
+
+    def test_batch_backend_vectorises_lf(self, engine):
+        batch = sample_batch(16, seed=1)
+        scalar = engine.evaluate_many(batch, Fidelity.LOW)
+        batch_engine = EvaluationEngine(
+            SPACE, analytical=engine.analytical, backend=BatchBackend()
+        )
+        vectorised = batch_engine.evaluate_many(batch, Fidelity.LOW)
+        np.testing.assert_allclose(
+            [e.cpi for e in vectorised], [e.cpi for e in scalar], rtol=1e-12
+        )
+
+    def test_vectorized_lf_matches_model(self, engine):
+        batch = np.array(sample_batch(32, seed=2))
+        vec = vectorized_lf_metrics(engine.analytical, SPACE, batch)
+        for levels, metrics in zip(batch, vec):
+            expected = engine.analytical.cpi(SPACE.config(levels))
+            assert metrics["cpi"] == pytest.approx(expected, rel=1e-12)
+
+    def test_batch_backend_falls_back_for_hf(self, engine):
+        hf_engine = EvaluationEngine(
+            SPACE,
+            analytical=engine.analytical,
+            high_fidelity=engine.high_fidelity,
+            backend=BatchBackend(),
+        )
+        batch = sample_batch(2)
+        out = hf_engine.evaluate_many(batch, Fidelity.HIGH)
+        reference = engine.evaluate_many(batch, Fidelity.HIGH)
+        assert [e.metrics for e in out] == [e.metrics for e in reference]
+
+    def test_make_backend(self):
+        assert make_backend("serial").name == "serial"
+        assert make_backend("process", workers=2).name == "process"
+        assert make_backend("batch").name == "batch"
+        assert make_backend(None, workers=4).name == "process"
+        assert make_backend(None, workers=0).name == "serial"
+        with pytest.raises(ValueError):
+            make_backend("quantum")
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(chunk_size=0)
+
+
+# ----------------------------------------------------------------------
+# Engine semantics
+# ----------------------------------------------------------------------
+class TestEvaluationEngine:
+    def test_results_align_with_inputs(self, engine):
+        batch = sample_batch(5)
+        out = engine.evaluate_many(batch, Fidelity.LOW)
+        for levels, evaluation in zip(batch, out):
+            assert np.array_equal(evaluation.levels, levels)
+
+    def test_in_batch_duplicates_computed_once(self, engine):
+        base = sample_batch(3)
+        batch = base + [base[1].copy(), base[0].copy()]
+        out = engine.evaluate_many(batch, Fidelity.HIGH)
+        assert engine.computed["high"] == 3
+        assert out[3].metrics == out[1].metrics
+        assert out[4].metrics == out[0].metrics
+
+    def test_empty_batch(self, engine):
+        assert engine.evaluate_many([], Fidelity.LOW) == []
+
+    def test_cache_skips_recompute_across_engines(self, tmp_path):
+        analytical = AnalyticalModel(WORKLOAD.profile, SPACE)
+        proxy = SimulationProxy(WORKLOAD, SPACE)
+        batch = sample_batch(4)
+        first = EvaluationEngine(
+            SPACE, analytical=analytical, high_fidelity=proxy,
+            cache=ResultCache(tmp_path),
+        )
+        a = first.evaluate_many(batch, Fidelity.HIGH)
+        assert first.computed["high"] == 4
+        second = EvaluationEngine(
+            SPACE, analytical=analytical, high_fidelity=proxy,
+            cache=ResultCache(tmp_path),
+        )
+        b = second.evaluate_many(batch, Fidelity.HIGH)
+        assert second.computed["high"] == 0
+        assert second.cache_hits == 4
+        assert [e.metrics for e in a] == [e.metrics for e in b]
+
+    def test_lf_requires_analytical(self):
+        engine = EvaluationEngine(SPACE, high_fidelity=SimulationProxy(WORKLOAD, SPACE))
+        with pytest.raises(ValueError):
+            engine.evaluate(SPACE.smallest(), Fidelity.LOW)
+
+    def test_hf_requires_proxy(self):
+        engine = EvaluationEngine(
+            SPACE, analytical=AnalyticalModel(WORKLOAD.profile, SPACE)
+        )
+        with pytest.raises(ValueError):
+            engine.evaluate(SPACE.smallest(), Fidelity.HIGH)
+
+    def test_workload_tags_distinguish_fidelities(self, engine):
+        assert engine.workload_tag(Fidelity.LOW) != engine.workload_tag(Fidelity.HIGH)
+        assert engine.workload_tag(Fidelity.HIGH).startswith("hf:mm:")
+
+    def test_hf_tag_pins_simulator_params(self):
+        from repro.simulator import SimulatorParams
+
+        default = SimulationProxy(WORKLOAD, SPACE)
+        slower = SimulationProxy(
+            WORKLOAD, SPACE, params=SimulatorParams(mem_cycles=180)
+        )
+        assert default.cache_tag != slower.cache_tag
+
+    def test_lf_tag_pins_analytical_params(self):
+        from repro.proxies import AnalyticalParams
+
+        a = EvaluationEngine(
+            SPACE, analytical=AnalyticalModel(WORKLOAD.profile, SPACE)
+        )
+        b = EvaluationEngine(
+            SPACE,
+            analytical=AnalyticalModel(
+                WORKLOAD.profile, SPACE, params=AnalyticalParams(mem_cycles=180.0)
+            ),
+        )
+        assert a.workload_tag(Fidelity.LOW) != b.workload_tag(Fidelity.LOW)
+
+    def test_process_pool_reuses_executor_across_batches(self, engine):
+        backend = ProcessPoolBackend(workers=2, chunk_size=2)
+        pooled = EvaluationEngine(
+            SPACE,
+            analytical=engine.analytical,
+            high_fidelity=engine.high_fidelity,
+            backend=backend,
+        )
+        pooled.evaluate_many(sample_batch(4, seed=7), Fidelity.HIGH)
+        first = backend._executor
+        assert first is not None
+        pooled.evaluate_many(sample_batch(4, seed=8), Fidelity.HIGH)
+        assert backend._executor is first  # same workers, no respawn
+        backend.close()
+        assert backend._executor is None
+
+    def test_summary_keys(self, engine):
+        engine.evaluate(SPACE.smallest(), Fidelity.LOW)
+        summary = engine.summary()
+        assert summary["computed_low"] == 1
+        assert summary["backend"] == "serial"
+
+
+# ----------------------------------------------------------------------
+# Pool integration
+# ----------------------------------------------------------------------
+class TestPoolEvaluateMany:
+    def test_archive_consistency_with_duplicates(self, mm_pool):
+        base = sample_batch(4, seed=3)
+        batch = base + [base[0].copy(), base[2].copy()]
+        out = mm_pool.evaluate_many(batch, Fidelity.HIGH)
+        # duplicates resolve to the archived evaluation, counters see
+        # only distinct designs
+        assert mm_pool.hf_evaluations == 4
+        assert mm_pool.archive.count(Fidelity.HIGH) == 4
+        assert out[4].metrics == out[0].metrics
+        assert out[5].metrics == out[2].metrics
+        for levels, evaluation in zip(batch, out):
+            archived = mm_pool.archive.lookup(levels, Fidelity.HIGH)
+            assert archived is not None
+            assert archived.metrics == evaluation.metrics
+
+    def test_matches_sequential_evaluate(self, mm_pool, mm_pool_factory):
+        batch = sample_batch(5, seed=4)
+        sequential = [mm_pool.evaluate_high(levels) for levels in batch]
+        other = mm_pool_factory()
+        batched = other.evaluate_many(batch, Fidelity.HIGH)
+        for a, b in zip(sequential, batched):
+            assert a.metrics == b.metrics
+        assert other.hf_evaluations == mm_pool.hf_evaluations
+
+    def test_pre_archived_designs_not_recounted(self, mm_pool):
+        batch = sample_batch(3, seed=5)
+        mm_pool.evaluate_high(batch[0])
+        assert mm_pool.hf_evaluations == 1
+        mm_pool.evaluate_many(batch, Fidelity.HIGH)
+        assert mm_pool.hf_evaluations == 3  # only the two new designs
+
+    def test_leaderboard_matches_sequential(self, mm_pool, mm_pool_factory):
+        batch = sample_batch(8, seed=6)
+        for levels in batch:
+            mm_pool.evaluate_high(levels)
+        other = mm_pool_factory()
+        other.evaluate_many(batch, Fidelity.HIGH)
+        a = [e.cpi for e in mm_pool.archive.best_designs(Fidelity.HIGH)]
+        b = [e.cpi for e in other.archive.best_designs(Fidelity.HIGH)]
+        assert a == b

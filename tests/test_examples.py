@@ -23,12 +23,14 @@ def run_example(name, *args, timeout=600):
 
 
 class TestExampleScripts:
+    @pytest.mark.slow
     def test_application_specific_fast(self):
         proc = run_example("application_specific_dse.py", "--fast")
         assert proc.returncode == 0, proc.stderr
         for name in ("dijkstra", "mm", "fp-vvadd", "quicksort", "fft", "ss"):
             assert name in proc.stdout
 
+    @pytest.mark.slow
     def test_area_sweep_fast(self):
         proc = run_example("area_sweep.py", "--fast")
         assert proc.returncode == 0, proc.stderr
@@ -39,6 +41,7 @@ class TestExampleScripts:
         assert proc.returncode == 0, proc.stderr
         assert "MF centers" in proc.stdout
 
+    @pytest.mark.slow
     def test_baseline_comparison_tiny(self):
         proc = run_example(
             "baseline_comparison.py", "--seeds", "1", "--scale", "0.15"

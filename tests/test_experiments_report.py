@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.experiments.report import render_markdown, write_report
 

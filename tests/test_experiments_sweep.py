@@ -1,6 +1,5 @@
 """Tests for the area-budget sweep extension."""
 
-import numpy as np
 import pytest
 
 from repro.core.mfrl import ExplorerConfig

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.core.fnn import FuzzyNeuralNetwork, default_inputs
 from repro.designspace import default_design_space

@@ -1,6 +1,5 @@
 """Integration tests for the multi-fidelity explorer."""
 
-import numpy as np
 import pytest
 
 from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer

@@ -4,12 +4,7 @@ import numpy as np
 import pytest
 
 from repro.designspace import default_design_space
-from repro.proxies import (
-    AnalyticalModel,
-    Fidelity,
-    SimulationProxy,
-    measure_fidelity_gap,
-)
+from repro.proxies import AnalyticalModel, SimulationProxy, measure_fidelity_gap
 from repro.proxies.validation import _spearman
 from repro.workloads import get_workload
 

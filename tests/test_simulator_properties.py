@@ -11,7 +11,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.designspace import MicroArchConfig
 from repro.simulator import simulate
-from repro.workloads.isa import OpClass
 from repro.workloads.trace import TraceBuilder
 
 

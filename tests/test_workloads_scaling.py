@@ -2,12 +2,9 @@
 the quantities the DSE cares about (footprint, miss curves, trace size).
 """
 
-import numpy as np
 import pytest
 
 from repro.workloads import get_workload
-from repro.workloads.generators import GENERATORS
-
 SMALL = {"dijkstra": 32, "mm": 8, "fp-vvadd": 128, "quicksort": 64,
          "fft": 32, "ss": 512}
 LARGE = {"dijkstra": 128, "mm": 16, "fp-vvadd": 512, "quicksort": 256,
