@@ -17,6 +17,8 @@ The package is organised as the paper's Fig. 1:
 - :mod:`repro.baselines`   -- Random Forest, ActBoost, BagGBRT,
   BOOM-Explorer-style BO and SCBO baselines, from scratch.
 - :mod:`repro.experiments` -- one runner per paper table/figure.
+- :mod:`repro.campaign`    -- parallel, resumable orchestration of
+  seeds x methods x workloads grids of independent runs.
 """
 
 from repro.designspace import DesignSpace, MicroArchConfig, default_design_space

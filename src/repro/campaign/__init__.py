@@ -1,0 +1,52 @@
+"""Campaign orchestration: parallel, resumable grids of independent runs.
+
+The paper's headline experiments are grids -- seeds x methods x
+workloads -- of runs that share nothing but the evaluation cache. This
+package turns such a grid into first-class objects:
+
+- :mod:`repro.campaign.spec`      -- :class:`RunSpec`, the serialisable
+  description of one run (and the seam a future RPC backend ships
+  across hosts).
+- :mod:`repro.campaign.runner`    -- the executor registry that rebuilds
+  a pool from a spec inside the worker and runs it.
+- :mod:`repro.campaign.store`     -- :class:`RunStore`, one atomic JSON
+  record per run under a campaign directory; the resume source of truth.
+- :mod:`repro.campaign.scheduler` -- :class:`CampaignScheduler`, the
+  sequential-reference / process-pool fan-out over pending specs.
+- :mod:`repro.campaign.report`    -- aggregated engine counters and the
+  campaign summary.
+
+Experiments *emit* specs and *reduce* records; ``workers=0`` reproduces
+their pre-campaign sequential results bit-for-bit.
+"""
+
+from repro.campaign.report import (
+    aggregate_engine_counters,
+    render_campaign_summary,
+)
+from repro.campaign.runner import build_pool_for, execute_run
+from repro.campaign.scheduler import (
+    CampaignResult,
+    CampaignScheduler,
+    make_scheduler,
+)
+from repro.campaign.spec import (
+    RunSpec,
+    explorer_config_from_dict,
+    explorer_config_to_dict,
+)
+from repro.campaign.store import RunStore
+
+__all__ = [
+    "CampaignResult",
+    "CampaignScheduler",
+    "RunSpec",
+    "RunStore",
+    "aggregate_engine_counters",
+    "build_pool_for",
+    "execute_run",
+    "explorer_config_from_dict",
+    "explorer_config_to_dict",
+    "make_scheduler",
+    "render_campaign_summary",
+]

@@ -1,0 +1,56 @@
+"""Campaign progress/summary reporting: aggregate counters across runs.
+
+Every completed record carries the run's engine counters (computed LF/HF
+evaluations, persistent-cache hits, ...). Summed over a campaign they
+answer the questions that matter at grid scale: how many simulations the
+grid actually paid for, and how many the shared cache absorbed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.campaign.scheduler import CampaignResult
+
+#: Counter keys surfaced in the one-line summary (record key -> label).
+HEADLINE_COUNTERS = (
+    ("engine_computed_low", "computed LF"),
+    ("engine_computed_high", "computed HF"),
+    ("engine_cache_hits", "cache hits"),
+)
+
+
+def aggregate_engine_counters(
+    records: Mapping[str, Dict[str, Any]],
+) -> Dict[str, float]:
+    """Sum the numeric engine counters of every record."""
+    totals: Dict[str, float] = {}
+    for record in records.values():
+        for key, value in (record.get("engine") or {}).items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def render_campaign_summary(result: CampaignResult) -> str:
+    """Human-readable wrap-up of one scheduler invocation."""
+    counters = aggregate_engine_counters(result.records)
+    run_time = sum(
+        record.get("elapsed_s", 0.0) for record in result.records.values()
+    )
+    lines = [
+        "campaign summary:",
+        f"  runs      {len(result.records)} total, "
+        f"{len(result.executed)} executed, {len(result.skipped)} resumed",
+        f"  wall      {result.elapsed_s:.1f}s this invocation "
+        f"({run_time:.1f}s of run time)",
+    ]
+    parts = [
+        f"{label} {int(counters[key])}"
+        for key, label in HEADLINE_COUNTERS
+        if key in counters
+    ]
+    if parts:
+        lines.append("  engine    " + ", ".join(parts))
+    return "\n".join(lines)

@@ -1,0 +1,216 @@
+"""Run execution: rebuild the pool from a spec and run it, in-process.
+
+``execute_run`` is the single entry point the scheduler dispatches --
+sequentially in the parent, or pickled into pool workers. Everything a
+run needs (workload, proxies, explorer, RNG) is rebuilt *inside* the
+call from the spec's fields, which keeps worker dispatch cheap (a spec
+is a few hundred bytes) and guarantees run independence: two runs can
+never share mutable state, so execution order and placement cannot
+change results.
+
+Executors are registered per ``spec.kind``; payloads must be
+JSON-serialisable because they go straight into the run store.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.campaign.spec import RunSpec, explorer_config_from_dict
+from repro.campaign.store import STATUS_DONE
+
+#: spec.workload value selecting the suite-average general-purpose pool.
+SUITE_WORKLOAD = "suite"
+
+Executor = Callable[[RunSpec, Any], Dict[str, Any]]
+
+_EXECUTORS: Dict[str, Executor] = {}
+
+
+def executor(kind: str) -> Callable[[Executor], Executor]:
+    """Register an executor for one spec kind."""
+
+    def register(fn: Executor) -> Executor:
+        _EXECUTORS[kind] = fn
+        return fn
+
+    return register
+
+
+def build_pool_for(spec: RunSpec, cache_dir=None, engine_workers: int = 0):
+    """The proxy pool a spec's run evaluates against.
+
+    Built from the spec exactly like the sequential experiment loops
+    built theirs, so a ``workers=0`` campaign is bit-identical to the
+    pre-campaign code path.
+    """
+    from repro.experiments.common import (
+        GENERAL_PURPOSE_LIMIT,
+        build_pool,
+        build_suite_pool,
+    )
+
+    if spec.workload == SUITE_WORKLOAD:
+        return build_suite_pool(
+            area_limit_mm2=(
+                GENERAL_PURPOSE_LIMIT
+                if spec.area_limit_mm2 is None
+                else spec.area_limit_mm2
+            ),
+            scale=spec.scale,
+            workload_seed=spec.workload_seed,
+            workers=engine_workers,
+            cache_dir=cache_dir,
+        )
+    return build_pool(
+        spec.workload,
+        area_limit_mm2=spec.area_limit_mm2,
+        data_size=spec.data_size,
+        workload_seed=spec.workload_seed,
+        workers=engine_workers,
+        cache_dir=cache_dir,
+    )
+
+
+def execute_run(
+    spec: RunSpec, cache_dir=None, engine_workers: int = 0
+) -> Dict[str, Any]:
+    """Execute one spec; returns its completed store record."""
+    fn = _EXECUTORS.get(spec.kind)
+    if fn is None:
+        raise ValueError(
+            f"unknown run kind {spec.kind!r}; known: {sorted(_EXECUTORS)}"
+        )
+    start = time.perf_counter()
+    pool = build_pool_for(spec, cache_dir=cache_dir, engine_workers=engine_workers)
+    payload = fn(spec, pool)
+    return {
+        "spec": spec.to_json(),
+        "status": STATUS_DONE,
+        "payload": payload,
+        "engine": {
+            k: v for k, v in pool.summary().items() if isinstance(v, (int, float))
+        },
+        "elapsed_s": time.perf_counter() - start,
+    }
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+def _levels(levels) -> list:
+    return [int(v) for v in levels]
+
+
+@executor("baseline")
+def _run_baseline(spec: RunSpec, pool) -> Dict[str, Any]:
+    """One Fig.-5 baseline run (``spec.method`` names the surrogate)."""
+    from repro.baselines import make_baseline
+
+    if spec.hf_budget is None:
+        raise ValueError(f"baseline spec {spec.run_id!r} needs hf_budget")
+    rng = np.random.default_rng(spec.params.get("rng_seed", spec.seed))
+    result = make_baseline(spec.method).explore(pool, spec.hf_budget, rng)
+    return {
+        "best_cpi": float(result.best_cpi),
+        "best_levels": _levels(result.best_levels),
+        "history": [float(v) for v in result.history],
+    }
+
+
+@executor("explorer")
+def _run_explorer(spec: RunSpec, pool) -> Dict[str, Any]:
+    """One full multi-fidelity explorer run (LF -> transition -> HF)."""
+    from repro.core.mfrl import MultiFidelityExplorer
+
+    config = explorer_config_from_dict(spec.explorer)
+    result = MultiFidelityExplorer(pool, config=config, seed=spec.seed).explore()
+    return {
+        "lf_hf_cpi": float(result.lf_hf_cpi),
+        "best_hf_cpi": float(result.best_hf_cpi),
+        "lf_levels": _levels(result.lf_levels),
+        "best_levels": _levels(result.best_levels),
+        "best_area_mm2": float(pool.area(result.best_levels)),
+        "area_limit_mm2": float(pool.constraint.limit_mm2),
+        "hf_simulations": int(result.hf_simulations),
+    }
+
+
+@executor("table2")
+def _run_table2(spec: RunSpec, pool) -> Dict[str, Any]:
+    """Explorer run plus the sampled-optimum estimate on the same pool."""
+    from repro.experiments.regret import estimate_optimum
+
+    payload = _run_explorer(spec, pool)
+    # Fallback mirrors table2_specs' default, so a hand-authored spec
+    # without the param behaves like an emitted one.
+    opt = estimate_optimum(
+        pool,
+        np.random.default_rng(spec.seed + 1),
+        num_samples=int(spec.params.get("optimum_samples", 300)),
+    )
+    payload["sampled_optimum_cpi"] = float(opt.cpi)
+    return payload
+
+
+@executor("lf-trace")
+def _run_lf_trace(spec: RunSpec, pool) -> Dict[str, Any]:
+    """LF-phase-only run recording per-episode telemetry (Figs. 6/7).
+
+    ``params`` may carry an MF-center initialisation (``l1_center`` /
+    ``l2_center``) and/or a decode-width preference to embed before
+    training.
+    """
+    from repro.core.fnn import (
+        FuzzyNeuralNetwork,
+        decode_width_preference,
+        default_inputs,
+        embed_preference,
+    )
+    from repro.core.mfrl import MultiFidelityExplorer
+
+    centers = {
+        key: float(spec.params[key])
+        for key in ("l1_center", "l2_center")
+        if key in spec.params
+    }
+    inputs = default_inputs(**centers)
+    fnn = None
+    if spec.params.get("with_preference"):
+        fnn = FuzzyNeuralNetwork(
+            inputs, pool.space.names, rng=np.random.default_rng(spec.seed)
+        )
+        embed_preference(
+            fnn,
+            decode_width_preference(
+                int(spec.params["target_decode"]),
+                float(spec.params["preference_strength"]),
+            ),
+        )
+    elif "target_decode" in spec.params:
+        # Fig.-7 control run: same explicit FNN construction as the
+        # preference run so the two differ only by the embedded rules.
+        fnn = FuzzyNeuralNetwork(
+            inputs, pool.space.names, rng=np.random.default_rng(spec.seed)
+        )
+    explorer = MultiFidelityExplorer(
+        pool,
+        inputs=inputs,
+        config=explorer_config_from_dict(spec.explorer),
+        seed=spec.seed,
+        fnn=fnn,
+    )
+    trainer = explorer.run_lf_phase()
+    trajectories: Dict[str, list] = {name: [] for name in pool.space.names}
+    for record in trainer.history:
+        for name, value in zip(
+            pool.space.names, pool.space.values(record.final_levels)
+        ):
+            trajectories[name].append(int(value))
+    return {
+        "episode_cpi": [float(r.final_cpi) for r in trainer.history],
+        "trajectories": trajectories,
+    }

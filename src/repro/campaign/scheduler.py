@@ -1,0 +1,236 @@
+"""The campaign scheduler: fan independent runs out, resumably.
+
+``CampaignScheduler.run(specs)`` executes every spec not already
+answered by the run store and returns all records. Two execution modes:
+
+- ``workers=0`` (or 1): a plain in-order loop in the calling process --
+  the reference semantics. Because each run rebuilds its own pool and
+  RNG from the spec, this path is bit-identical to the sequential
+  experiment loops it replaced.
+- ``workers>=2``: a ``concurrent.futures`` process pool over the pending
+  specs. Runs are independent by construction, so placement changes
+  wall-clock, never values.
+
+Resume is a store property, not scheduler state: a record counts only if
+it is readable, marked done and its embedded spec matches (see
+:meth:`repro.campaign.store.RunStore.completed`), so deleting half the
+records -- or editing the campaign -- re-executes exactly the missing or
+changed runs.
+
+All runs share one persistent ``cache_dir``, so designs revisited across
+methods and seeds simulate once; worker pools inside a run are disabled
+(``engine_workers=0`` by default) because the campaign already owns the
+process-level parallelism.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.campaign.runner import execute_run
+from repro.campaign.spec import RunSpec
+from repro.campaign.store import RunStore
+
+
+@dataclass
+class CampaignResult:
+    """Everything a reducer needs from one scheduler invocation.
+
+    Attributes:
+        records: Completed record per run id (executed or resumed).
+        executed: Run ids computed in this invocation, in spec order.
+        skipped: Run ids answered by the store, in spec order.
+        elapsed_s: Wall-clock of this invocation.
+    """
+
+    records: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    executed: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def payload(self, run_id: str) -> Dict[str, Any]:
+        """The result payload of one run."""
+        return self.records[run_id]["payload"]
+
+
+def make_scheduler(
+    workers: int = 0,
+    cache_dir=None,
+    campaign_dir=None,
+    resume: bool = True,
+) -> "CampaignScheduler":
+    """The scheduler an experiment runner builds when none was injected.
+
+    One place for the store/cache wiring every ``run_*`` entry point
+    shares; ``campaign_dir=None`` keeps records in memory only.
+    """
+    return CampaignScheduler(
+        workers=workers,
+        store=RunStore(campaign_dir) if campaign_dir is not None else None,
+        cache_dir=cache_dir,
+        resume=resume,
+    )
+
+
+class CampaignScheduler:
+    """Parallel, resumable execution of independent run specs.
+
+    Args:
+        workers: Process-pool size across runs; 0/1 executes sequentially
+            in-process (the reference path).
+        store: Run store for persistence/resume; ``None`` keeps records
+            in memory only.
+        cache_dir: Persistent evaluation-cache directory shared by every
+            run of the campaign.
+        resume: Reuse completed store records instead of re-running.
+        progress: Optional sink for one human-readable line per run.
+        engine_workers: Process-pool size *inside* each run's evaluation
+            engine (default 0: the campaign level owns parallelism).
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        store: Optional[RunStore] = None,
+        cache_dir=None,
+        resume: bool = True,
+        progress: Optional[Callable[[str], None]] = None,
+        engine_workers: int = 0,
+    ):
+        self.workers = max(int(workers), 0)
+        self.store = store
+        self.cache_dir = cache_dir
+        self.resume = resume
+        self.progress = progress
+        self.engine_workers = engine_workers
+        #: The most recent :class:`CampaignResult` (for summary printing).
+        self.last: Optional[CampaignResult] = None
+
+    # ------------------------------------------------------------------
+    def _note(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def _record_done(self, spec: RunSpec, record: Dict[str, Any]) -> None:
+        if self.store is not None:
+            self.store.write(spec.run_id, record)
+
+    def _record_failed(self, spec: RunSpec, error: BaseException) -> None:
+        if self.store is not None:
+            self.store.write(
+                spec.run_id,
+                {"spec": spec.to_json(), "status": "failed", "error": repr(error)},
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[RunSpec]) -> CampaignResult:
+        """Execute (or resume) every spec; returns all records."""
+        specs = list(specs)
+        seen = set()
+        for spec in specs:
+            if spec.run_id in seen:
+                raise ValueError(f"duplicate run id {spec.run_id!r}")
+            seen.add(spec.run_id)
+
+        start = time.perf_counter()
+        result = CampaignResult()
+        pending: List[RunSpec] = []
+        for spec in specs:
+            record = (
+                self.store.completed(spec)
+                if (self.resume and self.store is not None)
+                else None
+            )
+            if record is not None:
+                result.records[spec.run_id] = record
+                result.skipped.append(spec.run_id)
+            else:
+                pending.append(spec)
+        if result.skipped:
+            self._note(
+                f"resume: {len(result.skipped)}/{len(specs)} runs already "
+                "complete, skipping"
+            )
+
+        if self.workers >= 2 and len(pending) >= 2:
+            self._run_parallel(pending, result)
+        else:
+            self._run_sequential(pending, result)
+
+        result.elapsed_s = time.perf_counter() - start
+        self.last = result
+        return result
+
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        spec: RunSpec,
+        record: Dict[str, Any],
+        result: CampaignResult,
+        total: int,
+    ) -> None:
+        self._record_done(spec, record)
+        result.records[spec.run_id] = record
+        result.executed.append(spec.run_id)
+        done = len(result.records)
+        self._note(
+            f"[{done}/{total}] {spec.run_id} "
+            f"({record.get('elapsed_s', 0.0):.1f}s)"
+        )
+
+    def _run_sequential(
+        self, pending: Sequence[RunSpec], result: CampaignResult
+    ) -> None:
+        total = len(result.records) + len(pending)
+        for spec in pending:
+            try:
+                record = execute_run(
+                    spec,
+                    cache_dir=self.cache_dir,
+                    engine_workers=self.engine_workers,
+                )
+            except Exception as error:
+                self._record_failed(spec, error)
+                raise
+            self._finish(spec, record, result, total)
+
+    def _run_parallel(
+        self, pending: Sequence[RunSpec], result: CampaignResult
+    ) -> None:
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+        total = len(result.records) + len(pending)
+        failures: List[str] = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending))
+        ) as executor:
+            futures = {
+                executor.submit(
+                    execute_run,
+                    spec,
+                    cache_dir=self.cache_dir,
+                    engine_workers=self.engine_workers,
+                ): spec
+                for spec in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    spec = futures[future]
+                    error = future.exception()
+                    if error is not None:
+                        self._record_failed(spec, error)
+                        failures.append(f"{spec.run_id}: {error!r}")
+                        continue
+                    self._finish(spec, future.result(), result, total)
+        if failures:
+            raise RuntimeError(
+                f"{len(failures)} campaign run(s) failed:\n  "
+                + "\n  ".join(failures)
+            )
+        # Executed order should read like the plan, not like the race.
+        order = {spec.run_id: i for i, spec in enumerate(pending)}
+        result.executed.sort(key=order.__getitem__)

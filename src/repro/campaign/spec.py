@@ -1,0 +1,95 @@
+"""Run specifications: the serialisable unit of campaign work.
+
+A :class:`RunSpec` describes *one* independent explorer or baseline run
+-- method, seed, workload, area budget and explorer configuration -- in
+plain JSON-serialisable fields. Specs are what experiments *emit* (a
+Fig.-5 grid is seeds x methods of them), what the scheduler fans out
+over a process pool, and what the run store persists next to each run's
+result record so a resumed campaign can tell whether a record still
+matches the work it claims to answer.
+
+The spec is deliberately declarative: no callables, no live pools. The
+executor registry in :mod:`repro.campaign.runner` maps ``spec.kind`` to
+the code that rebuilds the proxy pool *inside* the worker process and
+runs it -- which is also what makes a spec picklable and a future RPC
+backend possible (ship the spec, not the objects).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.mfrl import ExplorerConfig
+from repro.core.mfrl.reinforce import TrainerConfig
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent run of a campaign grid.
+
+    Attributes:
+        run_id: Campaign-unique identifier (doubles as the record name).
+        kind: Executor registry key (``"explorer"``, ``"baseline"``, ...).
+        method: Method label the reducers group by (baseline name or
+            ``"fnn-mbrl"``).
+        seed: Master seed of the run.
+        workload: Benchmark name, or ``"suite"`` for the suite-average
+            general-purpose pool.
+        area_limit_mm2: Area budget; ``None`` uses the workload's
+            Table-2 default.
+        scale: Suite problem-size scale (suite pools only).
+        data_size: Problem-size override (single-benchmark pools only).
+        workload_seed: Workload-content seed.
+        hf_budget: HF-simulation budget for baseline runs.
+        explorer: Serialised :class:`ExplorerConfig` (see
+            :func:`explorer_config_to_dict`); ``None`` means defaults.
+        params: Kind-specific extras (e.g. MF-center initialisation,
+            preference settings, optimum sample count).
+    """
+
+    run_id: str
+    kind: str
+    method: str
+    seed: int
+    workload: str
+    area_limit_mm2: Optional[float] = None
+    scale: float = 1.0
+    data_size: Optional[int] = None
+    workload_seed: int = 0
+    hf_budget: Optional[int] = None
+    explorer: Optional[Dict[str, Any]] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-canonical dict (tuples become lists, keys become str).
+
+        The round trip through ``json`` matters: a spec freshly built in
+        memory must compare equal to one read back from a manifest, so
+        resume checks are value checks, not format checks.
+        """
+        return json.loads(json.dumps(asdict(self)))
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "RunSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls(**data)
+
+
+def explorer_config_to_dict(config: Optional[ExplorerConfig]) -> Optional[Dict[str, Any]]:
+    """Serialise an :class:`ExplorerConfig` (trainer included) to JSON."""
+    if config is None:
+        return None
+    return asdict(config)
+
+
+def explorer_config_from_dict(data: Optional[Dict[str, Any]]) -> ExplorerConfig:
+    """Rebuild an :class:`ExplorerConfig` from :func:`explorer_config_to_dict`."""
+    if data is None:
+        return ExplorerConfig()
+    kwargs = dict(data)
+    trainer = kwargs.pop("trainer", None)
+    if trainer is not None:
+        kwargs["trainer"] = TrainerConfig(**trainer)
+    return ExplorerConfig(**kwargs)

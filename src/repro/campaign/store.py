@@ -1,0 +1,121 @@
+"""The run store: one JSON record per run under a campaign directory.
+
+Layout::
+
+    <campaign-dir>/
+        runs/
+            <run_id>.json      # {"spec": ..., "status": ..., "payload": ...}
+
+Records are written atomically (temp file + rename), so a killed
+campaign leaves either a complete record or none -- and anything that
+*does* end up unreadable (partial disk, manual truncation) simply reads
+as "missing" and gets re-run. A record only counts as complete when its
+embedded spec matches the spec being scheduled, so editing a campaign's
+budgets or seeds invalidates exactly the records it changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.campaign.spec import RunSpec
+
+#: Sub-directory holding the per-run records.
+RUNS_DIR = "runs"
+
+#: Completed-run status value.
+STATUS_DONE = "done"
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def record_filename(run_id: str) -> str:
+    """Filesystem-safe record name for ``run_id``.
+
+    Unsafe characters are replaced and a short hash of the original id is
+    appended whenever anything was replaced, so two distinct ids can
+    never silently share a record file.
+    """
+    safe = _SAFE.sub("_", run_id)
+    if safe != run_id:
+        digest = hashlib.sha256(run_id.encode("utf-8")).hexdigest()[:8]
+        safe = f"{safe}-{digest}"
+    return f"{safe}.json"
+
+
+class RunStore:
+    """Per-run manifest + result records under one campaign directory."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.runs_dir = self.root / RUNS_DIR
+
+    # ------------------------------------------------------------------
+    def path_for(self, run_id: str) -> Path:
+        """Record path for ``run_id``."""
+        return self.runs_dir / record_filename(run_id)
+
+    def load(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """The record for ``run_id``, or None when missing or corrupt."""
+        path = self.path_for(run_id)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        return record
+
+    def write(self, run_id: str, record: Dict[str, Any]) -> Path:
+        """Atomically persist ``record`` (temp file + rename)."""
+        path = self.path_for(run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, separators=(",", ":"), sort_keys=True)
+        tmp.replace(path)
+        return path
+
+    def delete(self, run_id: str) -> None:
+        """Remove a record (missing is fine)."""
+        self.path_for(run_id).unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def completed(self, spec: RunSpec) -> Optional[Dict[str, Any]]:
+        """The finished record answering ``spec``, if one exists.
+
+        A record qualifies only when it is readable, marked done, *and*
+        stores the same spec -- a partial write, a failure record, or a
+        record from an edited campaign all read as "not completed".
+        """
+        record = self.load(spec.run_id)
+        if record is None or record.get("status") != STATUS_DONE:
+            return None
+        if record.get("spec") != spec.to_json():
+            return None
+        return record
+
+    def records(self) -> Dict[str, Dict[str, Any]]:
+        """All readable records, keyed by their embedded run id."""
+        out: Dict[str, Dict[str, Any]] = {}
+        if not self.runs_dir.is_dir():
+            return out
+        for path in sorted(self.runs_dir.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    record = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(record, dict):
+                run_id = (record.get("spec") or {}).get("run_id")
+                if run_id:
+                    out[run_id] = record
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records())

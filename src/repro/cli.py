@@ -10,12 +10,17 @@ One subcommand per paper artefact plus a quick end-to-end run:
 - ``rules``    train and print the extracted rule base.
 - ``explore``  one multi-fidelity run on a chosen benchmark.
 - ``sweep``    area-budget frontier of the explorer.
+- ``campaign`` parallel, resumable runs of a whole experiment grid.
 
 All commands accept ``--fast`` to shrink budgets/problem sizes for smoke
 runs, and print to stdout (pipe to a file to archive results). Commands
-that simulate (``table2``, ``fig5``, ``explore``, ``sweep``) also accept
-``--workers N`` (process-pool size for high-fidelity batches) and
-``--cache-dir DIR`` (persistent cross-run evaluation cache).
+that simulate (``table2``, ``fig5``, ``explore``, ``sweep``,
+``campaign``) also accept ``--workers N`` (process-pool size: across
+runs for the grid commands, across high-fidelity batches for
+``explore``) and ``--cache-dir DIR`` (persistent cross-run evaluation
+cache). ``campaign`` additionally takes ``--campaign-dir DIR`` (one JSON
+record per run) and ``--resume`` (skip runs the directory already
+answers).
 """
 
 from __future__ import annotations
@@ -54,7 +59,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_table2(args: argparse.Namespace) -> int:
+def cmd_table2(args: argparse.Namespace, scheduler=None) -> int:
     from repro.experiments.table2 import render_table2, run_table2
 
     rows = run_table2(
@@ -65,12 +70,13 @@ def cmd_table2(args: argparse.Namespace) -> int:
         data_sizes=FAST_SIZES if args.fast else None,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        scheduler=scheduler,
     )
     print(render_table2(rows))
     return 0
 
 
-def cmd_fig5(args: argparse.Namespace) -> int:
+def cmd_fig5(args: argparse.Namespace, scheduler=None) -> int:
     from repro.experiments.fig5 import run_fig5
 
     result = run_fig5(
@@ -79,19 +85,21 @@ def cmd_fig5(args: argparse.Namespace) -> int:
         scale=0.25 if args.fast else 1.0,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        scheduler=scheduler,
     )
     print("Fig. 5 -- mean best CPI (lower is better):")
     print(viz.bar_chart(result.mean_cpi, highlight="fnn-mbrl-hf"))
     return 0
 
 
-def cmd_fig6(args: argparse.Namespace) -> int:
+def cmd_fig6(args: argparse.Namespace, scheduler=None) -> int:
     from repro.experiments.fig6 import PAPER_CENTER_PAIRS, render_fig6, run_fig6
 
     traces = run_fig6(
         center_pairs=PAPER_CENTER_PAIRS,
         episodes=100 if args.fast else 250,
         seed=args.seed,
+        scheduler=scheduler,
     )
     print(render_fig6(traces))
     print()
@@ -101,13 +109,14 @@ def cmd_fig6(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fig7(args: argparse.Namespace) -> int:
+def cmd_fig7(args: argparse.Namespace, scheduler=None) -> int:
     from repro.experiments.fig7 import render_fig7, run_fig7
 
     result = run_fig7(
         episodes=80 if args.fast else 250,
         seed=args.seed,
         data_size=1024 if args.fast else None,
+        scheduler=scheduler,
     )
     print(render_fig7(result))
     print()
@@ -161,7 +170,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
+def cmd_sweep(args: argparse.Namespace, scheduler=None) -> int:
     from repro.experiments.sweep import frontier_knee, render_sweep, run_area_sweep
 
     points = run_area_sweep(
@@ -172,12 +181,45 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         data_size=FAST_SIZES.get(args.benchmark) if args.fast else None,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        scheduler=scheduler,
     )
     print(render_sweep(points))
     knee = frontier_knee(points)
     print(f"knee: {knee.area_limit_mm2:.1f} mm^2 "
           f"(best CPI {knee.best_hf_cpi:.4f})")
     return 0
+
+
+#: Experiments the ``campaign`` subcommand can orchestrate. Delegating
+#: to the plain subcommand implementations keeps the two entry points
+#: running the *same* experiment -- only the scheduler differs.
+CAMPAIGN_EXPERIMENTS = {
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "table2": cmd_table2,
+    "sweep": cmd_sweep,
+}
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro import campaign
+
+    scheduler = campaign.CampaignScheduler(
+        workers=args.workers,
+        store=(
+            campaign.RunStore(args.campaign_dir)
+            if args.campaign_dir is not None
+            else None
+        ),
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        progress=print,
+    )
+    code = CAMPAIGN_EXPERIMENTS[args.experiment](args, scheduler=scheduler)
+    print()
+    print(campaign.render_campaign_summary(scheduler.last))
+    return code
 
 
 # ----------------------------------------------------------------------
@@ -197,8 +239,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def engine_flags(p):
         p.add_argument("--workers", type=int, default=0,
-                       help="process-pool size for HF evaluation batches "
-                       "(0/1 = serial)")
+                       help="process-pool size (0/1 = serial): across runs "
+                       "for grid commands, across HF batches for explore")
         p.add_argument("--cache-dir", default=None,
                        help="persistent evaluation-cache directory "
                        "(shared across runs)")
@@ -244,6 +286,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limits", nargs="*", type=float,
                    help="area budgets to sweep (mm^2)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "campaign",
+        help="parallel, resumable runs of a whole experiment grid",
+        description="Fan an experiment's independent runs (seeds x "
+        "methods x workloads) out over a process pool, persisting one "
+        "record per run so a killed campaign resumes where it stopped.",
+    )
+    common(p)
+    engine_flags(p)
+    p.add_argument("experiment", choices=sorted(CAMPAIGN_EXPERIMENTS))
+    p.add_argument("--campaign-dir", default=None,
+                   help="directory for per-run manifests/results "
+                   "(enables resume)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip runs already completed in --campaign-dir")
+    p.add_argument("--seeds", type=int, default=5, help="fig5: seed count")
+    p.add_argument("--benchmarks", nargs="*", choices=BENCHMARK_NAMES,
+                   help="table2: benchmark subset")
+    p.add_argument("--benchmark", default="mm", choices=BENCHMARK_NAMES,
+                   help="sweep: which kernel")
+    p.add_argument("--limits", nargs="*", type=float,
+                   help="sweep: area budgets (mm^2)")
+    p.set_defaults(func=cmd_campaign)
 
     return parser
 

@@ -14,13 +14,17 @@ once across all budgets.
 The on-disk format is append-only JSON lines -- one evaluation per line --
 which makes partial writes (a killed run) recoverable: corrupt or
 truncated lines are counted and skipped at load time instead of poisoning
-the whole file.
+the whole file. Appends are written as one ``O_APPEND`` ``os.write`` per
+record, so concurrent writers (a campaign's worker processes sharing one
+cache directory) interleave at line granularity instead of corrupting
+each other's records.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple, Union
 
@@ -114,11 +118,18 @@ class ResultCache:
             "levels": list(key[3]),
             "metrics": {k: float(v) for k, v in metrics.items()},
         }
-        # flush-only (no fsync): a torn tail line after a crash is
-        # exactly what the corrupt-line recovery path absorbs at load.
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
-            fh.flush()
+        # One O_APPEND write per record: the kernel serialises the
+        # offset update, so concurrent writer processes never splice
+        # into each other's lines. No fsync: a torn tail line after a
+        # crash is exactly what corrupt-line recovery absorbs at load.
+        line = (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
 
     def __len__(self) -> int:
         return len(self._memo)

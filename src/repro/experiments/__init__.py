@@ -12,10 +12,16 @@
 
 from repro.experiments.common import build_pool, build_suite_pool, AREA_LIMITS
 from repro.experiments.regret import estimate_optimum, OptimumEstimate
-from repro.experiments.table2 import run_table2, Table2Row
-from repro.experiments.fig5 import run_fig5, Fig5Result
-from repro.experiments.fig6 import run_fig6, Fig6Trace
-from repro.experiments.fig7 import run_fig7, Fig7Result
+from repro.experiments.table2 import (
+    run_table2,
+    table2_reduce,
+    table2_specs,
+    Table2Row,
+)
+from repro.experiments.fig5 import fig5_reduce, fig5_specs, run_fig5, Fig5Result
+from repro.experiments.fig6 import fig6_reduce, fig6_specs, run_fig6, Fig6Trace
+from repro.experiments.fig7 import fig7_reduce, fig7_specs, run_fig7, Fig7Result
+from repro.experiments.sweep import run_area_sweep, sweep_reduce, sweep_specs
 from repro.experiments.rules import run_rules_demo
 
 __all__ = [
@@ -25,12 +31,23 @@ __all__ = [
     "estimate_optimum",
     "OptimumEstimate",
     "run_table2",
+    "table2_reduce",
+    "table2_specs",
     "Table2Row",
     "run_fig5",
+    "fig5_reduce",
+    "fig5_specs",
     "Fig5Result",
     "run_fig6",
+    "fig6_reduce",
+    "fig6_specs",
     "Fig6Trace",
     "run_fig7",
+    "fig7_reduce",
+    "fig7_specs",
     "Fig7Result",
+    "run_area_sweep",
+    "sweep_reduce",
+    "sweep_specs",
     "run_rules_demo",
 ]

@@ -5,18 +5,36 @@ under an 8 mm^2 budget; every baseline gets 10 HF simulations, our method
 gets 9 (equal wall-clock once the ~2 h LF phase is priced in); 5 seeds;
 report the mean best CPI per method. The paper's ordering to reproduce:
 FNN-MBRL-HF < every baseline, with FNN-MBRL-LF mid-pack.
+
+The experiment is a seeds x methods grid of independent runs, so it is
+expressed campaign-style: :func:`fig5_specs` *emits* one
+:class:`~repro.campaign.RunSpec` per run, the
+:class:`~repro.campaign.CampaignScheduler` executes them (sequentially
+at ``workers=0`` -- bit-identical to the old loop -- or fanned out over
+a process pool), and :func:`fig5_reduce` folds the records back into a
+:class:`Fig5Result`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.baselines import ALL_BASELINES, make_baseline
-from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
-from repro.experiments.common import GENERAL_PURPOSE_LIMIT, build_suite_pool
+from repro.baselines import ALL_BASELINES
+from repro.campaign import (
+    CampaignScheduler,
+    RunSpec,
+    aggregate_engine_counters,
+    explorer_config_to_dict,
+    make_scheduler,
+)
+from repro.core.mfrl import ExplorerConfig
+from repro.experiments.common import GENERAL_PURPOSE_LIMIT
+
+#: Method label of our explorer in run specs.
+OUR_METHOD = "fnn-mbrl"
 
 
 @dataclass
@@ -26,10 +44,83 @@ class Fig5Result:
     mean_cpi: Dict[str, float]
     per_seed_cpi: Dict[str, List[float]]
     seeds: List[int]
+    #: Engine counters summed over every run of the grid (computed LF/HF
+    #: evaluations, persistent-cache hits, ...).
+    engine_counters: Dict[str, float] = field(default_factory=dict)
 
     def ranking(self) -> List[str]:
         """Methods sorted best (lowest mean CPI) first."""
         return sorted(self.mean_cpi, key=self.mean_cpi.get)
+
+
+def fig5_specs(
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    baseline_budget: int = 10,
+    our_budget: int = 9,
+    baselines: Sequence[str] = ALL_BASELINES,
+    explorer_config: Optional[ExplorerConfig] = None,
+    scale: float = 1.0,
+    area_limit_mm2: float = GENERAL_PURPOSE_LIMIT,
+) -> List[RunSpec]:
+    """The Fig.-5 grid as run specs, in the sequential execution order."""
+    explorer = explorer_config_to_dict(
+        explorer_config or ExplorerConfig(hf_budget=our_budget)
+    )
+    specs: List[RunSpec] = []
+    for seed in seeds:
+        for name in baselines:
+            specs.append(
+                RunSpec(
+                    run_id=f"fig5-s{seed}-{name}",
+                    kind="baseline",
+                    method=name,
+                    seed=seed,
+                    workload="suite",
+                    area_limit_mm2=area_limit_mm2,
+                    scale=scale,
+                    hf_budget=baseline_budget,
+                    params={"rng_seed": 1000 + seed},
+                )
+            )
+        specs.append(
+            RunSpec(
+                run_id=f"fig5-s{seed}-{OUR_METHOD}",
+                kind="explorer",
+                method=OUR_METHOD,
+                seed=seed,
+                workload="suite",
+                area_limit_mm2=area_limit_mm2,
+                scale=scale,
+                explorer=explorer,
+            )
+        )
+    return specs
+
+
+def fig5_reduce(
+    specs: Sequence[RunSpec], records: Mapping[str, dict]
+) -> Fig5Result:
+    """Fold run records into the Fig.-5 result, in spec order."""
+    per_seed: Dict[str, List[float]] = {}
+    seeds: List[int] = []
+    for spec in specs:
+        payload = records[spec.run_id]["payload"]
+        if spec.seed not in seeds:
+            seeds.append(spec.seed)
+        if spec.kind == "baseline":
+            per_seed.setdefault(spec.method, []).append(payload["best_cpi"])
+        else:
+            per_seed.setdefault("fnn-mbrl-lf", []).append(payload["lf_hf_cpi"])
+            per_seed.setdefault("fnn-mbrl-hf", []).append(payload["best_hf_cpi"])
+    mean_cpi = {name: float(np.mean(vals)) for name, vals in per_seed.items()}
+    return Fig5Result(
+        mean_cpi=mean_cpi,
+        per_seed_cpi=per_seed,
+        seeds=seeds,
+        engine_counters=aggregate_engine_counters(
+            {spec.run_id: records[spec.run_id] for spec in specs}
+        ),
+    )
 
 
 def run_fig5(
@@ -42,6 +133,9 @@ def run_fig5(
     area_limit_mm2: float = GENERAL_PURPOSE_LIMIT,
     workers: int = 0,
     cache_dir=None,
+    campaign_dir=None,
+    resume: bool = True,
+    scheduler: Optional[CampaignScheduler] = None,
 ) -> Fig5Result:
     """Run the Fig.-5 comparison.
 
@@ -52,37 +146,29 @@ def run_fig5(
         explorer_config: LF/HF schedule overrides for our method.
         scale: Workload problem-size scale (tests shrink it).
         area_limit_mm2: Budget (paper: 8 mm^2).
-        workers: Process-pool size for HF candidate batches.
-        cache_dir: Persistent evaluation cache shared by all methods --
-            every baseline sees the same workloads, so designs revisited
+        workers: Process-pool size *across runs* of the grid (0/1 =
+            sequential, bit-identical to the pre-campaign loop).
+        cache_dir: Persistent evaluation cache shared by all runs --
+            every method sees the same workloads, so designs revisited
             across methods and seeds simulate once.
+        campaign_dir: Run-store directory; a killed campaign re-invoked
+            with ``resume=True`` skips its completed runs.
+        resume: Reuse completed records found in ``campaign_dir``.
+        scheduler: Pre-built scheduler (overrides the previous four).
     """
-    per_seed: Dict[str, List[float]] = {name: [] for name in baselines}
-    per_seed["fnn-mbrl-lf"] = []
-    per_seed["fnn-mbrl-hf"] = []
-
-    for seed in seeds:
-        for name in baselines:
-            pool = build_suite_pool(
-                area_limit_mm2=area_limit_mm2, scale=scale,
-                workers=workers, cache_dir=cache_dir,
-            )
-            rng = np.random.default_rng(1000 + seed)
-            result = make_baseline(name).explore(pool, baseline_budget, rng)
-            per_seed[name].append(result.best_cpi)
-
-        pool = build_suite_pool(
-            area_limit_mm2=area_limit_mm2, scale=scale,
-            workers=workers, cache_dir=cache_dir,
-        )
-        config = explorer_config or ExplorerConfig(hf_budget=our_budget)
-        explorer = MultiFidelityExplorer(pool, config=config, seed=seed)
-        ours = explorer.explore()
-        per_seed["fnn-mbrl-lf"].append(ours.lf_hf_cpi)
-        per_seed["fnn-mbrl-hf"].append(ours.best_hf_cpi)
-
-    mean_cpi = {name: float(np.mean(vals)) for name, vals in per_seed.items()}
-    return Fig5Result(mean_cpi=mean_cpi, per_seed_cpi=per_seed, seeds=list(seeds))
+    specs = fig5_specs(
+        seeds=seeds,
+        baseline_budget=baseline_budget,
+        our_budget=our_budget,
+        baselines=baselines,
+        explorer_config=explorer_config,
+        scale=scale,
+        area_limit_mm2=area_limit_mm2,
+    )
+    if scheduler is None:
+        scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume)
+    result = scheduler.run(specs)
+    return fig5_reduce(specs, result.records)
 
 
 def render_fig5(result: Fig5Result) -> str:

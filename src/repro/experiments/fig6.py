@@ -9,13 +9,17 @@ centers converge faster; all converge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.fnn import default_inputs
-from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
-from repro.experiments.common import build_pool
+from repro.campaign import (
+    CampaignScheduler,
+    RunSpec,
+    explorer_config_to_dict,
+    make_scheduler,
+)
+from repro.core.mfrl import ExplorerConfig
 
 #: The paper's four (L1 center, L2 center) initialisations.
 PAPER_CENTER_PAIRS: Tuple[Tuple[float, float], ...] = (
@@ -56,12 +60,61 @@ class Fig6Trace:
         return out
 
 
+def fig6_specs(
+    center_pairs: Sequence[Tuple[float, float]] = PAPER_CENTER_PAIRS,
+    episodes: int = 250,
+    seed: int = 0,
+    data_size: int = 1024,
+    area_limit_mm2: float = 10.0,
+) -> List[RunSpec]:
+    """One LF-trace run spec per MF-center initialisation."""
+    explorer = explorer_config_to_dict(
+        ExplorerConfig(
+            lf_episodes=episodes,
+            lf_check_every=episodes + 1,  # disable early stop: full trace
+        )
+    )
+    return [
+        RunSpec(
+            run_id=f"fig6-s{seed}-c{float(l1):g}-{float(l2):g}",
+            kind="lf-trace",
+            method="fnn-mbrl",
+            seed=seed,
+            workload="dijkstra",
+            area_limit_mm2=area_limit_mm2,
+            data_size=data_size,
+            explorer=explorer,
+            params={"l1_center": float(l1), "l2_center": float(l2)},
+        )
+        for l1, l2 in center_pairs
+    ]
+
+
+def fig6_reduce(
+    specs: Sequence[RunSpec], records: Mapping[str, dict]
+) -> List[Fig6Trace]:
+    """Fold run records into convergence traces, in spec order."""
+    return [
+        Fig6Trace(
+            l1_center=spec.params["l1_center"],
+            l2_center=spec.params["l2_center"],
+            episode_cpi=records[spec.run_id]["payload"]["episode_cpi"],
+        )
+        for spec in specs
+    ]
+
+
 def run_fig6(
     center_pairs: Sequence[Tuple[float, float]] = PAPER_CENTER_PAIRS,
     episodes: int = 250,
     seed: int = 0,
     data_size: int = 1024,
     area_limit_mm2: float = 10.0,
+    workers: int = 0,
+    cache_dir=None,
+    campaign_dir=None,
+    resume: bool = True,
+    scheduler: Optional[CampaignScheduler] = None,
 ) -> List[Fig6Trace]:
     """LF-phase convergence traces for each cache-center initialisation.
 
@@ -72,31 +125,22 @@ def run_fig6(
         data_size: Enlarged dijkstra size ("we largely increase the data
             size of dijkstra").
         area_limit_mm2: Budget (dijkstra's Table-2 limit).
+        workers: Process-pool size *across traces* (0/1 = sequential).
+        cache_dir: Persistent evaluation-cache directory.
+        campaign_dir: Run-store directory for resumable campaigns.
+        resume: Reuse completed records found in ``campaign_dir``.
+        scheduler: Pre-built scheduler (overrides the previous four).
     """
-    traces: List[Fig6Trace] = []
-    for l1_center, l2_center in center_pairs:
-        pool = build_pool(
-            "dijkstra", area_limit_mm2=area_limit_mm2, data_size=data_size
-        )
-        inputs = default_inputs(l1_center=l1_center, l2_center=l2_center)
-        explorer = MultiFidelityExplorer(
-            pool,
-            inputs=inputs,
-            config=ExplorerConfig(
-                lf_episodes=episodes,
-                lf_check_every=episodes + 1,  # disable early stop: full trace
-            ),
-            seed=seed,
-        )
-        trainer = explorer.run_lf_phase()
-        traces.append(
-            Fig6Trace(
-                l1_center=l1_center,
-                l2_center=l2_center,
-                episode_cpi=[r.final_cpi for r in trainer.history],
-            )
-        )
-    return traces
+    specs = fig6_specs(
+        center_pairs=center_pairs,
+        episodes=episodes,
+        seed=seed,
+        data_size=data_size,
+        area_limit_mm2=area_limit_mm2,
+    )
+    if scheduler is None:
+        scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume)
+    return fig6_reduce(specs, scheduler.run(specs).records)
 
 
 def render_fig6(traces: Sequence[Fig6Trace]) -> str:

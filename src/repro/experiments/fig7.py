@@ -9,18 +9,17 @@ with the preference, the decode-width trajectory settles at 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.core.fnn import (
-    FuzzyNeuralNetwork,
-    decode_width_preference,
-    default_inputs,
-    embed_preference,
+from repro.campaign import (
+    CampaignScheduler,
+    RunSpec,
+    explorer_config_to_dict,
+    make_scheduler,
 )
-from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
-from repro.experiments.common import build_pool
+from repro.core.mfrl import ExplorerConfig
 
 
 @dataclass
@@ -41,13 +40,56 @@ class Fig7Result:
         return int(values[np.argmax(counts)])
 
 
-def _trajectories(history, space) -> Dict[str, List[int]]:
-    out: Dict[str, List[int]] = {name: [] for name in space.names}
-    for record in history:
-        values = space.values(record.final_levels)
-        for name, value in zip(space.names, values):
-            out[name].append(int(value))
-    return out
+def fig7_specs(
+    episodes: int = 250,
+    seed: int = 0,
+    target_decode: int = 4,
+    preference_strength: float = 4.0,
+    area_limit_mm2: float = 6.0,
+    data_size: Optional[int] = None,
+) -> List[RunSpec]:
+    """Two LF-trace run specs: the vanilla control, then the preference.
+
+    Both carry ``target_decode`` so the executor builds the FNN the same
+    explicit way for both runs; only the embedded rules differ.
+    """
+    explorer = explorer_config_to_dict(
+        ExplorerConfig(lf_episodes=episodes, lf_check_every=episodes + 1)
+    )
+    return [
+        RunSpec(
+            run_id=f"fig7-s{seed}-{'pref' if with_pref else 'plain'}",
+            kind="lf-trace",
+            method="fnn-mbrl",
+            seed=seed,
+            workload="fp-vvadd",
+            area_limit_mm2=area_limit_mm2,
+            data_size=data_size,
+            explorer=explorer,
+            params={
+                "with_preference": with_pref,
+                "target_decode": target_decode,
+                "preference_strength": preference_strength,
+            },
+        )
+        for with_pref in (False, True)
+    ]
+
+
+def fig7_reduce(
+    specs: Sequence[RunSpec], records: Mapping[str, dict]
+) -> Fig7Result:
+    """Fold the two run records into the Fig.-7 result."""
+    trajectories = {
+        bool(spec.params["with_preference"]): records[spec.run_id]["payload"][
+            "trajectories"
+        ]
+        for spec in specs
+    }
+    return Fig7Result(
+        without_preference=trajectories[False],
+        with_preference=trajectories[True],
+    )
 
 
 def run_fig7(
@@ -57,6 +99,11 @@ def run_fig7(
     preference_strength: float = 4.0,
     area_limit_mm2: float = 6.0,
     data_size: Optional[int] = None,
+    workers: int = 0,
+    cache_dir=None,
+    campaign_dir=None,
+    resume: bool = True,
+    scheduler: Optional[CampaignScheduler] = None,
 ) -> Fig7Result:
     """Run fp-vvadd DSE twice: vanilla and with the decode-4 preference.
 
@@ -67,35 +114,23 @@ def run_fig7(
         preference_strength: Consequent bias of the preference rules.
         area_limit_mm2: fp-vvadd's Table-2 budget.
         data_size: Problem-size override for fast tests.
+        workers: Process-pool size across the two runs (0/1 = sequential).
+        cache_dir: Persistent evaluation-cache directory.
+        campaign_dir: Run-store directory for resumable campaigns.
+        resume: Reuse completed records found in ``campaign_dir``.
+        scheduler: Pre-built scheduler (overrides the previous four).
     """
-    trajectories = {}
-    for with_pref in (False, True):
-        pool = build_pool(
-            "fp-vvadd", area_limit_mm2=area_limit_mm2, data_size=data_size
-        )
-        inputs = default_inputs()
-        rng = np.random.default_rng(seed)
-        fnn = FuzzyNeuralNetwork(inputs, pool.space.names, rng=rng)
-        if with_pref:
-            embed_preference(
-                fnn,
-                decode_width_preference(target_decode, preference_strength),
-            )
-        explorer = MultiFidelityExplorer(
-            pool,
-            inputs=inputs,
-            config=ExplorerConfig(
-                lf_episodes=episodes, lf_check_every=episodes + 1
-            ),
-            seed=seed,
-            fnn=fnn,
-        )
-        trainer = explorer.run_lf_phase()
-        trajectories[with_pref] = _trajectories(trainer.history, pool.space)
-    return Fig7Result(
-        without_preference=trajectories[False],
-        with_preference=trajectories[True],
+    specs = fig7_specs(
+        episodes=episodes,
+        seed=seed,
+        target_decode=target_decode,
+        preference_strength=preference_strength,
+        area_limit_mm2=area_limit_mm2,
+        data_size=data_size,
     )
+    if scheduler is None:
+        scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume)
+    return fig7_reduce(specs, scheduler.run(specs).records)
 
 
 def render_fig7(result: Fig7Result) -> str:

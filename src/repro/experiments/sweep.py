@@ -10,12 +10,17 @@ floorplan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
-from repro.experiments.common import build_pool
+from repro.campaign import (
+    CampaignScheduler,
+    RunSpec,
+    explorer_config_to_dict,
+    make_scheduler,
+)
+from repro.core.mfrl import ExplorerConfig
 
 
 @dataclass(frozen=True)
@@ -29,6 +34,51 @@ class SweepPoint:
     hf_simulations: int
 
 
+def sweep_specs(
+    benchmark: str,
+    area_limits: Sequence[float] = (5.0, 6.0, 7.5, 9.0, 11.0),
+    seed: int = 0,
+    explorer_config: Optional[ExplorerConfig] = None,
+    data_size: Optional[int] = None,
+) -> List[RunSpec]:
+    """One explorer run spec per area budget, in sweep order."""
+    if not area_limits:
+        raise ValueError("need at least one area limit")
+    explorer = explorer_config_to_dict(explorer_config or ExplorerConfig())
+    return [
+        RunSpec(
+            run_id=f"sweep-{benchmark}-s{seed}-a{float(limit):g}",
+            kind="explorer",
+            method="fnn-mbrl",
+            seed=seed,
+            workload=benchmark,
+            area_limit_mm2=float(limit),
+            data_size=data_size,
+            explorer=explorer,
+        )
+        for limit in area_limits
+    ]
+
+
+def sweep_reduce(
+    specs: Sequence[RunSpec], records: Mapping[str, dict]
+) -> List[SweepPoint]:
+    """Fold run records into frontier points, in spec order."""
+    points: List[SweepPoint] = []
+    for spec in specs:
+        payload = records[spec.run_id]["payload"]
+        points.append(
+            SweepPoint(
+                area_limit_mm2=float(spec.area_limit_mm2),
+                best_hf_cpi=payload["best_hf_cpi"],
+                lf_hf_cpi=payload["lf_hf_cpi"],
+                best_area_mm2=payload["best_area_mm2"],
+                hf_simulations=payload["hf_simulations"],
+            )
+        )
+    return points
+
+
 def run_area_sweep(
     benchmark: str,
     area_limits: Sequence[float] = (5.0, 6.0, 7.5, 9.0, 11.0),
@@ -37,6 +87,9 @@ def run_area_sweep(
     data_size: Optional[int] = None,
     workers: int = 0,
     cache_dir=None,
+    campaign_dir=None,
+    resume: bool = True,
+    scheduler: Optional[CampaignScheduler] = None,
 ) -> List[SweepPoint]:
     """Frontier of best HF CPI over area budgets for ``benchmark``.
 
@@ -46,34 +99,24 @@ def run_area_sweep(
         seed: Explorer seed, shared across budgets.
         explorer_config: Budget overrides for fast runs.
         data_size: Workload problem-size override.
-        workers: Process-pool size for HF batches (0/1 = serial).
+        workers: Process-pool size *across budgets* (0/1 = sequential).
         cache_dir: Persistent evaluation cache. The sweep is the ideal
             customer: the cache key excludes the area limit, so designs
             re-visited at different budgets simulate once.
+        campaign_dir: Run-store directory for resumable campaigns.
+        resume: Reuse completed records found in ``campaign_dir``.
+        scheduler: Pre-built scheduler (overrides the previous four).
     """
-    if not area_limits:
-        raise ValueError("need at least one area limit")
-    config = explorer_config or ExplorerConfig()
-    points: List[SweepPoint] = []
-    for limit in area_limits:
-        pool = build_pool(
-            benchmark,
-            area_limit_mm2=limit,
-            data_size=data_size,
-            workers=workers,
-            cache_dir=cache_dir,
-        )
-        result = MultiFidelityExplorer(pool, config=config, seed=seed).explore()
-        points.append(
-            SweepPoint(
-                area_limit_mm2=float(limit),
-                best_hf_cpi=result.best_hf_cpi,
-                lf_hf_cpi=result.lf_hf_cpi,
-                best_area_mm2=pool.area(result.best_levels),
-                hf_simulations=result.hf_simulations,
-            )
-        )
-    return points
+    specs = sweep_specs(
+        benchmark,
+        area_limits=area_limits,
+        seed=seed,
+        explorer_config=explorer_config,
+        data_size=data_size,
+    )
+    if scheduler is None:
+        scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume)
+    return sweep_reduce(specs, scheduler.run(specs).records)
 
 
 def frontier_knee(points: Sequence[SweepPoint]) -> SweepPoint:

@@ -11,13 +11,16 @@ regret in the denominator; Table 2's numbers are RegretLF/RegretHF).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-import numpy as np
-
-from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
-from repro.experiments.common import AREA_LIMITS, build_pool
-from repro.experiments.regret import estimate_optimum
+from repro.campaign import (
+    CampaignScheduler,
+    RunSpec,
+    explorer_config_to_dict,
+    make_scheduler,
+)
+from repro.core.mfrl import ExplorerConfig
+from repro.experiments.common import AREA_LIMITS
 from repro.workloads import BENCHMARK_NAMES
 
 
@@ -39,6 +42,59 @@ class Table2Row:
         return self.lf_regret / max(self.hf_regret, 1e-9)
 
 
+def table2_specs(
+    benchmarks: Sequence[str] = BENCHMARK_NAMES,
+    seed: int = 0,
+    explorer_config: Optional[ExplorerConfig] = None,
+    optimum_samples: int = 300,
+    data_sizes: Optional[Dict[str, int]] = None,
+) -> List[RunSpec]:
+    """One ``table2`` run spec per benchmark, in suite order."""
+    explorer = explorer_config_to_dict(explorer_config or ExplorerConfig())
+    return [
+        RunSpec(
+            run_id=f"table2-s{seed}-{benchmark}",
+            kind="table2",
+            method="fnn-mbrl",
+            seed=seed,
+            workload=benchmark,
+            data_size=(data_sizes or {}).get(benchmark),
+            explorer=explorer,
+            params={"optimum_samples": optimum_samples},
+        )
+        for benchmark in benchmarks
+    ]
+
+
+def table2_reduce(
+    specs: Sequence[RunSpec], records: Mapping[str, dict]
+) -> List[Table2Row]:
+    """Fold run records into Table-2 rows, in spec order."""
+    rows: List[Table2Row] = []
+    for spec in specs:
+        payload = records[spec.run_id]["payload"]
+        # Regret is defined on the metric being optimised (CPI, eq. 5);
+        # ~opt may still lose to the DSE best if sampling was unlucky --
+        # clamp at zero like the paper's non-negative regrets.
+        optimum = min(
+            payload["sampled_optimum_cpi"],
+            payload["best_hf_cpi"],
+            payload["lf_hf_cpi"],
+        )
+        rows.append(
+            Table2Row(
+                benchmark=spec.workload,
+                area_limit=AREA_LIMITS[spec.workload],
+                lf_regret=max(payload["lf_hf_cpi"] - optimum, 0.0),
+                hf_regret=max(payload["best_hf_cpi"] - optimum, 0.0),
+                sampled_optimum_cpi=optimum,
+                lf_cpi=payload["lf_hf_cpi"],
+                hf_cpi=payload["best_hf_cpi"],
+            )
+        )
+    return rows
+
+
 def run_table2(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     seed: int = 0,
@@ -47,6 +103,9 @@ def run_table2(
     data_sizes: Optional[Dict[str, int]] = None,
     workers: int = 0,
     cache_dir=None,
+    campaign_dir=None,
+    resume: bool = True,
+    scheduler: Optional[CampaignScheduler] = None,
 ) -> List[Table2Row]:
     """Run the Table-2 experiment.
 
@@ -57,37 +116,22 @@ def run_table2(
         optimum_samples: Promising-area samples for ~opt (paper: >= 500;
             smaller values keep CI runs fast at slightly looser ~opt).
         data_sizes: Optional per-benchmark problem-size overrides.
-        workers: Process-pool size for HF batches (0/1 = serial).
+        workers: Process-pool size *across benchmarks* (0/1 = sequential).
         cache_dir: Persistent evaluation cache shared across benchmarks.
+        campaign_dir: Run-store directory for resumable campaigns.
+        resume: Reuse completed records found in ``campaign_dir``.
+        scheduler: Pre-built scheduler (overrides the previous four).
     """
-    config = explorer_config or ExplorerConfig()
-    rows: List[Table2Row] = []
-    for benchmark in benchmarks:
-        data_size = (data_sizes or {}).get(benchmark)
-        pool = build_pool(
-            benchmark, data_size=data_size, workers=workers, cache_dir=cache_dir
-        )
-        explorer = MultiFidelityExplorer(pool, config=config, seed=seed)
-        result = explorer.explore()
-        opt = estimate_optimum(
-            pool, np.random.default_rng(seed + 1), num_samples=optimum_samples
-        )
-        # Regret is defined on the metric being optimised (CPI, eq. 5);
-        # ~opt may still lose to the DSE best if sampling was unlucky --
-        # clamp at zero like the paper's non-negative regrets.
-        optimum = min(opt.cpi, result.best_hf_cpi, result.lf_hf_cpi)
-        rows.append(
-            Table2Row(
-                benchmark=benchmark,
-                area_limit=AREA_LIMITS[benchmark],
-                lf_regret=max(result.lf_hf_cpi - optimum, 0.0),
-                hf_regret=max(result.best_hf_cpi - optimum, 0.0),
-                sampled_optimum_cpi=optimum,
-                lf_cpi=result.lf_hf_cpi,
-                hf_cpi=result.best_hf_cpi,
-            )
-        )
-    return rows
+    specs = table2_specs(
+        benchmarks=benchmarks,
+        seed=seed,
+        explorer_config=explorer_config,
+        optimum_samples=optimum_samples,
+        data_sizes=data_sizes,
+    )
+    if scheduler is None:
+        scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume)
+    return table2_reduce(specs, scheduler.run(specs).records)
 
 
 def render_table2(rows: Iterable[Table2Row]) -> str:

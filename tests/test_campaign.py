@@ -1,0 +1,253 @@
+"""Tests for the campaign orchestrator: specs, store, scheduler, resume."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignScheduler,
+    RunSpec,
+    RunStore,
+    aggregate_engine_counters,
+    execute_run,
+    explorer_config_from_dict,
+    explorer_config_to_dict,
+    render_campaign_summary,
+)
+from repro.campaign.store import record_filename
+from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
+from repro.core.mfrl.reinforce import TrainerConfig
+from repro.experiments import fig5_reduce, fig5_specs, run_fig5
+from repro.experiments.common import build_suite_pool
+
+TINY = ExplorerConfig(lf_episodes=25, hf_budget=5, hf_seed_designs=1)
+
+#: One tiny Fig.-5 grid shared by the scheduler tests.
+GRID = dict(
+    seeds=(0, 1),
+    baseline_budget=6,
+    our_budget=5,
+    baselines=("random-forest",),
+    explorer_config=TINY,
+    scale=0.1,
+)
+
+
+def tiny_specs():
+    return fig5_specs(**GRID)
+
+
+@pytest.fixture(scope="module")
+def sequential_grid():
+    """The tiny grid's sequential (workers=0) result, computed once."""
+    return run_fig5(**GRID)
+
+
+class TestRunSpec:
+    def test_json_round_trip(self):
+        spec = RunSpec(
+            run_id="r1",
+            kind="explorer",
+            method="fnn-mbrl",
+            seed=3,
+            workload="suite",
+            area_limit_mm2=8.0,
+            explorer=explorer_config_to_dict(TINY),
+            params={"rng_seed": 1003},
+        )
+        assert RunSpec.from_json(spec.to_json()) == spec
+        # and the round trip is JSON-stable (tuples normalised away)
+        assert json.loads(json.dumps(spec.to_json())) == spec.to_json()
+
+    def test_explorer_config_round_trip(self):
+        config = ExplorerConfig(
+            lf_episodes=42, hf_budget=7, trainer=TrainerConfig(temperature=0.5)
+        )
+        assert explorer_config_from_dict(explorer_config_to_dict(config)) == config
+
+    def test_none_config_means_defaults(self):
+        assert explorer_config_to_dict(None) is None
+        assert explorer_config_from_dict(None) == ExplorerConfig()
+
+
+class TestRunStore:
+    def test_write_load_round_trip(self, tmp_path):
+        store = RunStore(tmp_path)
+        record = {"spec": {"run_id": "a"}, "status": "done", "payload": {"x": 1}}
+        store.write("a", record)
+        assert store.load("a") == record
+        assert store.records() == {"a": record}
+
+    def test_missing_and_corrupt_read_as_none(self, tmp_path):
+        store = RunStore(tmp_path)
+        assert store.load("missing") is None
+        store.write("a", {"spec": {"run_id": "a"}, "status": "done"})
+        store.path_for("a").write_text('{"truncated": ')
+        assert store.load("a") is None
+
+    def test_completed_requires_done_and_matching_spec(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = RunSpec(run_id="a", kind="explorer", method="m", seed=0,
+                       workload="mm")
+        assert store.completed(spec) is None
+        store.write("a", {"spec": spec.to_json(), "status": "failed"})
+        assert store.completed(spec) is None
+        store.write("a", {"spec": spec.to_json(), "status": "done",
+                          "payload": {}})
+        assert store.completed(spec) is not None
+        # an edited campaign (different seed) invalidates the record
+        changed = RunSpec(run_id="a", kind="explorer", method="m", seed=1,
+                          workload="mm")
+        assert store.completed(changed) is None
+
+    def test_record_filenames_are_safe_and_collision_free(self):
+        assert record_filename("fig5-s0-random-forest") == \
+            "fig5-s0-random-forest.json"
+        weird_a, weird_b = record_filename("a/b"), record_filename("a:b")
+        assert "/" not in weird_a and ":" not in weird_b
+        assert weird_a != weird_b
+
+
+class TestExecuteRun:
+    def test_unknown_kind_raises(self):
+        spec = RunSpec(run_id="x", kind="nope", method="m", seed=0,
+                       workload="mm")
+        with pytest.raises(ValueError, match="unknown run kind"):
+            execute_run(spec)
+
+    def test_explorer_record_matches_direct_run(self):
+        spec = RunSpec(
+            run_id="x", kind="explorer", method="fnn-mbrl", seed=0,
+            workload="suite", scale=0.1,
+            explorer=explorer_config_to_dict(TINY),
+        )
+        record = execute_run(spec)
+        pool = build_suite_pool(scale=0.1)
+        direct = MultiFidelityExplorer(pool, config=TINY, seed=0).explore()
+        assert record["status"] == "done"
+        assert record["payload"]["best_hf_cpi"] == direct.best_hf_cpi
+        assert record["payload"]["lf_hf_cpi"] == direct.lf_hf_cpi
+        assert record["engine"]["engine_computed_high"] > 0
+        # the record is what the store persists: it must be pure JSON
+        json.dumps(record)
+
+
+class TestSchedulerSequential:
+    def test_workers0_reproduces_legacy_sequential_loop(self, sequential_grid):
+        """The acceptance bar: the scheduler at workers=0 must equal the
+        pre-campaign per-seed loop bit for bit."""
+        from repro.baselines import make_baseline
+
+        result = sequential_grid
+
+        legacy = {"random-forest": [], "fnn-mbrl-lf": [], "fnn-mbrl-hf": []}
+        for seed in GRID["seeds"]:
+            pool = build_suite_pool(scale=GRID["scale"])
+            rng = np.random.default_rng(1000 + seed)
+            baseline = make_baseline("random-forest").explore(
+                pool, GRID["baseline_budget"], rng
+            )
+            legacy["random-forest"].append(baseline.best_cpi)
+            pool = build_suite_pool(scale=GRID["scale"])
+            ours = MultiFidelityExplorer(pool, config=TINY, seed=seed).explore()
+            legacy["fnn-mbrl-lf"].append(ours.lf_hf_cpi)
+            legacy["fnn-mbrl-hf"].append(ours.best_hf_cpi)
+
+        assert result.per_seed_cpi == legacy
+
+    def test_engine_counters_aggregated(self, sequential_grid):
+        assert sequential_grid.engine_counters["engine_computed_high"] > 0
+        assert sequential_grid.engine_counters["engine_computed_low"] > 0
+
+    def test_duplicate_run_ids_rejected(self):
+        spec = tiny_specs()[0]
+        with pytest.raises(ValueError, match="duplicate run id"):
+            CampaignScheduler().run([spec, spec])
+
+
+class TestResume:
+    def test_resume_skips_completed_and_reruns_missing(self, tmp_path):
+        specs = tiny_specs()
+        store = RunStore(tmp_path)
+        scheduler = CampaignScheduler(store=store, resume=True)
+        first = scheduler.run(specs)
+        assert sorted(first.executed) == sorted(s.run_id for s in specs)
+
+        # kill half the campaign: delete every other record
+        deleted = [s.run_id for s in specs[::2]]
+        for run_id in deleted:
+            store.delete(run_id)
+
+        second = CampaignScheduler(store=store, resume=True).run(specs)
+        assert sorted(second.executed) == sorted(deleted)
+        assert sorted(second.skipped) == sorted(
+            s.run_id for s in specs if s.run_id not in deleted
+        )
+        # identical reduced results either way: runs are independent
+        assert fig5_reduce(specs, second.records).per_seed_cpi == \
+            fig5_reduce(specs, first.records).per_seed_cpi
+
+    def test_partial_or_corrupt_manifest_is_rerun(self, tmp_path):
+        specs = tiny_specs()[:2]
+        store = RunStore(tmp_path)
+        CampaignScheduler(store=store, resume=True).run(specs)
+        store.path_for(specs[0].run_id).write_text('{"spec": {"run_i')
+        again = CampaignScheduler(store=store, resume=True).run(specs)
+        assert again.executed == [specs[0].run_id]
+        assert again.skipped == [specs[1].run_id]
+
+    def test_resume_false_reruns_everything(self, tmp_path):
+        specs = tiny_specs()[:2]
+        store = RunStore(tmp_path)
+        CampaignScheduler(store=store, resume=True).run(specs)
+        again = CampaignScheduler(store=store, resume=False).run(specs)
+        assert sorted(again.executed) == sorted(s.run_id for s in specs)
+
+    def test_failed_sequential_run_leaves_failure_record(self, tmp_path):
+        store = RunStore(tmp_path)
+        bad = RunSpec(run_id="bad", kind="baseline", method="random-forest",
+                      seed=0, workload="mm", data_size=10, hf_budget=None)
+        with pytest.raises(ValueError, match="needs hf_budget"):
+            CampaignScheduler(store=store).run([bad])
+        record = store.load("bad")
+        assert record["status"] == "failed"
+        assert store.completed(bad) is None
+
+
+class TestParallelIdentity:
+    def test_workers2_matches_workers0_exactly(self, sequential_grid):
+        """Fig.-5 means must be identical whether runs execute
+        sequentially or across a 2-process pool (fixed seeds)."""
+        parallel = run_fig5(**GRID, workers=2)
+        assert parallel.per_seed_cpi == sequential_grid.per_seed_cpi
+        assert parallel.mean_cpi == sequential_grid.mean_cpi
+
+    def test_parallel_shared_cache_dir(self, tmp_path, sequential_grid):
+        """Worker processes sharing one cache directory stay correct and
+        the second campaign is answered from the cache."""
+        first = run_fig5(**GRID, workers=2, cache_dir=tmp_path)
+        assert first.per_seed_cpi == sequential_grid.per_seed_cpi
+        second = run_fig5(**GRID, workers=0, cache_dir=tmp_path)
+        assert second.per_seed_cpi == sequential_grid.per_seed_cpi
+        assert second.engine_counters["engine_cache_hits"] > 0
+        assert second.engine_counters["engine_computed_high"] == 0
+
+
+class TestReport:
+    def test_aggregate_ignores_non_numeric(self):
+        records = {
+            "a": {"engine": {"engine_computed_high": 3, "backend": "serial"}},
+            "b": {"engine": {"engine_computed_high": 4, "flag": True}},
+            "c": {},
+        }
+        totals = aggregate_engine_counters(records)
+        assert totals == {"engine_computed_high": 7}
+
+    def test_render_summary_mentions_counts(self, tmp_path):
+        specs = tiny_specs()[:2]
+        scheduler = CampaignScheduler(store=RunStore(tmp_path))
+        scheduler.run(specs)
+        text = render_campaign_summary(scheduler.last)
+        assert "2 total, 2 executed, 0 resumed" in text
+        assert "computed HF" in text

@@ -26,6 +26,19 @@ class TestParser:
         args = build_parser().parse_args(["fig5", "--seeds", "3"])
         assert args.seeds == 3
 
+    def test_campaign_flags(self):
+        args = build_parser().parse_args([
+            "campaign", "table2", "--workers", "2", "--resume",
+            "--campaign-dir", "camp", "--cache-dir", "cache",
+        ])
+        assert args.experiment == "table2"
+        assert args.workers == 2 and args.resume
+        assert args.campaign_dir == "camp" and args.cache_dir == "cache"
+
+    def test_campaign_experiment_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "table3"])
+
 
 class TestCommands:
     def test_table1_output(self, capsys):
@@ -48,3 +61,17 @@ class TestCommands:
         assert main(["table2", "--fast", "--benchmarks", "mm"]) == 0
         out = capsys.readouterr().out
         assert "mm" in out and "Imp." in out
+
+    def test_campaign_table2_resumes(self, capsys, tmp_path):
+        argv = [
+            "campaign", "table2", "--fast", "--benchmarks", "mm",
+            "--campaign-dir", str(tmp_path / "camp"),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--resume",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Imp." in first and "1 executed, 0 resumed" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 1 resumed" in second

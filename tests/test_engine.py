@@ -110,6 +110,36 @@ class TestResultCache:
         assert path.exists()
         assert len(ResultCache(path)) == 1
 
+    def test_concurrent_writers_interleave_at_line_granularity(self, tmp_path):
+        """Campaign workers share one cache dir: parallel appends from
+        several processes must never corrupt each other's records."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        writers, per_writer = 4, 50
+        with ProcessPoolExecutor(max_workers=writers) as executor:
+            list(
+                executor.map(
+                    _append_cache_entries,
+                    [(tmp_path, w, per_writer) for w in range(writers)],
+                )
+            )
+        cache = ResultCache(tmp_path)
+        assert cache.corrupt_lines == 0
+        assert len(cache) == writers * per_writer
+        for w in range(writers):
+            for i in range(per_writer):
+                key = ResultCache.key("sig", f"writer{w}", "high", [w, i])
+                assert cache.get(key) == {"cpi": float(w * per_writer + i)}
+
+
+def _append_cache_entries(args):
+    """Worker for the concurrent-append test (module-level: picklable)."""
+    tmp_path, writer, count = args
+    cache = ResultCache(tmp_path)
+    for i in range(count):
+        key = ResultCache.key("sig", f"writer{writer}", "high", [writer, i])
+        cache.put(key, {"cpi": float(writer * count + i)})
+
 
 # ----------------------------------------------------------------------
 # Backends

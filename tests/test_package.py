@@ -33,6 +33,7 @@ class TestPublicApi:
             "repro.core.mfrl",
             "repro.baselines",
             "repro.experiments",
+            "repro.campaign",
             "repro.viz",
             "repro.cli",
         ],
