@@ -5,7 +5,9 @@ every future batching/parallelism PR should move these numbers and can
 cite this bench. Records, for one batch of distinct valid designs on the
 ``mm`` workload:
 
-- ``SerialBackend`` HF evaluations/sec (the reference),
+- ``SerialBackend`` HF evaluations/sec (the reference) and the derived
+  simulator throughput in MIPS (simulated instructions/sec / 1e6), the
+  perf trajectory of the two-phase simulator across PRs,
 - ``ProcessPoolBackend`` evaluations/sec and its speedup,
 - ``BatchBackend`` LF evaluations/sec vs the scalar LF loop.
 
@@ -89,12 +91,22 @@ def test_bench_engine_throughput(benchmark, report):
     rates = benchmark.pedantic(run, rounds=1, iterations=1)
     hf_speedup = rates["hf_parallel"] / rates["hf_serial"]
     lf_speedup = rates["lf_vector"] / rates["lf_scalar"]
+    # Simulator throughput: every serial HF evaluation replays the whole
+    # trace, so evals/sec x trace length = simulated instructions/sec.
+    serial_mips = rates["hf_serial"] * workload.num_instructions / 1e6
+    benchmark.extra_info["hf_serial_evals_per_sec"] = rates["hf_serial"]
+    benchmark.extra_info["simulator_mips"] = serial_mips
+    benchmark.extra_info["trace_instructions"] = workload.num_instructions
 
     report.append("Evaluation-engine throughput (evaluations/sec):")
     report.append(
         f"  HF serial   {rates['hf_serial']:>9.1f}/s   "
         f"HF process-pool({workers}) {rates['hf_parallel']:>9.1f}/s   "
         f"speedup {hf_speedup:.2f}x  ({cores} cores)"
+    )
+    report.append(
+        f"  HF simulator {serial_mips:>8.2f} MIPS  "
+        f"({workload.num_instructions} instructions/trace, serial)"
     )
     report.append(
         f"  LF scalar   {rates['lf_scalar']:>9.1f}/s   "

@@ -22,6 +22,14 @@ from repro.simulator.params import DEFAULT_PARAMS
 from repro.workloads.suite import Workload
 
 
+#: HF metrics-schema version, folded into persistent-cache tags. Bump it
+#: whenever ``evaluate`` adds, renames or re-interprets metrics keys, so
+#: entries written by an older schema miss instead of replaying partial
+#: metric dicts next to fresh full ones. v2: added mshr_stall_cycles +
+#: fu_issue_{int,mem,fp} (single) and mshr_stall_cycles (suite).
+METRICS_SCHEMA = 2
+
+
 def params_signature(params) -> str:
     """Short stable hash of a (frozen-dataclass) parameter set.
 
@@ -56,11 +64,11 @@ class SimulationProxy:
 
     @property
     def cache_tag(self) -> str:
-        """Persistent-cache namespace: pins the exact workload instance
-        *and* the machine timing constants."""
+        """Persistent-cache namespace: pins the exact workload instance,
+        the machine timing constants and the metrics schema."""
         w = self.workload
         sig = params_signature(self._simulator.params)
-        return f"{w.name}:d{w.data_size}:s{w.seed}:p{sig}"
+        return f"{w.name}:d{w.data_size}:s{w.seed}:p{sig}:m{METRICS_SCHEMA}"
 
     def evaluate(self, levels: Sequence[int]) -> Evaluation:
         """Simulate the workload on the design at ``levels``."""
@@ -77,6 +85,12 @@ class SimulationProxy:
                 "l1_miss_rate": result.l1_miss_rate,
                 "l2_miss_rate": result.l2_miss_rate,
                 "branch_mispredict_rate": result.branch_mispredict_rate,
+                # Structural-stall attribution: which resource the design
+                # is actually burning cycles or slots on.
+                "mshr_stall_cycles": result.mshr_stall_cycles,
+                "fu_issue_int": result.fu_issue_counts.get("int", 0),
+                "fu_issue_mem": result.fu_issue_counts.get("mem", 0),
+                "fu_issue_fp": result.fu_issue_counts.get("fp", 0),
             },
         )
 
@@ -105,22 +119,30 @@ class SuiteAverageProxy:
 
     @property
     def cache_tag(self) -> str:
-        """Persistent-cache namespace: pins every workload in the suite
-        and the machine timing constants."""
+        """Persistent-cache namespace: pins every workload in the suite,
+        the machine timing constants and the metrics schema."""
         parts = ",".join(
             f"{w.name}:d{w.data_size}:s{w.seed}" for w in self.workloads
         )
         sig = params_signature(self._simulator.params)
-        return f"avg({parts}):p{sig}"
+        return f"avg({parts}):p{sig}:m{METRICS_SCHEMA}"
 
     def evaluate(self, levels: Sequence[int]) -> Evaluation:
-        """Mean CPI (and mean IPC) across the suite at ``levels``."""
+        """Mean CPI (and mean IPC) across the suite at ``levels``.
+
+        The suite shares one simulator, so the per-workload phase-1
+        pre-passes (branch flags, L1 hit streams) are computed on the
+        first evaluation and replayed from the memo for every later
+        design that shares the geometry.
+        """
         levels = self.space.validate_levels(levels)
         config = self.space.config(levels)
-        cpis = []
-        for workload in self.workloads:
-            cpis.append(self._simulator.run(workload.trace, config).cpi)
+        results = [
+            self._simulator.run(workload.trace, config)
+            for workload in self.workloads
+        ]
         self.num_evaluations += 1
+        cpis = [r.cpi for r in results]
         mean_cpi = float(np.mean(cpis))
         return Evaluation(
             levels=levels,
@@ -128,6 +150,9 @@ class SuiteAverageProxy:
             metrics={
                 "cpi": mean_cpi,
                 "ipc": 1.0 / mean_cpi,
+                "mshr_stall_cycles": float(
+                    np.mean([r.mshr_stall_cycles for r in results])
+                ),
                 **{
                     f"cpi_{w.name}": c
                     for w, c in zip(self.workloads, cpis)

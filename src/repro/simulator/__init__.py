@@ -17,12 +17,28 @@ It is *far* more faithful than the analytical model (true address streams,
 true dependencies, true contention) while staying fast enough to run
 hundreds of evaluations, which is exactly the fidelity gap the paper's
 multi-fidelity RL exploits.
+
+The walk is organised in two phases (``prepass.py`` + ``core.py``):
+timing-independent outcome streams (branch mispredicts, L1 hits with
+prefetch off) are precomputed once per ``(trace, geometry)`` and
+memoised across the design space, and a slimmed timing kernel consumes
+them per design. The original single-phase formulation is preserved as
+``reference.py``; the two must stay bit-identical (golden suite in
+``tests/test_simulator_golden.py``).
 """
 
 from repro.simulator.params import SimulatorParams
 from repro.simulator.cache import SetAssociativeCache
 from repro.simulator.branch import GsharePredictor
 from repro.simulator.core import OutOfOrderSimulator, SimulationResult, simulate
+from repro.simulator.prepass import (
+    BranchPrepass,
+    L1Prepass,
+    PrepassMemo,
+    branch_prepass,
+    l1_prepass,
+)
+from repro.simulator.reference import reference_simulate
 
 __all__ = [
     "SimulatorParams",
@@ -31,4 +47,10 @@ __all__ = [
     "OutOfOrderSimulator",
     "SimulationResult",
     "simulate",
+    "BranchPrepass",
+    "L1Prepass",
+    "PrepassMemo",
+    "branch_prepass",
+    "l1_prepass",
+    "reference_simulate",
 ]

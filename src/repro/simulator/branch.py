@@ -9,6 +9,27 @@ dijkstra relaxations) mispredict heavily.
 
 from __future__ import annotations
 
+#: Fibonacci-hash multiplier spreading the raw history over the counter
+#: table. The pre-pass replay (``prepass.branch_prepass``) must use the
+#: same constant to stay bit-identical with this predictor.
+GSHARE_SPREAD = 0x9E3779B1
+
+#: Initial 2-bit counter state: weakly taken. Shared with the pre-pass.
+GSHARE_INIT_COUNTER = 2
+
+
+def validate_gshare_geometry(table_bits: int, history_bits: int) -> None:
+    """Shared bounds check for predictor geometry.
+
+    Used by :class:`GsharePredictor`, the pre-pass replay, and
+    ``SimulatorParams.validate`` so all entry points reject exactly the
+    same geometries.
+    """
+    if not 1 <= table_bits <= 24:
+        raise ValueError("table_bits must be in 1..24")
+    if not 1 <= history_bits <= 30:
+        raise ValueError("history_bits must be in 1..30")
+
 
 class GsharePredictor:
     """History-indexed table of 2-bit saturating counters.
@@ -19,20 +40,22 @@ class GsharePredictor:
     """
 
     def __init__(self, table_bits: int = 10, history_bits: int = 8):
-        if not 1 <= history_bits <= 30:
-            raise ValueError("history_bits must be in 1..30")
-        if not 1 <= table_bits <= 24:
-            raise ValueError("table_bits must be in 1..24")
+        validate_gshare_geometry(table_bits, history_bits)
         self._mask = (1 << table_bits) - 1
         self._history_mask = (1 << history_bits) - 1
         self._history = 0
-        self._table = [2] * (1 << table_bits)  # init weakly taken
+        # A plain list, deliberately: a `bytearray` table was benchmarked
+        # ~8-10% slower for this walk on CPython 3.11 (int re-boxing on
+        # every read outweighs the denser storage); see README
+        # "Performance". The pre-pass replay (simulator/prepass.py) keys
+        # off the same layout.
+        self._table = [GSHARE_INIT_COUNTER] * (1 << table_bits)
         self.predictions = 0
         self.mispredictions = 0
 
     def predict_and_update(self, taken: bool) -> bool:
         """Predict the next outcome, train, return True on mispredict."""
-        idx = (self._history * 0x9E3779B1) & self._mask  # Fibonacci spread
+        idx = (self._history * GSHARE_SPREAD) & self._mask  # Fibonacci spread
         counter = self._table[idx]
         predicted_taken = counter >= 2
         mispredicted = predicted_taken != taken

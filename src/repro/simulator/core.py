@@ -1,10 +1,33 @@
-"""One-pass out-of-order timing model.
+"""Two-phase out-of-order timing model.
 
 The simulator walks the trace once in program order, propagating four
 timestamps per instruction (dispatch, issue, complete, commit) under the
 machine's structural constraints. This interval-style formulation is the
 standard fast-OoO-model construction: it captures width, window, queue,
 FU-contention, cache and branch effects without a per-cycle event loop.
+
+Because a DSE campaign replays the *same trace* across thousands of
+designs, the walk is split in two (see ``prepass.py`` for the proofs of
+what may move between phases):
+
+- **Phase 1 -- trace pre-pass, memoised.** Branch-predictor outcomes
+  depend only on the in-order ``taken`` stream and the predictor
+  geometry, and L1 hit/miss outcomes (prefetch off) only on the in-order
+  address stream and the L1 geometry. Both are computed once per
+  ``(trace, geometry)`` and shared by every design in the campaign via a
+  bounded memo on the simulator.
+- **Phase 2 -- timing kernel.** A slimmed program-order loop over plain
+  int timestamps that consumes the precomputed flag streams; only the
+  timing-dependent machinery (L2 contents behind the MSHR merge path,
+  the MSHR file itself, IQ occupancy, FU servers) is simulated live. The
+  heapq+dict MSHR file of the reference is replaced by two parallel
+  lists of at most ``n_mshr`` entries -- equivalent because the
+  reference never overwrites a live entry, so its heap and dict always
+  hold the same pairs (see the inline note).
+
+The kernel is **bit-identical** to the single-phase reference
+(``reference.py``); ``tests/test_simulator_golden.py`` enforces full
+``SimulationResult`` equality over randomized configs x all workloads.
 
 Pipeline semantics (all times in cycles):
 
@@ -28,15 +51,28 @@ report CPI.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.designspace.config import MicroArchConfig
-from repro.simulator.branch import GsharePredictor
 from repro.simulator.cache import SetAssociativeCache
 from repro.simulator.params import SimulatorParams, DEFAULT_PARAMS
-from repro.workloads.isa import OpClass, OP_LATENCY
-from repro.workloads.trace import InstructionTrace, NO_DEP
+from repro.simulator.prepass import (
+    BranchPrepass,
+    L1Prepass,
+    PrepassMemo,
+    branch_prepass,
+    l1_prepass,
+)
+from repro.workloads.trace import (
+    InstructionTrace,
+    KIND_BRANCH,
+    KIND_LOAD,
+    KIND_SIMPLE,
+    KIND_STORE,
+    TraceKernelView,
+)
 
 
 @dataclass(frozen=True)
@@ -68,210 +104,323 @@ class SimulationResult:
 class OutOfOrderSimulator:
     """Reusable simulator bound to fixed timing params.
 
-    Thread-compatibility: each :meth:`run` call builds fresh machine state;
-    instances hold no cross-run mutable state.
+    Thread-compatibility: each :meth:`run` call builds fresh machine
+    state. The only cross-run state is the pre-pass memo, which holds
+    immutable phase-1 artefacts; it is dropped on pickling so process-
+    pool workers start cold and warm their own.
     """
 
     def __init__(self, params: SimulatorParams = DEFAULT_PARAMS):
         params.validate()
         self.params = params
+        self._memo = PrepassMemo()
+
+    @property
+    def prepass_memo(self) -> PrepassMemo:
+        """The bounded pre-pass memo (exposed for tests and diagnostics)."""
+        return self._memo
+
+    def __getstate__(self) -> Dict[str, object]:
+        return {"params": self.params}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.params = state["params"]
+        self._memo = PrepassMemo()
 
     # ------------------------------------------------------------------
     def run(self, trace: InstructionTrace, config: MicroArchConfig) -> SimulationResult:
         """Simulate ``trace`` on the machine described by ``config``."""
         p = self.params
-        n = trace.num_instructions
-        if n == 0:
+        if trace.num_instructions == 0:
             raise ValueError("empty trace")
+        view = trace.kernel_view
 
-        # --- unpack trace into local lists (fast CPython access) -------
-        ops = trace.op.tolist()
-        src_a = trace.src_a.tolist()
-        src_b = trace.src_b.tolist()
-        mem_dep = trace.mem_dep.tolist()
-        addresses = trace.address.tolist()
-        takens = trace.taken.tolist()
-
-        latency = {int(cls): OP_LATENCY[cls] for cls in OpClass}
-        LOAD = int(OpClass.LOAD)
-        STORE = int(OpClass.STORE)
-        BRANCH = int(OpClass.BRANCH)
-        INT_DIV = int(OpClass.INT_DIV)
-        FP_DIV = int(OpClass.FP_DIV)
-        FP_LO, FP_HI = int(OpClass.FP_ADD), int(OpClass.FP_DIV)
-
-        # --- machine state ---------------------------------------------
-        width = config.decode_width
-        rob_size = config.rob_entries
-        iq_size = config.iq_entries
-        line_shift = p.line_bytes.bit_length() - 1
-
-        l1 = SetAssociativeCache(config.l1_sets, config.l1_ways)
-        l2 = SetAssociativeCache(config.l2_sets, config.l2_ways)
-        predictor = GsharePredictor(p.gshare_bits, p.history_bits)
-
-        int_free = [0] * config.int_fu
-        mem_free = [0] * config.mem_fu
-        fp_free = [0] * config.fp_fu
-
-        # MSHR file: outstanding line -> completion time, plus a heap of
-        # (completion, line) for slot recycling.
-        mshr_out: Dict[int, int] = {}
-        mshr_heap: List[tuple] = []
-        n_mshr = config.n_mshr
-        mshr_stall = 0
-
-        # Issue-queue occupancy: min-heap of issue times of occupants.
-        iq_heap: List[int] = []
-
-        dispatch = [0] * n
-        complete = [0] * n
-        commit = [0] * n
-
-        fetch_resume = 0
-        fu_counts = {"int": 0, "mem": 0, "fp": 0}
-
-        l1_hit_lat = p.l1_hit_cycles
-        l2_lat = p.l2_hit_cycles
-        mem_lat = p.mem_cycles
-        redirect = p.redirect_cycles
-        prefetch = p.next_line_prefetch
-
-        for i in range(n):
-            op = ops[i]
-
-            # ---------------- dispatch -------------------------------
-            t = fetch_resume
-            if i:
-                prev = dispatch[i - 1]
-                if prev > t:
-                    t = prev
-            if i >= width:
-                w = dispatch[i - width] + 1
-                if w > t:
-                    t = w
-            if i >= rob_size:
-                r = commit[i - rob_size] + 1
-                if r > t:
-                    t = r
-            if len(iq_heap) >= iq_size:
-                q = heapq.heappop(iq_heap)
-                if q > t:
-                    t = q
-            disp = t
-            dispatch[i] = disp
-
-            # ---------------- ready ----------------------------------
-            ready = disp + 1
-            d = src_a[i]
-            if d != NO_DEP and complete[d] > ready:
-                ready = complete[d]
-            d = src_b[i]
-            if d != NO_DEP and complete[d] > ready:
-                ready = complete[d]
-            d = mem_dep[i]
-            if d != NO_DEP and complete[d] > ready:
-                ready = complete[d]
-
-            # ---------------- issue: FU structural hazard ------------
-            if op == LOAD or op == STORE:
-                servers = mem_free
-                fu_counts["mem"] += 1
-            elif FP_LO <= op <= FP_HI:
-                servers = fp_free
-                fu_counts["fp"] += 1
-            else:
-                servers = int_free
-                fu_counts["int"] += 1
-            # pick the earliest-free server
-            best = 0
-            best_t = servers[0]
-            for s in range(1, len(servers)):
-                if servers[s] < best_t:
-                    best_t = servers[s]
-                    best = s
-            issue = ready if ready >= best_t else best_t
-
-            # ---------------- execute --------------------------------
-            if op == LOAD:
-                line = addresses[i] >> line_shift
-                if l1.access(line):
-                    fin = issue + l1_hit_lat
-                else:
-                    # prune completed MSHRs
-                    while mshr_heap and mshr_heap[0][0] <= issue:
-                        done_t, done_line = heapq.heappop(mshr_heap)
-                        if mshr_out.get(done_line) == done_t:
-                            del mshr_out[done_line]
-                    pending = mshr_out.get(line)
-                    if pending is not None and pending > issue:
-                        fin = pending  # merged into the in-flight miss
-                    else:
-                        start = issue
-                        if len(mshr_out) >= n_mshr and mshr_heap:
-                            free_at, freed_line = heapq.heappop(mshr_heap)
-                            if mshr_out.get(freed_line) == free_at:
-                                del mshr_out[freed_line]
-                            if free_at > start:
-                                mshr_stall += free_at - start
-                                start = free_at
-                        extra = l2_lat if l2.access(line) else l2_lat + mem_lat
-                        fin = start + l1_hit_lat + extra
-                        mshr_out[line] = fin
-                        heapq.heappush(mshr_heap, (fin, line))
-                        if prefetch:
-                            # tagged next-line prefetch: install the next
-                            # sequential line alongside the demand fill
-                            l1.warm(line + 1)
-                            l2.warm(line + 1)
-                servers[best] = issue + 1
-            elif op == STORE:
-                line = addresses[i] >> line_shift
-                if not l1.access(line):
-                    l2.access(line)  # write-allocate fill path
-                fin = issue + 1
-                servers[best] = issue + 1
-            elif op == BRANCH:
-                fin = issue + 1
-                servers[best] = issue + 1
-                if predictor.predict_and_update(takens[i]):
-                    resume = fin + redirect
-                    if resume > fetch_resume:
-                        fetch_resume = resume
-            else:
-                lat = latency[op]
-                fin = issue + lat
-                if op == INT_DIV or op == FP_DIV:
-                    servers[best] = issue + lat  # unpipelined
-                else:
-                    servers[best] = issue + 1
-            complete[i] = fin
-            heapq.heappush(iq_heap, issue)
-
-            # ---------------- commit ---------------------------------
-            c = fin + 1
-            if i:
-                prev = commit[i - 1]
-                if prev > c:
-                    c = prev
-            if i >= width:
-                w = commit[i - width] + 1
-                if w > c:
-                    c = w
-            commit[i] = c
-
-        cycles = commit[n - 1]
-        return SimulationResult(
-            cycles=cycles,
-            instructions=n,
-            cpi=cycles / n,
-            ipc=n / cycles,
-            l1_miss_rate=l1.miss_rate,
-            l2_miss_rate=l2.miss_rate,
-            branch_mispredict_rate=predictor.mispredict_rate,
-            mshr_stall_cycles=mshr_stall,
-            fu_issue_counts=dict(fu_counts),
+        # Phase 1: memoised, timing-independent outcome streams.
+        bp: BranchPrepass = self._memo.get(
+            trace,
+            "branch",
+            (p.gshare_bits, p.history_bits),
+            lambda: branch_prepass(view.branch_taken, p.gshare_bits, p.history_bits),
         )
+        line_shift = p.line_bytes.bit_length() - 1
+        if p.next_line_prefetch:
+            # Prefetch installs lines from the timing-dependent MSHR miss
+            # path, so L1 outcomes must be simulated live in phase 2.
+            l1pre = None
+        else:
+            l1pre = self._memo.get(
+                trace,
+                "l1",
+                (config.l1_sets, config.l1_ways, line_shift),
+                lambda: l1_prepass(
+                    trace.address[view.mem_indices] >> line_shift,
+                    config.l1_sets,
+                    config.l1_ways,
+                ),
+            )
+
+        # Phase 2: the timing kernel.
+        return _timing_kernel(view, config, p, bp, l1pre, line_shift)
+
+
+def _timing_kernel(
+    view: TraceKernelView,
+    config: MicroArchConfig,
+    params: SimulatorParams,
+    bp: BranchPrepass,
+    l1pre: Optional[L1Prepass],
+    line_shift: int,
+) -> SimulationResult:
+    """Program-order timestamp propagation over precomputed flag streams.
+
+    Bit-identical to :func:`repro.simulator.reference.reference_simulate`
+    by construction; every divergence is a bug the golden suite catches.
+    """
+    n = view.n
+    width = config.decode_width
+    rob_size = config.rob_entries
+    iq_size = config.iq_entries
+    n_mshr = config.n_mshr
+
+    l1_hit_lat = params.l1_hit_cycles
+    l2_lat = params.l2_hit_cycles
+    mem_lat = params.mem_cycles
+    redirect = params.redirect_cycles
+    prefetch = params.next_line_prefetch
+
+    l2 = SetAssociativeCache(config.l2_sets, config.l2_ways)
+    l2_access = l2.access
+    if l1pre is None:
+        l1 = SetAssociativeCache(config.l1_sets, config.l1_ways)
+        l1_access = l1.access
+        l1_hit_iter = None
+    else:
+        l1 = None
+        l1_access = None
+        l1_hit_iter = iter(l1pre.hit)
+
+    # (free-time list, server count) per FU class, in FU_* code order.
+    fu_info = (
+        ([0] * config.int_fu, config.int_fu),
+        ([0] * config.mem_fu, config.mem_fu),
+        ([0] * config.fp_fu, config.fp_fu),
+    )
+
+    # MSHR file as two parallel lists (line, completion), <= n_mshr long.
+    # Equivalent to the reference's dict + heap: the reference inserts a
+    # line only when it is absent (a present line always merges, because
+    # after the prune every pending completion exceeds the issue time),
+    # so no heap entry ever goes stale and heap contents == dict items.
+    # Pruning drops every entry with completion <= issue; the capacity
+    # path evicts the lexicographic-min (completion, line) pair, which is
+    # exactly the reference's heap-pop order, ties included.
+    mshr_lines: List[int] = []
+    mshr_fins: List[int] = []
+    mshr_stall = 0
+
+    # Issue-queue occupancy: min-heap of issue times of occupants. The
+    # newest occupant's issue time is kept in ``iq_pending`` and folded
+    # in lazily, so a full IQ costs one C-level ``heappushpop`` instead
+    # of a pop + push pair -- same pops, same values as the reference.
+    iq_heap: List[int] = []
+    iq_len = 0
+    iq_pending = None
+    heappush = heapq.heappush
+    heappushpop = heapq.heappushpop
+
+    # Width constraints via run-length tracking. Dispatch (and commit)
+    # times are non-decreasing, so the reference's window term
+    # ``dispatch[i - width] + 1`` can only bind when the last ``width``
+    # dispatches all equal the current candidate ``t`` -- i.e. the cycle
+    # is full -- in which case the max resolves to exactly ``t + 1``.
+    # Tracking (value, run length) therefore replaces the ring buffer.
+    # The ROB term looks ``rob_entries`` back where runs do not reach, so
+    # it keeps a ring: commit_ring[0] is the commit ``rob_size`` ago, and
+    # the -1 prefill (+1 -> 0) never constrains during the early trace.
+    disp_run_val = -1
+    disp_run_len = 0
+    commit_run_val = -1
+    commit_run_len = 0
+    commit_ring = deque([-1] * rob_size, maxlen=rob_size)
+    # ``complete`` stays a full list: producers are random-access by
+    # dependency index.
+    complete: List[int] = []
+    complete_append = complete.append
+
+    fetch_resume = 0
+    bp_iter = iter(bp.mispredict)
+
+    K_SIMPLE, K_LOAD, K_STORE, K_BRANCH = KIND_SIMPLE, KIND_LOAD, KIND_STORE, KIND_BRANCH
+
+    insns = zip(view.kind, view.lat, view.fu, view.src_a, view.src_b,
+                view.mem_dep, view.address)
+    for k, lat, fc, dep_a, dep_b, dep_m, address in insns:
+        # ---------------- dispatch -------------------------------
+        t = fetch_resume
+        if disp_run_val > t:
+            t = disp_run_val
+        r = commit_ring[0] + 1
+        if r > t:
+            t = r
+        if iq_len >= iq_size:
+            q = heappushpop(iq_heap, iq_pending)
+            if q > t:
+                t = q
+        else:
+            if iq_pending is not None:
+                heappush(iq_heap, iq_pending)
+            iq_len += 1
+        if t == disp_run_val:
+            if disp_run_len >= width:
+                t += 1
+                disp_run_val = t
+                disp_run_len = 1
+            else:
+                disp_run_len += 1
+        else:
+            disp_run_val = t
+            disp_run_len = 1
+
+        # ---------------- ready ----------------------------------
+        ready = t + 1
+        if dep_a >= 0:
+            v = complete[dep_a]
+            if v > ready:
+                ready = v
+        if dep_b >= 0:
+            v = complete[dep_b]
+            if v > ready:
+                ready = v
+        if dep_m >= 0:
+            v = complete[dep_m]
+            if v > ready:
+                ready = v
+
+        # ---------------- issue: FU structural hazard ------------
+        servers, m = fu_info[fc]
+        best = 0
+        best_t = servers[0]
+        if m == 2:
+            v = servers[1]
+            if v < best_t:
+                best_t = v
+                best = 1
+        elif m > 2:
+            for s in range(1, m):
+                v = servers[s]
+                if v < best_t:
+                    best_t = v
+                    best = s
+        issue = ready if ready >= best_t else best_t
+
+        # ---------------- execute --------------------------------
+        if k == K_SIMPLE:
+            fin = issue + lat
+            servers[best] = issue + 1
+        elif k == K_LOAD:
+            if l1_hit_iter is None:
+                line = address >> line_shift
+                hit = l1_access(line)
+            else:
+                hit = next(l1_hit_iter)
+            if hit:
+                fin = issue + l1_hit_lat
+            else:
+                if l1_hit_iter is not None:
+                    line = address >> line_shift
+                # prune completed MSHRs
+                if mshr_fins:
+                    j = 0
+                    while j < len(mshr_fins):
+                        if mshr_fins[j] <= issue:
+                            del mshr_fins[j]
+                            del mshr_lines[j]
+                        else:
+                            j += 1
+                if line in mshr_lines:
+                    # merged into the in-flight miss
+                    fin = mshr_fins[mshr_lines.index(line)]
+                else:
+                    start = issue
+                    if mshr_lines and len(mshr_lines) >= n_mshr:
+                        jm = 0
+                        fmin = mshr_fins[0]
+                        lmin = mshr_lines[0]
+                        for j in range(1, len(mshr_fins)):
+                            fj = mshr_fins[j]
+                            if fj < fmin or (fj == fmin and mshr_lines[j] < lmin):
+                                jm = j
+                                fmin = fj
+                                lmin = mshr_lines[j]
+                        del mshr_fins[jm]
+                        del mshr_lines[jm]
+                        if fmin > start:
+                            mshr_stall += fmin - start
+                            start = fmin
+                    extra = l2_lat if l2_access(line) else l2_lat + mem_lat
+                    fin = start + l1_hit_lat + extra
+                    mshr_lines.append(line)
+                    mshr_fins.append(fin)
+                    if prefetch:
+                        # tagged next-line prefetch: install the next
+                        # sequential line alongside the demand fill
+                        l1.warm(line + 1)
+                        l2.warm(line + 1)
+            servers[best] = issue + 1
+        elif k == K_STORE:
+            if l1_hit_iter is None:
+                line = address >> line_shift
+                if not l1_access(line):
+                    l2_access(line)  # write-allocate fill path
+            elif not next(l1_hit_iter):
+                l2_access(address >> line_shift)
+            fin = issue + 1
+            servers[best] = issue + 1
+        elif k == K_BRANCH:
+            fin = issue + 1
+            servers[best] = issue + 1
+            if next(bp_iter):
+                resume = fin + redirect
+                if resume > fetch_resume:
+                    fetch_resume = resume
+        else:  # KIND_UNPIPELINED: divides hog their unit
+            fin = issue + lat
+            servers[best] = issue + lat
+        complete_append(fin)
+        iq_pending = issue
+
+        # ---------------- commit ---------------------------------
+        c = fin + 1
+        if commit_run_val >= c:
+            if commit_run_len >= width:
+                c = commit_run_val + 1
+                commit_run_val = c
+                commit_run_len = 1
+            else:
+                c = commit_run_val
+                commit_run_len += 1
+        else:
+            commit_run_val = c
+            commit_run_len = 1
+        commit_ring.append(c)
+
+    cycles = commit_run_val
+    if l1 is not None:
+        l1_hit_count, l1_miss_count = l1.hits, l1.misses
+    else:
+        l1_hit_count, l1_miss_count = l1pre.hits, l1pre.misses
+    l1_total = l1_hit_count + l1_miss_count
+    return SimulationResult(
+        cycles=cycles,
+        instructions=n,
+        cpi=cycles / n,
+        ipc=n / cycles,
+        l1_miss_rate=l1_miss_count / l1_total if l1_total else 0.0,
+        l2_miss_rate=l2.miss_rate,
+        branch_mispredict_rate=bp.mispredict_rate,
+        mshr_stall_cycles=mshr_stall,
+        fu_issue_counts=dict(view.fu_issue_counts),
+    )
 
 
 def simulate(

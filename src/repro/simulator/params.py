@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.designspace.config import MicroArchConfig
+from repro.simulator.branch import validate_gshare_geometry
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,11 @@ class SimulatorParams:
             raise ValueError("latencies must be >= 1 cycle")
         if self.line_bytes & (self.line_bytes - 1):
             raise ValueError("line size must be a power of two")
+        # Same bounds as GsharePredictor's constructor, enforced up front
+        # so the two-phase path (which replays the predictor in the
+        # pre-pass instead of constructing one) rejects exactly what the
+        # reference simulator rejects.
+        validate_gshare_geometry(self.gshare_bits, self.history_bits)
 
 
 DEFAULT_PARAMS = SimulatorParams()

@@ -1,0 +1,233 @@
+"""Phase-1 trace pre-passes: timing-independent outcome streams.
+
+The two-phase simulator (see ``core.py``) splits every run into
+
+1. a **pre-pass** computing the outcome streams that are provably
+   independent of instruction timing, memoised across the design space,
+   and
+2. a slimmed **timing kernel** consuming those streams.
+
+What is provably timing-independent:
+
+- **Branch outcomes.** The gshare predictor is trained with the *actual*
+  outcome stream (never with its own predictions), and the simulator
+  queries it at every BRANCH in program order. Its whole state --
+  history register and counter table -- is therefore a pure function of
+  the in-order ``taken`` stream and the predictor geometry, so the
+  per-branch mispredict flags can be computed once per
+  ``(trace, gshare_bits, history_bits)`` and reused by *every* design in
+  a campaign.
+- **L1 outcomes, prefetch off.** ``SetAssociativeCache.access`` touches
+  the L1 for every LOAD and STORE in program order and always allocates
+  on miss, so L1 contents evolve independently of timestamps: hit/miss
+  flags depend only on ``(trace, l1_sets, l1_ways, line_bytes)``.
+
+What is *not*, and therefore stays in phase 2:
+
+- **L2 outcomes.** A load that merges into an in-flight MSHR for the
+  same line never reaches the L2; whether it merges depends on issue
+  timing. The L2 access stream -- and hence L2 contents -- is
+  timing-dependent.
+- **L1 outcomes, prefetch on.** The next-line prefetcher installs lines
+  from the MSHR miss path, which is gated by the same timing-dependent
+  merge decision, so prefetching makes L1 contents timing-dependent too.
+
+Pre-pass results are held in a bounded in-memory memo on the simulator
+(:class:`PrepassMemo`). Cache geometry is a small sub-projection of the
+Table-1 design space, so thousands of campaign designs share a handful
+of L1 pre-passes, and every design shares the single branch pre-pass.
+
+Data-structure note: the counter table is a plain list on purpose --
+the bench in README.md ("Performance") measured ``bytearray`` ~10%
+slower for this walk on CPython 3.11, and preallocated per-set slot
+arrays ~18% slower than the MRU lists the functional cache uses.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, List, Set, Tuple
+
+import numpy as np
+
+from repro.simulator.branch import (
+    GSHARE_INIT_COUNTER,
+    GSHARE_SPREAD,
+    validate_gshare_geometry,
+)
+from repro.simulator.cache import SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class BranchPrepass:
+    """Per-branch mispredict stream for one (trace, predictor geometry).
+
+    Attributes:
+        mispredict: One flag per BRANCH instruction, program order.
+        predictions: Number of branches (== ``len(mispredict)``).
+        mispredictions: Number of set flags.
+    """
+
+    mispredict: List[bool]
+    predictions: int
+    mispredictions: int
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Mispredict ratio (0 when the trace has no branches)."""
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+@dataclass(frozen=True)
+class L1Prepass:
+    """Per-memory-op L1 hit stream for one (trace, L1 geometry).
+
+    Only valid when the next-line prefetcher is off (see module docs).
+
+    Attributes:
+        hit: One flag per LOAD/STORE instruction, program order.
+        hits / misses: Final access counters (drive ``l1_miss_rate``).
+    """
+
+    hit: List[bool]
+    hits: int
+    misses: int
+
+
+def branch_prepass(
+    taken: np.ndarray, table_bits: int, history_bits: int
+) -> BranchPrepass:
+    """Replay the gshare predictor over the branch outcome stream.
+
+    Bit-identical to feeding
+    :meth:`~repro.simulator.branch.GsharePredictor.predict_and_update`
+    each outcome in order: the history register seen by branch ``j`` is
+    the last ``history_bits`` outcomes packed most-recent-first, which
+    vectorises as shifted adds; the saturating-counter walk is inherently
+    sequential per table index, so it stays a tight loop over plain
+    ints -- run once per trace, not once per design.
+
+    Args:
+        taken: ``(num_branches,)`` int64 outcomes in program order.
+        table_bits: log2 of the counter-table size.
+        history_bits: Global-history length.
+    """
+    validate_gshare_geometry(table_bits, history_bits)
+    nb = len(taken)
+    if nb == 0:
+        return BranchPrepass(mispredict=[], predictions=0, mispredictions=0)
+    hist = np.zeros(nb, dtype=np.int64)
+    for k in range(1, min(history_bits, nb - 1) + 1):
+        hist[k:] += taken[: nb - k] << (k - 1)
+    idx_list = ((hist * GSHARE_SPREAD) & ((1 << table_bits) - 1)).tolist()
+    taken_list = taken.tolist()
+
+    table = [GSHARE_INIT_COUNTER] * (1 << table_bits)
+    flags = [False] * nb
+    mis = 0
+    for j in range(nb):
+        t = taken_list[j]
+        ix = idx_list[j]
+        c = table[ix]
+        if (c >= 2) != t:
+            mis += 1
+            flags[j] = True
+        if t:
+            if c < 3:
+                table[ix] = c + 1
+        elif c > 0:
+            table[ix] = c - 1
+    return BranchPrepass(mispredict=flags, predictions=nb, mispredictions=mis)
+
+
+def l1_prepass(lines: np.ndarray, sets: int, ways: int) -> L1Prepass:
+    """Replay the L1 over the in-order line-address stream of a trace.
+
+    Uses the real :class:`SetAssociativeCache` so the replay is the seed
+    behaviour by construction (same LRU, same allocate-on-miss).
+
+    Args:
+        lines: ``(num_mem_ops,)`` line addresses, program order.
+        sets / ways: L1 geometry.
+    """
+    cache = SetAssociativeCache(sets, ways)
+    access = cache.access
+    flags = [access(line) for line in lines.tolist()]
+    return L1Prepass(hit=flags, hits=cache.hits, misses=cache.misses)
+
+
+class PrepassMemo:
+    """Bounded LRU memo for pre-pass artefacts, keyed by trace identity.
+
+    Keys are ``(id(trace), kind, geometry)``; a ``weakref.finalize`` on
+    each trace purges its entries the moment the trace is collected, so
+    a recycled ``id()`` can never alias a dead trace's results. Bounded
+    (LRU) because each L1 entry is O(memory ops): the default of 128
+    entries covers six workloads x every cache geometry in the Table-1
+    space with room to spare. A lock keeps lookups, insertions and the
+    GC-triggered purge consistent under concurrent :meth:`get` callers
+    (artefacts are immutable, so the worst concurrency cost is a
+    redundant build outside the lock).
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._tracked_ids: Set[int] = set()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self,
+        trace: object,
+        kind: str,
+        geometry: Hashable,
+        build: Callable[[], object],
+    ) -> object:
+        """Return the memoised artefact, building (and storing) on miss."""
+        trace_id = id(trace)
+        key = (trace_id, kind, geometry)
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return value
+            self.misses += 1
+            if trace_id not in self._tracked_ids:
+                self._tracked_ids.add(trace_id)
+                # The finalizer must not hold the memo strongly: traces
+                # are typically process-lifetime (workloads are cached),
+                # and a bound-method callback would keep every discarded
+                # simulator's memo alive alongside them.
+                weakref.finalize(trace, _purge_if_alive, weakref.ref(self), trace_id)
+        value = build()
+        with self._lock:
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return value
+
+    def _purge(self, trace_id: int) -> None:
+        with self._lock:
+            self._tracked_ids.discard(trace_id)
+            for key in [k for k in self._entries if k[0] == trace_id]:
+                del self._entries[key]
+
+
+def _purge_if_alive(memo_ref: "weakref.ref[PrepassMemo]", trace_id: int) -> None:
+    """Trace-finalizer target: purge the memo only if it still exists."""
+    memo = memo_ref()
+    if memo is not None:
+        memo._purge(trace_id)

@@ -1,0 +1,235 @@
+"""Reference one-pass timing model: the golden oracle for the kernel.
+
+This is the original single-phase formulation of the simulator, kept
+verbatim: one program-order walk that interleaves the branch predictor,
+the functional caches, heapq-based IQ/MSHR tracking and the timestamp
+recurrences. The production path (``core.py``) refactors this into a
+memoised pre-pass plus a slimmed timing kernel; **this module is the
+semantic contract it must match bit-for-bit** --
+``tests/test_simulator_golden.py`` asserts full ``SimulationResult``
+equality between the two over randomized configs x all workloads.
+
+Keep this implementation boring and obviously correct. Performance work
+belongs in ``core.py``; any intended behaviour change must be made here
+first, then mirrored in the kernel until the golden suite passes again.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+from repro.designspace.config import MicroArchConfig
+from repro.simulator.branch import GsharePredictor
+from repro.simulator.cache import SetAssociativeCache
+from repro.simulator.params import SimulatorParams, DEFAULT_PARAMS
+from repro.workloads.isa import OpClass, OP_LATENCY
+from repro.workloads.trace import InstructionTrace, NO_DEP
+
+
+def reference_simulate(
+    trace: InstructionTrace,
+    config: MicroArchConfig,
+    params: Optional[SimulatorParams] = None,
+):
+    """Simulate ``trace`` on ``config`` with the single-phase reference.
+
+    Returns the same :class:`~repro.simulator.core.SimulationResult` type
+    as the production simulator.
+    """
+    from repro.simulator.core import SimulationResult
+
+    p = params or DEFAULT_PARAMS
+    p.validate()
+    n = trace.num_instructions
+    if n == 0:
+        raise ValueError("empty trace")
+
+    # --- unpack trace into local lists (fast CPython access) -------
+    ops = trace.op.tolist()
+    src_a = trace.src_a.tolist()
+    src_b = trace.src_b.tolist()
+    mem_dep = trace.mem_dep.tolist()
+    addresses = trace.address.tolist()
+    takens = trace.taken.tolist()
+
+    latency = {int(cls): OP_LATENCY[cls] for cls in OpClass}
+    LOAD = int(OpClass.LOAD)
+    STORE = int(OpClass.STORE)
+    BRANCH = int(OpClass.BRANCH)
+    INT_DIV = int(OpClass.INT_DIV)
+    FP_DIV = int(OpClass.FP_DIV)
+    FP_LO, FP_HI = int(OpClass.FP_ADD), int(OpClass.FP_DIV)
+
+    # --- machine state ---------------------------------------------
+    width = config.decode_width
+    rob_size = config.rob_entries
+    iq_size = config.iq_entries
+    line_shift = p.line_bytes.bit_length() - 1
+
+    l1 = SetAssociativeCache(config.l1_sets, config.l1_ways)
+    l2 = SetAssociativeCache(config.l2_sets, config.l2_ways)
+    predictor = GsharePredictor(p.gshare_bits, p.history_bits)
+
+    int_free = [0] * config.int_fu
+    mem_free = [0] * config.mem_fu
+    fp_free = [0] * config.fp_fu
+
+    # MSHR file: outstanding line -> completion time, plus a heap of
+    # (completion, line) for slot recycling.
+    mshr_out: Dict[int, int] = {}
+    mshr_heap: List[tuple] = []
+    n_mshr = config.n_mshr
+    mshr_stall = 0
+
+    # Issue-queue occupancy: min-heap of issue times of occupants.
+    iq_heap: List[int] = []
+
+    dispatch = [0] * n
+    complete = [0] * n
+    commit = [0] * n
+
+    fetch_resume = 0
+    fu_counts = {"int": 0, "mem": 0, "fp": 0}
+
+    l1_hit_lat = p.l1_hit_cycles
+    l2_lat = p.l2_hit_cycles
+    mem_lat = p.mem_cycles
+    redirect = p.redirect_cycles
+    prefetch = p.next_line_prefetch
+
+    for i in range(n):
+        op = ops[i]
+
+        # ---------------- dispatch -------------------------------
+        t = fetch_resume
+        if i:
+            prev = dispatch[i - 1]
+            if prev > t:
+                t = prev
+        if i >= width:
+            w = dispatch[i - width] + 1
+            if w > t:
+                t = w
+        if i >= rob_size:
+            r = commit[i - rob_size] + 1
+            if r > t:
+                t = r
+        if len(iq_heap) >= iq_size:
+            q = heapq.heappop(iq_heap)
+            if q > t:
+                t = q
+        disp = t
+        dispatch[i] = disp
+
+        # ---------------- ready ----------------------------------
+        ready = disp + 1
+        d = src_a[i]
+        if d != NO_DEP and complete[d] > ready:
+            ready = complete[d]
+        d = src_b[i]
+        if d != NO_DEP and complete[d] > ready:
+            ready = complete[d]
+        d = mem_dep[i]
+        if d != NO_DEP and complete[d] > ready:
+            ready = complete[d]
+
+        # ---------------- issue: FU structural hazard ------------
+        if op == LOAD or op == STORE:
+            servers = mem_free
+            fu_counts["mem"] += 1
+        elif FP_LO <= op <= FP_HI:
+            servers = fp_free
+            fu_counts["fp"] += 1
+        else:
+            servers = int_free
+            fu_counts["int"] += 1
+        # pick the earliest-free server
+        best = 0
+        best_t = servers[0]
+        for s in range(1, len(servers)):
+            if servers[s] < best_t:
+                best_t = servers[s]
+                best = s
+        issue = ready if ready >= best_t else best_t
+
+        # ---------------- execute --------------------------------
+        if op == LOAD:
+            line = addresses[i] >> line_shift
+            if l1.access(line):
+                fin = issue + l1_hit_lat
+            else:
+                # prune completed MSHRs
+                while mshr_heap and mshr_heap[0][0] <= issue:
+                    done_t, done_line = heapq.heappop(mshr_heap)
+                    if mshr_out.get(done_line) == done_t:
+                        del mshr_out[done_line]
+                pending = mshr_out.get(line)
+                if pending is not None and pending > issue:
+                    fin = pending  # merged into the in-flight miss
+                else:
+                    start = issue
+                    if len(mshr_out) >= n_mshr and mshr_heap:
+                        free_at, freed_line = heapq.heappop(mshr_heap)
+                        if mshr_out.get(freed_line) == free_at:
+                            del mshr_out[freed_line]
+                        if free_at > start:
+                            mshr_stall += free_at - start
+                            start = free_at
+                    extra = l2_lat if l2.access(line) else l2_lat + mem_lat
+                    fin = start + l1_hit_lat + extra
+                    mshr_out[line] = fin
+                    heapq.heappush(mshr_heap, (fin, line))
+                    if prefetch:
+                        # tagged next-line prefetch: install the next
+                        # sequential line alongside the demand fill
+                        l1.warm(line + 1)
+                        l2.warm(line + 1)
+            servers[best] = issue + 1
+        elif op == STORE:
+            line = addresses[i] >> line_shift
+            if not l1.access(line):
+                l2.access(line)  # write-allocate fill path
+            fin = issue + 1
+            servers[best] = issue + 1
+        elif op == BRANCH:
+            fin = issue + 1
+            servers[best] = issue + 1
+            if predictor.predict_and_update(takens[i]):
+                resume = fin + redirect
+                if resume > fetch_resume:
+                    fetch_resume = resume
+        else:
+            lat = latency[op]
+            fin = issue + lat
+            if op == INT_DIV or op == FP_DIV:
+                servers[best] = issue + lat  # unpipelined
+            else:
+                servers[best] = issue + 1
+        complete[i] = fin
+        heapq.heappush(iq_heap, issue)
+
+        # ---------------- commit ---------------------------------
+        c = fin + 1
+        if i:
+            prev = commit[i - 1]
+            if prev > c:
+                c = prev
+        if i >= width:
+            w = commit[i - width] + 1
+            if w > c:
+                c = w
+        commit[i] = c
+
+    cycles = commit[n - 1]
+    return SimulationResult(
+        cycles=cycles,
+        instructions=n,
+        cpi=cycles / n,
+        ipc=n / cycles,
+        l1_miss_rate=l1.miss_rate,
+        l2_miss_rate=l2.miss_rate,
+        branch_mispredict_rate=predictor.mispredict_rate,
+        mshr_stall_cycles=mshr_stall,
+        fu_issue_counts=dict(fu_counts),
+    )

@@ -10,12 +10,13 @@ without a renamer).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from functools import cached_property
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.workloads.isa import OpClass, MEM_OPS
+from repro.workloads.isa import OP_LATENCY, OpClass, MEM_OPS, fu_class
 
 #: Sentinel for "no dependency".
 NO_DEP = -1
@@ -23,6 +24,65 @@ NO_DEP = -1
 #: Granularity at which memory dependencies are tracked (bytes). Word
 #: granularity matches how the kernels address their arrays.
 MEM_DEP_GRANULE = 8
+
+#: Instruction-kind codes in :attr:`TraceKernelView.kind`, the dispatch
+#: alphabet of the timing kernel (ordered so the common case reads first).
+KIND_LOAD, KIND_STORE, KIND_BRANCH, KIND_UNPIPELINED, KIND_SIMPLE = range(5)
+
+#: Functional-unit class codes in :attr:`TraceKernelView.fu` (index into
+#: the kernel's ``(int, mem, fp)`` server table).
+FU_INT, FU_MEM, FU_FP = range(3)
+
+_N_OPS = len(OpClass)
+_KIND_LUT = np.full(_N_OPS, KIND_SIMPLE, dtype=np.int64)
+_KIND_LUT[int(OpClass.LOAD)] = KIND_LOAD
+_KIND_LUT[int(OpClass.STORE)] = KIND_STORE
+_KIND_LUT[int(OpClass.BRANCH)] = KIND_BRANCH
+_KIND_LUT[int(OpClass.INT_DIV)] = KIND_UNPIPELINED
+_KIND_LUT[int(OpClass.FP_DIV)] = KIND_UNPIPELINED
+_FU_LUT = np.array(
+    [{"int": FU_INT, "mem": FU_MEM, "fp": FU_FP}[fu_class(cls)] for cls in OpClass],
+    dtype=np.int64,
+)
+_LAT_LUT = np.array([OP_LATENCY[cls] for cls in OpClass], dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class TraceKernelView:
+    """Design-independent unpacking of a trace for the timing kernel.
+
+    Everything here depends only on the trace (never on a design point or
+    the machine timing constants), so it is computed once per trace --
+    :attr:`InstructionTrace.kernel_view` caches it -- and shared by every
+    simulation run over that trace.
+
+    Attributes:
+        n: Trace length.
+        kind: Per-instruction ``KIND_*`` code (kernel dispatch alphabet).
+        lat: Per-instruction execution latency in cycles.
+        fu: Per-instruction ``FU_*`` server-table index.
+        src_a / src_b / mem_dep: Producer indices as plain lists (fast
+            CPython access; ``NO_DEP`` for none).
+        address: Byte addresses as a plain list.
+        branch_taken: ``(num_branches,)`` int64 outcomes of the BRANCH
+            instructions in program order (feeds the branch pre-pass).
+        mem_indices: int64 indices of LOAD/STORE instructions in program
+            order (feeds the L1 pre-pass).
+        fu_issue_counts: ``{"int": .., "mem": .., "fp": ..}`` -- the FU
+            issue histogram is a pure function of the op stream.
+    """
+
+    n: int
+    kind: List[int]
+    lat: List[int]
+    fu: List[int]
+    src_a: List[int]
+    src_b: List[int]
+    mem_dep: List[int]
+    address: List[int]
+    branch_taken: np.ndarray
+    mem_indices: np.ndarray
+    fu_issue_counts: Dict[str, int]
 
 
 @dataclass(frozen=True)
@@ -70,6 +130,47 @@ class InstructionTrace:
     def num_instructions(self) -> int:
         """Trace length in dynamic instructions."""
         return len(self.op)
+
+    @cached_property
+    def kernel_view(self) -> TraceKernelView:
+        """The design-independent :class:`TraceKernelView` of this trace.
+
+        Computed on first use and cached on the instance (the per-run
+        ``.tolist()`` unpacking used to dominate short simulations), so
+        thousands of design evaluations over the same trace share one
+        unpacking. Dropped on pickling -- see :meth:`__getstate__`.
+        """
+        op = self.op.astype(np.int64)
+        fu = _FU_LUT[op]
+        hist = np.bincount(fu, minlength=3)
+        return TraceKernelView(
+            n=len(op),
+            kind=_KIND_LUT[op].tolist(),
+            lat=_LAT_LUT[op].tolist(),
+            fu=fu.tolist(),
+            src_a=self.src_a.tolist(),
+            src_b=self.src_b.tolist(),
+            mem_dep=self.mem_dep.tolist(),
+            address=self.address.tolist(),
+            branch_taken=self.taken[op == int(OpClass.BRANCH)].astype(np.int64),
+            mem_indices=self.memory_indices(),
+            fu_issue_counts={
+                "int": int(hist[FU_INT]),
+                "mem": int(hist[FU_MEM]),
+                "fp": int(hist[FU_FP]),
+            },
+        )
+
+    def __getstate__(self) -> Dict[str, np.ndarray]:
+        """Pickle only the declared fields, never cached derivations.
+
+        The kernel view triples the payload and is cheap to rebuild, so
+        process-pool workers receive the bare arrays and re-derive it.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __setstate__(self, state: Dict[str, np.ndarray]) -> None:
+        self.__dict__.update(state)
 
     def op_counts(self) -> Dict[OpClass, int]:
         """Dynamic instruction count per op class."""

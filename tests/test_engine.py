@@ -15,7 +15,7 @@ from repro.engine import (
     space_signature,
     vectorized_lf_metrics,
 )
-from repro.proxies import AnalyticalModel, Fidelity, SimulationProxy
+from repro.proxies import AnalyticalModel, Fidelity, SimulationProxy, SuiteAverageProxy
 from repro.workloads import get_workload
 
 SPACE = default_design_space()
@@ -277,6 +277,17 @@ class TestEvaluationEngine:
             WORKLOAD, SPACE, params=SimulatorParams(mem_cycles=180)
         )
         assert default.cache_tag != slower.cache_tag
+
+    def test_hf_tag_pins_metrics_schema(self):
+        """Cache entries written under an older metrics schema must miss
+        (otherwise cached designs replay partial metric dicts next to
+        fresh full ones)."""
+        from repro.proxies.highfidelity import METRICS_SCHEMA
+
+        proxy = SimulationProxy(WORKLOAD, SPACE)
+        assert proxy.cache_tag.endswith(f":m{METRICS_SCHEMA}")
+        suite = SuiteAverageProxy([WORKLOAD], SPACE)
+        assert suite.cache_tag.endswith(f":m{METRICS_SCHEMA}")
 
     def test_lf_tag_pins_analytical_params(self):
         from repro.proxies import AnalyticalParams

@@ -1,0 +1,268 @@
+"""Golden equivalence suite: two-phase kernel vs the seed reference.
+
+The production simulator (``repro.simulator.core``) must be
+**bit-identical** to the single-phase reference
+(``repro.simulator.reference``): every ``SimulationResult`` field equal,
+for any config and any trace. These tests sweep randomized
+``MicroArchConfig``s -- including the degenerate corners that stress the
+pre-pass split (1-way caches, ``n_mshr=1``, tiny ROB/IQ, prefetch
+on/off) -- across all six workloads, always comparing against the
+reference run fresh.
+
+One simulator instance is reused across every comparison on purpose:
+that exercises the pre-pass memo (hits must be as correct as misses,
+across workloads and geometries).
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.designspace import MicroArchConfig
+from repro.simulator import (
+    GsharePredictor,
+    OutOfOrderSimulator,
+    PrepassMemo,
+    SetAssociativeCache,
+    SimulatorParams,
+    branch_prepass,
+    l1_prepass,
+    reference_simulate,
+)
+from repro.workloads import get_workload
+from repro.workloads.trace import TraceBuilder
+
+#: Small problem sizes: full six-benchmark coverage in seconds.
+SUITE_SIZES = {
+    "dijkstra": 48,
+    "mm": 8,
+    "fp-vvadd": 128,
+    "quicksort": 64,
+    "fft": 32,
+    "ss": 128,
+}
+
+
+def random_config(rng: random.Random) -> MicroArchConfig:
+    """A randomized design point biased toward structural edge cases."""
+    return MicroArchConfig(
+        l1_sets=rng.choice([16, 32, 64]),
+        l1_ways=rng.choice([1, 2, 8]),
+        l2_sets=rng.choice([128, 512]),
+        l2_ways=rng.choice([1, 4]),
+        n_mshr=rng.choice([1, 2, 8]),
+        decode_width=rng.choice([1, 2, 4, 5]),
+        rob_entries=rng.choice([8, 32, 160]),
+        mem_fu=rng.choice([1, 2]),
+        int_fu=rng.choice([1, 2, 4]),
+        fp_fu=rng.choice([1, 2]),
+        iq_entries=rng.choice([2, 4, 24]),
+    )
+
+
+EDGE_CONFIGS = [
+    # 1-way everything, single MSHR, tiny window: maximal structural stall
+    MicroArchConfig(l1_sets=16, l1_ways=1, l2_sets=128, l2_ways=1, n_mshr=1,
+                    decode_width=1, rob_entries=8, mem_fu=1, int_fu=1, fp_fu=1,
+                    iq_entries=2),
+    # wide machine, tiny caches: mispredicts + misses under high ILP
+    MicroArchConfig(l1_sets=16, l1_ways=2, l2_sets=128, l2_ways=2, n_mshr=2,
+                    decode_width=5, rob_entries=160, mem_fu=2, int_fu=4, fp_fu=2,
+                    iq_entries=24),
+    # big caches, single-entry-ish queues
+    MicroArchConfig(l1_sets=64, l1_ways=8, l2_sets=512, l2_ways=4, n_mshr=8,
+                    decode_width=4, rob_entries=32, mem_fu=1, int_fu=2, fp_fu=1,
+                    iq_entries=2),
+]
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    """One shared simulator: comparisons run through a warm memo."""
+    return OutOfOrderSimulator()
+
+
+@pytest.fixture(scope="module")
+def prefetch_simulator():
+    return OutOfOrderSimulator(SimulatorParams(next_line_prefetch=True))
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("name", sorted(SUITE_SIZES))
+    def test_randomized_configs_all_workloads(self, simulator, name):
+        trace = get_workload(name, data_size=SUITE_SIZES[name]).trace
+        rng = random.Random(f"golden-{name}")
+        for __ in range(6):
+            config = random_config(rng)
+            assert simulator.run(trace, config) == reference_simulate(
+                trace, config
+            ), f"divergence on {name} at {config.describe()}"
+
+    @pytest.mark.parametrize("config", EDGE_CONFIGS, ids=["tiny", "wide", "queues"])
+    @pytest.mark.parametrize("name", ["mm", "quicksort"])
+    def test_edge_configs(self, simulator, name, config):
+        trace = get_workload(name, data_size=SUITE_SIZES[name]).trace
+        assert simulator.run(trace, config) == reference_simulate(trace, config)
+
+    @pytest.mark.parametrize("name", ["mm", "dijkstra", "ss"])
+    def test_prefetch_on(self, prefetch_simulator, name):
+        """Prefetch disables the L1 pre-pass; the live path must match too."""
+        trace = get_workload(name, data_size=SUITE_SIZES[name]).trace
+        params = SimulatorParams(next_line_prefetch=True)
+        rng = random.Random(f"prefetch-{name}")
+        for __ in range(3):
+            config = random_config(rng)
+            assert prefetch_simulator.run(trace, config) == reference_simulate(
+                trace, config, params
+            )
+
+    def test_synthetic_mshr_merge_storm(self, simulator):
+        """Same-line miss bursts: the MSHR merge path, both formulations."""
+        tb = TraceBuilder("merge-storm")
+        base = tb.alloc(64 * 64)
+        v = None
+        for i in range(300):
+            v = tb.load(base + (i % 7) * 64, addr_dep=v if i % 3 else None)
+            if i % 5 == 0:
+                tb.store(base + (i % 11) * 64, v)
+        trace = tb.build()
+        for config in EDGE_CONFIGS:
+            assert simulator.run(trace, config) == reference_simulate(trace, config)
+
+    def test_branch_only_trace(self, simulator):
+        rng = random.Random(3)
+        tb = TraceBuilder("branches")
+        for __ in range(500):
+            tb.branch(taken=rng.random() < 0.5)
+        trace = tb.build()
+        for config in EDGE_CONFIGS:
+            assert simulator.run(trace, config) == reference_simulate(trace, config)
+
+
+class TestPrepassUnits:
+    def test_branch_prepass_matches_predictor(self):
+        rng = random.Random(11)
+        outcomes = [rng.random() < 0.6 for __ in range(800)]
+        import numpy as np
+
+        pre = branch_prepass(np.array(outcomes, dtype=np.int64), 10, 8)
+        predictor = GsharePredictor(10, 8)
+        flags = [predictor.predict_and_update(t) for t in outcomes]
+        assert pre.mispredict == flags
+        assert pre.predictions == predictor.predictions
+        assert pre.mispredictions == predictor.mispredictions
+        assert pre.mispredict_rate == predictor.mispredict_rate
+
+    def test_branch_prepass_short_stream(self):
+        """history_bits longer than the stream must not wrap the slice."""
+        import numpy as np
+
+        pre = branch_prepass(np.array([1, 0], dtype=np.int64), 10, 8)
+        predictor = GsharePredictor(10, 8)
+        flags = [predictor.predict_and_update(bool(t)) for t in (1, 0)]
+        assert pre.mispredict == flags
+
+    def test_branch_prepass_empty(self):
+        import numpy as np
+
+        pre = branch_prepass(np.array([], dtype=np.int64), 10, 8)
+        assert pre.predictions == 0
+        assert pre.mispredict_rate == 0.0
+
+    def test_l1_prepass_matches_cache(self):
+        import numpy as np
+
+        rng = random.Random(5)
+        lines = np.array([rng.randrange(512) for __ in range(2000)], dtype=np.int64)
+        pre = l1_prepass(lines, 16, 2)
+        cache = SetAssociativeCache(16, 2)
+        flags = [cache.access(int(line)) for line in lines]
+        assert pre.hit == flags
+        assert (pre.hits, pre.misses) == (cache.hits, cache.misses)
+
+
+class TestPrepassMemo:
+    def test_bounded_lru_eviction(self):
+        memo = PrepassMemo(max_entries=2)
+        trace = object.__new__(OutOfOrderSimulator)  # any weakref-able object
+        memo.get(trace, "a", 1, lambda: "A")
+        memo.get(trace, "b", 2, lambda: "B")
+        memo.get(trace, "a", 1, lambda: "A2")  # refresh A
+        memo.get(trace, "c", 3, lambda: "C")  # evicts B
+        assert memo.get(trace, "a", 1, lambda: "A3") == "A"
+        assert memo.get(trace, "b", 2, lambda: "B2") == "B2"
+        assert len(memo) == 2
+
+    def test_entries_purged_when_trace_dies(self):
+        memo = PrepassMemo()
+        trace = object.__new__(OutOfOrderSimulator)
+        memo.get(trace, "a", 1, lambda: "A")
+        assert len(memo) == 1
+        del trace
+        assert len(memo) == 0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            PrepassMemo(max_entries=0)
+
+    def test_finalizer_does_not_keep_memo_alive(self):
+        """Trace finalizers must hold the memo weakly: workload traces
+        are process-lifetime, so a strong callback would leak every
+        discarded simulator's memo."""
+        import gc
+        import weakref
+
+        trace = get_workload("mm", data_size=8).trace
+        sim = OutOfOrderSimulator()
+        sim.run(trace, EDGE_CONFIGS[0])
+        memo_ref = weakref.ref(sim.prepass_memo)
+        del sim
+        gc.collect()
+        assert memo_ref() is None
+
+    def test_invalid_predictor_geometry_rejected_like_reference(self):
+        """The pre-pass path must reject what GsharePredictor rejects."""
+        with pytest.raises(ValueError):
+            OutOfOrderSimulator(SimulatorParams(history_bits=31))
+        with pytest.raises(ValueError):
+            OutOfOrderSimulator(SimulatorParams(gshare_bits=25))
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            branch_prepass(np.array([1], dtype=np.int64), 25, 8)
+        with pytest.raises(ValueError):
+            branch_prepass(np.array([1], dtype=np.int64), 10, 0)
+
+    def test_memo_counts_hits(self):
+        sim = OutOfOrderSimulator()
+        trace = get_workload("mm", data_size=8).trace
+        config = EDGE_CONFIGS[0]
+        sim.run(trace, config)
+        misses_after_first = sim.prepass_memo.misses
+        sim.run(trace, config)
+        assert sim.prepass_memo.misses == misses_after_first
+        assert sim.prepass_memo.hits >= 2  # branch + L1 reused
+
+
+class TestPickling:
+    def test_simulator_pickles_without_memo(self):
+        sim = OutOfOrderSimulator()
+        trace = get_workload("mm", data_size=8).trace
+        config = EDGE_CONFIGS[1]
+        expected = sim.run(trace, config)
+        clone = pickle.loads(pickle.dumps(sim))
+        assert len(clone.prepass_memo) == 0
+        assert clone.params == sim.params
+        assert clone.run(trace, config) == expected
+
+    def test_trace_pickles_without_kernel_view(self):
+        trace = get_workload("mm", data_size=8).trace
+        trace.kernel_view  # materialise the cache
+        clone = pickle.loads(pickle.dumps(trace))
+        assert "kernel_view" not in clone.__dict__
+        config = EDGE_CONFIGS[2]
+        assert reference_simulate(clone, config) == reference_simulate(trace, config)
+        assert OutOfOrderSimulator().run(clone, config) == OutOfOrderSimulator().run(
+            trace, config
+        )
