@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Gate a bench-smoke JSON against the committed performance baseline.
+
+CI records every run's ``BENCH_smoke.json`` as an artifact, but an
+artifact trail nobody diffs lets regressions land silently. This script
+makes the trajectory a gate: it compares the smoke JSON's
+``extra_info`` metrics against ``BENCH_baseline.json`` and exits
+non-zero when any gated metric falls below its tolerance band.
+
+Gated metrics are chosen to be *machine-relative* where possible
+(speedup ratios: vectorised-vs-scalar, batched-vs-serial), because CI
+runners are slower and noisier than the machines baselines are recorded
+on; the one absolute metric (simulator MIPS) carries a very wide band
+and only catches catastrophic regressions (e.g. losing the pre-pass
+memo). Bands are per-metric ``min_fraction`` values in the baseline
+file: a metric fails when ``current < value * min_fraction``.
+
+Usage::
+
+    python benchmarks/compare_baseline.py BENCH_smoke.json BENCH_baseline.json
+    python benchmarks/compare_baseline.py BENCH_smoke.json BENCH_baseline.json --update
+
+``--update`` rewrites the baseline's ``value`` fields from the smoke
+JSON (keeping each metric's band) -- run it on a quiet machine when a
+deliberate perf change moves the numbers, and commit the result.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List
+
+
+def extra_info_by_bench(bench_json: dict) -> Dict[str, dict]:
+    """``{benchmark name: extra_info}`` from a pytest-benchmark JSON."""
+    out: Dict[str, dict] = {}
+    for bench in bench_json.get("benchmarks", []):
+        name = str(bench.get("name", "")).split("[")[0]
+        out[name] = bench.get("extra_info", {}) or {}
+    return out
+
+
+def compare(smoke: dict, baseline: dict) -> List[str]:
+    """Failure messages for every gated metric out of band (empty = pass)."""
+    failures: List[str] = []
+    info = extra_info_by_bench(smoke)
+    for key, gate in baseline.get("metrics", {}).items():
+        bench_name, _, metric = key.partition(":")
+        bench = info.get(bench_name)
+        if bench is None:
+            # A missing benchmark must fail: a silently-skipped bench
+            # would otherwise pass the gate forever.
+            failures.append(f"{key}: benchmark {bench_name!r} not in smoke JSON")
+            continue
+        value = bench.get(metric)
+        if not isinstance(value, (int, float)):
+            failures.append(f"{key}: metric missing from extra_info")
+            continue
+        floor = float(gate["value"]) * float(gate["min_fraction"])
+        if value < floor:
+            failures.append(
+                f"{key}: {value:.3f} below floor {floor:.3f} "
+                f"(baseline {gate['value']:.3f} x band {gate['min_fraction']})"
+            )
+    return failures
+
+
+def update_baseline(smoke: dict, baseline: dict) -> dict:
+    """The baseline with ``value`` fields refreshed from ``smoke``."""
+    info = extra_info_by_bench(smoke)
+    updated = json.loads(json.dumps(baseline))  # deep copy
+    for key, gate in updated.get("metrics", {}).items():
+        bench_name, _, metric = key.partition(":")
+        value = info.get(bench_name, {}).get(metric)
+        if isinstance(value, (int, float)):
+            gate["value"] = round(float(value), 4)
+    return updated
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__)
+        return 2
+    if len(argv) == 3 and argv[2] != "--update":
+        # A mistyped flag must not silently run gate mode: a maintainer
+        # who meant to refresh the baseline would believe it was saved.
+        print(f"unknown argument {argv[2]!r} (did you mean --update?)")
+        return 2
+    smoke_path, baseline_path = argv[0], argv[1]
+    update = len(argv) == 3
+    with open(smoke_path) as fh:
+        smoke = json.load(fh)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+
+    if update:
+        refreshed = update_baseline(smoke, baseline)
+        with open(baseline_path, "w") as fh:
+            json.dump(refreshed, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline {baseline_path} refreshed from {smoke_path}")
+        return 0
+
+    info = extra_info_by_bench(smoke)
+    for key, gate in baseline.get("metrics", {}).items():
+        bench_name, _, metric = key.partition(":")
+        value = info.get(bench_name, {}).get(metric)
+        shown = f"{value:.3f}" if isinstance(value, (int, float)) else "MISSING"
+        print(
+            f"  {key}: {shown}  (baseline {gate['value']:.3f}, "
+            f"band {gate['min_fraction']})"
+        )
+    failures = compare(smoke, baseline)
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

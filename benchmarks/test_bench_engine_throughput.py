@@ -9,6 +9,8 @@ cite this bench. Records, for one batch of distinct valid designs on the
   simulator throughput in MIPS (simulated instructions/sec / 1e6), the
   perf trajectory of the two-phase simulator across PRs,
 - ``ProcessPoolBackend`` evaluations/sec and its speedup,
+- ``BatchBackend`` HF evaluations/sec (the single-process default: the
+  design-batched kernel above the crossover, serial semantics below),
 - ``BatchBackend`` LF evaluations/sec vs the scalar LF loop.
 
 The >1.5x parallel-speedup assertion only applies on multi-core runners;
@@ -77,6 +79,12 @@ def test_bench_engine_throughput(benchmark, report):
         out["hf_serial"], __ = _throughput(
             build(SerialBackend()), hf_batch, Fidelity.HIGH
         )
+        # The single-process default backend: HF batches ride the
+        # design-batched kernel when wide enough (the CI-scale batch sits
+        # below the crossover and must transparently match serial).
+        out["hf_batched"], __ = _throughput(
+            build(BatchBackend()), hf_batch, Fidelity.HIGH
+        )
         out["hf_parallel"], __ = _throughput(
             build(ProcessPoolBackend(workers=workers)), hf_batch, Fidelity.HIGH
         )
@@ -90,11 +98,15 @@ def test_bench_engine_throughput(benchmark, report):
 
     rates = benchmark.pedantic(run, rounds=1, iterations=1)
     hf_speedup = rates["hf_parallel"] / rates["hf_serial"]
+    hf_batched_speedup = rates["hf_batched"] / rates["hf_serial"]
     lf_speedup = rates["lf_vector"] / rates["lf_scalar"]
     # Simulator throughput: every serial HF evaluation replays the whole
     # trace, so evals/sec x trace length = simulated instructions/sec.
     serial_mips = rates["hf_serial"] * workload.num_instructions / 1e6
     benchmark.extra_info["hf_serial_evals_per_sec"] = rates["hf_serial"]
+    benchmark.extra_info["hf_batched_evals_per_sec"] = rates["hf_batched"]
+    benchmark.extra_info["hf_batched_speedup"] = hf_batched_speedup
+    benchmark.extra_info["lf_vector_speedup"] = lf_speedup
     benchmark.extra_info["simulator_mips"] = serial_mips
     benchmark.extra_info["trace_instructions"] = workload.num_instructions
 
@@ -103,6 +115,12 @@ def test_bench_engine_throughput(benchmark, report):
         f"  HF serial   {rates['hf_serial']:>9.1f}/s   "
         f"HF process-pool({workers}) {rates['hf_parallel']:>9.1f}/s   "
         f"speedup {hf_speedup:.2f}x  ({cores} cores)"
+    )
+    report.append(
+        f"  HF batch-backend {rates['hf_batched']:>9.1f}/s   "
+        f"speedup {hf_batched_speedup:.2f}x  "
+        f"(batch of {len(hf_batch)}; design-batched kernel engages at "
+        "wide batches)"
     )
     report.append(
         f"  HF simulator {serial_mips:>8.2f} MIPS  "
@@ -116,6 +134,13 @@ def test_bench_engine_throughput(benchmark, report):
 
     # The vectorised LF path must pay off everywhere.
     assert lf_speedup > 1.5, f"vectorised LF only {lf_speedup:.2f}x"
+    # The batch backend must never lose badly to serial: below the
+    # lockstep crossover it *is* the serial kernel (plus dispatch), so a
+    # collapse here means the fallback policy broke. Coarse net only --
+    # the BENCH_baseline.json gate owns the precise band.
+    assert hf_batched_speedup > 0.5, (
+        f"batch backend collapsed to {hf_batched_speedup:.2f}x serial"
+    )
     if cores >= 2:
         # On a multi-core runner the process pool must clearly win.
         assert hf_speedup > 1.5, f"parallel HF only {hf_speedup:.2f}x on {cores} cores"

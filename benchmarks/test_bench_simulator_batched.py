@@ -1,0 +1,117 @@
+"""Design-batched simulator kernel: evals/s vs batch size.
+
+The scaling curve of :mod:`repro.simulator.batched`: one lockstep trace
+walk advancing N designs pays a ~flat numpy dispatch cost per
+instruction, so throughput grows with the batch while the serial kernel
+is flat. This bench records the curve (batch sizes 1, 4, 16, 64) plus
+the serial reference, and the derived speedups feed the CI baseline gate
+(``benchmarks/compare_baseline.py``): speedups are machine-relative, so
+they hold across runner generations where absolute evals/s do not.
+
+The lockstep walk is forced on every size here (``min_designs=1``) to
+expose the full curve, including the small-batch region where it loses
+badly -- that region is exactly why the production path
+(``OutOfOrderSimulator.run_batch``) falls back to the serial kernel
+below ``BATCH_MIN_DESIGNS``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import scale
+from repro.designspace import default_design_space
+from repro.simulator import OutOfOrderSimulator
+from repro.simulator.batched import BATCH_MIN_DESIGNS, run_batch
+from repro.workloads import get_workload
+
+#: The reported curve (powers of four up to the production chunk
+#: width ``BATCH_MAX_DESIGNS`` -- the width real wide batches run at).
+BATCH_SIZES = (1, 4, 16, 64, 256)
+
+
+def _distinct_configs(space, count, seed=0):
+    rng = np.random.default_rng(seed)
+    seen, configs = set(), []
+    while len(configs) < count:
+        levels = space.sample(rng)
+        key = space.flat_index(levels)
+        if key not in seen:
+            seen.add(key)
+            configs.append(space.config(levels))
+    return configs
+
+
+def test_bench_simulator_batched(benchmark, report):
+    space = default_design_space()
+    workload = get_workload("mm", data_size=scale(14, None))
+    trace = workload.trace
+    sim = OutOfOrderSimulator()
+
+    serial_configs = _distinct_configs(space, max(BATCH_SIZES), seed=1)
+    per_size = {n: _distinct_configs(space, n, seed=100 + n) for n in BATCH_SIZES}
+
+    # Warm the pre-pass memo so the curve measures the kernels, not
+    # phase-1 builds (a campaign is warm after its first design).
+    for config in serial_configs:
+        sim.run(trace, config)
+    for configs in per_size.values():
+        run_batch(sim, trace, configs, min_designs=1)
+
+    def run():
+        out = {}
+        start = time.perf_counter()
+        for config in serial_configs:
+            sim.run(trace, config)
+        out["serial"] = len(serial_configs) / (time.perf_counter() - start)
+        for n, configs in per_size.items():
+            start = time.perf_counter()
+            run_batch(sim, trace, configs, min_designs=1)
+            out[n] = n / (time.perf_counter() - start)
+        return out
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    serial = rates["serial"]
+    benchmark.extra_info["serial_evals_per_sec"] = serial
+    report.append(
+        "Design-batched simulator kernel (mm, "
+        f"{trace.num_instructions} instructions/trace):"
+    )
+    report.append(f"  serial       {serial:>8.1f} evals/s  (1.00x)")
+    for n in BATCH_SIZES:
+        speedup = rates[n] / serial
+        benchmark.extra_info[f"batched_evals_per_sec_{n}"] = rates[n]
+        benchmark.extra_info[f"batched_speedup_{n}"] = speedup
+        report.append(
+            f"  batch {n:>4d}   {rates[n]:>8.1f} evals/s  ({speedup:.2f}x)"
+        )
+    report.append(
+        f"  production crossover: run_batch engages at >= "
+        f"{BATCH_MIN_DESIGNS} designs"
+    )
+
+    # The curve must rise: wider walks amortise the per-step dispatch
+    # cost over more lanes. (The 64-vs-16 gap is ~3x locally, so this
+    # holds through CI noise.)
+    assert rates[64] > rates[16], (
+        f"batched kernel curve inverted: {rates[64]:.1f}/s at 64 vs "
+        f"{rates[16]:.1f}/s at 16"
+    )
+    assert rates[256] > rates[64], (
+        f"batched kernel curve inverted: {rates[256]:.1f}/s at 256 vs "
+        f"{rates[64]:.1f}/s at 64"
+    )
+    # In-bench asserts are coarse catastrophe nets only (a walk that
+    # stops beating serial at all); the committed baseline gate
+    # (BENCH_baseline.json via compare_baseline.py) owns the precise
+    # tolerance bands, so its floors sit ABOVE these.
+    assert rates[64] > 0.8 * serial, (
+        f"batched kernel at 64 lanes collapsed to "
+        f"{rates[64] / serial:.2f}x serial"
+    )
+    assert rates[256] > 1.3 * serial, (
+        f"batched kernel at 256 lanes collapsed to "
+        f"{rates[256] / serial:.2f}x serial"
+    )

@@ -17,6 +17,10 @@ HEADLINE_COUNTERS = (
     ("engine_computed_low", "computed LF"),
     ("engine_computed_high", "computed HF"),
     ("engine_cache_hits", "cache hits"),
+    # Phase-1 memo efficacy: how many simulator pre-passes were replayed
+    # from the memo instead of rebuilt (per run, summed over the grid).
+    ("engine_prepass_hits", "prepass hits"),
+    ("engine_prepass_misses", "prepass builds"),
 )
 
 

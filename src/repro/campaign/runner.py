@@ -40,7 +40,13 @@ def executor(kind: str) -> Callable[[Executor], Executor]:
     return register
 
 
-def build_pool_for(spec: RunSpec, cache_dir=None, engine_workers: int = 0):
+def build_pool_for(
+    spec: RunSpec,
+    cache_dir=None,
+    engine_workers: int = 0,
+    hf_backend=None,
+    hf_batch=None,
+):
     """The proxy pool a spec's run evaluates against.
 
     Built from the spec exactly like the sequential experiment loops
@@ -64,6 +70,8 @@ def build_pool_for(spec: RunSpec, cache_dir=None, engine_workers: int = 0):
             workload_seed=spec.workload_seed,
             workers=engine_workers,
             cache_dir=cache_dir,
+            hf_backend=hf_backend,
+            hf_batch=hf_batch,
         )
     return build_pool(
         spec.workload,
@@ -72,11 +80,17 @@ def build_pool_for(spec: RunSpec, cache_dir=None, engine_workers: int = 0):
         workload_seed=spec.workload_seed,
         workers=engine_workers,
         cache_dir=cache_dir,
+        hf_backend=hf_backend,
+        hf_batch=hf_batch,
     )
 
 
 def execute_run(
-    spec: RunSpec, cache_dir=None, engine_workers: int = 0
+    spec: RunSpec,
+    cache_dir=None,
+    engine_workers: int = 0,
+    hf_backend=None,
+    hf_batch=None,
 ) -> Dict[str, Any]:
     """Execute one spec; returns its completed store record."""
     fn = _EXECUTORS.get(spec.kind)
@@ -85,7 +99,13 @@ def execute_run(
             f"unknown run kind {spec.kind!r}; known: {sorted(_EXECUTORS)}"
         )
     start = time.perf_counter()
-    pool = build_pool_for(spec, cache_dir=cache_dir, engine_workers=engine_workers)
+    pool = build_pool_for(
+        spec,
+        cache_dir=cache_dir,
+        engine_workers=engine_workers,
+        hf_backend=hf_backend,
+        hf_batch=hf_batch,
+    )
     payload = fn(spec, pool)
     return {
         "spec": spec.to_json(),

@@ -60,6 +60,8 @@ def make_scheduler(
     cache_dir=None,
     campaign_dir=None,
     resume: bool = True,
+    hf_backend=None,
+    hf_batch=None,
 ) -> "CampaignScheduler":
     """The scheduler an experiment runner builds when none was injected.
 
@@ -71,6 +73,8 @@ def make_scheduler(
         store=RunStore(campaign_dir) if campaign_dir is not None else None,
         cache_dir=cache_dir,
         resume=resume,
+        hf_backend=hf_backend,
+        hf_batch=hf_batch,
     )
 
 
@@ -88,6 +92,10 @@ class CampaignScheduler:
         progress: Optional sink for one human-readable line per run.
         engine_workers: Process-pool size *inside* each run's evaluation
             engine (default 0: the campaign level owns parallelism).
+        hf_backend: Execution-backend spec for each run's engine (see
+            :func:`repro.engine.make_backend`; None = auto).
+        hf_batch: Designs per design-batched simulator walk inside each
+            run (None = kernel default).
     """
 
     def __init__(
@@ -98,6 +106,8 @@ class CampaignScheduler:
         resume: bool = True,
         progress: Optional[Callable[[str], None]] = None,
         engine_workers: int = 0,
+        hf_backend=None,
+        hf_batch=None,
     ):
         self.workers = max(int(workers), 0)
         self.store = store
@@ -105,6 +115,8 @@ class CampaignScheduler:
         self.resume = resume
         self.progress = progress
         self.engine_workers = engine_workers
+        self.hf_backend = hf_backend
+        self.hf_batch = hf_batch
         #: The most recent :class:`CampaignResult` (for summary printing).
         self.last: Optional[CampaignResult] = None
 
@@ -190,6 +202,8 @@ class CampaignScheduler:
                     spec,
                     cache_dir=self.cache_dir,
                     engine_workers=self.engine_workers,
+                    hf_backend=self.hf_backend,
+                    hf_batch=self.hf_batch,
                 )
             except Exception as error:
                 self._record_failed(spec, error)
@@ -212,6 +226,8 @@ class CampaignScheduler:
                     spec,
                     cache_dir=self.cache_dir,
                     engine_workers=self.engine_workers,
+                    hf_backend=self.hf_backend,
+                    hf_batch=self.hf_batch,
                 ): spec
                 for spec in pending
             }

@@ -17,10 +17,12 @@ runs, and print to stdout (pipe to a file to archive results). Commands
 that simulate (``table2``, ``fig5``, ``explore``, ``sweep``,
 ``campaign``) also accept ``--workers N`` (process-pool size: across
 runs for the grid commands, across high-fidelity batches for
-``explore``) and ``--cache-dir DIR`` (persistent cross-run evaluation
-cache). ``campaign`` additionally takes ``--campaign-dir DIR`` (one JSON
-record per run) and ``--resume`` (skip runs the directory already
-answers).
+``explore``), ``--cache-dir DIR`` (persistent cross-run evaluation
+cache), ``--hf-backend {auto,batched,process,serial}`` (how HF batches
+execute; the default engages the design-batched simulator kernel for
+wide batches) and ``--hf-batch N`` (designs per batched walk).
+``campaign`` additionally takes ``--campaign-dir DIR`` (one JSON record
+per run) and ``--resume`` (skip runs the directory already answers).
 """
 
 from __future__ import annotations
@@ -70,6 +72,8 @@ def cmd_table2(args: argparse.Namespace, scheduler=None) -> int:
         data_sizes=FAST_SIZES if args.fast else None,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        hf_backend=args.hf_backend,
+        hf_batch=args.hf_batch,
         scheduler=scheduler,
     )
     print(render_table2(rows))
@@ -85,6 +89,8 @@ def cmd_fig5(args: argparse.Namespace, scheduler=None) -> int:
         scale=0.25 if args.fast else 1.0,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        hf_backend=args.hf_backend,
+        hf_batch=args.hf_batch,
         scheduler=scheduler,
     )
     print("Fig. 5 -- mean best CPI (lower is better):")
@@ -150,6 +156,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
         data_size=FAST_SIZES.get(args.benchmark) if args.fast else None,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        hf_backend=args.hf_backend,
+        hf_batch=args.hf_batch,
     )
     explorer = MultiFidelityExplorer(
         pool,
@@ -181,6 +189,8 @@ def cmd_sweep(args: argparse.Namespace, scheduler=None) -> int:
         data_size=FAST_SIZES.get(args.benchmark) if args.fast else None,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        hf_backend=args.hf_backend,
+        hf_batch=args.hf_batch,
         scheduler=scheduler,
     )
     print(render_sweep(points))
@@ -215,6 +225,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         resume=args.resume,
         progress=print,
+        hf_backend=args.hf_backend,
+        hf_batch=args.hf_batch,
     )
     code = CAMPAIGN_EXPERIMENTS[args.experiment](args, scheduler=scheduler)
     print()
@@ -244,6 +256,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None,
                        help="persistent evaluation-cache directory "
                        "(shared across runs)")
+        p.add_argument("--hf-backend", default="auto",
+                       choices=["auto", "batched", "process", "serial"],
+                       help="how HF batches execute: 'batched' = the "
+                       "design-batched simulator kernel in-process, "
+                       "'process' = worker pool, 'serial' = plain loop; "
+                       "'auto' picks batched (process when --workers > 1)")
+        p.add_argument("--hf-batch", type=int, default=None,
+                       help="designs per batched simulator walk (default "
+                       "256); values >= 2 also engage the batched "
+                       "kernel at that width; 1 disables it")
 
     p = sub.add_parser("table1", help="print the Table-1 design space")
     p.set_defaults(func=cmd_table1)

@@ -6,9 +6,10 @@ Three strategies behind one ``map_evaluate`` interface:
 - :class:`ProcessPoolBackend`-- chunked fan-out over ``concurrent.futures``
   worker processes; right for the high-fidelity simulator where each
   evaluation is tens of milliseconds of pure Python.
-- :class:`BatchBackend`      -- numpy vectorisation of the analytical LF
-  model over the whole batch at once; right for low fidelity where the
-  per-call overhead dominates the arithmetic.
+- :class:`BatchBackend`      -- whole-batch vectorisation: the analytical
+  LF model over the level matrix in one numpy pass, and HF batches on
+  the design-batched simulator kernel via the proxy's ``evaluate_many``;
+  the single-process default.
 
 All backends are deterministic given the batch: a backend may change
 *where* an evaluation runs, never *what* it computes, so results are
@@ -81,6 +82,11 @@ def _init_worker(fn: EvalFn) -> None:
 
 def _run_chunk(chunk: List[np.ndarray]) -> List[Dict[str, float]]:
     assert _WORKER_FN is not None, "worker initializer did not run"
+    many = getattr(_WORKER_FN, "many", None)
+    if many is not None:
+        # Batch-capable tasks get the whole chunk at once (the HF task
+        # routes it to the design-batched simulator kernel).
+        return many(chunk)
     return [_WORKER_FN(levels) for levels in chunk]
 
 
@@ -169,11 +175,13 @@ class ProcessPoolBackend:
 # Vectorised (low fidelity)
 # ----------------------------------------------------------------------
 class BatchBackend:
-    """Vectorises the analytical LF model; falls back for everything else.
+    """Whole-batch dispatch: one ``vector_fn`` call instead of a loop.
 
-    The engine hands this backend a ``vector_fn`` whenever one exists for
-    the requested fidelity (the LF analytical model); batches without one
-    (the HF simulator) run on the ``fallback`` backend.
+    The engine hands this backend a ``vector_fn`` whenever one exists
+    for the requested fidelity: the closed-form numpy model for LF, and
+    the proxy's ``evaluate_many`` -- the design-batched simulator
+    kernel -- for HF. Batches without a vector path (a proxy with no
+    ``evaluate_many``) run on the ``fallback`` backend.
     """
 
     name = "batch"
@@ -276,12 +284,14 @@ def make_backend(
 
     Args:
         spec: ``"serial"``, ``"process"`` or ``"batch"``; ``None`` picks
-            ``"process"`` when ``workers > 1`` else ``"serial"``.
+            ``"process"`` when ``workers > 1`` else ``"batch"`` (the
+            vectorised paths are bit-identical to serial and win or tie
+            everywhere, so they are the single-process default).
         workers: Worker count for the process pool (0 = all CPUs when a
             process backend is requested explicitly).
     """
     if spec is None:
-        spec = "process" if workers > 1 else "serial"
+        spec = "process" if workers > 1 else "batch"
     if spec == "serial":
         return SerialBackend()
     if spec == "process":

@@ -44,6 +44,10 @@ class _AnalyticalTask:
         cpi = self.analytical.cpi(self.space.config(levels))
         return {"cpi": cpi, "ipc": 1.0 / cpi}
 
+    def many(self, batch: Sequence[np.ndarray]) -> List[Dict[str, float]]:
+        """Chunk entry point (scalar model: a plain loop)."""
+        return [self(levels) for levels in batch]
+
 
 class _ProxyTask:
     """Picklable scalar HF task wrapping an ``EvaluationProxy``."""
@@ -53,6 +57,19 @@ class _ProxyTask:
 
     def __call__(self, levels: np.ndarray) -> Dict[str, float]:
         return dict(self.proxy.evaluate(levels).metrics)
+
+    def many(self, batch: Sequence[np.ndarray]) -> List[Dict[str, float]]:
+        """Chunk entry point: batch-capable proxies get whole chunks.
+
+        Process-pool workers call this per chunk, so a worker's share of
+        an HF batch still runs on the design-batched simulator kernel
+        when the proxy supports it -- process- and design-level
+        parallelism compose.
+        """
+        evaluate_many = getattr(self.proxy, "evaluate_many", None)
+        if evaluate_many is None:
+            return [self(levels) for levels in batch]
+        return [dict(e.metrics) for e in evaluate_many(batch)]
 
 
 class EvaluationEngine:
@@ -159,14 +176,29 @@ class EvaluationEngine:
         return task
 
     def _vector_fn(self, fidelity: Fidelity):
-        if fidelity is not Fidelity.LOW or self.analytical is None:
+        """The whole-batch evaluator for ``fidelity``, if one exists.
+
+        LF: the closed-form numpy model over the level matrix. HF: the
+        proxy's ``evaluate_many`` (design-batched simulator kernel).
+        Backends that cannot exploit a vector path simply ignore it.
+        """
+        if fidelity is Fidelity.LOW:
+            if self.analytical is None:
+                return None
+            analytical, space = self.analytical, self.space
+
+            def vector(batch: np.ndarray) -> List[Dict[str, float]]:
+                return vectorized_lf_metrics(analytical, space, batch)
+
+            return vector
+        evaluate_many = getattr(self.high_fidelity, "evaluate_many", None)
+        if evaluate_many is None:
             return None
-        analytical, space = self.analytical, self.space
 
-        def vector(batch: np.ndarray) -> List[Dict[str, float]]:
-            return vectorized_lf_metrics(analytical, space, batch)
+        def hf_vector(batch: np.ndarray) -> List[Dict[str, float]]:
+            return [dict(e.metrics) for e in evaluate_many(batch)]
 
-        return vector
+        return hf_vector
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -247,7 +279,7 @@ class EvaluationEngine:
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, float]:
-        """Engine counters (plus cache stats when persistent)."""
+        """Engine counters (plus cache and pre-pass stats when present)."""
         out: Dict[str, float] = {
             "backend": self.backend.name,
             "computed_low": self.computed[Fidelity.LOW.value],
@@ -256,4 +288,7 @@ class EvaluationEngine:
         }
         if self.cache is not None:
             out.update({f"cache_{k}": v for k, v in self.cache.stats().items()})
+        prepass_stats = getattr(self.high_fidelity, "prepass_stats", None)
+        if prepass_stats is not None:
+            out.update(prepass_stats())
         return out

@@ -23,6 +23,15 @@ AREA_LIMITS: Dict[str, float] = {
 GENERAL_PURPOSE_LIMIT = 8.0
 
 
+def normalize_hf_backend(hf_backend: Optional[str]) -> Optional[str]:
+    """CLI spelling -> ``make_backend`` spec (``auto``/``batched`` sugar)."""
+    if hf_backend in (None, "auto"):
+        return None
+    if hf_backend == "batched":
+        return "batch"
+    return hf_backend
+
+
 def build_pool(
     benchmark: str,
     area_limit_mm2: Optional[float] = None,
@@ -31,6 +40,8 @@ def build_pool(
     workload_seed: int = 0,
     workers: int = 0,
     cache_dir: Union[str, Path, None] = None,
+    hf_backend: Optional[str] = None,
+    hf_batch: Optional[int] = None,
 ) -> ProxyPool:
     """Proxy pool for one benchmark (Table-2 setting).
 
@@ -43,6 +54,11 @@ def build_pool(
         workers: ``> 1`` runs HF batches on a process pool of this size.
         cache_dir: Persistent evaluation-cache directory (shared across
             runs; safe to reuse between benchmarks and area limits).
+        hf_backend: Execution-backend spec (``auto``/``batched``/
+            ``process``/``serial``); ``auto`` = batch backend, or the
+            process pool when ``workers > 1``.
+        hf_batch: Designs per design-batched simulator walk (None =
+            kernel default; 1 disables the batched kernel).
     """
     space = space or default_design_space()
     workload = get_workload(benchmark, data_size=data_size, seed=workload_seed)
@@ -50,10 +66,11 @@ def build_pool(
     return ProxyPool(
         space,
         AnalyticalModel(workload.profile, space),
-        SimulationProxy(workload, space),
+        SimulationProxy(workload, space, hf_batch=hf_batch),
         area_limit_mm2=limit,
         workers=workers,
         cache_dir=cache_dir,
+        hf_backend=normalize_hf_backend(hf_backend),
     )
 
 
@@ -106,6 +123,8 @@ def build_suite_pool(
     benchmarks: Sequence[str] = BENCHMARK_NAMES,
     workers: int = 0,
     cache_dir: Union[str, Path, None] = None,
+    hf_backend: Optional[str] = None,
+    hf_batch: Optional[int] = None,
 ) -> ProxyPool:
     """Proxy pool for the general-purpose (suite-average) experiment."""
     space = space or default_design_space()
@@ -120,8 +139,9 @@ def build_suite_pool(
     return ProxyPool(
         space,
         AnalyticalModel(_average_profiles(workloads), space),
-        SuiteAverageProxy(workloads, space),
+        SuiteAverageProxy(workloads, space, hf_batch=hf_batch),
         area_limit_mm2=area_limit_mm2,
         workers=workers,
         cache_dir=cache_dir,
+        hf_backend=normalize_hf_backend(hf_backend),
     )

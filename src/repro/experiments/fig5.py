@@ -135,6 +135,8 @@ def run_fig5(
     cache_dir=None,
     campaign_dir=None,
     resume: bool = True,
+    hf_backend=None,
+    hf_batch=None,
     scheduler: Optional[CampaignScheduler] = None,
 ) -> Fig5Result:
     """Run the Fig.-5 comparison.
@@ -154,7 +156,10 @@ def run_fig5(
         campaign_dir: Run-store directory; a killed campaign re-invoked
             with ``resume=True`` skips its completed runs.
         resume: Reuse completed records found in ``campaign_dir``.
-        scheduler: Pre-built scheduler (overrides the previous four).
+        hf_backend: Engine backend spec per run (None = auto: the
+            design-batched HF kernel behind the batch backend).
+        hf_batch: Designs per batched simulator walk (None = default).
+        scheduler: Pre-built scheduler (overrides the previous six).
     """
     specs = fig5_specs(
         seeds=seeds,
@@ -166,7 +171,8 @@ def run_fig5(
         area_limit_mm2=area_limit_mm2,
     )
     if scheduler is None:
-        scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume)
+        scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume,
+                                   hf_backend=hf_backend, hf_batch=hf_batch)
     result = scheduler.run(specs)
     return fig5_reduce(specs, result.records)
 

@@ -52,21 +52,30 @@ def estimate_optimum(
     evaluations = 0
 
     # --- phase 1: promising-area sampling ------------------------------
-    best: List[tuple] = []  # (cpi, flat_key, levels)
+    # Sampling and the area filter need no simulation, so the samples
+    # are drawn first (same rng stream as the old one-at-a-time loop)
+    # and simulated as one batch -- the pool routes it through the
+    # engine, where the design-batched HF kernel absorbs it.
+    samples: List = []
     guard = 0
-    while evaluations < num_samples and guard < 60 * num_samples:
+    while len(samples) < num_samples and guard < 60 * num_samples:
         guard += 1
         levels = space.sample(rng)
         area = pool.area(levels)
         if area > limit or area < area_fraction * limit:
             continue
-        cpi = pool.evaluate_high(levels).cpi
+        samples.append(levels)
+    if not samples:
+        raise RuntimeError("no promising-area design could be sampled")
+
+    best: List[tuple] = []  # (cpi, flat_key, levels)
+    for levels, evaluation in zip(
+        samples, pool.evaluate_many_high(samples)
+    ):
         evaluations += 1
-        best.append((cpi, space.flat_index(levels), levels))
+        best.append((evaluation.cpi, space.flat_index(levels), levels))
         best.sort(key=lambda t: t[0])
         del best[max(hill_climb_starts, 1):]
-    if not best:
-        raise RuntimeError("no promising-area design could be sampled")
 
     # --- phase 2: Hamming-1 steepest descent ---------------------------
     champion_cpi, __, champion = best[0]
@@ -74,14 +83,19 @@ def estimate_optimum(
         levels = start.copy()
         current = pool.evaluate_high(levels).cpi
         for ____ in range(max_climb_steps):
+            # One batched dispatch per descent step; scanning the batch
+            # in order reproduces the sequential loop's accept-last-
+            # improvement semantics exactly.
+            neighbors = [
+                nb for nb in space.neighbors(levels) if pool.fits(nb)
+            ]
             improved = False
-            for neighbor in space.neighbors(levels):
-                if not pool.fits(neighbor):
-                    continue
-                cpi = pool.evaluate_high(neighbor).cpi
+            for neighbor, evaluation in zip(
+                neighbors, pool.evaluate_many_high(neighbors)
+            ):
                 evaluations += 1
-                if cpi < current - 1e-12:
-                    current = cpi
+                if evaluation.cpi < current - 1e-12:
+                    current = evaluation.cpi
                     levels = neighbor
                     improved = True
             if not improved:

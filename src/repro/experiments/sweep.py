@@ -89,6 +89,8 @@ def run_area_sweep(
     cache_dir=None,
     campaign_dir=None,
     resume: bool = True,
+    hf_backend=None,
+    hf_batch=None,
     scheduler: Optional[CampaignScheduler] = None,
 ) -> List[SweepPoint]:
     """Frontier of best HF CPI over area budgets for ``benchmark``.
@@ -105,7 +107,10 @@ def run_area_sweep(
             re-visited at different budgets simulate once.
         campaign_dir: Run-store directory for resumable campaigns.
         resume: Reuse completed records found in ``campaign_dir``.
-        scheduler: Pre-built scheduler (overrides the previous four).
+        hf_backend: Engine backend spec per run (None = auto: the
+            design-batched HF kernel behind the batch backend).
+        hf_batch: Designs per batched simulator walk (None = default).
+        scheduler: Pre-built scheduler (overrides the previous six).
     """
     specs = sweep_specs(
         benchmark,
@@ -115,7 +120,8 @@ def run_area_sweep(
         data_size=data_size,
     )
     if scheduler is None:
-        scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume)
+        scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume,
+                                   hf_backend=hf_backend, hf_batch=hf_batch)
     return sweep_reduce(specs, scheduler.run(specs).records)
 
 

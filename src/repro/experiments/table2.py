@@ -105,6 +105,8 @@ def run_table2(
     cache_dir=None,
     campaign_dir=None,
     resume: bool = True,
+    hf_backend=None,
+    hf_batch=None,
     scheduler: Optional[CampaignScheduler] = None,
 ) -> List[Table2Row]:
     """Run the Table-2 experiment.
@@ -120,7 +122,10 @@ def run_table2(
         cache_dir: Persistent evaluation cache shared across benchmarks.
         campaign_dir: Run-store directory for resumable campaigns.
         resume: Reuse completed records found in ``campaign_dir``.
-        scheduler: Pre-built scheduler (overrides the previous four).
+        hf_backend: Engine backend spec per run (None = auto: the
+            design-batched HF kernel behind the batch backend).
+        hf_batch: Designs per batched simulator walk (None = default).
+        scheduler: Pre-built scheduler (overrides the previous six).
     """
     specs = table2_specs(
         benchmarks=benchmarks,
@@ -130,7 +135,8 @@ def run_table2(
         data_sizes=data_sizes,
     )
     if scheduler is None:
-        scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume)
+        scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume,
+                                   hf_backend=hf_backend, hf_batch=hf_batch)
     return table2_reduce(specs, scheduler.run(specs).records)
 
 

@@ -40,6 +40,40 @@ def params_signature(params) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:8]
 
 
+def _prepass_stats(simulator: OutOfOrderSimulator) -> dict:
+    """Pre-pass memo efficacy counters of one simulator instance.
+
+    Counters are per-process: under a ``ProcessPoolBackend`` the
+    evaluating simulators live in the workers, so the parent proxy's
+    counters stay at the work it did locally. Campaign runs execute
+    (and snapshot their summary) inside the worker, so campaign
+    reports aggregate the real numbers.
+    """
+    memo = simulator.prepass_memo
+    return {
+        "prepass_hits": memo.hits,
+        "prepass_misses": memo.misses,
+        "prepass_entries": len(memo),
+    }
+
+
+def _result_metrics(result) -> dict:
+    """The metrics dict one :class:`SimulationResult` contributes."""
+    return {
+        "cpi": result.cpi,
+        "ipc": result.ipc,
+        "l1_miss_rate": result.l1_miss_rate,
+        "l2_miss_rate": result.l2_miss_rate,
+        "branch_mispredict_rate": result.branch_mispredict_rate,
+        # Structural-stall attribution: which resource the design
+        # is actually burning cycles or slots on.
+        "mshr_stall_cycles": result.mshr_stall_cycles,
+        "fu_issue_int": result.fu_issue_counts.get("int", 0),
+        "fu_issue_mem": result.fu_issue_counts.get("mem", 0),
+        "fu_issue_fp": result.fu_issue_counts.get("fp", 0),
+    }
+
+
 class SimulationProxy:
     """HF proxy for a single workload.
 
@@ -47,6 +81,10 @@ class SimulationProxy:
         workload: The benchmark to simulate.
         space: Design space for level decoding.
         params: Fixed machine timing constants.
+        hf_batch: Designs per design-batched simulator walk in
+            :meth:`evaluate_many` (None = the kernel default). An
+            explicit width >= 2 also engages the batched kernel at
+            that width; ``1`` disables it entirely.
     """
 
     fidelity = Fidelity.HIGH
@@ -56,9 +94,11 @@ class SimulationProxy:
         workload: Workload,
         space: DesignSpace,
         params: SimulatorParams = DEFAULT_PARAMS,
+        hf_batch: int = None,
     ):
         self.workload = workload
         self.space = space
+        self.hf_batch = hf_batch
         self._simulator = OutOfOrderSimulator(params)
         self.num_evaluations = 0
 
@@ -79,20 +119,35 @@ class SimulationProxy:
         return Evaluation(
             levels=levels,
             fidelity=Fidelity.HIGH,
-            metrics={
-                "cpi": result.cpi,
-                "ipc": result.ipc,
-                "l1_miss_rate": result.l1_miss_rate,
-                "l2_miss_rate": result.l2_miss_rate,
-                "branch_mispredict_rate": result.branch_mispredict_rate,
-                # Structural-stall attribution: which resource the design
-                # is actually burning cycles or slots on.
-                "mshr_stall_cycles": result.mshr_stall_cycles,
-                "fu_issue_int": result.fu_issue_counts.get("int", 0),
-                "fu_issue_mem": result.fu_issue_counts.get("mem", 0),
-                "fu_issue_fp": result.fu_issue_counts.get("fp", 0),
-            },
+            metrics=_result_metrics(result),
         )
+
+    def evaluate_many(
+        self, levels_batch: Sequence[Sequence[int]]
+    ) -> list:
+        """Simulate a whole batch of designs in one simulator call.
+
+        Routes through :meth:`OutOfOrderSimulator.run_batch`, so wide
+        batches run on the design-batched lockstep kernel; results are
+        bit-identical to mapping :meth:`evaluate` over the batch.
+        """
+        levels_list = [self.space.validate_levels(lv) for lv in levels_batch]
+        configs = [self.space.config(lv) for lv in levels_list]
+        results = self._simulator.run_batch(
+            self.workload.trace, configs, max_designs=self.hf_batch
+        )
+        self.num_evaluations += len(levels_list)
+        return [
+            Evaluation(
+                levels=levels, fidelity=Fidelity.HIGH,
+                metrics=_result_metrics(result),
+            )
+            for levels, result in zip(levels_list, results)
+        ]
+
+    def prepass_stats(self) -> dict:
+        """Pre-pass memo efficacy counters (phase-1 reuse across designs)."""
+        return _prepass_stats(self._simulator)
 
 
 class SuiteAverageProxy:
@@ -109,11 +164,13 @@ class SuiteAverageProxy:
         workloads: Sequence[Workload],
         space: DesignSpace,
         params: SimulatorParams = DEFAULT_PARAMS,
+        hf_batch: int = None,
     ):
         if not workloads:
             raise ValueError("need at least one workload")
         self.workloads = tuple(workloads)
         self.space = space
+        self.hf_batch = hf_batch
         self._simulator = OutOfOrderSimulator(params)
         self.num_evaluations = 0
 
@@ -142,20 +199,55 @@ class SuiteAverageProxy:
             for workload in self.workloads
         ]
         self.num_evaluations += 1
-        cpis = [r.cpi for r in results]
-        mean_cpi = float(np.mean(cpis))
         return Evaluation(
             levels=levels,
             fidelity=Fidelity.HIGH,
-            metrics={
-                "cpi": mean_cpi,
-                "ipc": 1.0 / mean_cpi,
-                "mshr_stall_cycles": float(
-                    np.mean([r.mshr_stall_cycles for r in results])
-                ),
-                **{
-                    f"cpi_{w.name}": c
-                    for w, c in zip(self.workloads, cpis)
-                },
-            },
+            metrics=self._suite_metrics(results),
         )
+
+    def _suite_metrics(self, results) -> dict:
+        """Suite-mean metrics from one design's per-workload results."""
+        cpis = [r.cpi for r in results]
+        mean_cpi = float(np.mean(cpis))
+        return {
+            "cpi": mean_cpi,
+            "ipc": 1.0 / mean_cpi,
+            "mshr_stall_cycles": float(
+                np.mean([r.mshr_stall_cycles for r in results])
+            ),
+            **{
+                f"cpi_{w.name}": c
+                for w, c in zip(self.workloads, cpis)
+            },
+        }
+
+    def evaluate_many(
+        self, levels_batch: Sequence[Sequence[int]]
+    ) -> list:
+        """Batched suite evaluation: one batched walk per workload.
+
+        Each workload's trace is walked once for the whole design batch
+        (design-batched kernel), instead of once per (design, workload);
+        bit-identical to mapping :meth:`evaluate` over the batch.
+        """
+        levels_list = [self.space.validate_levels(lv) for lv in levels_batch]
+        configs = [self.space.config(lv) for lv in levels_list]
+        per_workload = [
+            self._simulator.run_batch(
+                workload.trace, configs, max_designs=self.hf_batch
+            )
+            for workload in self.workloads
+        ]
+        self.num_evaluations += len(levels_list)
+        return [
+            Evaluation(
+                levels=levels,
+                fidelity=Fidelity.HIGH,
+                metrics=self._suite_metrics([col[d] for col in per_workload]),
+            )
+            for d, levels in enumerate(levels_list)
+        ]
+
+    def prepass_stats(self) -> dict:
+        """Pre-pass memo efficacy counters (phase-1 reuse across designs)."""
+        return _prepass_stats(self._simulator)

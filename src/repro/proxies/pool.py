@@ -38,10 +38,14 @@ class ProxyPool:
         area_model: Area estimator for the constraint.
         area_limit_mm2: The episode budget.
         keep_best: Archive leaderboard size.
-        engine: Pre-built evaluation engine; overrides the next two.
+        engine: Pre-built evaluation engine; overrides the next three.
         workers: ``> 1`` selects a :class:`ProcessPoolBackend` with this
             many workers for the default engine.
         cache_dir: Directory for the persistent JSONL result cache.
+        hf_backend: Execution-backend spec for the default engine
+            (``"serial"`` / ``"process"`` / ``"batch"``); ``None`` picks
+            the process pool when ``workers > 1``, else the vectorised
+            batch backend (design-batched HF kernel + numpy LF model).
     """
 
     def __init__(
@@ -55,6 +59,7 @@ class ProxyPool:
         engine: Optional[EvaluationEngine] = None,
         workers: int = 0,
         cache_dir: Union[str, Path, None] = None,
+        hf_backend: Optional[str] = None,
     ):
         self.space = space
         self.analytical = analytical
@@ -65,7 +70,7 @@ class ProxyPool:
         if engine is None:
             from repro.engine import EvaluationEngine, ResultCache, make_backend
 
-            backend = make_backend(None, workers=workers)
+            backend = make_backend(hf_backend, workers=workers)
             cache = ResultCache(cache_dir) if cache_dir is not None else None
             engine = EvaluationEngine(
                 space,

@@ -34,9 +34,11 @@ from repro.simulator.core import OutOfOrderSimulator, SimulationResult, simulate
 from repro.simulator.prepass import (
     BranchPrepass,
     L1Prepass,
+    L2Prepass,
     PrepassMemo,
     branch_prepass,
     l1_prepass,
+    l2_prepass,
 )
 from repro.simulator.reference import reference_simulate
 
@@ -49,8 +51,10 @@ __all__ = [
     "simulate",
     "BranchPrepass",
     "L1Prepass",
+    "L2Prepass",
     "PrepassMemo",
     "branch_prepass",
     "l1_prepass",
+    "l2_prepass",
     "reference_simulate",
 ]

@@ -1,0 +1,535 @@
+"""Design-batched timing kernel: one trace walk advancing many designs.
+
+A DSE campaign funnels thousands of *independent* designs through the
+same trace. The serial kernel (``core._timing_kernel``) walks the trace
+once per design; this module walks it **once per batch**, keeping every
+piece of per-design state (dispatch/commit recurrences, issue-queue and
+functional-unit occupancy, MSHR files) in numpy arrays with a leading
+design axis and advancing all designs in lockstep, one instruction at a
+time. Interpreter overhead is paid once per instruction instead of once
+per (instruction, design), so throughput grows with the batch size; the
+numpy dispatch cost per step is roughly constant, which puts the
+break-even point around :data:`BATCH_MIN_DESIGNS` designs (measured in
+``benchmarks/test_bench_simulator_batched.py``) -- below it the walk
+transparently degrades to the serial kernel.
+
+Bit-identity with ``reference.py`` is non-negotiable and rests on three
+observations (everything else is plain re-arrangement):
+
+- **Offset ("T") space.** Every recurrence term is ``x + const`` for a
+  per-reader constant, so rings store pre-offset values (``dispatch+2``,
+  ``commit+2``, ``issue+1``) and the per-step ``+1`` adds disappear into
+  the single write each value gets. The tracked quantities are
+  ``T = dispatch + 1`` and ``CC = commit + 1``; prefilling rings with 0
+  encodes "constraint absent" exactly like the reference's warm-up
+  guards, because every real timestamp is >= 0 (so ``T >= 0`` never
+  binds).
+- **Multiset structures.** The reference's IQ heap and FU scan only ever
+  consume the *minimum* of a multiset and replace one instance of it, so
+  an unordered array + ``argmin`` (first-minimum, like the reference's
+  strict-< scan) is exactly equivalent: ties remove an equal value
+  either way and the multiset after the update is identical.
+- **Pre-passed memory outcomes.** With prefetch off, the L1 hit stream
+  and the no-merge L2 stream are pre-passes (see ``prepass.py``), so the
+  only live per-design memory state is the MSHR file -- touched on L1
+  misses only, in a scalar loop over just the missing designs. The rare
+  MSHR merge invalidates the no-merge L2 stream for that design; it is
+  detected exactly and the design is re-run on the serial path.
+
+Heterogeneous batches need no grouping: per-design geometry differences
+live in padded arrays (unused IQ slots and FU servers hold ``_INF``) and
+in per-design ring read offsets, which are precomputed in chunks as flat
+gather indices so each step issues a single fused ``take`` for all three
+ring reads.
+
+Prefetch runs are delegated to the serial kernel design-by-design:
+prefetching makes L1/L2 contents timing-dependent, which would drag the
+functional caches into the per-step scalar path and forfeit the batch
+economics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.designspace.config import MicroArchConfig
+from repro.workloads.trace import (
+    KIND_BRANCH,
+    KIND_LOAD,
+    KIND_STORE,
+    KIND_UNPIPELINED,
+    NO_DEP,
+    TraceKernelView,
+)
+
+#: Below this many designs the lockstep walk loses to the serial kernel
+#: (numpy per-step dispatch overhead is ~flat in the batch size, so the
+#: walk only pays off once enough lanes share it); smaller batches run
+#: serially. Set just past the measured crossover so engagement is
+#: always a win; see ``benchmarks/test_bench_simulator_batched.py``.
+BATCH_MIN_DESIGNS = 48
+
+#: Designs per lockstep walk; larger batches are chunked. Throughput
+#: still rises toward 256 lanes (the per-step cost is ~11us flat plus
+#: ~0.09us per lane), after which memory growth buys little speed.
+BATCH_MAX_DESIGNS = 256
+
+#: Cap on (trace length x lane count) so per-walk state (completion
+#: ring, per-design hit streams, gather-index chunks) stays bounded for
+#: very long traces; the lane count shrinks to fit.
+MAX_STATE_ELEMENTS = 1 << 25
+
+#: Padding sentinel for IQ slots / FU servers a design does not have.
+#: Never participates in arithmetic; only compared (and always loses).
+_INF = 1 << 62
+
+#: Ring gather indices are precomputed this many steps at a time.
+_INDEX_CHUNK = 2048
+
+
+def run_batch(
+    simulator,
+    trace,
+    configs: Sequence[MicroArchConfig],
+    min_designs: Optional[int] = None,
+    max_designs: Optional[int] = None,
+) -> List["SimulationResult"]:
+    """Simulate ``trace`` on every design in ``configs``.
+
+    Results are positionally aligned with ``configs`` and bit-identical
+    to ``[simulator.run(trace, c) for c in configs]`` (golden-suite
+    enforced). The lockstep kernel engages when prefetch is off and the
+    batch is at least ``min_designs`` wide; otherwise (and for any
+    design that hits an MSHR merge) the serial path is used.
+
+    Args:
+        simulator: An :class:`~repro.simulator.core.OutOfOrderSimulator`
+            (owns the params and the pre-pass memo).
+        trace: The instruction trace.
+        configs: Design points to evaluate.
+        min_designs: Lockstep engagement threshold (default
+            :data:`BATCH_MIN_DESIGNS`).
+        max_designs: Lockstep chunk width (default
+            :data:`BATCH_MAX_DESIGNS`), further shrunk for long traces
+            by :data:`MAX_STATE_ELEMENTS`.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    if trace.num_instructions == 0:
+        raise ValueError("empty trace")
+    lo = BATCH_MIN_DESIGNS if min_designs is None else max(int(min_designs), 1)
+    hi = BATCH_MAX_DESIGNS if max_designs is None else max(int(max_designs), 1)
+    if max_designs is not None and min_designs is None and hi >= 2:
+        # An explicit walk width is a request to batch at that width,
+        # not to sit under the default crossover: `--hf-batch 32` runs
+        # 32-wide walks. A width of 1 still means "disable" (a one-lane
+        # lockstep walk would only ever lose to the serial kernel).
+        lo = min(lo, hi)
+    hi = max(min(hi, MAX_STATE_ELEMENTS // trace.num_instructions), 1)
+    if simulator.params.next_line_prefetch or len(configs) < lo or hi < lo:
+        return [simulator.run(trace, config) for config in configs]
+    out: List["SimulationResult"] = []
+    for start in range(0, len(configs), hi):
+        chunk = configs[start:start + hi]
+        if len(chunk) < lo:  # ragged tail below the crossover
+            out.extend(simulator.run(trace, config) for config in chunk)
+        else:
+            out.extend(_lockstep_walk(simulator, trace, chunk))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pre-pass stacking
+# ----------------------------------------------------------------------
+def _stacked_streams(simulator, trace, configs: Sequence[MicroArchConfig]):
+    """Per-design memory-outcome arrays, stacked design-major.
+
+    Returns ``(hits, miss_extra, l1pres, l2pres)`` where ``hits`` is a
+    ``(D, num_mem_ops)`` bool array of L1 outcomes and ``miss_extra``
+    holds, at each design's L1-miss positions, the L2-or-DRAM latency a
+    non-merged miss pays beyond the L1 hit latency. Rows are shared
+    between designs with equal geometry via the simulator's memo (the
+    row arrays are memoised alongside the pre-passes they derive from).
+    """
+    p = simulator.params
+    memo = simulator.prepass_memo
+    hit_rows: Dict = {}
+    extra_rows: Dict = {}
+    l1pres, l2pres = [], []
+    for config in configs:
+        l1_key = (config.l1_sets, config.l1_ways)
+        l1pre = simulator.l1_prepass_for(trace, *l1_key)
+        l1pres.append(l1pre)
+        if l1_key not in hit_rows:
+            hit_rows[l1_key] = memo.get(
+                trace,
+                "l1row",
+                l1_key + (p.line_bytes,),
+                lambda pre=l1pre: np.asarray(pre.hit, dtype=bool),
+            )
+        l2pre = simulator.l2_prepass_for(trace, config, l1pre)
+        l2pres.append(l2pre)
+        l2_key = l1_key + (config.l2_sets, config.l2_ways)
+        if l2_key not in extra_rows:
+
+            def build_extra(l1row=hit_rows[l1_key], pre=l2pre) -> np.ndarray:
+                row = np.zeros(len(l1row), dtype=np.int32)
+                row[~l1row] = np.where(
+                    np.asarray(pre.hit, dtype=bool),
+                    p.l2_hit_cycles,
+                    p.l2_hit_cycles + p.mem_cycles,
+                )
+                return row
+
+            extra_rows[l2_key] = memo.get(
+                trace, "l2row", l2_key + (p.line_bytes,), build_extra
+            )
+    hits = np.stack([hit_rows[(c.l1_sets, c.l1_ways)] for c in configs])
+    miss_extra = np.stack(
+        [
+            extra_rows[(c.l1_sets, c.l1_ways, c.l2_sets, c.l2_ways)]
+            for c in configs
+        ]
+    )
+    return hits, miss_extra, l1pres, l2pres
+
+
+# ----------------------------------------------------------------------
+# The lockstep walk
+# ----------------------------------------------------------------------
+def _lockstep_walk(simulator, trace, configs: Sequence[MicroArchConfig]):
+    """One program-order walk advancing all of ``configs`` in lockstep."""
+    from repro.simulator.core import SimulationResult
+
+    p = simulator.params
+    view: TraceKernelView = trace.kernel_view
+    n = view.n
+    D = len(configs)
+    ar = np.arange(D, dtype=np.intp)
+
+    bp = simulator.branch_prepass_for(trace)
+    hits, miss_extra, l1pres, l2pres = _stacked_streams(
+        simulator, trace, configs
+    )
+    # LOAD columns (memory ops) where at least one design misses, and
+    # which designs miss there with what beyond-L1 latency -- the only
+    # places the scalar MSHR path runs. Store columns never consult
+    # this (their L1/L2 outcomes are fully pre-accounted), so they are
+    # masked out of the setup work up front.
+    kind_arr = np.asarray(view.kind)
+    is_load_col = kind_arr[view.mem_indices] == KIND_LOAD
+    miss_any = ((~hits.all(axis=0)) & is_load_col).tolist()
+    miss_info: Dict[int, tuple] = {}
+    for j in np.flatnonzero(np.asarray(miss_any)):
+        j = int(j)
+        md = np.flatnonzero(~hits[:, j])
+        miss_info[j] = (
+            md.tolist(),
+            miss_extra[md, j].tolist(),
+            md,
+        )
+    del hits, miss_extra
+
+    line_shift = p.line_bytes.bit_length() - 1
+    lines = (trace.address[view.mem_indices] >> line_shift).tolist()
+    l1_hit_lat = p.l1_hit_cycles
+    redirect1 = p.redirect_cycles + 1
+
+    widths = np.array([c.decode_width for c in configs], dtype=np.int64)
+    robs = np.array([c.rob_entries for c in configs], dtype=np.int64)
+    iq_sizes = np.array([c.iq_entries for c in configs], dtype=np.int64)
+    n_mshrs = [c.n_mshr for c in configs]
+
+    # Rings, in one flat arena so the three per-step reads fuse into a
+    # single ``take``. dring rows hold dispatch+2 (= T+1), cring rows
+    # hold commit+2 (= CC+1); both prefilled 0 = "constraint absent".
+    maxW = int(widths.max())
+    R = max(int(robs.max()), maxW + 1)
+    arena = np.zeros((maxW + R) * D, dtype=np.int64)
+    c_off = maxW * D
+
+    # Completion ring: deps are trace indices, identical across designs,
+    # so reads/writes are whole rows. Sized by the deepest backward
+    # dependency in the trace.
+    deps_all = np.stack([trace.src_a, trace.src_b, trace.mem_dep])
+    idx = np.arange(n, dtype=np.int64)
+    dist = np.where(deps_all != NO_DEP, idx[None, :] - deps_all, 0)
+    Rc = max(int(dist.max()), 1)
+    comp = np.zeros((Rc, D), dtype=np.int64)
+    dep_rows = [
+        tuple(int(d) % Rc for d in cols if d != NO_DEP)
+        for cols in deps_all.T.tolist()
+    ]
+
+    # Issue queue: (D, max_iq) unordered occupant issue+1 times, INF in
+    # slots a design does not have. max_iq steps of warm-up handle the
+    # not-yet-full phase with masks; after that every design pops.
+    max_iq = int(iq_sizes.max())
+    iq = np.full((D, max_iq), _INF, dtype=np.int64)
+    iq_flat = iq.reshape(-1)
+    iq_base = (ar * max_iq).astype(np.intp)
+
+    # FU servers per class, in KIND/FU code order (int, mem, fp). One
+    # (D,) array when every design has one server; a sorted pair (+ its
+    # ping-pong buffers) when at most two, so replace-min is two ufunc
+    # calls; an argmin table (+ index scratch) otherwise. ``_INF`` pads
+    # servers a design does not have -- it always loses the min and is
+    # never written (argmin picks a real server, and ``max(INF, x)``
+    # keeps the pad in the pair's upper slot).
+    fu_state = []
+    for counts in (
+        [c.int_fu for c in configs],
+        [c.mem_fu for c in configs],
+        [c.fp_fu for c in configs],
+    ):
+        m = max(counts)
+        if m == 1:
+            fu_state.append(("one", [np.zeros(D, dtype=np.int64)]))
+        elif m == 2:
+            smax = np.where(
+                np.array(counts) == 2, 0, _INF
+            ).astype(np.int64)
+            fu_state.append(
+                (
+                    "pair",
+                    [
+                        np.zeros(D, dtype=np.int64), smax,
+                        np.empty(D, dtype=np.int64),
+                        np.empty(D, dtype=np.int64),
+                    ],
+                )
+            )
+        else:
+            tab = np.full((D, m), _INF, dtype=np.int64)
+            for d, cnt in enumerate(counts):
+                tab[d, :cnt] = 0
+            fu_state.append(
+                (
+                    "tab",
+                    [
+                        tab, tab.reshape(-1), ar * m,
+                        np.empty(D, dtype=np.intp),
+                        np.empty(D, dtype=np.intp),
+                    ],
+                )
+            )
+
+    # Per-design scalar state (touched only on L1 misses / at the end).
+    mshr_lines: List[List[int]] = [[] for _ in range(D)]
+    mshr_fins: List[List[int]] = [[] for _ in range(D)]
+    mshr_stall = [0] * D
+    fallback: Set[int] = set()
+
+    prevT = np.ones(D, dtype=np.int64)   # encodes t >= fetch_resume = 0
+    CCprev = np.zeros(D, dtype=np.int64)
+    fr1 = None                           # fetch_resume+1, once it can bind
+
+    # Scratch buffers: every per-step intermediate is written with
+    # ``out=`` into one of these, so the steady-state loop allocates
+    # nothing. Values that must survive the step (T, CC, FU state, ring
+    # rows, completion rows) are either ping-pong buffered or copied by
+    # their slice-assign. ``issue``/``issue1``/``fin`` never outlive the
+    # step: the IQ/FU/ring/completion writes all copy.
+    Tbufs = (np.empty(D, dtype=np.int64), np.empty(D, dtype=np.int64))
+    CCbufs = (np.empty(D, dtype=np.int64), np.empty(D, dtype=np.int64))
+    Gbuf = np.empty(3 * D, dtype=np.int64)
+    G0, G1, G2 = Gbuf[:D], Gbuf[D:2 * D], Gbuf[2 * D:]
+    qbuf = np.empty(D, dtype=np.int64)
+    wbuf = np.empty(D, dtype=np.int64)
+    rbuf = np.empty(D, dtype=np.int64)
+    ibuf = np.empty(D, dtype=np.int64)
+    i1buf = np.empty(D, dtype=np.int64)
+    fbuf = np.empty(D, dtype=np.int64)
+    f2buf = np.empty(D, dtype=np.int64)
+    colbuf = np.empty(D, dtype=np.intp)
+    fidxbuf = np.empty(D, dtype=np.intp)
+
+    maximum, minimum, add = np.maximum, np.minimum, np.add
+    take = np.take
+    copyto = np.copyto
+    kinds, lats, fus = view.kind, view.lat, view.fu
+    bp_iter = iter(bp.mispredict)
+    K_LOAD, K_STORE = KIND_LOAD, KIND_STORE
+    K_BRANCH, K_UNPIP = KIND_BRANCH, KIND_UNPIPELINED
+    j = -1  # memory-op cursor
+
+    for c0 in range(0, n, _INDEX_CHUNK):
+        c1 = min(c0 + _INDEX_CHUNK, n)
+        rows = np.arange(c0, c1, dtype=np.int64)[:, None]
+        idx3 = np.concatenate(
+            [
+                ((rows - widths) % maxW) * D + ar,
+                c_off + ((rows - robs) % R) * D + ar,
+                c_off + ((rows - widths) % R) * D + ar,
+            ],
+            axis=1,
+        )
+        idx3_rows = list(idx3)
+        dstarts = ((rows[:, 0] % maxW) * D).tolist()
+        cstarts = (c_off + (rows[:, 0] % R) * D).tolist()
+
+        for i, gidx, ds, cs in zip(range(c0, c1), idx3_rows, dstarts, cstarts):
+            # ---------------- dispatch ---------------------------
+            take(arena, gidx, out=Gbuf)
+            T = Tbufs[i & 1]
+            maximum(G0, prevT, out=T)
+            maximum(T, G1, out=T)
+            if fr1 is not None:
+                maximum(T, fr1, out=T)
+            if i >= max_iq:
+                iq.argmin(axis=1, out=colbuf)
+                add(iq_base, colbuf, out=fidxbuf)
+                fidx = fidxbuf
+                take(iq_flat, fidx, out=qbuf)
+                maximum(T, qbuf, out=T)
+            else:  # warm-up: only full designs pop
+                full = iq_sizes <= i
+                col = iq.argmin(axis=1)
+                fidx = iq_base + col
+                maximum(T, np.where(full, iq_flat.take(fidx), 0), out=T)
+                fidx = np.where(full, fidx, iq_base + i).astype(np.intp)
+            add(T, 1, out=wbuf)
+            arena[ds:ds + D] = wbuf
+
+            # ---------------- ready ------------------------------
+            deps = dep_rows[i]
+            if deps:
+                maximum(T, comp[deps[0]], out=rbuf)
+                for r in deps[1:]:
+                    maximum(rbuf, comp[r], out=rbuf)
+                ready = rbuf
+            else:
+                ready = T
+
+            # ---------------- issue: FU hazard -------------------
+            mode, state = fu_state[fus[i]]
+            if mode == "tab":
+                tab, tab_flat, base, fcolbuf, ffidxbuf = state
+                tab.argmin(axis=1, out=fcolbuf)
+                add(base, fcolbuf, out=ffidxbuf)
+                take(tab_flat, ffidxbuf, out=qbuf)
+                issue = maximum(ready, qbuf, out=ibuf)
+            else:  # "one" and "pair" both consult a (D,) minimum
+                issue = maximum(ready, state[0], out=ibuf)
+            issue1 = add(issue, 1, out=i1buf)
+
+            # ---------------- execute ----------------------------
+            k = kinds[i]
+            upd = issue1
+            if k == K_LOAD:
+                j += 1
+                fin = add(issue, l1_hit_lat, out=fbuf)
+                if miss_any[j]:
+                    line = lines[j]
+                    md_list, extra_list, md_np = miss_info[j]
+                    iss_list = issue.take(md_np).tolist()
+                    for d, iss, extra in zip(md_list, iss_list, extra_list):
+                        if d in fallback:
+                            continue
+                        ml, mf = mshr_lines[d], mshr_fins[d]
+                        if mf:  # prune completed entries
+                            q = 0
+                            while q < len(mf):
+                                if mf[q] <= iss:
+                                    del mf[q]
+                                    del ml[q]
+                                else:
+                                    q += 1
+                        if line in ml:
+                            # An in-flight merge: the no-merge L2 stream
+                            # is invalid for this design from here on.
+                            fallback.add(d)
+                            continue
+                        start = iss
+                        if ml and len(ml) >= n_mshrs[d]:
+                            jm = 0
+                            fmin = mf[0]
+                            lmin = ml[0]
+                            for q in range(1, len(mf)):
+                                fq = mf[q]
+                                if fq < fmin or (fq == fmin and ml[q] < lmin):
+                                    jm, fmin, lmin = q, fq, ml[q]
+                            del mf[jm]
+                            del ml[jm]
+                            if fmin > start:
+                                mshr_stall[d] += fmin - start
+                                start = fmin
+                        fin_d = start + l1_hit_lat + extra
+                        ml.append(line)
+                        mf.append(fin_d)
+                        fin[d] = fin_d
+            elif k == K_STORE:
+                # L1/L2 outcomes are pre-accounted; stores only occupy
+                # a mem FU slot for a cycle.
+                j += 1
+                fin = issue1
+            elif k == K_BRANCH:
+                fin = issue1
+                if next(bp_iter):
+                    resume1 = fin + redirect1  # fresh: retained in fr1
+                    fr1 = (
+                        resume1 if fr1 is None
+                        else maximum(fr1, resume1)
+                    )
+            else:  # KIND_SIMPLE / KIND_UNPIPELINED
+                lat = lats[i]
+                fin = issue1 if lat == 1 else add(issue, lat, out=fbuf)
+                if k == K_UNPIP:
+                    upd = fin  # divides hog their unit for the full latency
+
+            # ---------------- FU / IQ updates --------------------
+            if mode == "one":
+                copyto(state[0], upd)
+            elif mode == "pair":
+                smin, smax, alt_min, alt_max = state
+                minimum(smax, upd, out=alt_min)
+                maximum(smax, upd, out=alt_max)
+                state[0], state[1] = alt_min, alt_max
+                state[2], state[3] = smin, smax
+            else:
+                tab_flat.put(ffidxbuf, upd)
+            iq_flat.put(fidx, issue1)
+            comp[i % Rc] = fin
+
+            # ---------------- commit -----------------------------
+            add(fin, 2, out=f2buf)
+            CC = CCbufs[i & 1]
+            maximum(f2buf, CCprev, out=CC)
+            maximum(CC, G2, out=CC)
+            add(CC, 1, out=wbuf)
+            arena[cs:cs + D] = wbuf
+            CCprev = CC
+            prevT = T
+
+    # ------------------------------------------------------------------
+    cycles = (CCprev - 1).tolist()
+    mis_rate = bp.mispredict_rate
+    fu_counts = dict(view.fu_issue_counts)
+    results: List[SimulationResult] = []
+    for d, config in enumerate(configs):
+        if d in fallback:
+            # Exact replay on the serial path (which re-detects the
+            # merge and takes its own live-L2 fallback).
+            results.append(simulator.run(trace, config))
+            continue
+        l1pre, l2pre = l1pres[d], l2pres[d]
+        l1_total = l1pre.hits + l1pre.misses
+        l2_total = l2pre.hits + l2pre.misses
+        cyc = cycles[d]
+        results.append(
+            SimulationResult(
+                cycles=cyc,
+                instructions=n,
+                cpi=cyc / n,
+                ipc=n / cyc,
+                l1_miss_rate=l1pre.misses / l1_total if l1_total else 0.0,
+                l2_miss_rate=l2pre.misses / l2_total if l2_total else 0.0,
+                branch_mispredict_rate=mis_rate,
+                mshr_stall_cycles=mshr_stall[d],
+                fu_issue_counts=dict(fu_counts),
+            )
+        )
+    return results

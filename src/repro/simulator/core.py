@@ -53,7 +53,9 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.designspace.config import MicroArchConfig
 from repro.simulator.cache import SetAssociativeCache
@@ -61,9 +63,11 @@ from repro.simulator.params import SimulatorParams, DEFAULT_PARAMS
 from repro.simulator.prepass import (
     BranchPrepass,
     L1Prepass,
+    L2Prepass,
     PrepassMemo,
     branch_prepass,
     l1_prepass,
+    l2_prepass,
 )
 from repro.workloads.trace import (
     InstructionTrace,
@@ -73,6 +77,17 @@ from repro.workloads.trace import (
     KIND_STORE,
     TraceKernelView,
 )
+
+
+class MshrMergeDetected(Exception):
+    """A load merged into an in-flight MSHR while an L2 pre-pass was live.
+
+    The L2 pre-pass replays the L2 over the no-merge access stream; a
+    merge means the remaining precomputed flags are misaligned with what
+    the reference would consume, so the run is abandoned and replayed
+    with the live L2 path (which is exact by construction). Raised and
+    handled inside the simulator; never escapes :meth:`run`.
+    """
 
 
 @dataclass(frozen=True)
@@ -128,6 +143,55 @@ class OutOfOrderSimulator:
         self._memo = PrepassMemo()
 
     # ------------------------------------------------------------------
+    def branch_prepass_for(self, trace: InstructionTrace) -> BranchPrepass:
+        """Memoised branch pre-pass of ``trace`` under this machine."""
+        p = self.params
+        view = trace.kernel_view
+        return self._memo.get(
+            trace,
+            "branch",
+            (p.gshare_bits, p.history_bits),
+            lambda: branch_prepass(view.branch_taken, p.gshare_bits, p.history_bits),
+        )
+
+    def l1_prepass_for(
+        self, trace: InstructionTrace, l1_sets: int, l1_ways: int
+    ) -> L1Prepass:
+        """Memoised L1 pre-pass for one cache geometry (prefetch off)."""
+        line_shift = self.params.line_bytes.bit_length() - 1
+        view = trace.kernel_view
+        return self._memo.get(
+            trace,
+            "l1",
+            (l1_sets, l1_ways, line_shift),
+            lambda: l1_prepass(
+                trace.address[view.mem_indices] >> line_shift, l1_sets, l1_ways
+            ),
+        )
+
+    def l2_prepass_for(
+        self, trace: InstructionTrace, config: MicroArchConfig, l1pre: L1Prepass
+    ) -> L2Prepass:
+        """Memoised L2 pre-pass for one (L1, L2) geometry pair.
+
+        Replays the L2 over the no-merge stream (every L1 miss in program
+        order); the timing kernel falls back to the live path on the rare
+        merge (see :class:`MshrMergeDetected`).
+        """
+        line_shift = self.params.line_bytes.bit_length() - 1
+        view = trace.kernel_view
+
+        def build() -> L2Prepass:
+            lines = trace.address[view.mem_indices] >> line_shift
+            miss_lines = lines[~np.asarray(l1pre.hit, dtype=bool)]
+            return l2_prepass(miss_lines, config.l2_sets, config.l2_ways)
+
+        key = (
+            config.l1_sets, config.l1_ways,
+            config.l2_sets, config.l2_ways, line_shift,
+        )
+        return self._memo.get(trace, "l2", key, build)
+
     def run(self, trace: InstructionTrace, config: MicroArchConfig) -> SimulationResult:
         """Simulate ``trace`` on the machine described by ``config``."""
         p = self.params
@@ -136,31 +200,46 @@ class OutOfOrderSimulator:
         view = trace.kernel_view
 
         # Phase 1: memoised, timing-independent outcome streams.
-        bp: BranchPrepass = self._memo.get(
-            trace,
-            "branch",
-            (p.gshare_bits, p.history_bits),
-            lambda: branch_prepass(view.branch_taken, p.gshare_bits, p.history_bits),
-        )
+        bp = self.branch_prepass_for(trace)
         line_shift = p.line_bytes.bit_length() - 1
         if p.next_line_prefetch:
             # Prefetch installs lines from the timing-dependent MSHR miss
-            # path, so L1 outcomes must be simulated live in phase 2.
+            # path, so L1/L2 outcomes must be simulated live in phase 2.
             l1pre = None
+            l2pre = None
         else:
-            l1pre = self._memo.get(
-                trace,
-                "l1",
-                (config.l1_sets, config.l1_ways, line_shift),
-                lambda: l1_prepass(
-                    trace.address[view.mem_indices] >> line_shift,
-                    config.l1_sets,
-                    config.l1_ways,
-                ),
-            )
+            l1pre = self.l1_prepass_for(trace, config.l1_sets, config.l1_ways)
+            l2pre = self.l2_prepass_for(trace, config, l1pre)
 
         # Phase 2: the timing kernel.
-        return _timing_kernel(view, config, p, bp, l1pre, line_shift)
+        try:
+            return _timing_kernel(view, config, p, bp, l1pre, line_shift, l2pre)
+        except MshrMergeDetected:
+            # Rare: a load merged into an in-flight miss, so the no-merge
+            # L2 stream is invalid for this design. Replay with the live
+            # L2 (exact for any merge pattern).
+            return _timing_kernel(view, config, p, bp, l1pre, line_shift, None)
+
+    def run_batch(
+        self,
+        trace: InstructionTrace,
+        configs: Sequence[MicroArchConfig],
+        min_designs: Optional[int] = None,
+        max_designs: Optional[int] = None,
+    ) -> List[SimulationResult]:
+        """Simulate ``trace`` on a whole batch of designs at once.
+
+        Bit-identical to ``[self.run(trace, c) for c in configs]``; wide
+        batches (prefetch off) run on the design-batched lockstep kernel
+        (:mod:`repro.simulator.batched`), everything else on the serial
+        path. See :func:`repro.simulator.batched.run_batch`.
+        """
+        from repro.simulator.batched import run_batch
+
+        return run_batch(
+            self, trace, configs,
+            min_designs=min_designs, max_designs=max_designs,
+        )
 
 
 def _timing_kernel(
@@ -170,11 +249,15 @@ def _timing_kernel(
     bp: BranchPrepass,
     l1pre: Optional[L1Prepass],
     line_shift: int,
+    l2pre: Optional[L2Prepass] = None,
 ) -> SimulationResult:
     """Program-order timestamp propagation over precomputed flag streams.
 
     Bit-identical to :func:`repro.simulator.reference.reference_simulate`
     by construction; every divergence is a bug the golden suite catches.
+    With ``l2pre`` the L2 walk is replaced by the precomputed no-merge
+    hit stream and :class:`MshrMergeDetected` is raised the moment the
+    stream could diverge from the reference.
     """
     n = view.n
     width = config.decode_width
@@ -188,8 +271,14 @@ def _timing_kernel(
     redirect = params.redirect_cycles
     prefetch = params.next_line_prefetch
 
-    l2 = SetAssociativeCache(config.l2_sets, config.l2_ways)
-    l2_access = l2.access
+    if l2pre is None:
+        l2 = SetAssociativeCache(config.l2_sets, config.l2_ways)
+        l2_access = l2.access
+        l2_hit_iter = None
+    else:
+        l2 = None
+        l2_access = None
+        l2_hit_iter = iter(l2pre.hit)
     if l1pre is None:
         l1 = SetAssociativeCache(config.l1_sets, config.l1_ways)
         l1_access = l1.access
@@ -338,6 +427,9 @@ def _timing_kernel(
                         else:
                             j += 1
                 if line in mshr_lines:
+                    if l2_hit_iter is not None:
+                        # The no-merge L2 stream is invalid from here on.
+                        raise MshrMergeDetected
                     # merged into the in-flight miss
                     fin = mshr_fins[mshr_lines.index(line)]
                 else:
@@ -357,7 +449,10 @@ def _timing_kernel(
                         if fmin > start:
                             mshr_stall += fmin - start
                             start = fmin
-                    extra = l2_lat if l2_access(line) else l2_lat + mem_lat
+                    if l2_hit_iter is None:
+                        extra = l2_lat if l2_access(line) else l2_lat + mem_lat
+                    else:
+                        extra = l2_lat if next(l2_hit_iter) else l2_lat + mem_lat
                     fin = start + l1_hit_lat + extra
                     mshr_lines.append(line)
                     mshr_fins.append(fin)
@@ -373,7 +468,11 @@ def _timing_kernel(
                 if not l1_access(line):
                     l2_access(line)  # write-allocate fill path
             elif not next(l1_hit_iter):
-                l2_access(address >> line_shift)
+                if l2_hit_iter is None:
+                    l2_access(address >> line_shift)
+                else:
+                    # Outcome pre-accounted; consume to stay aligned.
+                    next(l2_hit_iter)
             fin = issue + 1
             servers[best] = issue + 1
         elif k == K_BRANCH:
@@ -410,13 +509,18 @@ def _timing_kernel(
     else:
         l1_hit_count, l1_miss_count = l1pre.hits, l1pre.misses
     l1_total = l1_hit_count + l1_miss_count
+    if l2 is not None:
+        l2_miss_rate = l2.miss_rate
+    else:
+        l2_total = l2pre.hits + l2pre.misses
+        l2_miss_rate = l2pre.misses / l2_total if l2_total else 0.0
     return SimulationResult(
         cycles=cycles,
         instructions=n,
         cpi=cycles / n,
         ipc=n / cycles,
         l1_miss_rate=l1_miss_count / l1_total if l1_total else 0.0,
-        l2_miss_rate=l2.miss_rate,
+        l2_miss_rate=l2_miss_rate,
         branch_mispredict_rate=bp.mispredict_rate,
         mshr_stall_cycles=mshr_stall,
         fu_issue_counts=dict(view.fu_issue_counts),

@@ -22,15 +22,28 @@ What is provably timing-independent:
   on miss, so L1 contents evolve independently of timestamps: hit/miss
   flags depend only on ``(trace, l1_sets, l1_ways, line_bytes)``.
 
+What is *almost* timing-independent:
+
+- **L2 outcomes, prefetch off.** The L2 is touched by every L1-missing
+  memory op in program order -- *except* a load that merges into an
+  in-flight MSHR for the same line, which never reaches the L2. Merges
+  are timing-dependent, but they require a line to miss the L1 twice
+  within one miss latency (~a hundred cycles), which allocate-on-miss
+  makes vanishingly rare: it takes a same-set eviction burst between the
+  two accesses. The L2 pre-pass therefore replays the L2 over the
+  *no-merge* stream (all L1 misses), and the timing kernel -- which
+  still tracks the MSHR file exactly -- detects the first merge and
+  falls back to the live-L2 path for that design, so the result is
+  bit-identical to the reference either way.
+
 What is *not*, and therefore stays in phase 2:
 
-- **L2 outcomes.** A load that merges into an in-flight MSHR for the
-  same line never reaches the L2; whether it merges depends on issue
-  timing. The L2 access stream -- and hence L2 contents -- is
-  timing-dependent.
 - **L1 outcomes, prefetch on.** The next-line prefetcher installs lines
-  from the MSHR miss path, which is gated by the same timing-dependent
-  merge decision, so prefetching makes L1 contents timing-dependent too.
+  from the MSHR miss path, which is gated by the timing-dependent merge
+  decision, so prefetching makes L1 (and L2) contents timing-dependent.
+  Prefetch runs disable both the L1 and L2 pre-passes.
+- **MSHR occupancy and stalls.** Which miss waits for which slot is
+  pure timing; the MSHR file is always simulated live.
 
 Pre-pass results are held in a bounded in-memory memo on the simulator
 (:class:`PrepassMemo`). Cache geometry is a small sub-projection of the
@@ -145,6 +158,25 @@ def branch_prepass(
     return BranchPrepass(mispredict=flags, predictions=nb, mispredictions=mis)
 
 
+@dataclass(frozen=True)
+class L2Prepass:
+    """Per-L1-miss L2 hit stream for one (trace, L1 geometry, L2 geometry).
+
+    Computed by replaying the L2 over the *no-merge* access stream: every
+    L1-missing LOAD/STORE in program order (see module docs for why a
+    merge is the only possible divergence, and how the kernel detects
+    it). Only valid when the next-line prefetcher is off.
+
+    Attributes:
+        hit: One flag per L1-missing LOAD/STORE, program order.
+        hits / misses: Final access counters (drive ``l2_miss_rate``).
+    """
+
+    hit: List[bool]
+    hits: int
+    misses: int
+
+
 def l1_prepass(lines: np.ndarray, sets: int, ways: int) -> L1Prepass:
     """Replay the L1 over the in-order line-address stream of a trace.
 
@@ -161,21 +193,40 @@ def l1_prepass(lines: np.ndarray, sets: int, ways: int) -> L1Prepass:
     return L1Prepass(hit=flags, hits=cache.hits, misses=cache.misses)
 
 
+def l2_prepass(miss_lines: np.ndarray, sets: int, ways: int) -> L2Prepass:
+    """Replay the L2 over the no-merge L1-miss line stream of a trace.
+
+    ``miss_lines`` is the sub-stream of :func:`l1_prepass` input lines at
+    the positions that missed -- exactly the L2 access stream whenever no
+    MSHR merge occurs (the kernel verifies that at run time).
+
+    Args:
+        miss_lines: ``(num_l1_misses,)`` line addresses, program order.
+        sets / ways: L2 geometry.
+    """
+    cache = SetAssociativeCache(sets, ways)
+    access = cache.access
+    flags = [access(line) for line in miss_lines.tolist()]
+    return L2Prepass(hit=flags, hits=cache.hits, misses=cache.misses)
+
+
 class PrepassMemo:
     """Bounded LRU memo for pre-pass artefacts, keyed by trace identity.
 
     Keys are ``(id(trace), kind, geometry)``; a ``weakref.finalize`` on
     each trace purges its entries the moment the trace is collected, so
     a recycled ``id()`` can never alias a dead trace's results. Bounded
-    (LRU) because each L1 entry is O(memory ops): the default of 128
-    entries covers six workloads x every cache geometry in the Table-1
-    space with room to spare. A lock keeps lookups, insertions and the
-    GC-triggered purge consistent under concurrent :meth:`get` callers
-    (artefacts are immutable, so the worst concurrency cost is a
-    redundant build outside the lock).
+    (LRU) because each entry is O(memory ops); the default of 512
+    entries covers the Table-1 space's full (L1, L2) geometry
+    cross-product (12 L1 geometries x 20 L2 geometries of L2 pre-passes
+    plus the per-geometry L1/branch artefacts and the batched kernel's
+    stacked rows) without LRU thrash. A lock keeps lookups, insertions
+    and the GC-triggered purge consistent under concurrent :meth:`get`
+    callers (artefacts are immutable, so the worst concurrency cost is
+    a redundant build outside the lock).
     """
 
-    def __init__(self, max_entries: int = 128):
+    def __init__(self, max_entries: int = 512):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries

@@ -1,0 +1,119 @@
+"""Tests for the CI perf gate (benchmarks/compare_baseline.py).
+
+The gate script lives next to the benchmarks it reads (not in the
+package), so it is loaded here by path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "compare_baseline.py"
+spec = importlib.util.spec_from_file_location("compare_baseline", _SCRIPT)
+compare_baseline = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare_baseline)
+
+
+def smoke_json(**extra_info):
+    return {
+        "benchmarks": [
+            {"name": "test_bench_engine_throughput", "extra_info": extra_info}
+        ]
+    }
+
+
+def baseline_json(value=2.0, band=0.5, key="lf_vector_speedup"):
+    return {
+        "metrics": {
+            f"test_bench_engine_throughput:{key}": {
+                "value": value,
+                "min_fraction": band,
+            }
+        }
+    }
+
+
+class TestCompare:
+    def test_within_band_passes(self):
+        failures = compare_baseline.compare(
+            smoke_json(lf_vector_speedup=1.2), baseline_json(2.0, 0.5)
+        )
+        assert failures == []
+
+    def test_below_band_fails(self):
+        failures = compare_baseline.compare(
+            smoke_json(lf_vector_speedup=0.9), baseline_json(2.0, 0.5)
+        )
+        assert len(failures) == 1
+        assert "below floor" in failures[0]
+
+    def test_missing_benchmark_fails(self):
+        failures = compare_baseline.compare(
+            {"benchmarks": []}, baseline_json()
+        )
+        assert len(failures) == 1
+        assert "not in smoke JSON" in failures[0]
+
+    def test_missing_metric_fails(self):
+        failures = compare_baseline.compare(
+            smoke_json(other=1.0), baseline_json()
+        )
+        assert len(failures) == 1
+        assert "missing from extra_info" in failures[0]
+
+    def test_parametrized_names_collapse(self):
+        smoke = {
+            "benchmarks": [
+                {
+                    "name": "test_bench_engine_throughput[fast]",
+                    "extra_info": {"lf_vector_speedup": 3.0},
+                }
+            ]
+        }
+        assert compare_baseline.compare(smoke, baseline_json()) == []
+
+    def test_update_refreshes_values_keeps_bands(self):
+        refreshed = compare_baseline.update_baseline(
+            smoke_json(lf_vector_speedup=4.5), baseline_json(2.0, 0.5)
+        )
+        gate = refreshed["metrics"]["test_bench_engine_throughput:lf_vector_speedup"]
+        assert gate["value"] == 4.5
+        assert gate["min_fraction"] == 0.5
+
+    def test_committed_baseline_gates_real_metrics(self):
+        """The committed baseline must reference metrics the benches
+        actually record, so the gate can never silently pass on a key
+        typo."""
+        baseline = json.loads(
+            (Path(__file__).resolve().parent.parent / "BENCH_baseline.json")
+            .read_text()
+        )
+        recorded = {
+            "test_bench_engine_throughput": {
+                "hf_batched_speedup", "lf_vector_speedup", "simulator_mips",
+                "hf_serial_evals_per_sec", "hf_batched_evals_per_sec",
+                "trace_instructions",
+            },
+            "test_bench_simulator_batched": {
+                "serial_evals_per_sec",
+                *(f"batched_speedup_{n}" for n in (1, 4, 16, 64, 256)),
+                *(f"batched_evals_per_sec_{n}" for n in (1, 4, 16, 64, 256)),
+            },
+        }
+        assert baseline["metrics"], "baseline must gate something"
+        for key in baseline["metrics"]:
+            bench, _, metric = key.partition(":")
+            assert bench in recorded, f"unknown benchmark in baseline: {bench}"
+            assert metric in recorded[bench], (
+                f"baseline gates unrecorded metric {key}"
+            )
+
+    def test_main_exit_codes(self, tmp_path):
+        smoke = tmp_path / "smoke.json"
+        base = tmp_path / "base.json"
+        smoke.write_text(json.dumps(smoke_json(lf_vector_speedup=1.2)))
+        base.write_text(json.dumps(baseline_json(2.0, 0.5)))
+        assert compare_baseline.main([str(smoke), str(base)]) == 0
+        smoke.write_text(json.dumps(smoke_json(lf_vector_speedup=0.2)))
+        assert compare_baseline.main([str(smoke), str(base)]) == 1
+        assert compare_baseline.main([]) == 2  # usage error

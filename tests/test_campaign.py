@@ -251,3 +251,15 @@ class TestReport:
         text = render_campaign_summary(scheduler.last)
         assert "2 total, 2 executed, 0 resumed" in text
         assert "computed HF" in text
+
+    def test_summary_surfaces_prepass_memo_efficacy(self, tmp_path):
+        """Per-run pre-pass counters must aggregate into the campaign
+        report, so memo efficacy is visible per grid, not only in
+        ad-hoc benchmarks."""
+        specs = tiny_specs()[:2]
+        scheduler = CampaignScheduler(store=RunStore(tmp_path))
+        result = scheduler.run(specs)
+        totals = aggregate_engine_counters(result.records)
+        assert totals.get("engine_prepass_misses", 0) >= 1
+        text = render_campaign_summary(scheduler.last)
+        assert "prepass hits" in text

@@ -39,6 +39,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "table3"])
 
+    def test_hf_backend_flags(self):
+        args = build_parser().parse_args([
+            "explore", "--hf-backend", "batched", "--hf-batch", "64",
+        ])
+        assert args.hf_backend == "batched" and args.hf_batch == 64
+        args = build_parser().parse_args(["table2"])
+        assert args.hf_backend == "auto" and args.hf_batch is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--hf-backend", "gpu"])
+
 
 class TestCommands:
     def test_table1_output(self, capsys):

@@ -187,11 +187,36 @@ class TestBackends:
             expected = engine.analytical.cpi(SPACE.config(levels))
             assert metrics["cpi"] == pytest.approx(expected, rel=1e-12)
 
-    def test_batch_backend_falls_back_for_hf(self, engine):
+    def test_batch_backend_hf_bit_identical_to_serial(self, engine):
+        """HF batches ride the design-batched kernel via the proxy's
+        ``evaluate_many``; results must equal the serial loop exactly."""
         hf_engine = EvaluationEngine(
             SPACE,
             analytical=engine.analytical,
             high_fidelity=engine.high_fidelity,
+            backend=BatchBackend(),
+        )
+        batch = sample_batch(6)
+        out = hf_engine.evaluate_many(batch, Fidelity.HIGH)
+        reference = engine.evaluate_many(batch, Fidelity.HIGH)
+        assert [e.metrics for e in out] == [e.metrics for e in reference]
+
+    def test_batch_backend_falls_back_without_evaluate_many(self, engine):
+        """Proxies without a batch entry point still work (fallback)."""
+
+        class ScalarOnlyProxy:
+            fidelity = Fidelity.HIGH
+
+            def __init__(self, inner):
+                self.inner = inner
+
+            def evaluate(self, levels):
+                return self.inner.evaluate(levels)
+
+        hf_engine = EvaluationEngine(
+            SPACE,
+            analytical=engine.analytical,
+            high_fidelity=ScalarOnlyProxy(engine.high_fidelity),
             backend=BatchBackend(),
         )
         batch = sample_batch(2)
@@ -204,7 +229,10 @@ class TestBackends:
         assert make_backend("process", workers=2).name == "process"
         assert make_backend("batch").name == "batch"
         assert make_backend(None, workers=4).name == "process"
-        assert make_backend(None, workers=0).name == "serial"
+        # Single-process default is the vectorised batch backend (LF
+        # numpy model + design-batched HF kernel), bit-identical to
+        # serial.
+        assert make_backend(None, workers=0).name == "batch"
         with pytest.raises(ValueError):
             make_backend("quantum")
 
@@ -324,6 +352,71 @@ class TestEvaluationEngine:
         summary = engine.summary()
         assert summary["computed_low"] == 1
         assert summary["backend"] == "serial"
+
+    def test_summary_surfaces_prepass_counters(self, engine):
+        """Pre-pass memo efficacy must be visible per engine, not only
+        in ad-hoc benchmarks."""
+        engine.evaluate(SPACE.smallest(), Fidelity.HIGH)
+        engine.evaluate(SPACE.largest(), Fidelity.HIGH)
+        summary = engine.summary()
+        assert summary["prepass_misses"] >= 1
+        assert summary["prepass_hits"] >= 1  # shared branch pre-pass
+        assert summary["prepass_entries"] >= 1
+
+
+# ----------------------------------------------------------------------
+# HF proxy batch entry points
+# ----------------------------------------------------------------------
+class TestProxyEvaluateMany:
+    def test_simulation_proxy_matches_scalar(self):
+        proxy = SimulationProxy(WORKLOAD, SPACE)
+        scalar_proxy = SimulationProxy(WORKLOAD, SPACE)
+        batch = sample_batch(6, seed=11)
+        batched = proxy.evaluate_many(batch)
+        scalar = [scalar_proxy.evaluate(levels) for levels in batch]
+        assert [e.metrics for e in batched] == [e.metrics for e in scalar]
+        assert proxy.num_evaluations == 6
+
+    def test_simulation_proxy_lockstep_path_matches_scalar(self):
+        """Force the lockstep kernel (min threshold ignored via a tiny
+        hf_batch ceiling is the serial path, so patch the module floor)."""
+        from repro.simulator import batched as batched_mod
+
+        proxy = SimulationProxy(WORKLOAD, SPACE)
+        batch = sample_batch(8, seed=12)
+        old = batched_mod.BATCH_MIN_DESIGNS
+        batched_mod.BATCH_MIN_DESIGNS = 2
+        try:
+            batched = proxy.evaluate_many(batch)
+        finally:
+            batched_mod.BATCH_MIN_DESIGNS = old
+        scalar_proxy = SimulationProxy(WORKLOAD, SPACE)
+        scalar = [scalar_proxy.evaluate(levels) for levels in batch]
+        assert [e.metrics for e in batched] == [e.metrics for e in scalar]
+
+    def test_suite_proxy_matches_scalar(self):
+        workloads = [WORKLOAD, get_workload("fft", data_size=32)]
+        proxy = SuiteAverageProxy(workloads, SPACE)
+        scalar_proxy = SuiteAverageProxy(workloads, SPACE)
+        batch = sample_batch(4, seed=13)
+        batched = proxy.evaluate_many(batch)
+        scalar = [scalar_proxy.evaluate(levels) for levels in batch]
+        assert [e.metrics for e in batched] == [e.metrics for e in scalar]
+
+    def test_hf_batch_of_one_disables_lockstep(self):
+        proxy = SimulationProxy(WORKLOAD, SPACE, hf_batch=1)
+        batch = sample_batch(3, seed=14)
+        batched = proxy.evaluate_many(batch)
+        scalar_proxy = SimulationProxy(WORKLOAD, SPACE)
+        scalar = [scalar_proxy.evaluate(levels) for levels in batch]
+        assert [e.metrics for e in batched] == [e.metrics for e in scalar]
+
+    def test_prepass_stats_shape(self):
+        proxy = SimulationProxy(WORKLOAD, SPACE)
+        proxy.evaluate(SPACE.smallest())
+        stats = proxy.prepass_stats()
+        assert set(stats) == {"prepass_hits", "prepass_misses", "prepass_entries"}
+        assert stats["prepass_misses"] >= 1
 
 
 # ----------------------------------------------------------------------

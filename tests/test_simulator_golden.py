@@ -28,8 +28,10 @@ from repro.simulator import (
     SimulatorParams,
     branch_prepass,
     l1_prepass,
+    l2_prepass,
     reference_simulate,
 )
+from repro.simulator.batched import _lockstep_walk, run_batch
 from repro.workloads import get_workload
 from repro.workloads.trace import TraceBuilder
 
@@ -138,6 +140,210 @@ class TestGoldenEquivalence:
         trace = tb.build()
         for config in EDGE_CONFIGS:
             assert simulator.run(trace, config) == reference_simulate(trace, config)
+
+
+#: Configs that provably trigger MSHR merges (found by instrumenting the
+#: reference): tiny direct-mapped L1s re-missing a line within its miss
+#: latency. These force the L2-prepass merge fallback on both kernels.
+MERGE_CASES = [
+    ("dijkstra", 48, MicroArchConfig(
+        l1_sets=16, l1_ways=1, l2_sets=128, l2_ways=1, n_mshr=2,
+        decode_width=5, rob_entries=32, mem_fu=2, int_fu=1, fp_fu=2,
+        iq_entries=4)),
+    ("mm", 8, MicroArchConfig(
+        l1_sets=16, l1_ways=1, l2_sets=512, l2_ways=1, n_mshr=1,
+        decode_width=1, rob_entries=160, mem_fu=2, int_fu=2, fp_fu=1,
+        iq_entries=24)),
+    ("fp-vvadd", 128, MicroArchConfig(
+        l1_sets=16, l1_ways=1, l2_sets=128, l2_ways=1, n_mshr=8,
+        decode_width=1, rob_entries=32, mem_fu=2, int_fu=4, fp_fu=1,
+        iq_entries=24)),
+]
+
+
+class TestL2Prepass:
+    def test_l2_prepass_matches_cache_replay(self):
+        import numpy as np
+
+        rng = random.Random(9)
+        lines = np.array(
+            [rng.randrange(4096) for __ in range(1500)], dtype=np.int64
+        )
+        pre = l2_prepass(lines, 128, 2)
+        cache = SetAssociativeCache(128, 2)
+        flags = [cache.access(int(line)) for line in lines]
+        assert pre.hit == flags
+        assert (pre.hits, pre.misses) == (cache.hits, cache.misses)
+
+    @pytest.mark.parametrize("name,size,config", MERGE_CASES,
+                             ids=[c[0] for c in MERGE_CASES])
+    def test_merge_fallback_is_exact(self, simulator, name, size, config):
+        """Runs that hit an MSHR merge must replay on the live-L2 path
+        and still match the reference bit-for-bit."""
+        trace = get_workload(name, data_size=size).trace
+        assert simulator.run(trace, config) == reference_simulate(trace, config)
+
+    def test_merge_raises_inside_prepass_kernel(self, simulator):
+        """The no-merge L2 stream must be abandoned the moment a merge
+        happens -- silently continuing would desynchronise the stream."""
+        from repro.simulator.core import MshrMergeDetected, _timing_kernel
+
+        name, size, config = MERGE_CASES[1]
+        trace = get_workload(name, data_size=size).trace
+        p = simulator.params
+        bp = simulator.branch_prepass_for(trace)
+        l1pre = simulator.l1_prepass_for(trace, config.l1_sets, config.l1_ways)
+        l2pre = simulator.l2_prepass_for(trace, config, l1pre)
+        line_shift = p.line_bytes.bit_length() - 1
+        with pytest.raises(MshrMergeDetected):
+            _timing_kernel(
+                trace.kernel_view, config, p, bp, l1pre, line_shift, l2pre
+            )
+
+
+class TestBatchedKernel:
+    """The design-batched lockstep kernel vs the single-phase reference."""
+
+    @pytest.mark.parametrize("name", sorted(SUITE_SIZES))
+    def test_heterogeneous_batches_all_workloads(self, simulator, name):
+        """Mixed cache/predictor geometries and widths in one walk."""
+        trace = get_workload(name, data_size=SUITE_SIZES[name]).trace
+        rng = random.Random(f"batched-{name}")
+        configs = [random_config(rng) for __ in range(10)]
+        results = _lockstep_walk(simulator, trace, configs)
+        for config, result in zip(configs, results):
+            assert result == reference_simulate(trace, config), (
+                f"batched divergence on {name} at {config.describe()}"
+            )
+
+    def test_batch_of_one(self, simulator):
+        trace = get_workload("mm", data_size=SUITE_SIZES["mm"]).trace
+        for config in EDGE_CONFIGS:
+            (result,) = _lockstep_walk(simulator, trace, [config])
+            assert result == reference_simulate(trace, config)
+
+    def test_run_batch_chunks_and_serial_tail(self, simulator):
+        """run_batch must be exact across chunk boundaries and for the
+        ragged tail it hands to the serial kernel."""
+        trace = get_workload("quicksort", data_size=SUITE_SIZES["quicksort"]).trace
+        rng = random.Random("chunks")
+        configs = [random_config(rng) for __ in range(11)]
+        results = run_batch(
+            simulator, trace, configs, min_designs=2, max_designs=4
+        )
+        for config, result in zip(configs, results):
+            assert result == reference_simulate(trace, config)
+
+    def test_explicit_walk_width_engages_below_default_crossover(
+        self, simulator, monkeypatch
+    ):
+        """``--hf-batch 8`` means "batch at width 8", not "stay serial
+        because 8 < the default crossover"; width 1 still disables."""
+        import repro.simulator.batched as batched_mod
+
+        calls = []
+        orig = batched_mod._lockstep_walk
+
+        def counting(sim, trace, configs):
+            calls.append(len(configs))
+            return orig(sim, trace, configs)
+
+        monkeypatch.setattr(batched_mod, "_lockstep_walk", counting)
+        trace = get_workload("mm", data_size=SUITE_SIZES["mm"]).trace
+        rng = random.Random("width")
+        configs = [random_config(rng) for __ in range(8)]
+        results = batched_mod.run_batch(
+            simulator, trace, configs, max_designs=8
+        )
+        assert calls == [8]
+        for config, result in zip(configs, results):
+            assert result == reference_simulate(trace, config)
+        calls.clear()
+        batched_mod.run_batch(simulator, trace, configs, max_designs=1)
+        assert calls == []
+
+    def test_small_batches_fall_back_to_serial(self, simulator):
+        """Below the crossover the walk must not engage (same results,
+        and the serial path is the faster one there)."""
+        trace = get_workload("mm", data_size=SUITE_SIZES["mm"]).trace
+        results = run_batch(simulator, trace, EDGE_CONFIGS)  # 3 < default
+        for config, result in zip(EDGE_CONFIGS, results):
+            assert result == simulator.run(trace, config)
+
+    def test_prefetch_on_delegates_serially(self, prefetch_simulator):
+        """Prefetch makes L1/L2 timing-dependent: the batch entry point
+        must still be exact (it delegates design-by-design)."""
+        params = SimulatorParams(next_line_prefetch=True)
+        trace = get_workload("dijkstra", data_size=SUITE_SIZES["dijkstra"]).trace
+        results = run_batch(
+            prefetch_simulator, trace, EDGE_CONFIGS, min_designs=1
+        )
+        for config, result in zip(EDGE_CONFIGS, results):
+            assert result == reference_simulate(trace, config, params)
+
+    def test_merge_designs_fall_back_within_batch(self, simulator):
+        """A batch mixing merge-prone and clean designs: the merge lanes
+        replay serially, the rest stay on the lockstep walk -- all must
+        match the reference."""
+        name, size, merge_config = MERGE_CASES[1]
+        trace = get_workload(name, data_size=size).trace
+        rng = random.Random("merge-batch")
+        configs = [random_config(rng) for __ in range(6)]
+        configs.insert(2, merge_config)
+        results = _lockstep_walk(simulator, trace, configs)
+        for config, result in zip(configs, results):
+            assert result == reference_simulate(trace, config)
+
+    def test_mshr_merge_storm_trace(self, simulator):
+        tb = TraceBuilder("merge-storm-batched")
+        base = tb.alloc(64 * 64)
+        v = None
+        for i in range(300):
+            v = tb.load(base + (i % 7) * 64, addr_dep=v if i % 3 else None)
+            if i % 5 == 0:
+                tb.store(base + (i % 11) * 64, v)
+        trace = tb.build()
+        results = _lockstep_walk(simulator, trace, EDGE_CONFIGS * 2)
+        for config, result in zip(EDGE_CONFIGS * 2, results):
+            assert result == reference_simulate(trace, config)
+
+    def test_unpipelined_and_branch_mix(self, simulator):
+        """Divides (unpipelined FU hogging) and mispredict bursts."""
+        rng = random.Random(17)
+        tb = TraceBuilder("div-branch-mix")
+        v = None
+        for i in range(400):
+            r = rng.random()
+            if r < 0.2:
+                v = tb.int_div(v)
+            elif r < 0.35:
+                v = tb.fp_div(v)
+            elif r < 0.55:
+                v = tb.load(0x1000 + (i % 37) * 64, addr_dep=v)
+            elif r < 0.65:
+                tb.store(0x1000 + (i % 23) * 64, v)
+            elif r < 0.85:
+                tb.branch(taken=rng.random() < 0.5)
+            else:
+                v = tb.fp_add(v)
+        trace = tb.build()
+        rng = random.Random(18)
+        configs = [random_config(rng) for __ in range(8)]
+        results = _lockstep_walk(simulator, trace, configs)
+        for config, result in zip(configs, results):
+            assert result == reference_simulate(trace, config)
+
+    def test_pickled_simulator_runs_batches(self):
+        """Workers receive simulators cold (no memo) and must produce
+        the same batch results after warming their own."""
+        sim = OutOfOrderSimulator()
+        trace = get_workload("mm", data_size=SUITE_SIZES["mm"]).trace
+        rng = random.Random("pickle-batch")
+        configs = [random_config(rng) for __ in range(5)]
+        expected = run_batch(sim, trace, configs, min_designs=2)
+        clone = pickle.loads(pickle.dumps(sim))
+        assert len(clone.prepass_memo) == 0
+        assert run_batch(clone, trace, configs, min_designs=2) == expected
 
 
 class TestPrepassUnits:
