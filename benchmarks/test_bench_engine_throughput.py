@@ -11,7 +11,10 @@ cite this bench. Records, for one batch of distinct valid designs on the
 - ``ProcessPoolBackend`` evaluations/sec and its speedup,
 - ``BatchBackend`` HF evaluations/sec (the single-process default: the
   design-batched kernel above the crossover, serial semantics below),
-- ``BatchBackend`` LF evaluations/sec vs the scalar LF loop.
+- ``BatchBackend`` LF evaluations/sec vs the scalar LF loop,
+- ``SearchLoop`` end-to-end evaluations/sec at propose-batch 1 vs 8
+  (random search through a full proxy pool: loop + dedup + constraint +
+  archive + engine dispatch -- the search layer's own overhead lane).
 
 The >1.5x parallel-speedup assertion only applies on multi-core runners;
 single-core machines still record both numbers (speedup ~1x, by design:
@@ -33,7 +36,8 @@ from repro.engine import (
     ProcessPoolBackend,
     SerialBackend,
 )
-from repro.proxies import AnalyticalModel, Fidelity, SimulationProxy
+from repro.experiments.common import run_search
+from repro.proxies import AnalyticalModel, Fidelity, ProxyPool, SimulationProxy
 from repro.workloads import get_workload
 
 
@@ -94,6 +98,28 @@ def test_bench_engine_throughput(benchmark, report):
         out["lf_vector"], __ = _throughput(
             build(BatchBackend()), lf_batch, Fidelity.LOW
         )
+
+        # Search-loop lane: the whole stack (loop bookkeeping, dedup,
+        # batched constraint filter, archive, engine dispatch) at q=1
+        # vs q=8. Fresh pool per run so nothing is served from a warm
+        # archive.
+        def search_rate(q):
+            pool = ProxyPool(
+                space,
+                analytical,
+                SimulationProxy(workload, space),
+                area_limit_mm2=7.5,
+            )
+            budget = scale(16, 64)
+            start = time.perf_counter()
+            run_search(
+                pool, "random-search", budget,
+                rng=np.random.default_rng(3), propose_batch=q,
+            )
+            return budget / (time.perf_counter() - start)
+
+        out["search_q1"] = search_rate(1)
+        out["search_q8"] = search_rate(8)
         return out
 
     rates = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -106,9 +132,13 @@ def test_bench_engine_throughput(benchmark, report):
     benchmark.extra_info["hf_serial_evals_per_sec"] = rates["hf_serial"]
     benchmark.extra_info["hf_batched_evals_per_sec"] = rates["hf_batched"]
     benchmark.extra_info["hf_batched_speedup"] = hf_batched_speedup
+    search_batch_speedup = rates["search_q8"] / rates["search_q1"]
     benchmark.extra_info["lf_vector_speedup"] = lf_speedup
     benchmark.extra_info["simulator_mips"] = serial_mips
     benchmark.extra_info["trace_instructions"] = workload.num_instructions
+    benchmark.extra_info["search_loop_q1_evals_per_sec"] = rates["search_q1"]
+    benchmark.extra_info["search_loop_q8_evals_per_sec"] = rates["search_q8"]
+    benchmark.extra_info["search_loop_batch_speedup"] = search_batch_speedup
 
     report.append("Evaluation-engine throughput (evaluations/sec):")
     report.append(
@@ -130,6 +160,12 @@ def test_bench_engine_throughput(benchmark, report):
         f"  LF scalar   {rates['lf_scalar']:>9.1f}/s   "
         f"LF vectorised       {rates['lf_vector']:>9.1f}/s   "
         f"speedup {lf_speedup:.2f}x"
+    )
+    report.append(
+        f"  SearchLoop q=1 {rates['search_q1']:>9.1f}/s   "
+        f"q=8 {rates['search_q8']:>9.1f}/s   "
+        f"batch speedup {search_batch_speedup:.2f}x  (random-search, "
+        "full pool stack)"
     )
 
     # The vectorised LF path must pay off everywhere.

@@ -16,6 +16,9 @@ The package is organised as the paper's Fig. 1:
   persistent cross-run result cache, behind the proxy pool.
 - :mod:`repro.baselines`   -- Random Forest, ActBoost, BagGBRT,
   BOOM-Explorer-style BO and SCBO baselines, from scratch.
+- :mod:`repro.search`      -- the unified step-driven search layer: the
+  propose/observe method protocol, the batch-first checkpointable
+  search loop, and the name-keyed method registry.
 - :mod:`repro.experiments` -- one runner per paper table/figure.
 - :mod:`repro.campaign`    -- parallel, resumable orchestration of
   seeds x methods x workloads grids of independent runs.
@@ -25,6 +28,7 @@ from repro.designspace import DesignSpace, MicroArchConfig, default_design_space
 from repro.core.fnn import FuzzyNeuralNetwork
 from repro.core.mfrl import MultiFidelityExplorer
 from repro.engine import EvaluationEngine
+from repro.search import SearchLoop, SearchMethod
 
 __version__ = "1.0.0"
 
@@ -35,5 +39,7 @@ __all__ = [
     "default_design_space",
     "FuzzyNeuralNetwork",
     "MultiFidelityExplorer",
+    "SearchLoop",
+    "SearchMethod",
     "__version__",
 ]

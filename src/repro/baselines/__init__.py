@@ -11,7 +11,10 @@ All five comparison methods are implemented on numpy alone:
 
 Each follows the paper's protocol: a budget of HF simulations, online over
 the full 3M-point space, with constraint-violating candidates "directly
-assigned a low reward" and never simulated.
+assigned a low reward" and never simulated. All of them are
+propose/observe steppers driven by the shared
+:class:`~repro.search.SearchLoop` (see :mod:`repro.search`), registered
+in the method registry alongside the multi-fidelity explorer.
 """
 
 from repro.baselines.driver import BaselineResult, SurrogateExplorer
@@ -41,21 +44,19 @@ EXTRA_BASELINES = ("random-search", "annealing")
 
 
 def make_baseline(name: str, **kwargs):
-    """Factory: baseline explorer by name (Fig.-5 lineup + extras)."""
-    factories = {
-        "random-forest": RandomForestExplorer,
-        "actboost": ActBoostExplorer,
-        "bag-gbrt": BagGBRTExplorer,
-        "boom-explorer": BoomExplorerBaseline,
-        "scbo": ScboExplorer,
-        "random-search": RandomSearchExplorer,
-        "annealing": SimulatedAnnealingExplorer,
-    }
-    if name not in factories:
+    """Factory: baseline explorer by name (Fig.-5 lineup + extras).
+
+    Thin wrapper over the search-method registry
+    (:func:`repro.search.make_method`), kept for its established
+    signature and error message.
+    """
+    from repro.search.registry import make_method
+
+    if name not in ALL_BASELINES + EXTRA_BASELINES:
         raise KeyError(
             f"unknown baseline {name!r}; known: {ALL_BASELINES + EXTRA_BASELINES}"
         )
-    return factories[name](**kwargs)
+    return make_method(name, **kwargs)
 
 
 __all__ = [

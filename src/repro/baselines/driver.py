@@ -1,26 +1,36 @@
-"""Shared surrogate-based DSE driver (the loop all Fig.-5 baselines run).
+"""Shared surrogate-based DSE stepper (the method all Fig.-5 baselines run).
 
 Protocol (paper Sec. 4.2): each baseline gets a budget of HF simulations
 over the full online design space. Candidates that violate the area
 constraint are "directly assigned a low reward and do not go through
-simulation" -- here the driver simply filters them from the candidate
-pool before the surrogate ever sees them, which is equivalent and wastes
-no budget.
+simulation" -- here they are simply filtered from the candidate pool
+before the surrogate ever sees them, which is equivalent and wastes no
+budget.
 
-The loop: HF-evaluate a random valid seed set, then repeatedly fit the
-surrogate, score a fresh random valid candidate pool with the baseline's
-acquisition function, and simulate the best unseen candidate.
+The method: HF-evaluate a random valid seed set (the first proposal
+batch), then each step fits the surrogate, scores a fresh random valid
+candidate pool with the baseline's acquisition function, and proposes
+the best unseen candidates. The budgeted loop itself -- dispatch,
+dedup, budget, checkpointing -- lives in
+:class:`~repro.search.loop.SearchLoop`; :meth:`SurrogateExplorer.explore`
+is a thin compatibility wrapper over it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Protocol
+from typing import Any, Dict, List, Protocol, Sequence
 
 import numpy as np
 
-from repro.proxies.interface import Fidelity
 from repro.proxies.pool import ProxyPool
+from repro.search.base import (
+    Observation,
+    SearchMethod,
+    SearchStall,
+    rng_state_from_json,
+    rng_state_to_json,
+)
 
 
 @dataclass
@@ -43,15 +53,15 @@ class BaselineResult:
 
 
 class Surrogate(Protocol):
-    """Model interface the driver needs: fit, then score candidates."""
+    """Model interface the method needs: fit, then score candidates."""
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "Surrogate": ...
 
     def predict(self, x: np.ndarray) -> np.ndarray: ...
 
 
-class SurrogateExplorer:
-    """Generic surrogate-guided explorer; baselines specialise the hooks.
+class SurrogateExplorer(SearchMethod):
+    """Generic surrogate-guided stepper; baselines specialise the hooks.
 
     Subclasses override :meth:`make_surrogate` and, optionally,
     :meth:`acquisition` (default: greedy on the predicted mean -- pick
@@ -60,10 +70,16 @@ class SurrogateExplorer:
     Args:
         name: Fig.-5 label.
         num_initial: Random valid designs simulated before modelling.
-        pool_size: Candidate pool size per iteration.
+        pool_size: Candidate pool size per step.
     """
 
+    #: Stalled-step retries: each retry doubles the candidate pool; once
+    #: exhausted the method raises instead of spinning (the legacy
+    #: ``continue`` could loop forever when every candidate was seen).
+    MAX_STALL_RETRIES = 8
+
     def __init__(self, name: str, num_initial: int = 4, pool_size: int = 2000):
+        super().__init__()
         if num_initial < 2:
             raise ValueError("need at least 2 initial samples to fit anything")
         self.name = name
@@ -74,7 +90,7 @@ class SurrogateExplorer:
     # Hooks
     # ------------------------------------------------------------------
     def make_surrogate(self, rng: np.random.Generator) -> Surrogate:
-        """Build a fresh surrogate model (called every iteration)."""
+        """Build a fresh surrogate model (called every step)."""
         raise NotImplementedError
 
     def acquisition(
@@ -100,77 +116,105 @@ class SurrogateExplorer:
     def _sample_valid(
         pool: ProxyPool, rng: np.random.Generator, count: int, max_tries: int = 50
     ) -> np.ndarray:
-        """Uniform random *valid* level vectors (constraint-filtered)."""
+        """Uniform random *valid* level vectors (constraint-filtered).
+
+        The constraint check runs batched over each sampled block
+        (:meth:`ProxyPool.fits_many`), not per design; selection order
+        matches the old scalar loop exactly.
+        """
         space = pool.space
         rows: List[np.ndarray] = []
         for __ in range(max_tries):
             batch = space.sample(rng, count=4 * count)
-            for levels in batch:
-                if pool.fits(levels):
-                    rows.append(levels)
-                    if len(rows) == count:
-                        return np.array(rows)
+            valid = batch[pool.fits_many(batch)]
+            take = min(count - len(rows), len(valid))
+            rows.extend(valid[:take])
+            if len(rows) == count:
+                return np.array(rows)
         if not rows:
             raise RuntimeError("could not sample any valid design")
         return np.array(rows)
 
-    def explore(
-        self, pool: ProxyPool, hf_budget: int, rng: np.random.Generator
-    ) -> BaselineResult:
-        """Run the DSE loop until ``hf_budget`` simulations are spent."""
+    # ------------------------------------------------------------------
+    # Stepper protocol
+    # ------------------------------------------------------------------
+    def check_budget(self, hf_budget: int) -> None:
         if hf_budget < self.num_initial + 1:
             raise ValueError("budget must exceed the initial sample count")
-        space = pool.space
-        seen = set()
-        xs: List[np.ndarray] = []
-        ys: List[float] = []
-        history: List[float] = []
-        evaluated: List[np.ndarray] = []
 
-        def record(levels: np.ndarray, evaluation) -> None:
-            key = space.flat_index(levels)
-            if key not in seen:
-                seen.add(key)
-                xs.append(space.normalized(levels))
-                ys.append(evaluation.cpi)
-                history.append(evaluation.cpi)
-                evaluated.append(levels.copy())
+    def reset(self) -> None:
+        self._seeded = False
+        self._seen: set = set()
+        self._xs: List[np.ndarray] = []
+        self._ys: List[float] = []
 
-        def run(levels: np.ndarray) -> None:
-            record(levels, pool.evaluate_high(levels))
-
-        # The seed set is independent designs: one batched dispatch, so a
-        # parallel backend simulates them concurrently. (The budget guard
-        # is vacuous here -- num_initial < hf_budget is enforced above.)
-        initial = list(self.initial_designs(pool, rng))
-        for levels, evaluation in zip(
-            initial, pool.evaluate_many(initial, Fidelity.HIGH)
-        ):
-            if len(seen) < hf_budget:
-                record(levels, evaluation)
-
-        while len(seen) < hf_budget:
-            surrogate = self.make_surrogate(rng)
-            surrogate.fit(np.array(xs), np.array(ys))
-            candidates = self._sample_valid(pool, rng, self.pool_size)
+    def propose(self, k: int) -> List[np.ndarray]:
+        if not self._seeded:
+            self._seeded = True
+            return list(self.initial_designs(self.pool, self.rng))
+        space = self.pool.space
+        for attempt in range(self.MAX_STALL_RETRIES):
+            surrogate = self.make_surrogate(self.rng)
+            surrogate.fit(np.array(self._xs), np.array(self._ys))
+            candidates = self._sample_valid(
+                self.pool, self.rng, self.pool_size * (2 ** attempt)
+            )
             keys = [space.flat_index(c) for c in candidates]
-            fresh = np.array([k not in seen for k in keys])
+            fresh = np.array([key not in self._seen for key in keys])
             if not fresh.any():
-                continue
+                continue  # widen the pool and retry
             candidates = candidates[fresh]
             scores = self.acquisition(
                 surrogate,
                 np.array([space.normalized(c) for c in candidates]),
-                best_y=min(ys),
-                rng=rng,
+                best_y=min(self._ys),
+                rng=self.rng,
             )
-            run(candidates[int(np.argmin(scores))])
-
-        best = int(np.argmin(ys))
-        return BaselineResult(
-            name=self.name,
-            best_levels=evaluated[best],
-            best_cpi=ys[best],
-            history=history,
-            evaluated=evaluated,
+            if k <= 1:
+                return [candidates[int(np.argmin(scores))]]
+            order = np.argsort(scores, kind="stable")[:k]
+            return [candidates[int(i)] for i in order]
+        raise SearchStall(
+            f"{self.name}: no unseen valid candidate in "
+            f"{self.MAX_STALL_RETRIES} pools (last size "
+            f"{self.pool_size * 2 ** (self.MAX_STALL_RETRIES - 1)})"
         )
+
+    def observe(self, observations: Sequence[Observation]) -> None:
+        space = self.pool.space
+        for obs in observations:
+            if not obs.fresh:
+                continue
+            self._seen.add(space.flat_index(obs.levels))
+            self._xs.append(space.normalized(obs.levels))
+            self._ys.append(float(obs.evaluation.cpi))
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        return {
+            "seeded": self._seeded,
+            "xs": [[float(v) for v in row] for row in self._xs],
+            "ys": list(self._ys),
+            "seen": sorted(self._seen),
+            "rng": rng_state_to_json(self.rng),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._seeded = bool(state["seeded"])
+        self._xs = [np.asarray(row, dtype=np.float64) for row in state["xs"]]
+        self._ys = [float(v) for v in state["ys"]]
+        self._seen = set(int(v) for v in state["seen"])
+        rng_state_from_json(self.rng, state["rng"])
+
+    # ------------------------------------------------------------------
+    # Legacy entry point
+    # ------------------------------------------------------------------
+    def explore(
+        self, pool: ProxyPool, hf_budget: int, rng: np.random.Generator
+    ) -> BaselineResult:
+        """Run the DSE loop until ``hf_budget`` simulations are spent."""
+        from repro.search.loop import SearchLoop
+
+        return SearchLoop(pool, self, hf_budget, rng=rng).run()

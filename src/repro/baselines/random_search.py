@@ -3,56 +3,89 @@
 Not part of the paper's Fig.-5 lineup, but standard sanity anchors for
 any DSE study: a surrogate method that cannot beat random search at the
 same budget is not learning anything, and annealing bounds what pure
-local search achieves.
+local search achieves. Both are steppers driven by the shared
+:class:`~repro.search.loop.SearchLoop`.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
 from repro.baselines.driver import BaselineResult
 from repro.proxies.pool import ProxyPool
+from repro.search.base import (
+    Observation,
+    SearchMethod,
+    rng_state_from_json,
+    rng_state_to_json,
+)
 
 
-class RandomSearchExplorer:
+class RandomSearchExplorer(SearchMethod):
     """Uniform random valid designs, best-of-budget."""
 
     name = "random-search"
+    #: Samples are constraint-checked at propose time; skip the loop's
+    #: redundant re-check.
+    filter_invalid = False
+
+    #: Sampling attempts tolerated per budget unit before giving up.
+    GUARD_PER_BUDGET = 1000
+
+    def check_budget(self, hf_budget: int) -> None:
+        if hf_budget < 1:
+            raise ValueError("budget must be >= 1")
+
+    def reset(self) -> None:
+        self._guard = 0
+        self._seen: set = set()
+
+    def propose(self, k: int) -> List[np.ndarray]:
+        space = self.pool.space
+        limit = self.GUARD_PER_BUDGET * self.budget
+        out: List[np.ndarray] = []
+        while len(out) < max(k, 1) and self._guard < limit:
+            self._guard += 1
+            levels = space.sample(self.rng)
+            key = space.flat_index(levels)
+            if key in self._seen or not self.pool.fits(levels):
+                continue
+            self._seen.add(key)
+            out.append(levels)
+        return out
+
+    def observe(self, observations: Sequence[Observation]) -> None:
+        pass  # dedup state is maintained at propose time
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "guard": self._guard,
+            "seen": sorted(self._seen),
+            "rng": rng_state_to_json(self.rng),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._guard = int(state["guard"])
+        self._seen = set(int(v) for v in state["seen"])
+        rng_state_from_json(self.rng, state["rng"])
 
     def explore(
         self, pool: ProxyPool, hf_budget: int, rng: np.random.Generator
     ) -> BaselineResult:
         """Simulate ``hf_budget`` distinct random valid designs."""
-        if hf_budget < 1:
-            raise ValueError("budget must be >= 1")
-        space = pool.space
-        seen = set()
-        history: List[float] = []
-        evaluated: List[np.ndarray] = []
-        guard = 0
-        while len(seen) < hf_budget and guard < 1000 * hf_budget:
-            guard += 1
-            levels = space.sample(rng)
-            key = space.flat_index(levels)
-            if key in seen or not pool.fits(levels):
-                continue
-            seen.add(key)
-            history.append(pool.evaluate_high(levels).cpi)
-            evaluated.append(levels)
-        best = int(np.argmin(history))
-        return BaselineResult(
-            name=self.name,
-            best_levels=evaluated[best],
-            best_cpi=history[best],
-            history=history,
-            evaluated=evaluated,
-        )
+        from repro.search.loop import SearchLoop
+
+        return SearchLoop(pool, self, hf_budget, rng=rng).run()
 
 
-class SimulatedAnnealingExplorer:
+class SimulatedAnnealingExplorer(SearchMethod):
     """Metropolis annealing over Hamming-1 moves on valid designs.
+
+    A chain method: every step proposes exactly one candidate (the next
+    Metropolis move depends on the previous accept/reject), so it
+    ignores the loop's batch-width hint.
 
     Args:
         initial_temperature: Starting acceptance temperature (CPI units).
@@ -60,8 +93,15 @@ class SimulatedAnnealingExplorer:
     """
 
     name = "annealing"
+    #: Starts and neighbours are constraint-checked at propose time;
+    #: skip the loop's redundant re-check.
+    filter_invalid = False
+
+    #: Chain steps tolerated per budget unit before stopping gracefully.
+    GUARD_PER_BUDGET = 100
 
     def __init__(self, initial_temperature: float = 0.3, cooling: float = 0.75):
+        super().__init__()
         if initial_temperature <= 0:
             raise ValueError("temperature must be positive")
         if not 0 < cooling < 1:
@@ -69,56 +109,81 @@ class SimulatedAnnealingExplorer:
         self.initial_temperature = initial_temperature
         self.cooling = cooling
 
+    def check_budget(self, hf_budget: int) -> None:
+        if hf_budget < 2:
+            raise ValueError("annealing needs a budget of at least 2")
+
+    def reset(self) -> None:
+        self._started = False
+        self._current: np.ndarray = None
+        self._current_cpi: float = None
+        self._temperature = self.initial_temperature
+        self._guard = 0
+
+    def propose(self, k: int) -> List[np.ndarray]:
+        space = self.pool.space
+        if not self._started:
+            self._started = True
+            for __ in range(1000):
+                levels = space.sample(self.rng)
+                if self.pool.fits(levels):
+                    return [levels]
+            raise RuntimeError("could not find a valid starting design")
+        if self._guard >= self.GUARD_PER_BUDGET * self.budget:
+            return []
+        self._guard += 1
+        neighbors = list(space.neighbors(self._current))
+        keep = self.pool.fits_many(neighbors)
+        neighbors = [n for n, ok in zip(neighbors, keep) if ok]
+        if not neighbors:
+            return []
+        return [neighbors[int(self.rng.integers(len(neighbors)))]]
+
+    def observe(self, observations: Sequence[Observation]) -> None:
+        if not observations:
+            return
+        obs = observations[0]
+        cand_cpi = float(obs.evaluation.cpi)
+        if self._current is None:  # the starting design
+            self._current = obs.levels.copy()
+            self._current_cpi = cand_cpi
+            return
+        delta = cand_cpi - self._current_cpi
+        if delta <= 0 or self.rng.random() < np.exp(-delta / self._temperature):
+            self._current = obs.levels.copy()
+            self._current_cpi = cand_cpi
+        self._temperature = max(self._temperature * self.cooling, 1e-4)
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "started": self._started,
+            "current": (
+                None if self._current is None
+                else [int(v) for v in self._current]
+            ),
+            "current_cpi": self._current_cpi,
+            "temperature": self._temperature,
+            "guard": self._guard,
+            "rng": rng_state_to_json(self.rng),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._started = bool(state["started"])
+        self._current = (
+            None if state["current"] is None
+            else np.asarray(state["current"], dtype=np.int64)
+        )
+        self._current_cpi = (
+            None if state["current_cpi"] is None else float(state["current_cpi"])
+        )
+        self._temperature = float(state["temperature"])
+        self._guard = int(state["guard"])
+        rng_state_from_json(self.rng, state["rng"])
+
     def explore(
         self, pool: ProxyPool, hf_budget: int, rng: np.random.Generator
     ) -> BaselineResult:
         """Anneal from a random valid start until the budget is spent."""
-        if hf_budget < 2:
-            raise ValueError("annealing needs a budget of at least 2")
-        space = pool.space
-        # random valid start
-        current = None
-        for __ in range(1000):
-            levels = space.sample(rng)
-            if pool.fits(levels):
-                current = levels
-                break
-        if current is None:
-            raise RuntimeError("could not find a valid starting design")
+        from repro.search.loop import SearchLoop
 
-        history: List[float] = []
-        evaluated: List[np.ndarray] = []
-        seen = set()
-
-        def run(levels):
-            key = space.flat_index(levels)
-            cpi = pool.evaluate_high(levels).cpi
-            if key not in seen:
-                seen.add(key)
-                history.append(cpi)
-                evaluated.append(levels.copy())
-            return cpi
-
-        current_cpi = run(current)
-        temperature = self.initial_temperature
-        guard = 0
-        while len(seen) < hf_budget and guard < 100 * hf_budget:
-            guard += 1
-            neighbors = [n for n in space.neighbors(current) if pool.fits(n)]
-            if not neighbors:
-                break
-            candidate = neighbors[int(rng.integers(len(neighbors)))]
-            cand_cpi = run(candidate)
-            delta = cand_cpi - current_cpi
-            if delta <= 0 or rng.random() < np.exp(-delta / temperature):
-                current, current_cpi = candidate, cand_cpi
-            temperature = max(temperature * self.cooling, 1e-4)
-
-        best = int(np.argmin(history))
-        return BaselineResult(
-            name=self.name,
-            best_levels=evaluated[best],
-            best_cpi=history[best],
-            history=history,
-            evaluated=evaluated,
-        )
+        return SearchLoop(pool, self, hf_budget, rng=rng).run()

@@ -7,22 +7,29 @@ region expands/shrinks on success/failure streaks.
 
 Protocol note (paper Sec. 4.2): unlike the other baselines, SCBO "requires
 the invalid HF results to make inferences", so its candidates are *not*
-constraint-filtered -- infeasible picks are simulated, burn budget, and
-feed the constraint GP. This is why SCBO underperforms at a 10-simulation
-budget in Fig. 5, and the behaviour is reproduced deliberately.
+constraint-filtered -- the method opts out of the search loop's area
+filter (``filter_invalid = False``), infeasible picks are simulated, burn
+budget, and feed the constraint GP. This is why SCBO underperforms at a
+10-simulation budget in Fig. 5, and the behaviour is reproduced
+deliberately.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
 from repro.baselines.driver import BaselineResult
 from repro.baselines.gp import GaussianProcess
-from repro.proxies.interface import Fidelity
 from repro.proxies.pool import ProxyPool
+from repro.search.base import (
+    Observation,
+    SearchMethod,
+    rng_state_from_json,
+    rng_state_to_json,
+)
 
 
 @dataclass
@@ -53,114 +60,174 @@ class _TrustRegion:
                 self.failure_streak = 0
 
 
-class ScboExplorer:
+class ScboExplorer(SearchMethod):
     """Fig.-5 'SCBO'.
 
     Args:
         num_initial: Unfiltered random designs simulated up front.
-        pool_size: Thompson-sampling candidates per iteration.
+        pool_size: Thompson-sampling candidates per step.
     """
 
     name = "scbo"
+    filter_invalid = False  # infeasible designs are simulated on purpose
 
     def __init__(self, num_initial: int = 4, pool_size: int = 1000):
+        super().__init__()
         if num_initial < 2:
             raise ValueError("need at least 2 initial samples")
         self.num_initial = num_initial
         self.pool_size = pool_size
 
     # ------------------------------------------------------------------
-    def explore(
-        self, pool: ProxyPool, hf_budget: int, rng: np.random.Generator
-    ) -> BaselineResult:
-        """Run SCBO until ``hf_budget`` simulations are spent."""
-        space = pool.space
-        limit = pool.constraint.limit_mm2
-        seen = set()
-        levels_list: List[np.ndarray] = []
-        xs: List[np.ndarray] = []
-        ys: List[float] = []
-        cs: List[float] = []  # constraint slack: area - limit (<=0 feasible)
-        history: List[float] = []
-        region = _TrustRegion()
+    # Stepper protocol
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._seeded = False
+        self._seed_pending = False
+        self._seen: set = set()
+        self._levels: List[np.ndarray] = []
+        self._xs: List[np.ndarray] = []
+        self._ys: List[float] = []
+        self._cs: List[float] = []  # constraint slack: area - limit (<=0 ok)
+        self._region = _TrustRegion()
 
-        def record(levels: np.ndarray, evaluation) -> None:
-            key = space.flat_index(levels)
-            if key in seen:
-                return
-            seen.add(key)
-            levels_list.append(levels.copy())
-            xs.append(space.normalized(levels))
-            ys.append(evaluation.cpi)
-            cs.append(pool.area(levels) - limit)
-            history.append(evaluation.cpi)
+    def propose(self, k: int) -> List[np.ndarray]:
+        space = self.pool.space
+        if not self._seeded:
+            # Unfiltered seed designs, proposed as one (parallelisable)
+            # batch: distinct designs only, stopping once the budget is
+            # committed.
+            self._seeded = True
+            self._seed_pending = True
+            initial: List[np.ndarray] = []
+            committed: set = set()
+            for levels in space.sample(self.rng, count=self.num_initial):
+                key = space.flat_index(levels)
+                if len(committed) >= self.budget or key in committed:
+                    continue
+                committed.add(key)
+                initial.append(levels)
+            return initial
 
-        def run(levels: np.ndarray) -> None:
-            key = space.flat_index(levels)
-            if key in seen:
-                return
-            record(levels, pool.evaluate_high(levels))  # yes, even invalid ones
+        x_arr = np.array(self._xs)
+        feasible = np.array(self._cs) <= 0
+        if feasible.any():
+            best_idx = int(np.argmin(np.where(feasible, self._ys, np.inf)))
+        else:  # minimum violation fallback
+            best_idx = int(np.argmin(self._cs))
+        center = x_arr[best_idx]
 
-        # Unfiltered seed designs, simulated as one (parallelisable)
-        # batch. Selection replays the sequential guard: distinct designs
-        # only, stopping once the budget is committed.
-        initial: List[np.ndarray] = []
-        committed = set()
-        for levels in space.sample(rng, count=self.num_initial):
-            key = space.flat_index(levels)
-            if len(committed) >= hf_budget or key in committed:
-                continue
-            committed.add(key)
-            initial.append(levels)
-        for levels, evaluation in zip(
-            initial, pool.evaluate_many(initial, Fidelity.HIGH)
-        ):
-            record(levels, evaluation)
+        gp_y = GaussianProcess().fit(x_arr, np.array(self._ys))
+        gp_c = GaussianProcess().fit(x_arr, np.array(self._cs))
 
-        while len(seen) < hf_budget:
-            x_arr = np.array(xs)
-            feasible = np.array(cs) <= 0
-            if feasible.any():
-                best_idx = int(np.argmin(np.where(feasible, ys, np.inf)))
-            else:  # minimum violation fallback
-                best_idx = int(np.argmin(cs))
-            center = x_arr[best_idx]
+        candidates = self._candidates_in_region(
+            space, center, self._region.length, self.rng
+        )
+        cand_norm = np.array([space.normalized(c) for c in candidates])
+        mean_y, std_y = gp_y.predict(cand_norm, return_std=True)
+        mean_c, std_c = gp_c.predict(cand_norm, return_std=True)
+        sample_y = mean_y + std_y * self.rng.standard_normal(len(candidates))
+        sample_c = mean_c + std_c * self.rng.standard_normal(len(candidates))
 
-            gp_y = GaussianProcess().fit(x_arr, np.array(ys))
-            gp_c = GaussianProcess().fit(x_arr, np.array(cs))
-
-            candidates = self._candidates_in_region(
-                space, center, region.length, rng
-            )
-            cand_norm = np.array([space.normalized(c) for c in candidates])
-            mean_y, std_y = gp_y.predict(cand_norm, return_std=True)
-            mean_c, std_c = gp_c.predict(cand_norm, return_std=True)
-            sample_y = mean_y + std_y * rng.standard_normal(len(candidates))
-            sample_c = mean_c + std_c * rng.standard_normal(len(candidates))
-
-            ok = sample_c <= 0
+        ok = sample_c <= 0
+        if k <= 1:
             if ok.any():
                 pick = int(np.argmin(np.where(ok, sample_y, np.inf)))
             else:
                 pick = int(np.argmin(sample_c))
+            return [candidates[pick]]
+        # Batched mode: rank feasible-sampled candidates by objective
+        # sample first, then infeasible ones by least violation.
+        rank = np.where(ok, sample_y, np.inf)
+        order = np.argsort(rank, kind="stable")
+        if not ok.all():
+            infeasible_order = np.argsort(
+                np.where(ok, np.inf, sample_c), kind="stable"
+            )
+            order = np.concatenate([order[ok[order]], infeasible_order[~ok[infeasible_order]]])
+        return [candidates[int(i)] for i in order[:k]]
 
-            best_before = self._best_feasible(ys, cs)
-            run(candidates[pick])
-            best_after = self._best_feasible(ys, cs)
-            region.update(best_after < best_before - 1e-12)
+    def observe(self, observations: Sequence[Observation]) -> None:
+        seed_batch = self._seed_pending
+        self._seed_pending = False
+        for obs in observations:
+            best_before = self._best_feasible(self._ys, self._cs)
+            if obs.fresh:
+                self._record(obs)
+            if not seed_batch:
+                best_after = self._best_feasible(self._ys, self._cs)
+                self._region.update(best_after < best_before - 1e-12)
 
-        feasible = np.array(cs) <= 0
+    def _record(self, obs: Observation) -> None:
+        space = self.pool.space
+        self._seen.add(space.flat_index(obs.levels))
+        self._levels.append(obs.levels.copy())
+        self._xs.append(space.normalized(obs.levels))
+        self._ys.append(float(obs.evaluation.cpi))
+        self._cs.append(
+            float(self.pool.area(obs.levels) - self.pool.constraint.limit_mm2)
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        return {
+            "seeded": self._seeded,
+            "levels": [[int(v) for v in row] for row in self._levels],
+            "ys": list(self._ys),
+            "cs": list(self._cs),
+            "region": {
+                "length": self._region.length,
+                "success_streak": self._region.success_streak,
+                "failure_streak": self._region.failure_streak,
+            },
+            "rng": rng_state_to_json(self.rng),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        space = self.pool.space
+        self._seeded = bool(state["seeded"])
+        self._seed_pending = False
+        self._levels = [
+            np.asarray(row, dtype=np.int64) for row in state["levels"]
+        ]
+        self._seen = set(space.flat_index(levels) for levels in self._levels)
+        self._xs = [space.normalized(levels) for levels in self._levels]
+        self._ys = [float(v) for v in state["ys"]]
+        self._cs = [float(v) for v in state["cs"]]
+        self._region = _TrustRegion(
+            length=float(state["region"]["length"]),
+            success_streak=int(state["region"]["success_streak"]),
+            failure_streak=int(state["region"]["failure_streak"]),
+        )
+        rng_state_from_json(self.rng, state["rng"])
+
+    # ------------------------------------------------------------------
+    # Result assembly (best *feasible* design, unlike the default)
+    # ------------------------------------------------------------------
+    def result(self, loop) -> BaselineResult:
+        feasible = np.array(self._cs) <= 0
         if feasible.any():
-            best = int(np.argmin(np.where(feasible, ys, np.inf)))
+            best = int(np.argmin(np.where(feasible, self._ys, np.inf)))
         else:
-            best = int(np.argmin(ys))
+            best = int(np.argmin(self._ys))
         return BaselineResult(
             name=self.name,
-            best_levels=levels_list[best],
-            best_cpi=ys[best],
-            history=history,
-            evaluated=levels_list,
+            best_levels=self._levels[best],
+            best_cpi=self._ys[best],
+            history=list(loop.history),
+            evaluated=list(loop.evaluated),
         )
+
+    # ------------------------------------------------------------------
+    def explore(
+        self, pool: ProxyPool, hf_budget: int, rng: np.random.Generator
+    ) -> BaselineResult:
+        """Run SCBO until ``hf_budget`` simulations are spent."""
+        from repro.search.loop import SearchLoop
+
+        return SearchLoop(pool, self, hf_budget, rng=rng).run()
 
     # ------------------------------------------------------------------
     @staticmethod

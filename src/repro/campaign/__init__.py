@@ -10,7 +10,8 @@ package turns such a grid into first-class objects:
 - :mod:`repro.campaign.runner`    -- the executor registry that rebuilds
   a pool from a spec inside the worker and runs it.
 - :mod:`repro.campaign.store`     -- :class:`RunStore`, one atomic JSON
-  record per run under a campaign directory; the resume source of truth.
+  record per run under a campaign directory plus per-step search
+  checkpoints; the resume source of truth at run *and* step granularity.
 - :mod:`repro.campaign.scheduler` -- :class:`CampaignScheduler`, the
   sequential-reference / process-pool fan-out over pending specs.
 - :mod:`repro.campaign.report`    -- aggregated engine counters and the
@@ -35,11 +36,12 @@ from repro.campaign.spec import (
     explorer_config_from_dict,
     explorer_config_to_dict,
 )
-from repro.campaign.store import RunStore
+from repro.campaign.store import RunCheckpoint, RunStore
 
 __all__ = [
     "CampaignResult",
     "CampaignScheduler",
+    "RunCheckpoint",
     "RunSpec",
     "RunStore",
     "aggregate_engine_counters",

@@ -15,17 +15,17 @@ JSON-serialisable because they go straight into the run store.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
 from repro.campaign.spec import RunSpec, explorer_config_from_dict
-from repro.campaign.store import STATUS_DONE
+from repro.campaign.store import STATUS_DONE, RunCheckpoint, RunStore
 
 #: spec.workload value selecting the suite-average general-purpose pool.
 SUITE_WORKLOAD = "suite"
 
-Executor = Callable[[RunSpec, Any], Dict[str, Any]]
+Executor = Callable[[RunSpec, Any, Optional[RunCheckpoint]], Dict[str, Any]]
 
 _EXECUTORS: Dict[str, Executor] = {}
 
@@ -91,8 +91,15 @@ def execute_run(
     engine_workers: int = 0,
     hf_backend=None,
     hf_batch=None,
+    store: Optional[RunStore] = None,
 ) -> Dict[str, Any]:
-    """Execute one spec; returns its completed store record."""
+    """Execute one spec; returns its completed store record.
+
+    When a ``store`` is given, search-driven kinds persist a per-step
+    checkpoint under it and resume mid-search from any matching
+    checkpoint left by a killed campaign; the checkpoint is cleared once
+    the run's payload is complete.
+    """
     fn = _EXECUTORS.get(spec.kind)
     if fn is None:
         raise ValueError(
@@ -106,7 +113,10 @@ def execute_run(
         hf_backend=hf_backend,
         hf_batch=hf_batch,
     )
-    payload = fn(spec, pool)
+    checkpoint = RunCheckpoint(store, spec) if store is not None else None
+    payload = fn(spec, pool, checkpoint)
+    if checkpoint is not None:
+        checkpoint.clear()
     return {
         "spec": spec.to_json(),
         "status": STATUS_DONE,
@@ -125,15 +135,40 @@ def _levels(levels) -> list:
     return [int(v) for v in levels]
 
 
+def _drive_loop(loop, checkpoint: Optional[RunCheckpoint]):
+    """Run a search loop to completion, checkpointing every step.
+
+    A matching checkpoint (same spec) restores the loop mid-search
+    first, so a killed campaign run resumes at the step boundary it
+    died on instead of starting over.
+    """
+    if checkpoint is not None:
+        state = checkpoint.load()
+        if state is not None:
+            loop.restore(state)
+        loop.on_step = lambda lp: checkpoint.save(lp.state())
+    return loop.run()
+
+
 @executor("baseline")
-def _run_baseline(spec: RunSpec, pool) -> Dict[str, Any]:
-    """One Fig.-5 baseline run (``spec.method`` names the surrogate)."""
-    from repro.baselines import make_baseline
+def _run_baseline(
+    spec: RunSpec, pool, checkpoint: Optional[RunCheckpoint] = None
+) -> Dict[str, Any]:
+    """One Fig.-5 baseline run (``spec.method`` names the searcher)."""
+    from repro.search.loop import SearchLoop
+    from repro.search.registry import make_method
 
     if spec.hf_budget is None:
         raise ValueError(f"baseline spec {spec.run_id!r} needs hf_budget")
     rng = np.random.default_rng(spec.params.get("rng_seed", spec.seed))
-    result = make_baseline(spec.method).explore(pool, spec.hf_budget, rng)
+    loop = SearchLoop(
+        pool,
+        make_method(spec.method),
+        spec.hf_budget,
+        rng=rng,
+        propose_batch=int(spec.params.get("propose_batch", 1)),
+    )
+    result = _drive_loop(loop, checkpoint)
     return {
         "best_cpi": float(result.best_cpi),
         "best_levels": _levels(result.best_levels),
@@ -142,12 +177,30 @@ def _run_baseline(spec: RunSpec, pool) -> Dict[str, Any]:
 
 
 @executor("explorer")
-def _run_explorer(spec: RunSpec, pool) -> Dict[str, Any]:
-    """One full multi-fidelity explorer run (LF -> transition -> HF)."""
+def _run_explorer(
+    spec: RunSpec, pool, checkpoint: Optional[RunCheckpoint] = None
+) -> Dict[str, Any]:
+    """One full multi-fidelity explorer run (LF -> transition -> HF).
+
+    A matching mid-HF checkpoint skips the LF phase entirely: the
+    converged design, seed set and FNN weights are restored from the
+    checkpoint, and the HF search continues where it stopped.
+    """
     from repro.core.mfrl import MultiFidelityExplorer
 
     config = explorer_config_from_dict(spec.explorer)
-    result = MultiFidelityExplorer(pool, config=config, seed=spec.seed).explore()
+    explorer = MultiFidelityExplorer(pool, config=config, seed=spec.seed)
+    propose_batch = int(spec.params.get("propose_batch", 1))
+    state = checkpoint.load() if checkpoint is not None else None
+    if state is not None:
+        loop = explorer.hf_loop(propose_batch=propose_batch)
+        loop.restore(state)
+    else:
+        lf_trainer = explorer.run_lf_phase()
+        loop = explorer.hf_loop(lf_trainer, propose_batch=propose_batch)
+    if checkpoint is not None:
+        loop.on_step = lambda lp: checkpoint.save(lp.state())
+    result = loop.run()
     return {
         "lf_hf_cpi": float(result.lf_hf_cpi),
         "best_hf_cpi": float(result.best_hf_cpi),
@@ -160,11 +213,13 @@ def _run_explorer(spec: RunSpec, pool) -> Dict[str, Any]:
 
 
 @executor("table2")
-def _run_table2(spec: RunSpec, pool) -> Dict[str, Any]:
+def _run_table2(
+    spec: RunSpec, pool, checkpoint: Optional[RunCheckpoint] = None
+) -> Dict[str, Any]:
     """Explorer run plus the sampled-optimum estimate on the same pool."""
     from repro.experiments.regret import estimate_optimum
 
-    payload = _run_explorer(spec, pool)
+    payload = _run_explorer(spec, pool, checkpoint)
     # Fallback mirrors table2_specs' default, so a hand-authored spec
     # without the param behaves like an emitted one.
     opt = estimate_optimum(
@@ -177,8 +232,12 @@ def _run_table2(spec: RunSpec, pool) -> Dict[str, Any]:
 
 
 @executor("lf-trace")
-def _run_lf_trace(spec: RunSpec, pool) -> Dict[str, Any]:
+def _run_lf_trace(
+    spec: RunSpec, pool, checkpoint: Optional[RunCheckpoint] = None
+) -> Dict[str, Any]:
     """LF-phase-only run recording per-episode telemetry (Figs. 6/7).
+
+    Spends no HF budget, so there is nothing to checkpoint mid-run.
 
     ``params`` may carry an MF-center initialisation (``l1_center`` /
     ``l2_center``) and/or a decode-width preference to embed before

@@ -204,6 +204,7 @@ class CampaignScheduler:
                     engine_workers=self.engine_workers,
                     hf_backend=self.hf_backend,
                     hf_batch=self.hf_batch,
+                    store=self.store,
                 )
             except Exception as error:
                 self._record_failed(spec, error)
@@ -228,6 +229,7 @@ class CampaignScheduler:
                     engine_workers=self.engine_workers,
                     hf_backend=self.hf_backend,
                     hf_batch=self.hf_batch,
+                    store=self.store,
                 ): spec
                 for spec in pending
             }

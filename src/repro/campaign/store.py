@@ -5,6 +5,8 @@ Layout::
     <campaign-dir>/
         runs/
             <run_id>.json      # {"spec": ..., "status": ..., "payload": ...}
+        checkpoints/
+            <run_id>.json      # {"spec": ..., "state": <SearchLoop state>}
 
 Records are written atomically (temp file + rename), so a killed
 campaign leaves either a complete record or none -- and anything that
@@ -12,6 +14,12 @@ campaign leaves either a complete record or none -- and anything that
 as "missing" and gets re-run. A record only counts as complete when its
 embedded spec matches the spec being scheduled, so editing a campaign's
 budgets or seeds invalidates exactly the records it changes.
+
+Checkpoints are the finer-grained sibling: the search loop writes one
+after every propose/observe step, so a killed run resumes *mid-search*
+(same guarantees: atomic writes, unreadable reads as missing, a spec
+mismatch invalidates). A checkpoint is deleted the moment its run's
+final record lands.
 """
 
 from __future__ import annotations
@@ -26,6 +34,9 @@ from repro.campaign.spec import RunSpec
 
 #: Sub-directory holding the per-run records.
 RUNS_DIR = "runs"
+
+#: Sub-directory holding the per-run mid-search checkpoints.
+CHECKPOINTS_DIR = "checkpoints"
 
 #: Completed-run status value.
 STATUS_DONE = "done"
@@ -53,6 +64,31 @@ class RunStore:
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.runs_dir = self.root / RUNS_DIR
+        self.checkpoints_dir = self.root / CHECKPOINTS_DIR
+
+    # ------------------------------------------------------------------
+    # Shared atomic-JSON plumbing (records and checkpoints must never
+    # diverge in atomicity or corruption handling)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _write_json(path: Path, payload: Dict[str, Any]) -> Path:
+        """Atomically persist ``payload`` at ``path`` (temp + rename)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, separators=(",", ":"), sort_keys=True)
+        tmp.replace(path)
+        return path
+
+    @staticmethod
+    def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+        """The dict at ``path``, or None when missing or corrupt."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
 
     # ------------------------------------------------------------------
     def path_for(self, run_id: str) -> Path:
@@ -61,29 +97,34 @@ class RunStore:
 
     def load(self, run_id: str) -> Optional[Dict[str, Any]]:
         """The record for ``run_id``, or None when missing or corrupt."""
-        path = self.path_for(run_id)
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                record = json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            return None
-        if not isinstance(record, dict):
-            return None
-        return record
+        return self._read_json(self.path_for(run_id))
 
     def write(self, run_id: str, record: Dict[str, Any]) -> Path:
         """Atomically persist ``record`` (temp file + rename)."""
-        path = self.path_for(run_id)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".json.tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(record, fh, separators=(",", ":"), sort_keys=True)
-        tmp.replace(path)
-        return path
+        return self._write_json(self.path_for(run_id), record)
 
     def delete(self, run_id: str) -> None:
         """Remove a record (missing is fine)."""
         self.path_for(run_id).unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Mid-search checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint_path_for(self, run_id: str) -> Path:
+        """Checkpoint path for ``run_id``."""
+        return self.checkpoints_dir / record_filename(run_id)
+
+    def write_checkpoint(self, run_id: str, payload: Dict[str, Any]) -> Path:
+        """Atomically persist a mid-search checkpoint."""
+        return self._write_json(self.checkpoint_path_for(run_id), payload)
+
+    def load_checkpoint(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """The checkpoint for ``run_id``, or None when missing/corrupt."""
+        return self._read_json(self.checkpoint_path_for(run_id))
+
+    def clear_checkpoint(self, run_id: str) -> None:
+        """Remove a checkpoint (missing is fine)."""
+        self.checkpoint_path_for(run_id).unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
     def completed(self, spec: RunSpec) -> Optional[Dict[str, Any]]:
@@ -119,3 +160,34 @@ class RunStore:
 
     def __len__(self) -> int:
         return len(self.records())
+
+
+class RunCheckpoint:
+    """One run's mid-search checkpoint handle (store + spec binding).
+
+    What an executor threads into its :class:`~repro.search.SearchLoop`:
+    ``save`` persists the loop state after every step, ``load`` answers
+    only when the stored spec matches (an edited campaign silently
+    starts that run over), ``clear`` runs when the final record lands.
+    """
+
+    def __init__(self, store: RunStore, spec: RunSpec):
+        self.store = store
+        self.spec = spec
+
+    def save(self, state: Dict[str, Any]) -> None:
+        """Persist a step-boundary search state for this run."""
+        self.store.write_checkpoint(
+            self.spec.run_id, {"spec": self.spec.to_json(), "state": state}
+        )
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The saved search state, or None (missing/corrupt/spec edit)."""
+        payload = self.store.load_checkpoint(self.spec.run_id)
+        if payload is None or payload.get("spec") != self.spec.to_json():
+            return None
+        return payload.get("state")
+
+    def clear(self) -> None:
+        """Drop the checkpoint (the run completed)."""
+        self.store.clear_checkpoint(self.spec.run_id)

@@ -8,7 +8,9 @@ One subcommand per paper artefact plus a quick end-to-end run:
 - ``fig6``     MF-center initialisation sweep (line plot).
 - ``fig7``     preference embedding (trajectory view).
 - ``rules``    train and print the extracted rule base.
-- ``explore``  one multi-fidelity run on a chosen benchmark.
+- ``explore``  one search run on a chosen benchmark (any registered
+  method via ``--method``; default: the paper's multi-fidelity flow).
+- ``methods``  list the registered search methods.
 - ``sweep``    area-budget frontier of the explorer.
 - ``campaign`` parallel, resumable runs of a whole experiment grid.
 
@@ -20,9 +22,13 @@ runs for the grid commands, across high-fidelity batches for
 ``explore``), ``--cache-dir DIR`` (persistent cross-run evaluation
 cache), ``--hf-backend {auto,batched,process,serial}`` (how HF batches
 execute; the default engages the design-batched simulator kernel for
-wide batches) and ``--hf-batch N`` (designs per batched walk).
-``campaign`` additionally takes ``--campaign-dir DIR`` (one JSON record
-per run) and ``--resume`` (skip runs the directory already answers).
+wide batches), ``--hf-batch N`` (designs per batched walk) and
+``--propose-batch Q`` (designs each search proposes per step -- every
+proposal batch is one HF dispatch; 1 reproduces the sequential paper
+protocol exactly). ``campaign`` additionally takes ``--campaign-dir
+DIR`` (one JSON record per run plus per-step search checkpoints) and
+``--resume`` (skip completed runs and continue interrupted ones
+mid-search).
 """
 
 from __future__ import annotations
@@ -70,6 +76,7 @@ def cmd_table2(args: argparse.Namespace, scheduler=None) -> int:
         explorer_config=_fast_config() if args.fast else None,
         optimum_samples=60 if args.fast else 500,
         data_sizes=FAST_SIZES if args.fast else None,
+        propose_batch=args.propose_batch,
         workers=args.workers,
         cache_dir=args.cache_dir,
         hf_backend=args.hf_backend,
@@ -87,6 +94,7 @@ def cmd_fig5(args: argparse.Namespace, scheduler=None) -> int:
         seeds=tuple(range(args.seeds)),
         explorer_config=_fast_config() if args.fast else None,
         scale=0.25 if args.fast else 1.0,
+        propose_batch=args.propose_batch,
         workers=args.workers,
         cache_dir=args.cache_dir,
         hf_backend=args.hf_backend,
@@ -149,7 +157,9 @@ def cmd_rules(args: argparse.Namespace) -> int:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
-    from repro.experiments.common import build_pool
+    import numpy as np
+
+    from repro.experiments.common import build_pool, run_search
 
     pool = build_pool(
         args.benchmark,
@@ -159,22 +169,53 @@ def cmd_explore(args: argparse.Namespace) -> int:
         hf_backend=args.hf_backend,
         hf_batch=args.hf_batch,
     )
-    explorer = MultiFidelityExplorer(
-        pool,
-        config=_fast_config() if args.fast else ExplorerConfig(),
-        seed=args.seed,
-    )
-    result = explorer.explore()
     space = pool.space
     print(f"benchmark: {args.benchmark}  "
           f"(area limit {pool.constraint.limit_mm2} mm^2)")
-    print(f"LF design:   {space.config(result.lf_levels).describe()}")
-    print(f"  HF CPI {result.lf_hf_cpi:.4f}, "
-          f"area {pool.area(result.lf_levels):.2f} mm^2")
+    if args.method == "fnn-mbrl":
+        config = _fast_config() if args.fast else ExplorerConfig()
+        if args.hf_budget is not None:
+            from dataclasses import replace
+
+            config = replace(config, hf_budget=args.hf_budget)
+        explorer = MultiFidelityExplorer(pool, config=config, seed=args.seed)
+        result = explorer.hf_loop(
+            explorer.run_lf_phase(), propose_batch=args.propose_batch
+        ).run()
+        print(f"LF design:   {space.config(result.lf_levels).describe()}")
+        print(f"  HF CPI {result.lf_hf_cpi:.4f}, "
+              f"area {pool.area(result.lf_levels):.2f} mm^2")
+        print(f"best design: {space.config(result.best_levels).describe()}")
+        print(f"  HF CPI {result.best_hf_cpi:.4f}, "
+              f"area {pool.area(result.best_levels):.2f} mm^2")
+        print(f"HF simulations: {result.hf_simulations}")
+        return 0
+    budget = args.hf_budget if args.hf_budget is not None else (6 if args.fast else 10)
+    result = run_search(
+        pool,
+        args.method,
+        budget,
+        rng=np.random.default_rng(args.seed),
+        propose_batch=args.propose_batch,
+    )
+    print(f"method: {result.name}  (budget {budget}, "
+          f"propose batch {args.propose_batch})")
     print(f"best design: {space.config(result.best_levels).describe()}")
-    print(f"  HF CPI {result.best_hf_cpi:.4f}, "
+    print(f"  HF CPI {result.best_cpi:.4f}, "
           f"area {pool.area(result.best_levels):.2f} mm^2")
-    print(f"HF simulations: {result.hf_simulations}")
+    print(f"HF simulations: {len(result.history)}")
+    return 0
+
+
+def cmd_methods(args: argparse.Namespace) -> int:
+    from repro.search import registered_methods
+
+    methods = registered_methods()
+    width = max(len(name) for name in methods)
+    print(f"{'method':<{width}}  kind      description")
+    print("-" * (width + 50))
+    for name, info in methods.items():
+        print(f"{name:<{width}}  {info.kind:<8}  {info.description}")
     return 0
 
 
@@ -187,6 +228,7 @@ def cmd_sweep(args: argparse.Namespace, scheduler=None) -> int:
         seed=args.seed,
         explorer_config=_fast_config() if args.fast else None,
         data_size=FAST_SIZES.get(args.benchmark) if args.fast else None,
+        propose_batch=args.propose_batch,
         workers=args.workers,
         cache_dir=args.cache_dir,
         hf_backend=args.hf_backend,
@@ -266,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="designs per batched simulator walk (default "
                        "256); values >= 2 also engage the batched "
                        "kernel at that width; 1 disables it")
+        p.add_argument("--propose-batch", type=int, default=1,
+                       help="designs each search proposes per step (q); "
+                       "every batch is one HF dispatch; 1 = the paper's "
+                       "sequential protocol (default)")
 
     p = sub.add_parser("table1", help="print the Table-1 design space")
     p.set_defaults(func=cmd_table1)
@@ -295,11 +341,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", default="mm", choices=BENCHMARK_NAMES)
     p.set_defaults(func=cmd_rules)
 
-    p = sub.add_parser("explore", help="one multi-fidelity DSE run")
+    p = sub.add_parser("explore", help="one search run on a benchmark")
     common(p)
     engine_flags(p)
     p.add_argument("--benchmark", default="mm", choices=BENCHMARK_NAMES)
+    p.add_argument("--method", default="fnn-mbrl",
+                   help="registered search method (see 'repro methods'); "
+                   "default: the paper's multi-fidelity flow")
+    p.add_argument("--hf-budget", type=int, default=None,
+                   help="distinct HF simulations (default: method's own)")
     p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("methods", help="list the registered search methods")
+    p.set_defaults(func=cmd_methods)
 
     p = sub.add_parser("sweep", help="area-budget frontier sweep")
     common(p)

@@ -17,16 +17,23 @@ Orchestrates the full Fig.-4 flow:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.fnn.inputs import FuzzyInput, default_inputs
 from repro.core.fnn.network import FuzzyNeuralNetwork
-from repro.core.mfrl.env import DseEnvironment
+from repro.core.mfrl.env import DseEnvironment, Episode
 from repro.core.mfrl.reinforce import EpisodeRecord, ReinforceTrainer, TrainerConfig
 from repro.proxies.interface import Fidelity
 from repro.proxies.pool import ProxyPool
+from repro.search.base import (
+    Observation,
+    SearchMethod,
+    rng_state_from_json,
+    rng_state_to_json,
+)
+from repro.search.loop import SearchLoop
 
 
 @dataclass(frozen=True)
@@ -144,72 +151,263 @@ class MultiFidelityExplorer:
         return trainer
 
     # ------------------------------------------------------------------
-    # Phase 2: transition + high fidelity
+    # Phase 2: transition + high fidelity (stepper over the SearchLoop)
     # ------------------------------------------------------------------
+    def hf_method(
+        self, lf_trainer: Optional[ReinforceTrainer] = None
+    ) -> "MfrlHfSearch":
+        """The transition + HF phase as a :class:`SearchMethod` stepper.
+
+        ``lf_trainer`` may be None when the method is about to be
+        restored from a checkpoint (the converged design, seed set and
+        FNN weights all live in the checkpoint, so the LF phase need not
+        be re-run).
+        """
+        return MfrlHfSearch(self, lf_trainer)
+
+    def hf_loop(
+        self,
+        lf_trainer: Optional[ReinforceTrainer] = None,
+        propose_batch: int = 1,
+        on_step=None,
+    ) -> SearchLoop:
+        """A search loop driving the transition/HF phases to budget."""
+        return SearchLoop(
+            self.pool,
+            self.hf_method(lf_trainer),
+            self.config.hf_budget,
+            rng=self.rng,
+            propose_batch=propose_batch,
+            on_step=on_step,
+        )
+
+    def hf_result(self, loop: SearchLoop) -> ExplorationResult:
+        """Fold a finished HF search loop into the exploration result."""
+        method = loop.method
+        best = self.pool.archive.best(Fidelity.HIGH)
+        assert best is not None  # h0 guarantees at least one HF record
+        return ExplorationResult(
+            lf_levels=method.converged,
+            lf_hf_cpi=method.h0_cpi,
+            best_levels=best.levels,
+            best_hf_cpi=best.cpi,
+            lf_history=(
+                method.lf_trainer.history if method.lf_trainer is not None else []
+            ),
+            hf_history=method.trainer.history,
+            hf_simulations=self.pool.archive.count(Fidelity.HIGH),
+            fnn=self.fnn,
+        )
+
     def run_hf_phase(
         self, lf_trainer: ReinforceTrainer
     ) -> ExplorationResult:
         """Transition and HF training (Sec. 3.2); returns the result."""
-        pool = self.pool
-        converged = lf_trainer.greedy_design(self.rng)
-
-        # Transition: HF on the converged design and LF-best subset. The
-        # seed verifications are independent, so they go to the engine as
-        # one batch (parallel under a ProcessPoolBackend); the selection
-        # logic mirrors the sequential budget check -- only designs not
-        # yet HF-archived consume budget.
-        h0 = pool.evaluate_high(converged)
-        ipc_h0 = h0.ipc
-        seeds = [converged]
-        pending: List[np.ndarray] = []
-        projected = pool.archive.count(Fidelity.HIGH)
-        pending_keys = set()
-        for evaluation in pool.archive.best_designs(
-            Fidelity.LOW, self.config.hf_seed_designs
-        ):
-            if projected >= self.config.hf_budget - 1:
-                break
-            seeds.append(evaluation.levels)
-            pending.append(evaluation.levels)
-            key = pool.space.flat_index(evaluation.levels)
-            if (
-                pool.archive.lookup(evaluation.levels, Fidelity.HIGH) is None
-                and key not in pending_keys
-            ):
-                pending_keys.add(key)
-                projected += 1
-        pool.evaluate_many(pending, Fidelity.HIGH)
-
-        trainer = ReinforceTrainer(self._hf_env, self.fnn, self.config.trainer)
-
-        def hf_ipc(levels: np.ndarray) -> float:
-            return pool.evaluate_high(levels).ipc
-
-        # HF episodes until the distinct-simulation budget is spent.
-        guard = 0
-        while (
-            pool.archive.count(Fidelity.HIGH) < self.config.hf_budget
-            and guard < 10 * self.config.hf_budget
-        ):
-            guard += 1
-            start = seeds[int(self.rng.integers(len(seeds)))]
-            trainer.run_episode(self.rng, hf_ipc, ipc_h0, start_levels=start)
-
-        best = pool.archive.best(Fidelity.HIGH)
-        assert best is not None  # h0 guarantees at least one HF record
-        return ExplorationResult(
-            lf_levels=converged,
-            lf_hf_cpi=h0.cpi,
-            best_levels=best.levels,
-            best_hf_cpi=best.cpi,
-            lf_history=lf_trainer.history,
-            hf_history=trainer.history,
-            hf_simulations=pool.archive.count(Fidelity.HIGH),
-            fnn=self.fnn,
-        )
+        return self.hf_loop(lf_trainer).run()
 
     # ------------------------------------------------------------------
     def explore(self) -> ExplorationResult:
         """Run the complete multi-fidelity DSE flow."""
         lf_trainer = self.run_lf_phase()
         return self.run_hf_phase(lf_trainer)
+
+
+class MfrlHfSearch(SearchMethod):
+    """The MFRL transition + HF phases as a propose/observe stepper.
+
+    Proposal sequence (bit-identical to the old in-method loop at
+    ``propose_batch=1``):
+
+    1. the LF-converged design (greedy rollout) -- its evaluation sets
+       ``IPC_h0``, the HF reward reference;
+    2. the transition seed batch: LF-archive best designs, truncated so
+       at least one HF simulation remains for episodes (the whole batch
+       dispatches as one ``evaluate_many`` -- the PR-4 lockstep kernel's
+       widest in-search consumer);
+    3. one REINFORCE episode's final design per step (``propose_batch``
+       episodes are rolled back-to-back in batched mode), with the
+       policy update applied in :meth:`observe` from the returned IPC.
+
+    The stepper never touches the HF proxy itself, which is what makes
+    the phase checkpointable: its state (FNN weights, trainer telemetry,
+    seed set, guard, rng) plus the loop's evaluation replay reconstruct
+    the run mid-phase in a fresh process, without re-running LF.
+    """
+
+    name = "fnn-mbrl-hf"
+
+    def __init__(
+        self,
+        explorer: MultiFidelityExplorer,
+        lf_trainer: Optional[ReinforceTrainer] = None,
+    ):
+        super().__init__()
+        self.explorer = explorer
+        self.lf_trainer = lf_trainer
+        self.trainer: Optional[ReinforceTrainer] = None
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        explorer = self.explorer
+        self.trainer = ReinforceTrainer(
+            explorer._hf_env, explorer.fnn, explorer.config.trainer
+        )
+        self._phase = "converged"
+        self._awaiting: Optional[str] = None
+        self.converged: Optional[np.ndarray] = None
+        self.h0_cpi: Optional[float] = None
+        self._ipc_h0: Optional[float] = None
+        self._seeds: List[np.ndarray] = []
+        self._lf_best: List[np.ndarray] = []
+        self._guard = 0
+        self._pending_episodes: List[Episode] = []
+
+    # ------------------------------------------------------------------
+    def propose(self, k: int) -> List[np.ndarray]:
+        config = self.explorer.config
+        pool = self.pool
+        if self._phase == "converged":
+            self._phase = "seeds"
+            self._awaiting = "h0"
+            self.converged = self.lf_trainer.greedy_design(self.rng)
+            # Snapshot the LF leaderboard now (it cannot change before
+            # the transition reads it -- only HF evaluations happen in
+            # between) so a checkpoint restore into a fresh pool still
+            # sees the seed candidates.
+            self._lf_best = [
+                evaluation.levels
+                for evaluation in pool.archive.best_designs(
+                    Fidelity.LOW, config.hf_seed_designs
+                )
+            ]
+            return [self.converged]
+        if self._phase == "seeds":
+            self._phase = "episodes"
+            pending = self._transition_pending()
+            if pending:
+                self._awaiting = "seeds"
+                return pending
+            # No seed verification needed: go straight to episodes.
+        return self._propose_episodes(k)
+
+    def _transition_pending(self) -> List[np.ndarray]:
+        """Transition seed designs still worth HF budget (Sec. 3.2).
+
+        Mirrors the sequential budget check: only designs not yet
+        HF-archived consume budget, and the list stops once at most one
+        HF simulation would remain for the episode phase.
+        """
+        config = self.explorer.config
+        pool = self.pool
+        pending: List[np.ndarray] = []
+        projected = pool.archive.count(Fidelity.HIGH)
+        pending_keys = set()
+        for levels in self._lf_best:
+            if projected >= config.hf_budget - 1:
+                break
+            self._seeds.append(levels)
+            pending.append(levels)
+            key = pool.space.flat_index(levels)
+            if (
+                pool.archive.lookup(levels, Fidelity.HIGH) is None
+                and key not in pending_keys
+            ):
+                pending_keys.add(key)
+                projected += 1
+        return pending
+
+    def _propose_episodes(self, k: int) -> List[np.ndarray]:
+        config = self.explorer.config
+        if self.pool.archive.count(Fidelity.HIGH) >= config.hf_budget:
+            return []
+        episodes: List[Episode] = []
+        proposals: List[np.ndarray] = []
+        for __ in range(max(k, 1)):
+            if self._guard >= 10 * config.hf_budget:
+                break
+            self._guard += 1
+            start = self._seeds[int(self.rng.integers(len(self._seeds)))]
+            episode = self.trainer.start_episode(self.rng, start_levels=start)
+            episodes.append(episode)
+            proposals.append(episode.final_levels)
+        self._awaiting = "episodes"
+        self._pending_episodes = episodes
+        return proposals
+
+    # ------------------------------------------------------------------
+    def observe(self, observations: Sequence[Observation]) -> None:
+        awaiting, self._awaiting = self._awaiting, None
+        if awaiting == "h0":
+            evaluation = observations[0].evaluation
+            self._ipc_h0 = float(evaluation.ipc)
+            self.h0_cpi = float(evaluation.cpi)
+            self._seeds = [self.converged]
+            return
+        if awaiting == "seeds":
+            return  # seed verifications only prime the archive
+        # Episode batch: reward + policy update per episode, in rollout
+        # order. The loop may have trimmed the batch against the budget;
+        # trimming keeps a prefix, so the zip stays aligned.
+        episodes, self._pending_episodes = self._pending_episodes, []
+        for obs, episode in zip(observations, episodes):
+            self.trainer.finish_episode(
+                episode, float(obs.evaluation.ipc), self._ipc_h0
+            )
+
+    # ------------------------------------------------------------------
+    def result(self, loop: SearchLoop) -> ExplorationResult:
+        return self.explorer.hf_result(loop)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        fnn = self.explorer.fnn
+        return {
+            "phase": self._phase,
+            "converged": (
+                None if self.converged is None
+                else [int(v) for v in self.converged]
+            ),
+            "ipc_h0": self._ipc_h0,
+            "h0_cpi": self.h0_cpi,
+            "seeds": [[int(v) for v in levels] for levels in self._seeds],
+            "lf_best": [[int(v) for v in levels] for levels in self._lf_best],
+            "guard": self._guard,
+            "fnn": {
+                "consequents": fnn.consequents.tolist(),
+                "centers": fnn.centers.tolist(),
+            },
+            "trainer": self.trainer.state_dict(),
+            "rng": rng_state_to_json(self.rng),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._phase = state["phase"]
+        self._awaiting = None
+        self.converged = (
+            None if state["converged"] is None
+            else np.asarray(state["converged"], dtype=np.int64)
+        )
+        self._ipc_h0 = (
+            None if state["ipc_h0"] is None else float(state["ipc_h0"])
+        )
+        self.h0_cpi = None if state["h0_cpi"] is None else float(state["h0_cpi"])
+        self._seeds = [
+            np.asarray(levels, dtype=np.int64) for levels in state["seeds"]
+        ]
+        self._lf_best = [
+            np.asarray(levels, dtype=np.int64) for levels in state["lf_best"]
+        ]
+        self._guard = int(state["guard"])
+        self._pending_episodes = []
+        self.explorer.fnn.load_state_dict(
+            {
+                "consequents": np.asarray(
+                    state["fnn"]["consequents"], dtype=np.float64
+                ),
+                "centers": np.asarray(state["fnn"]["centers"], dtype=np.float64),
+            }
+        )
+        self.trainer.load_state_dict(state["trainer"])
+        rng_state_from_json(self.rng, state["rng"])

@@ -111,6 +111,44 @@ class ReinforceTrainer:
             lr_centers=self.config.lr_centers,
         )
 
+    def start_episode(
+        self,
+        rng: np.random.Generator,
+        start_levels: Optional[np.ndarray] = None,
+    ) -> Episode:
+        """Roll one episode out under the current policy (no update yet).
+
+        The propose half of the propose/observe split: the search loop
+        evaluates the episode's final design (batched, budgeted) and
+        hands the IPC back through :meth:`finish_episode`.
+        """
+        return self.env.rollout(
+            self.fnn,
+            rng,
+            start_levels=start_levels,
+            temperature=self.config.temperature,
+            max_steps=self.config.max_steps,
+        )
+
+    def finish_episode(
+        self, episode: Episode, ipc: float, ipc_reference: float
+    ) -> EpisodeRecord:
+        """Reward (eq. 3/4), update, record a rolled-out episode."""
+        reward = ipc - ipc_reference + self.config.epsilon
+        episode.final_cpi = 1.0 / ipc
+        episode.reward = reward
+        self.update_from_episode(episode, reward)
+        record = EpisodeRecord(
+            episode=self._episode_counter,
+            final_levels=episode.final_levels.copy(),
+            final_cpi=1.0 / ipc,
+            reward=reward,
+            centers=self.fnn.centers.copy(),
+        )
+        self._episode_counter += 1
+        self.history.append(record)
+        return record
+
     def run_episode(
         self,
         rng: np.random.Generator,
@@ -126,28 +164,43 @@ class ReinforceTrainer:
             ipc_reference: ``IPC*`` / ``IPC_h0`` in the reward.
             start_levels: Episode seed design.
         """
-        episode = self.env.rollout(
-            self.fnn,
-            rng,
-            start_levels=start_levels,
-            temperature=self.config.temperature,
-            max_steps=self.config.max_steps,
+        episode = self.start_episode(rng, start_levels=start_levels)
+        return self.finish_episode(
+            episode, ipc_of(episode.final_levels), ipc_reference
         )
-        ipc = ipc_of(episode.final_levels)
-        reward = ipc - ipc_reference + self.config.epsilon
-        episode.final_cpi = 1.0 / ipc
-        episode.reward = reward
-        self.update_from_episode(episode, reward)
-        record = EpisodeRecord(
-            episode=self._episode_counter,
-            final_levels=episode.final_levels.copy(),
-            final_cpi=1.0 / ipc,
-            reward=reward,
-            centers=self.fnn.centers.copy(),
-        )
-        self._episode_counter += 1
-        self.history.append(record)
-        return record
+
+    # ------------------------------------------------------------------
+    # Checkpointing (the FNN's weights are snapshotted separately)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the trainer's bookkeeping."""
+        return {
+            "episode_counter": self._episode_counter,
+            "history": [
+                {
+                    "episode": int(record.episode),
+                    "final_levels": [int(v) for v in record.final_levels],
+                    "final_cpi": float(record.final_cpi),
+                    "reward": float(record.reward),
+                    "centers": [float(v) for v in record.centers],
+                }
+                for record in self.history
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self._episode_counter = int(state["episode_counter"])
+        self.history = [
+            EpisodeRecord(
+                episode=int(entry["episode"]),
+                final_levels=np.asarray(entry["final_levels"], dtype=np.int64),
+                final_cpi=float(entry["final_cpi"]),
+                reward=float(entry["reward"]),
+                centers=np.asarray(entry["centers"], dtype=np.float64),
+            )
+            for entry in state["history"]
+        ]
 
     def greedy_design(self, rng: np.random.Generator) -> np.ndarray:
         """Final design of a greedy (argmax) rollout -- convergence probe."""

@@ -112,6 +112,26 @@ class DesignSpace:
             dtype=np.int64,
         )
 
+    def values_batch(self, levels_block: Sequence[Sequence[int]]) -> np.ndarray:
+        """Concrete values for a whole block of level vectors at once.
+
+        Vectorised :meth:`values`: validates the block, then resolves
+        every axis with one fancy-indexed candidate-table lookup.
+        Returns shape ``(len(levels_block), num_parameters)``.
+        """
+        block = np.asarray(levels_block, dtype=np.int64)
+        if block.ndim != 2 or block.shape[1] != self.num_parameters:
+            raise ValueError(
+                f"levels block must have shape (N, {self.num_parameters}), "
+                f"got {block.shape}"
+            )
+        if block.size and (np.any(block < 0) or np.any(block > self.max_levels)):
+            raise ValueError("levels out of range in block")
+        out = np.empty_like(block)
+        for i, p in enumerate(self._parameters):
+            out[:, i] = np.asarray(p.candidates, dtype=np.int64)[block[:, i]]
+        return out
+
     def config(self, levels: Sequence[int]) -> MicroArchConfig:
         """Build a :class:`MicroArchConfig` from a level vector."""
         vals = self.values(levels)

@@ -1,12 +1,15 @@
-"""Shared experiment plumbing: pools, area limits, seed handling."""
+"""Shared experiment plumbing: pools, area limits, seeds, search runs."""
 
 from __future__ import annotations
 
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.designspace import DesignSpace, default_design_space
 from repro.proxies import AnalyticalModel, ProxyPool, SimulationProxy, SuiteAverageProxy
+from repro.search import SearchLoop, SearchMethod, make_method
 from repro.workloads import Workload, get_workload, BENCHMARK_NAMES
 
 #: Per-benchmark area limits, paper Table 2 (mm^2).
@@ -72,6 +75,45 @@ def build_pool(
         cache_dir=cache_dir,
         hf_backend=normalize_hf_backend(hf_backend),
     )
+
+
+def run_search(
+    pool: ProxyPool,
+    method: Union[str, SearchMethod],
+    hf_budget: int,
+    rng: Union[np.random.Generator, int, None] = None,
+    propose_batch: int = 1,
+    on_step=None,
+):
+    """Run one registered search method on a pool, to budget.
+
+    The one-call form of the search layer every experiment and the CLI
+    share: resolve ``method`` through the registry when given a name,
+    drive it with a :class:`~repro.search.SearchLoop`, return the
+    method's result (a ``BaselineResult`` for the stock methods).
+
+    Args:
+        pool: Evaluation frontend (fresh per run).
+        method: Registry name or a pre-built :class:`SearchMethod`.
+        hf_budget: Distinct HF simulations allowed.
+        rng: Generator, int seed, or None (seed 0).
+        propose_batch: Designs per step (q); each step is one batched
+            HF dispatch. 1 reproduces the sequential protocol exactly.
+        on_step: Optional per-step callback (checkpointing hooks).
+    """
+    if isinstance(method, str):
+        method = make_method(method)
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(0 if rng is None else rng)
+    loop = SearchLoop(
+        pool,
+        method,
+        hf_budget,
+        rng=rng,
+        propose_batch=propose_batch,
+        on_step=on_step,
+    )
+    return loop.run()
 
 
 def _average_profiles(workloads: Sequence[Workload]):

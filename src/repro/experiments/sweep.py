@@ -40,11 +40,13 @@ def sweep_specs(
     seed: int = 0,
     explorer_config: Optional[ExplorerConfig] = None,
     data_size: Optional[int] = None,
+    propose_batch: int = 1,
 ) -> List[RunSpec]:
     """One explorer run spec per area budget, in sweep order."""
     if not area_limits:
         raise ValueError("need at least one area limit")
     explorer = explorer_config_to_dict(explorer_config or ExplorerConfig())
+    batch_params = {} if propose_batch == 1 else {"propose_batch": propose_batch}
     return [
         RunSpec(
             run_id=f"sweep-{benchmark}-s{seed}-a{float(limit):g}",
@@ -55,6 +57,7 @@ def sweep_specs(
             area_limit_mm2=float(limit),
             data_size=data_size,
             explorer=explorer,
+            params=dict(batch_params),
         )
         for limit in area_limits
     ]
@@ -85,6 +88,7 @@ def run_area_sweep(
     seed: int = 0,
     explorer_config: Optional[ExplorerConfig] = None,
     data_size: Optional[int] = None,
+    propose_batch: int = 1,
     workers: int = 0,
     cache_dir=None,
     campaign_dir=None,
@@ -101,6 +105,8 @@ def run_area_sweep(
         seed: Explorer seed, shared across budgets.
         explorer_config: Budget overrides for fast runs.
         data_size: Workload problem-size override.
+        propose_batch: Designs the HF search proposes per step (q);
+            1 = the paper's sequential protocol.
         workers: Process-pool size *across budgets* (0/1 = sequential).
         cache_dir: Persistent evaluation cache. The sweep is the ideal
             customer: the cache key excludes the area limit, so designs
@@ -118,6 +124,7 @@ def run_area_sweep(
         seed=seed,
         explorer_config=explorer_config,
         data_size=data_size,
+        propose_batch=propose_batch,
     )
     if scheduler is None:
         scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume,

@@ -48,9 +48,11 @@ def table2_specs(
     explorer_config: Optional[ExplorerConfig] = None,
     optimum_samples: int = 300,
     data_sizes: Optional[Dict[str, int]] = None,
+    propose_batch: int = 1,
 ) -> List[RunSpec]:
     """One ``table2`` run spec per benchmark, in suite order."""
     explorer = explorer_config_to_dict(explorer_config or ExplorerConfig())
+    batch_params = {} if propose_batch == 1 else {"propose_batch": propose_batch}
     return [
         RunSpec(
             run_id=f"table2-s{seed}-{benchmark}",
@@ -60,7 +62,7 @@ def table2_specs(
             workload=benchmark,
             data_size=(data_sizes or {}).get(benchmark),
             explorer=explorer,
-            params={"optimum_samples": optimum_samples},
+            params={"optimum_samples": optimum_samples, **batch_params},
         )
         for benchmark in benchmarks
     ]
@@ -101,6 +103,7 @@ def run_table2(
     explorer_config: Optional[ExplorerConfig] = None,
     optimum_samples: int = 300,
     data_sizes: Optional[Dict[str, int]] = None,
+    propose_batch: int = 1,
     workers: int = 0,
     cache_dir=None,
     campaign_dir=None,
@@ -118,6 +121,8 @@ def run_table2(
         optimum_samples: Promising-area samples for ~opt (paper: >= 500;
             smaller values keep CI runs fast at slightly looser ~opt).
         data_sizes: Optional per-benchmark problem-size overrides.
+        propose_batch: Designs the HF search proposes per step (q);
+            1 = the paper's sequential protocol.
         workers: Process-pool size *across benchmarks* (0/1 = sequential).
         cache_dir: Persistent evaluation cache shared across benchmarks.
         campaign_dir: Run-store directory for resumable campaigns.
@@ -133,6 +138,7 @@ def run_table2(
         explorer_config=explorer_config,
         optimum_samples=optimum_samples,
         data_sizes=data_sizes,
+        propose_batch=propose_batch,
     )
     if scheduler is None:
         scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume,

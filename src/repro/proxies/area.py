@@ -12,9 +12,11 @@ paper's budgets bind partway up the Table-1 space (the smallest design is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Mapping
 
-from repro.designspace.config import MicroArchConfig
+import numpy as np
+
+from repro.designspace.config import CACHE_LINE_BYTES, MicroArchConfig
 
 
 @dataclass(frozen=True)
@@ -95,6 +97,37 @@ class AreaModel:
     def area(self, config: MicroArchConfig) -> float:
         """Total estimated area of ``config`` in mm^2."""
         return self.breakdown(config).total
+
+    def area_values(self, values: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Vectorised :meth:`area` over parameter-value columns.
+
+        ``values`` maps each Table-1 parameter name to its column of
+        concrete values (``DesignSpace.values_batch`` output, keyed by
+        ``space.names``). Arithmetic replicates the scalar breakdown's
+        operation order exactly, so ``area_values(...)[i]`` is
+        bit-identical to ``area(space.config(levels[i]))`` -- the batched
+        constraint check may substitute for the scalar one anywhere.
+        """
+        l1_kib = (
+            values["l1_sets"] * values["l1_ways"] * CACHE_LINE_BYTES
+        ) / 1024.0
+        l2_kib = (
+            values["l2_sets"] * values["l2_ways"] * CACHE_LINE_BYTES
+        ) / 1024.0
+        total = self.base_mm2 + self.l1_mm2_per_kib * l1_kib
+        total = total + self.l2_mm2_per_kib * l2_kib
+        total = total + self.mshr_mm2_per_entry * values["n_mshr"]
+        total = total + self.decode_mm2_coeff * (
+            values["decode_width"].astype(np.float64) ** self.decode_exponent
+        )
+        total = total + self.rob_mm2_per_entry * values["rob_entries"]
+        total = total + (
+            self.int_fu_mm2 * values["int_fu"]
+            + self.mem_fu_mm2 * values["mem_fu"]
+            + self.fp_fu_mm2 * values["fp_fu"]
+        )
+        total = total + self.iq_mm2_per_entry * values["iq_entries"]
+        return np.asarray(total, dtype=np.float64)
 
     def __call__(self, config: MicroArchConfig) -> float:
         return self.area(config)

@@ -1,0 +1,45 @@
+"""The unified step-driven search layer (paper Sec. 4.2's shared protocol).
+
+Every method in this repo -- the MFRL explorer's HF phase and all the
+Fig.-5 / sanity baselines -- runs the same budgeted HF-simulation loop.
+This package is that loop, implemented once:
+
+- :class:`SearchMethod`: the propose/observe stepper protocol a method
+  implements (plus ``state()``/``restore()`` for checkpointing).
+- :class:`SearchLoop`: the single batch-first driver owning budget
+  accounting, dedup, constraint filtering and stall detection; every
+  proposal batch goes through ``ProxyPool.evaluate_many`` so q >= 1
+  proposals per step ride the design-batched HF kernel.
+- the method registry: name-keyed factories consumed by the
+  experiments, the campaign runner and the CLI.
+"""
+
+from repro.search.base import (
+    Observation,
+    SearchMethod,
+    SearchStall,
+    rng_state_to_json,
+    rng_state_from_json,
+)
+from repro.search.loop import SearchLoop
+from repro.search.registry import (
+    MethodInfo,
+    make_method,
+    method_names,
+    register_method,
+    registered_methods,
+)
+
+__all__ = [
+    "Observation",
+    "SearchMethod",
+    "SearchStall",
+    "SearchLoop",
+    "MethodInfo",
+    "make_method",
+    "method_names",
+    "register_method",
+    "registered_methods",
+    "rng_state_to_json",
+    "rng_state_from_json",
+]

@@ -1,0 +1,147 @@
+"""The stepper protocol every search method implements.
+
+A method never calls the proxy pool's HF path itself. It *proposes*
+level vectors, the :class:`~repro.search.loop.SearchLoop` dispatches
+them (batched, budgeted, dedup'd) and hands the evaluations back through
+:meth:`SearchMethod.observe`. Splitting the old monolithic ``explore``
+loops at this seam is what lets one loop implementation serve every
+method, lets q proposals per step ride the design-batched HF kernel,
+and makes mid-run checkpointing a method-independent feature.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.proxies.interface import Evaluation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (loop -> base)
+    from repro.proxies.pool import ProxyPool
+    from repro.search.loop import SearchLoop
+
+
+class SearchStall(RuntimeError):
+    """A search cannot make progress (no fresh candidate found)."""
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One evaluated proposal, as delivered back to the method.
+
+    Attributes:
+        levels: The proposed level vector (validated copy).
+        evaluation: Its evaluation at the loop's fidelity.
+        fresh: True when this design was first seen by the loop in this
+            step -- only fresh observations consume search budget.
+    """
+
+    levels: np.ndarray
+    evaluation: Evaluation
+    fresh: bool
+
+
+def rng_state_to_json(rng: np.random.Generator) -> Dict[str, Any]:
+    """JSON-safe snapshot of a generator's bit-generator state."""
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def rng_state_from_json(rng: np.random.Generator, state: Dict[str, Any]) -> None:
+    """Restore a generator from :func:`rng_state_to_json` output."""
+    rng.bit_generator.state = copy.deepcopy(state)
+
+
+class SearchMethod:
+    """Base class of the propose/observe stepper protocol.
+
+    Lifecycle: the loop calls :meth:`bind` once (context: pool, budget,
+    rng), then alternates :meth:`propose` / :meth:`observe` until the
+    budget is spent or the method returns an empty proposal (meaning
+    "done -- nothing left to try"). :meth:`state` / :meth:`restore`
+    snapshot everything between two steps as plain JSON, which is what
+    the campaign's per-step checkpoints persist.
+
+    Attributes:
+        name: Registry / result label.
+        filter_invalid: When True (default) the loop drops proposals
+            that violate the area constraint before dispatch. SCBO turns
+            this off -- its protocol simulates infeasible designs.
+    """
+
+    name: str = "unnamed"
+    filter_invalid: bool = True
+
+    def __init__(self) -> None:
+        self.pool: Optional["ProxyPool"] = None
+        self.budget: int = 0
+        self.rng: Optional[np.random.Generator] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(
+        self, pool: "ProxyPool", budget: int, rng: np.random.Generator
+    ) -> None:
+        """Attach run context and reset mutable per-run state."""
+        self.pool = pool
+        self.budget = int(budget)
+        self.rng = rng
+        self.reset()
+
+    def reset(self) -> None:
+        """Initialise per-run mutable state (fresh search)."""
+
+    def check_budget(self, hf_budget: int) -> None:
+        """Reject budgets the method cannot run with (raise ValueError)."""
+
+    # ------------------------------------------------------------------
+    # The stepper protocol
+    # ------------------------------------------------------------------
+    def propose(self, k: int) -> List[np.ndarray]:
+        """Next designs to evaluate; ``[]`` means the method is done.
+
+        ``k`` is the loop's target batch width (``min(propose_batch,
+        remaining budget)``). Methods may return fewer -- chain methods
+        like annealing always step one design at a time -- or more, e.g.
+        a seed batch; the loop trims any overshoot against the budget.
+        """
+        raise NotImplementedError
+
+    def observe(self, observations: Sequence[Observation]) -> None:
+        """Consume the evaluations of the last proposal batch, in order."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot taken at a step boundary."""
+        raise NotImplementedError(f"{self.name} does not support checkpointing")
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`state` (called after :meth:`bind`)."""
+        raise NotImplementedError(f"{self.name} does not support checkpointing")
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def result(self, loop: "SearchLoop"):
+        """Fold the finished loop into the method's result object.
+
+        Default: a :class:`~repro.baselines.driver.BaselineResult` whose
+        best design is the history minimum (what every unconstrained
+        minimiser reports); SCBO overrides this with best-feasible.
+        """
+        from repro.baselines.driver import BaselineResult
+
+        best = int(np.argmin(loop.history))
+        return BaselineResult(
+            name=self.name,
+            best_levels=loop.evaluated[best],
+            best_cpi=loop.history[best],
+            history=list(loop.history),
+            evaluated=list(loop.evaluated),
+        )

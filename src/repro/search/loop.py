@@ -1,0 +1,230 @@
+"""The one budgeted HF-search loop every method runs through.
+
+The loop owns the protocol bookkeeping the four legacy per-method loops
+each reimplemented: budget accounting (distinct designs), dedup (repeat
+proposals are served from the archive and never burn budget), constraint
+filtering (unless the method opts out, SCBO-style) and stall detection.
+Each proposal batch is dispatched as **one** ``ProxyPool.evaluate_many``
+call, so multi-design steps (``propose_batch > 1``) ride the
+design-batched simulator kernel; at ``propose_batch=1`` the dispatch
+sequence is bit-identical to the old sequential loops (locked by the
+seed-history regression suite).
+
+``state()`` / ``restore()`` snapshot the loop *and* its method between
+steps as plain JSON -- including the evaluations made so far, which are
+replayed into a fresh pool's archive on restore. That is what makes a
+search resumable mid-run from a campaign checkpoint instead of only at
+run granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.proxies.interface import Evaluation, Fidelity
+from repro.proxies.pool import ProxyPool
+from repro.search.base import Observation, SearchMethod, SearchStall
+
+#: Checkpoint layout marker; bump on breaking changes.
+STATE_VERSION = 1
+
+
+class SearchLoop:
+    """Batch-first, checkpointable driver of one :class:`SearchMethod`.
+
+    Args:
+        pool: Evaluation frontend. The loop assumes it owns every
+            evaluation at ``fidelity`` on this pool (all runners build a
+            fresh pool per run), so its distinct-design count *is* the
+            budget spent.
+        method: The stepper to drive; bound to (pool, budget, rng) here.
+        hf_budget: Distinct designs the search may evaluate.
+        rng: Randomness handed to the method (the loop itself draws
+            nothing, keeping q=1 replays bit-identical).
+        propose_batch: Target designs per step (q). The method may
+            return fewer; overshoot is trimmed against the budget.
+        fidelity: Which proxy the loop dispatches to (HF by default).
+        stall_limit: Consecutive zero-fresh steps tolerated before
+            :class:`SearchStall` is raised; default ``1000 * budget`` --
+            a backstop above every method's internal guard, so legacy
+            graceful-stop behaviour is preserved while an actually
+            spinning method (the old ``driver.py`` hazard) now fails
+            loudly instead of looping forever.
+        on_step: Callback invoked after every completed step (the
+            campaign uses it to persist per-step checkpoints).
+    """
+
+    def __init__(
+        self,
+        pool: ProxyPool,
+        method: SearchMethod,
+        hf_budget: int,
+        rng: Optional[np.random.Generator] = None,
+        propose_batch: int = 1,
+        fidelity: Fidelity = Fidelity.HIGH,
+        stall_limit: Optional[int] = None,
+        on_step: Optional[Callable[["SearchLoop"], None]] = None,
+    ):
+        if propose_batch < 1:
+            raise ValueError("propose_batch must be >= 1")
+        method.check_budget(hf_budget)
+        self.pool = pool
+        self.method = method
+        self.hf_budget = int(hf_budget)
+        self.propose_batch = int(propose_batch)
+        self.fidelity = fidelity
+        self.stall_limit = (
+            int(stall_limit)
+            if stall_limit is not None
+            else 1000 * max(int(hf_budget), 1)
+        )
+        self.on_step = on_step
+        method.bind(pool, hf_budget, rng if rng is not None else np.random.default_rng())
+
+        #: Distinct designs evaluated (the budget spent so far).
+        self.spent = 0
+        #: Completed propose/observe steps.
+        self.steps = 0
+        #: Consecutive steps that produced no fresh design.
+        self.stalled = 0
+        self.done = False
+        self._seen: set = set()
+        #: Fresh-design CPI trace, in evaluation order (the per-method
+        #: ``history`` every legacy loop recorded).
+        self.history: List[float] = []
+        #: Fresh level vectors, aligned with :attr:`history`.
+        self.evaluated: List[np.ndarray] = []
+        #: Fresh evaluations (for checkpoint replay / result assembly).
+        self.evaluations: List[Evaluation] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def remaining(self) -> int:
+        """Budget left to spend."""
+        return max(self.hf_budget - self.spent, 0)
+
+    def _trim_to_budget(self, proposals: List[np.ndarray]) -> List[np.ndarray]:
+        """Longest proposal prefix whose fresh designs fit the budget."""
+        space = self.pool.space
+        trimmed: List[np.ndarray] = []
+        planned: set = set()
+        for levels in proposals:
+            key = space.flat_index(levels)
+            if key not in self._seen and key not in planned:
+                if len(planned) >= self.remaining:
+                    break
+                planned.add(key)
+            trimmed.append(levels)
+        return trimmed
+
+    def step(self) -> bool:
+        """One propose -> dispatch -> observe cycle; False when done."""
+        if self.done:
+            return False
+        k = min(self.propose_batch, self.remaining)
+        proposals = self.method.propose(k)
+        if not proposals:
+            self.done = True
+            return False
+        space = self.pool.space
+        proposals = [space.validate_levels(p) for p in proposals]
+        if self.method.filter_invalid:
+            keep = self.pool.fits_many(proposals)
+            proposals = [p for p, ok in zip(proposals, keep) if ok]
+        proposals = self._trim_to_budget(proposals)
+
+        observations: List[Observation] = []
+        fresh_any = False
+        if proposals:
+            evaluations = self.pool.evaluate_many(proposals, self.fidelity)
+            for levels, evaluation in zip(proposals, evaluations):
+                key = space.flat_index(levels)
+                fresh = key not in self._seen
+                if fresh:
+                    self._seen.add(key)
+                    self.spent += 1
+                    self.history.append(evaluation.cpi)
+                    self.evaluated.append(levels.copy())
+                    self.evaluations.append(evaluation)
+                    fresh_any = True
+                observations.append(
+                    Observation(levels=levels, evaluation=evaluation, fresh=fresh)
+                )
+        self.method.observe(observations)
+
+        self.steps += 1
+        self.stalled = 0 if fresh_any else self.stalled + 1
+        if self.stalled >= self.stall_limit:
+            raise SearchStall(
+                f"{self.method.name}: {self.stalled} consecutive steps "
+                f"without a fresh design (budget {self.spent}/{self.hf_budget})"
+            )
+        if self.spent >= self.hf_budget:
+            self.done = True
+        if self.on_step is not None:
+            self.on_step(self)
+        return not self.done
+
+    def run(self):
+        """Step until the budget is spent or the method is done."""
+        while self.step():
+            pass
+        return self.method.result(self)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """JSON snapshot of the loop + method at a step boundary."""
+        return {
+            "version": STATE_VERSION,
+            "spent": self.spent,
+            "steps": self.steps,
+            "stalled": self.stalled,
+            "done": self.done,
+            "evaluations": [
+                {
+                    "levels": [int(v) for v in evaluation.levels],
+                    "metrics": {
+                        k: float(v) for k, v in evaluation.metrics.items()
+                    },
+                }
+                for evaluation in self.evaluations
+            ],
+            "method": self.method.state(),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Rebuild loop + method + pool archive from :meth:`state`.
+
+        The recorded evaluations are replayed into the (fresh) pool's
+        archive, so repeat lookups, leaderboards and the MFRL transition
+        logic see exactly the pre-interruption world.
+        """
+        version = state.get("version")
+        if version != STATE_VERSION:
+            raise ValueError(f"unsupported search checkpoint version: {version!r}")
+        space = self.pool.space
+        self.spent = int(state["spent"])
+        self.steps = int(state["steps"])
+        self.stalled = int(state["stalled"])
+        self.done = bool(state["done"])
+        self._seen = set()
+        self.history = []
+        self.evaluated = []
+        self.evaluations = []
+        for entry in state["evaluations"]:
+            levels = space.validate_levels(entry["levels"])
+            evaluation = Evaluation(
+                levels=levels,
+                fidelity=self.fidelity,
+                metrics=dict(entry["metrics"]),
+            )
+            self.pool.archive.record(evaluation)
+            self._seen.add(space.flat_index(levels))
+            self.history.append(evaluation.cpi)
+            self.evaluated.append(levels)
+            self.evaluations.append(evaluation)
+        self.method.restore(state["method"])

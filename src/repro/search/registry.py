@@ -1,0 +1,152 @@
+"""Name-keyed method registry: every searcher is a one-line lookup.
+
+The experiments, the campaign runner and the CLI all resolve methods
+here, so adding a method is one registration call away from riding the
+whole stack (budgeted loop, batched HF dispatch, per-step checkpoints,
+campaign grids, ``repro methods``).
+
+Two kinds are registered:
+
+- ``"search"``: a plain :class:`~repro.search.base.SearchMethod`
+  factory -- :func:`make_method` instantiates it directly.
+- ``"explorer"``: the multi-fidelity FNN-MBRL flow, whose LF phase runs
+  outside the HF search loop; it is listed (and dispatched by the
+  campaign's ``explorer`` executor) but cannot be built by
+  :func:`make_method`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from repro.search.base import SearchMethod
+
+
+@dataclass(frozen=True)
+class MethodInfo:
+    """One registry entry.
+
+    Attributes:
+        name: Registry key (also the method's result label).
+        kind: ``"search"`` (plain stepper) or ``"explorer"``.
+        factory: Zero-conf constructor (kwargs forwarded).
+        description: One line for ``repro methods`` / the README table.
+    """
+
+    name: str
+    kind: str
+    factory: Callable[..., Any]
+    description: str
+
+
+_REGISTRY: Dict[str, MethodInfo] = {}
+_BUILTIN_LOADED = False
+
+
+def register_method(
+    name: str,
+    factory: Callable[..., Any],
+    kind: str = "search",
+    description: str = "",
+) -> None:
+    """Register (or replace) a method factory under ``name``."""
+    if kind not in ("search", "explorer"):
+        raise ValueError(f"unknown method kind {kind!r}")
+    _REGISTRY[name] = MethodInfo(
+        name=name, kind=kind, factory=factory, description=description
+    )
+
+
+def _load_builtin() -> None:
+    """Populate the registry with the repo's methods (lazy, idempotent)."""
+    global _BUILTIN_LOADED
+    if _BUILTIN_LOADED:
+        return
+    _BUILTIN_LOADED = True
+    from repro.baselines.adaboost import ActBoostExplorer
+    from repro.baselines.bo import BoomExplorerBaseline
+    from repro.baselines.gbrt import BagGBRTExplorer
+    from repro.baselines.random_forest import RandomForestExplorer
+    from repro.baselines.random_search import (
+        RandomSearchExplorer,
+        SimulatedAnnealingExplorer,
+    )
+    from repro.baselines.scbo import ScboExplorer
+
+    register_method(
+        "random-forest", RandomForestExplorer,
+        description="Random-Forest surrogate, greedy on predicted CPI (Fig. 5)",
+    )
+    register_method(
+        "actboost", ActBoostExplorer,
+        description="AdaBoost.R2 committee + active learning (Fig. 5)",
+    )
+    register_method(
+        "bag-gbrt", BagGBRTExplorer,
+        description="Bagging-ensembled GBRT surrogate (Fig. 5)",
+    )
+    register_method(
+        "boom-explorer", BoomExplorerBaseline,
+        description="Deep-kernel GP Bayesian optimisation, EI (Fig. 5)",
+    )
+    register_method(
+        "scbo", ScboExplorer,
+        description="Trust-region constrained BO; simulates infeasible "
+        "designs (Fig. 5)",
+    )
+    register_method(
+        "random-search", RandomSearchExplorer,
+        description="Uniform random valid designs, best-of-budget",
+    )
+    register_method(
+        "annealing", SimulatedAnnealingExplorer,
+        description="Metropolis annealing over Hamming-1 moves",
+    )
+
+    def _explorer_factory(**kwargs):
+        from repro.core.mfrl import MultiFidelityExplorer
+
+        return MultiFidelityExplorer(**kwargs)
+
+    register_method(
+        "fnn-mbrl", _explorer_factory, kind="explorer",
+        description="The paper's FNN + multi-fidelity RL flow "
+        "(LF phase -> transition -> HF search)",
+    )
+
+
+def registered_methods() -> Dict[str, MethodInfo]:
+    """All registry entries, keyed by name (builtin methods included)."""
+    _load_builtin()
+    return dict(_REGISTRY)
+
+
+def method_names(kind: str = "search") -> List[str]:
+    """Registered names of one kind, in registration order."""
+    return [n for n, info in registered_methods().items() if info.kind == kind]
+
+
+def make_method(name: str, **kwargs) -> SearchMethod:
+    """Instantiate a registered stepper method by name.
+
+    Raises:
+        KeyError: Unknown name (message lists the known ones).
+        TypeError: The name resolves to the explorer kind, which cannot
+            be driven as a plain stepper (its LF phase runs first).
+    """
+    methods = registered_methods()
+    if name not in methods:
+        raise KeyError(
+            f"unknown method {name!r}; known: {tuple(methods)}"
+        )
+    info = methods[name]
+    if info.kind != "search":
+        raise TypeError(
+            f"method {name!r} is kind {info.kind!r}; build it via its own "
+            "runner (the campaign's executor or MultiFidelityExplorer)"
+        )
+    method = info.factory(**kwargs)
+    if not isinstance(method, SearchMethod):
+        raise TypeError(f"factory for {name!r} did not build a SearchMethod")
+    return method

@@ -93,6 +93,8 @@ class TestCompare:
                 "hf_batched_speedup", "lf_vector_speedup", "simulator_mips",
                 "hf_serial_evals_per_sec", "hf_batched_evals_per_sec",
                 "trace_instructions",
+                "search_loop_q1_evals_per_sec", "search_loop_q8_evals_per_sec",
+                "search_loop_batch_speedup",
             },
             "test_bench_simulator_batched": {
                 "serial_evals_per_sec",

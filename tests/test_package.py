@@ -32,6 +32,7 @@ class TestPublicApi:
             "repro.core.fnn",
             "repro.core.mfrl",
             "repro.baselines",
+            "repro.search",
             "repro.experiments",
             "repro.campaign",
             "repro.viz",

@@ -1,0 +1,255 @@
+"""Checkpoint determinism: interrupt anywhere, resume, same history.
+
+Two layers are locked here:
+
+- ``SearchLoop.state()``/``restore()``: a run interrupted at *every*
+  step boundary -- fresh process simulated by rebuilding the pool, the
+  method and the loop from scratch and round-tripping the state through
+  JSON -- must reproduce the straight-through history bit-for-bit, for a
+  surrogate baseline, SCBO and the MFRL explorer (which additionally
+  must not re-run its LF phase on restore).
+- the campaign seam: a run killed mid-search leaves a checkpoint in the
+  ``RunStore``; re-invoking the scheduler resumes it mid-search and the
+  final record equals an uninterrupted run's record exactly.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignScheduler, RunSpec, RunStore
+from repro.campaign.store import RunCheckpoint
+from repro.core.mfrl import ExplorerConfig, MultiFidelityExplorer
+from repro.designspace import default_design_space
+from repro.proxies import AnalyticalModel, ProxyPool, SimulationProxy
+from repro.search import SearchLoop, make_method
+
+SPACE = default_design_space()
+BUDGET = 6
+TINY = ExplorerConfig(lf_episodes=25, hf_budget=5, hf_seed_designs=2)
+
+
+def json_round_trip(state):
+    """Checkpoints live on disk as JSON; restore from that form only."""
+    return json.loads(json.dumps(state))
+
+
+@pytest.fixture()
+def pool_factory(small_mm):
+    def build():
+        return ProxyPool(
+            SPACE,
+            AnalyticalModel(small_mm.profile, SPACE),
+            SimulationProxy(small_mm, SPACE),
+            area_limit_mm2=7.5,
+        )
+
+    return build
+
+
+def outcome(loop):
+    return {
+        "history": [float(v) for v in loop.history],
+        "evaluated": [[int(v) for v in levels] for levels in loop.evaluated],
+        "spent": loop.spent,
+        "steps": loop.steps,
+    }
+
+
+class TestLoopCheckpointDeterminism:
+    @pytest.mark.parametrize("name", ["random-forest", "scbo"])
+    def test_interrupt_every_step_matches_straight_run(
+        self, name, pool_factory
+    ):
+        straight = SearchLoop(
+            pool_factory(), make_method(name), BUDGET,
+            rng=np.random.default_rng(5),
+        )
+        straight_result = straight.run()
+
+        state = None
+        while True:
+            # a "fresh process": new pool, new method, new loop
+            loop = SearchLoop(
+                pool_factory(), make_method(name), BUDGET,
+                rng=np.random.default_rng(5),
+            )
+            if state is not None:
+                loop.restore(json_round_trip(state))
+            if not loop.step():
+                break
+            state = loop.state()
+
+        assert outcome(loop) == outcome(straight)
+        resumed_result = loop.method.result(loop)
+        assert float(resumed_result.best_cpi) == float(straight_result.best_cpi)
+        assert list(resumed_result.best_levels) == list(
+            straight_result.best_levels
+        )
+
+    def test_mfrl_interrupt_every_step_matches_straight_run(
+        self, pool_factory
+    ):
+        explorer = MultiFidelityExplorer(pool_factory(), config=TINY, seed=4)
+        straight_loop = explorer.hf_loop(explorer.run_lf_phase())
+        straight = straight_loop.run()
+
+        state = None
+        lf_runs = 0
+        while True:
+            resumed_explorer = MultiFidelityExplorer(
+                pool_factory(), config=TINY, seed=4
+            )
+            if state is None:
+                lf_runs += 1
+                loop = resumed_explorer.hf_loop(resumed_explorer.run_lf_phase())
+            else:
+                # restore must not need the LF phase at all
+                loop = resumed_explorer.hf_loop()
+                loop.restore(json_round_trip(state))
+            if not loop.step():
+                break
+            state = loop.state()
+
+        assert lf_runs == 1
+        resumed = resumed_explorer.hf_result(loop)
+        assert outcome(loop) == outcome(straight_loop)
+        assert float(resumed.best_hf_cpi) == float(straight.best_hf_cpi)
+        assert list(resumed.best_levels) == list(straight.best_levels)
+        assert list(resumed.lf_levels) == list(straight.lf_levels)
+        assert float(resumed.lf_hf_cpi) == float(straight.lf_hf_cpi)
+        assert resumed.hf_simulations == straight.hf_simulations
+        assert [r.final_cpi for r in resumed.hf_history] == [
+            r.final_cpi for r in straight.hf_history
+        ]
+
+    def test_restore_rebuilds_archive(self, pool_factory):
+        loop = SearchLoop(
+            pool_factory(), make_method("random-search"), 4,
+            rng=np.random.default_rng(2),
+        )
+        loop.step()
+        loop.step()
+        state = json_round_trip(loop.state())
+
+        fresh_pool = pool_factory()
+        resumed = SearchLoop(
+            fresh_pool, make_method("random-search"), 4,
+            rng=np.random.default_rng(2),
+        )
+        resumed.restore(state)
+        from repro.proxies import Fidelity
+
+        assert fresh_pool.archive.count(Fidelity.HIGH) == loop.spent
+        best = fresh_pool.archive.best(Fidelity.HIGH)
+        assert float(best.cpi) == min(loop.history)
+
+    def test_version_mismatch_rejected(self, pool_factory):
+        loop = SearchLoop(
+            pool_factory(), make_method("random-search"), 3,
+            rng=np.random.default_rng(0),
+        )
+        loop.step()
+        state = loop.state()
+        state["version"] = 99
+        with pytest.raises(ValueError, match="checkpoint version"):
+            loop.restore(state)
+
+
+class _KilledMidRun(Exception):
+    """Stands in for a campaign process dying between two steps."""
+
+
+def _kill_after(monkeypatch, saves):
+    """Let the executor checkpoint ``saves`` times, then die."""
+    counter = {"n": 0}
+    original = RunCheckpoint.save
+
+    def wrapper(self, state):
+        original(self, state)
+        counter["n"] += 1
+        if counter["n"] >= saves:
+            raise _KilledMidRun()
+
+    monkeypatch.setattr(RunCheckpoint, "save", wrapper)
+    return counter
+
+
+BASELINE_SPEC = RunSpec(
+    run_id="ckpt-baseline",
+    kind="baseline",
+    method="random-forest",
+    seed=0,
+    workload="mm",
+    data_size=10,
+    area_limit_mm2=7.5,
+    hf_budget=8,
+    params={"rng_seed": 7},
+)
+
+EXPLORER_SPEC = RunSpec(
+    run_id="ckpt-explorer",
+    kind="explorer",
+    method="fnn-mbrl",
+    seed=1,
+    workload="mm",
+    data_size=10,
+    area_limit_mm2=7.5,
+    explorer={
+        "lf_episodes": 25, "lf_min_episodes": 120, "lf_check_every": 10,
+        "lf_patience": 3, "hf_budget": 5, "hf_seed_designs": 2,
+        "trainer": {"lr_consequents": 1.0, "lr_centers": 0.05,
+                    "temperature": 1.0, "epsilon": 0.05, "max_steps": 256},
+    },
+)
+
+
+class TestCampaignMidRunResume:
+    @pytest.mark.parametrize(
+        "spec,saves",
+        [(BASELINE_SPEC, 2), (EXPLORER_SPEC, 2)],
+        ids=["baseline", "explorer"],
+    )
+    def test_killed_run_resumes_mid_search(
+        self, spec, saves, tmp_path, monkeypatch
+    ):
+        # Reference: the same spec, never interrupted.
+        reference = CampaignScheduler(store=RunStore(tmp_path / "ref")).run(
+            [spec]
+        )
+        ref_payload = reference.records[spec.run_id]["payload"]
+
+        store = RunStore(tmp_path / "campaign")
+        scheduler = CampaignScheduler(store=store)
+        _kill_after(monkeypatch, saves)
+        with pytest.raises(_KilledMidRun):
+            scheduler.run([spec])
+        monkeypatch.undo()
+
+        # The kill left a mid-search checkpoint and no completed record.
+        assert store.load_checkpoint(spec.run_id) is not None
+        assert store.completed(spec) is None
+
+        resumed = CampaignScheduler(store=store).run([spec])
+        assert resumed.records[spec.run_id]["payload"] == ref_payload
+        # The finished run cleans its checkpoint up.
+        assert store.load_checkpoint(spec.run_id) is None
+        # And the resumed process really did only the remaining work:
+        # fewer HF simulations than the full budget.
+        engine = resumed.records[spec.run_id]["engine"]
+        assert engine["hf_evaluations"] < ref_payload_budget(spec)
+
+    def test_checkpoint_invalidated_by_spec_edit(self, tmp_path):
+        store = RunStore(tmp_path)
+        checkpoint = RunCheckpoint(store, BASELINE_SPEC)
+        checkpoint.save({"version": 1, "anything": True})
+        assert checkpoint.load() == {"version": 1, "anything": True}
+        edited = RunSpec(**{**BASELINE_SPEC.to_json(), "hf_budget": 9})
+        assert RunCheckpoint(store, edited).load() is None
+
+
+def ref_payload_budget(spec):
+    if spec.kind == "baseline":
+        return spec.hf_budget
+    return spec.explorer["hf_budget"]

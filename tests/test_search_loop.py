@@ -1,0 +1,245 @@
+"""Unit tests for the unified search layer: loop, protocol, registry."""
+
+import numpy as np
+import pytest
+
+from repro.designspace import default_design_space
+from repro.experiments.common import run_search
+from repro.proxies import Fidelity
+from repro.search import (
+    SearchLoop,
+    SearchMethod,
+    SearchStall,
+    make_method,
+    method_names,
+    registered_methods,
+)
+
+SPACE = default_design_space()
+
+
+class ScriptedMethod(SearchMethod):
+    """Proposes pre-scripted batches; records everything it observes."""
+
+    name = "scripted"
+
+    def __init__(self, script, filter_invalid=True):
+        super().__init__()
+        self.script = [
+            [np.asarray(levels, dtype=np.int64) for levels in batch]
+            for batch in script
+        ]
+        self.filter_invalid = filter_invalid
+
+    def reset(self):
+        self._next = 0
+        self.observed = []
+
+    def propose(self, k):
+        if self._next >= len(self.script):
+            return []
+        batch = self.script[self._next]
+        self._next += 1
+        return list(batch)
+
+    def observe(self, observations):
+        self.observed.append(list(observations))
+
+    def result(self, loop):
+        return loop
+
+
+def tiny_designs(count):
+    """Distinct small (area-valid) designs: smallest plus one +1 bump."""
+    out = [SPACE.smallest()]
+    for i in range(count - 1):
+        levels = SPACE.smallest()
+        levels[i % SPACE.num_parameters] += 1
+        if not any(np.array_equal(levels, seen) for seen in out):
+            out.append(levels)
+    return out[:count]
+
+
+class TestLoopProtocol:
+    def test_budget_accounting_and_history(self, mm_pool):
+        designs = tiny_designs(4)
+        method = ScriptedMethod([[d] for d in designs])
+        loop = SearchLoop(mm_pool, method, hf_budget=3)
+        loop.run()
+        assert loop.spent == 3
+        assert loop.done
+        assert len(loop.history) == 3
+        assert [tuple(l) for l in loop.evaluated] == [
+            tuple(d) for d in designs[:3]
+        ]
+        assert mm_pool.archive.count(Fidelity.HIGH) == 3
+
+    def test_duplicates_do_not_burn_budget(self, mm_pool):
+        a, b = tiny_designs(2)
+        method = ScriptedMethod([[a], [a], [b]])
+        loop = SearchLoop(mm_pool, method, hf_budget=2)
+        loop.run()
+        assert loop.spent == 2
+        # the repeat was still observed (methods may need its CPI), just
+        # not fresh
+        assert method.observed[1][0].fresh is False
+        assert method.observed[0][0].fresh is True
+        assert mm_pool.hf_evaluations == 2  # archive served the repeat
+
+    def test_constraint_filtering_drops_invalid(self, mm_pool):
+        valid = SPACE.smallest()
+        invalid = SPACE.largest()  # ~25 mm^2 >> the 7.5 budget
+        method = ScriptedMethod([[invalid, valid]])
+        loop = SearchLoop(mm_pool, method, hf_budget=2)
+        loop.step()
+        assert loop.spent == 1
+        assert [tuple(l) for l in loop.evaluated] == [tuple(valid)]
+
+    def test_filter_opt_out_simulates_invalid(self, mm_pool):
+        invalid = SPACE.largest()
+        method = ScriptedMethod([[invalid]], filter_invalid=False)
+        loop = SearchLoop(mm_pool, method, hf_budget=1)
+        loop.run()
+        assert loop.spent == 1
+        assert not mm_pool.fits(loop.evaluated[0])
+
+    def test_overshoot_trimmed_to_budget(self, mm_pool):
+        designs = tiny_designs(5)
+        method = ScriptedMethod([designs])  # one batch of 5, budget 3
+        loop = SearchLoop(mm_pool, method, hf_budget=3)
+        loop.run()
+        assert loop.spent == 3
+        assert [tuple(l) for l in loop.evaluated] == [
+            tuple(d) for d in designs[:3]
+        ]
+
+    def test_empty_proposal_ends_run(self, mm_pool):
+        method = ScriptedMethod([[SPACE.smallest()]])  # script runs dry
+        loop = SearchLoop(mm_pool, method, hf_budget=5)
+        loop.run()
+        assert loop.done
+        assert loop.spent == 1
+
+    def test_stalled_steps_raise(self, mm_pool):
+        seen = SPACE.smallest()
+        method = ScriptedMethod([[seen]] * 50)
+        loop = SearchLoop(mm_pool, method, hf_budget=2, stall_limit=3)
+        with pytest.raises(SearchStall, match="consecutive steps"):
+            loop.run()
+
+    def test_on_step_fires_each_step(self, mm_pool):
+        steps = []
+        method = ScriptedMethod([[d] for d in tiny_designs(3)])
+        loop = SearchLoop(
+            mm_pool, method, hf_budget=3, on_step=lambda lp: steps.append(lp.spent)
+        )
+        loop.run()
+        assert steps == [1, 2, 3]
+
+    def test_propose_batch_rejects_zero(self, mm_pool):
+        with pytest.raises(ValueError):
+            SearchLoop(mm_pool, ScriptedMethod([]), hf_budget=1, propose_batch=0)
+
+
+class TestBatchedProposals:
+    @pytest.mark.parametrize("name", ["random-search", "random-forest", "scbo"])
+    def test_methods_honour_propose_batch(self, name, mm_pool, rng):
+        result = run_search(mm_pool, name, 8, rng=rng, propose_batch=4)
+        assert len(result.history) == 8
+        # Batched steps mean strictly fewer dispatches than evaluations.
+        assert mm_pool.archive.count(Fidelity.HIGH) >= 8
+
+    def test_chain_method_steps_single(self, mm_pool, rng):
+        # Annealing is a chain: a batch hint must not break the chain
+        # semantics (it just proposes one design per step).
+        result = run_search(mm_pool, "annealing", 5, rng=rng, propose_batch=4)
+        assert len(result.history) == 5
+
+
+class TestSurrogateStallGuard:
+    def test_widened_pool_then_raise(self, mm_pool, rng):
+        method = make_method("random-forest", num_initial=2)
+        loop = SearchLoop(mm_pool, method, hf_budget=4, rng=rng)
+        loop.step()  # seed batch
+        pinned = loop.evaluated[0].copy()
+        sizes = []
+
+        def stuck_sample(pool, rng, count, max_tries=50):
+            sizes.append(count)
+            return np.array([pinned])
+
+        method._sample_valid = stuck_sample
+        with pytest.raises(SearchStall, match="no unseen valid candidate"):
+            loop.step()
+        # each retry doubled the candidate pool before giving up
+        assert sizes == [2000 * 2 ** i for i in range(method.MAX_STALL_RETRIES)]
+
+
+class TestRegistry:
+    def test_all_stock_methods_listed(self):
+        assert set(method_names()) == {
+            "random-forest", "actboost", "bag-gbrt", "boom-explorer",
+            "scbo", "random-search", "annealing",
+        }
+        assert method_names("explorer") == ["fnn-mbrl"]
+
+    def test_descriptions_present(self):
+        for info in registered_methods().values():
+            assert info.description
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown method"):
+            make_method("gpt-dse")
+
+    def test_explorer_kind_not_instantiable_as_stepper(self):
+        with pytest.raises(TypeError, match="kind 'explorer'"):
+            make_method("fnn-mbrl")
+
+    def test_factory_kwargs_forwarded(self):
+        method = make_method("random-forest", num_initial=3, pool_size=50)
+        assert method.num_initial == 3
+        assert method.pool_size == 50
+
+
+class TestVectorisedConstraint:
+    def test_fits_many_matches_scalar_exactly(self, mm_pool, rng):
+        block = np.vstack(
+            [SPACE.sample(rng, count=500), SPACE.smallest(), SPACE.largest()]
+        )
+        scalar_area = np.array([mm_pool.area(levels) for levels in block])
+        assert (mm_pool.area_many(block) == scalar_area).all()
+        scalar_fits = np.array([mm_pool.fits(levels) for levels in block])
+        assert (mm_pool.fits_many(block) == scalar_fits).all()
+
+    def test_empty_block(self, mm_pool):
+        assert mm_pool.fits_many(np.zeros((0, SPACE.num_parameters))).shape == (0,)
+        # a plain empty list must behave the same (an annealing step with
+        # no valid neighbours produces exactly this)
+        assert mm_pool.fits_many([]).shape == (0,)
+        assert mm_pool.area_many([]).shape == (0,)
+
+    def test_values_batch_matches_scalar(self, rng):
+        block = SPACE.sample(rng, count=64)
+        batch = SPACE.values_batch(block)
+        for row, levels in zip(batch, block):
+            assert (row == SPACE.values(levels)).all()
+
+    def test_values_batch_validates(self):
+        with pytest.raises(ValueError, match="shape"):
+            SPACE.values_batch(np.zeros((3, 2), dtype=np.int64))
+        bad = np.zeros((1, SPACE.num_parameters), dtype=np.int64)
+        bad[0, 0] = 99
+        with pytest.raises(ValueError, match="out of range"):
+            SPACE.values_batch(bad)
+
+
+class TestRunSearchHelper:
+    def test_accepts_name_and_int_seed(self, mm_pool):
+        result = run_search(mm_pool, "random-search", 3, rng=7)
+        assert result.name == "random-search"
+        assert len(result.history) == 3
+
+    def test_accepts_method_instance(self, mm_pool, rng):
+        method = make_method("random-search")
+        result = run_search(mm_pool, method, 3, rng=rng)
+        assert len(result.history) == 3
