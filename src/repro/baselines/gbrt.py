@@ -25,6 +25,8 @@ class GradientBoostedTrees:
         max_depth: Weak-learner depth.
         subsample: Row-sampling fraction per stage (stochastic GB).
         rng: Randomness for subsampling.
+        fast_splits: Prefix-sum split scan for the weak learners (the
+            learned tier's large-corpus fits; not bit-equal to default).
     """
 
     def __init__(
@@ -34,6 +36,7 @@ class GradientBoostedTrees:
         max_depth: int = 3,
         subsample: float = 1.0,
         rng: Optional[np.random.Generator] = None,
+        fast_splits: bool = False,
     ):
         if not 0 < learning_rate <= 1:
             raise ValueError("learning_rate must be in (0, 1]")
@@ -43,6 +46,7 @@ class GradientBoostedTrees:
         self.learning_rate = learning_rate
         self.max_depth = max_depth
         self.subsample = subsample
+        self.fast_splits = fast_splits
         self._rng = rng or np.random.default_rng(0)
         self._base: float = 0.0
         self._trees: List[RegressionTree] = []
@@ -61,7 +65,11 @@ class GradientBoostedTrees:
                 idx = self._rng.choice(n, size=size, replace=False)
             else:
                 idx = np.arange(n)
-            tree = RegressionTree(max_depth=self.max_depth, rng=self._rng)
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                rng=self._rng,
+                fast_splits=self.fast_splits,
+            )
             tree.fit(x[idx], residual[idx])
             update = tree.predict(x)
             residual -= self.learning_rate * update
@@ -87,11 +95,15 @@ class BaggedGBRT:
         num_bags: int = 8,
         num_estimators: int = 30,
         rng: Optional[np.random.Generator] = None,
+        fast_splits: bool = False,
+        max_depth: int = 3,
     ):
         if num_bags < 1:
             raise ValueError("num_bags must be >= 1")
         self.num_bags = num_bags
         self.num_estimators = num_estimators
+        self.fast_splits = fast_splits
+        self.max_depth = max_depth
         self._rng = rng or np.random.default_rng(0)
         self._models: List[GradientBoostedTrees] = []
 
@@ -104,7 +116,10 @@ class BaggedGBRT:
         for __ in range(self.num_bags):
             idx = self._rng.integers(0, n, size=n)
             model = GradientBoostedTrees(
-                num_estimators=self.num_estimators, rng=self._rng
+                num_estimators=self.num_estimators,
+                max_depth=self.max_depth,
+                rng=self._rng,
+                fast_splits=self.fast_splits,
             )
             model.fit(x[idx], y[idx])
             self._models.append(model)

@@ -18,6 +18,8 @@ class RandomForest:
         max_depth: Per-tree depth bound.
         max_features: Features per split (None = sqrt(d), Breiman's rule).
         rng: Randomness for bootstrap resampling and feature subsets.
+        fast_splits: Prefix-sum split scan (the learned tier's
+            large-corpus fits; not bit-equal to the default scan).
     """
 
     def __init__(
@@ -26,12 +28,14 @@ class RandomForest:
         max_depth: int = 6,
         max_features: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        fast_splits: bool = False,
     ):
         if num_trees < 1:
             raise ValueError("num_trees must be >= 1")
         self.num_trees = num_trees
         self.max_depth = max_depth
         self.max_features = max_features
+        self.fast_splits = fast_splits
         self._rng = rng or np.random.default_rng(0)
         self._trees: List[RegressionTree] = []
 
@@ -48,6 +52,7 @@ class RandomForest:
                 max_depth=self.max_depth,
                 max_features=max_features,
                 rng=self._rng,
+                fast_splits=self.fast_splits,
             )
             tree.fit(x[idx], y[idx])
             self._trees.append(tree)

@@ -2,7 +2,19 @@
 
 Plain binary-split variance-reduction trees over the normalised level
 representation. The datasets here are tiny (a 10-simulation budget), so
-clarity wins over asymptotics: splits are found by exhaustive scan.
+clarity wins over asymptotics: splits are found by exhaustive scan by
+default. The learned cost-model tier fits on store corpora that are three
+orders of magnitude larger, so two fast paths exist on top of the same
+tree structure:
+
+* prediction always descends a flattened array representation of the
+  fitted tree (identical float comparisons and leaf values to the node
+  walk, so bit-identical results -- locked by the seed-history suite);
+* ``fast_splits=True`` switches the split scan to a weighted prefix-sum
+  formulation, O(n log n) per feature instead of O(n^2). Its scores are
+  algebraically equal but *not* bit-equal to the exhaustive scan's
+  (different summation order), so it stays opt-in and the regression
+  baselines keep the legacy scan.
 """
 
 from __future__ import annotations
@@ -37,6 +49,7 @@ class RegressionTree:
         max_features: Features considered per split (None = all); the
             random-forest wrapper sets this for decorrelation.
         rng: Randomness for feature subsampling.
+        fast_splits: Use the prefix-sum split scan (see module docstring).
     """
 
     def __init__(
@@ -45,6 +58,7 @@ class RegressionTree:
         min_samples_leaf: int = 1,
         max_features: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        fast_splits: bool = False,
     ):
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")
@@ -53,8 +67,10 @@ class RegressionTree:
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
+        self.fast_splits = fast_splits
         self._rng = rng or np.random.default_rng(0)
         self._root: Optional[_Node] = None
+        self._flat: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -78,7 +94,41 @@ class RegressionTree:
         if np.any(w < 0) or w.sum() <= 0:
             raise ValueError("sample weights must be non-negative, not all zero")
         self._root = self._build(x, y, w, depth=0)
+        self._flat = self._flatten(self._root)
         return self
+
+    @staticmethod
+    def _flatten(root: _Node) -> tuple:
+        """Array form of the tree: (feature, threshold, left, right, value).
+
+        Leaves carry ``feature == -1``. Values and thresholds are the
+        node floats verbatim, so array descent makes the exact same
+        comparisons as the node walk.
+        """
+        nodes: list = []
+
+        def visit(node: _Node) -> int:
+            index = len(nodes)
+            nodes.append(node)
+            if not node.is_leaf:
+                node._left_index = visit(node.left)
+                node._right_index = visit(node.right)
+            return index
+
+        visit(root)
+        feature = np.full(len(nodes), -1, dtype=np.intp)
+        threshold = np.zeros(len(nodes))
+        left = np.zeros(len(nodes), dtype=np.intp)
+        right = np.zeros(len(nodes), dtype=np.intp)
+        value = np.empty(len(nodes))
+        for i, node in enumerate(nodes):
+            value[i] = node.value
+            if not node.is_leaf:
+                feature[i] = node.feature
+                threshold[i] = node.threshold
+                left[i] = node._left_index
+                right[i] = node._right_index
+        return feature, threshold, left, right, value
 
     def _build(self, x: np.ndarray, y: np.ndarray, w: np.ndarray, depth: int) -> _Node:
         value = float(np.average(y, weights=w))
@@ -106,6 +156,8 @@ class RegressionTree:
         features = np.arange(d)
         if self.max_features is not None and self.max_features < d:
             features = self._rng.choice(d, size=self.max_features, replace=False)
+        if self.fast_splits:
+            return self._best_split_fast(x, y, w, features)
         best = None
         best_score = np.inf
         for feature in features:
@@ -131,6 +183,50 @@ class RegressionTree:
                     best = (int(feature), float((xs[i - 1] + xs[i]) / 2.0))
         return best
 
+    def _best_split_fast(
+        self, x: np.ndarray, y: np.ndarray, w: np.ndarray, features: np.ndarray
+    ):
+        """Prefix-sum split scan: O(n log n) per feature.
+
+        Weighted SSE of a segment is ``sum(w*y^2) - sum(w*y)^2 / sum(w)``,
+        so left/right scores at every cut come from three cumulative
+        sums. Within a feature ties break to the smallest cut index and
+        across features to the earliest feature (both matching the
+        exhaustive scan's first-wins rule), but the scores themselves
+        round differently -- hence opt-in.
+        """
+        n = len(y)
+        lo, hi = self.min_samples_leaf, n - self.min_samples_leaf
+        if lo > hi:
+            return None
+        best = None
+        best_score = np.inf
+        cuts = np.arange(lo, hi + 1)
+        for feature in features:
+            order = np.argsort(x[:, feature], kind="stable")
+            xs, ys, ws = x[order, feature], y[order], w[order]
+            cw = np.cumsum(ws)
+            cwy = np.cumsum(ws * ys)
+            cwy2 = np.cumsum(ws * ys * ys)
+            sl = cw[cuts - 1]
+            sr = cw[-1] - sl
+            valid = (xs[cuts] != xs[cuts - 1]) & (sl > 0) & (sr > 0)
+            if not valid.any():
+                continue
+            syl = cwy[cuts - 1]
+            syl2 = cwy2[cuts - 1]
+            syr = cwy[-1] - syl
+            syr2 = cwy2[-1] - syl2
+            with np.errstate(divide="ignore", invalid="ignore"):
+                score = (syl2 - syl * syl / sl) + (syr2 - syr * syr / sr)
+            score = np.where(valid, score, np.inf)
+            at = int(np.argmin(score))  # first occurrence on ties
+            if score[at] < best_score:
+                best_score = float(score[at])
+                i = int(cuts[at])
+                best = (int(feature), float((xs[i - 1] + xs[i]) / 2.0))
+        return best
+
     # ------------------------------------------------------------------
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Predicted values, shape ``(n,)``."""
@@ -139,13 +235,15 @@ class RegressionTree:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim == 1:
             x = x[None, :]
-        out = np.empty(len(x))
-        for i, row in enumerate(x):
-            node = self._root
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            out[i] = node.value
-        return out
+        feature, threshold, left, right, value = self._flat
+        node = np.zeros(len(x), dtype=np.intp)
+        internal = np.nonzero(feature[node] >= 0)[0]
+        while len(internal):
+            at = node[internal]
+            go_left = x[internal, feature[at]] <= threshold[at]
+            node[internal] = np.where(go_left, left[at], right[at])
+            internal = internal[feature[node[internal]] >= 0]
+        return value[node]
 
     @property
     def depth(self) -> int:

@@ -17,6 +17,10 @@ HEADLINE_COUNTERS = (
     ("engine_computed_low", "computed LF"),
     ("engine_computed_high", "computed HF"),
     ("engine_cache_hits", "cache hits"),
+    # Learned-tier efficacy: queries answered by the cost model vs
+    # queries that fell back to the simulator (zero unless --tier is on).
+    ("engine_tier_served", "tier served"),
+    ("engine_tier_fallback", "tier fallback"),
     # Phase-1 memo efficacy: how many simulator pre-passes were replayed
     # from the memo instead of rebuilt (per run, summed over the grid).
     ("engine_prepass_hits", "prepass hits"),

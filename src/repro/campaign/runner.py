@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.campaign.spec import RunSpec, explorer_config_from_dict
 from repro.campaign.store import STATUS_DONE, RunCheckpoint, RunStore
+from repro.engine.config import EngineConfig
 
 #: spec.workload value selecting the suite-average general-purpose pool.
 SUITE_WORKLOAD = "suite"
@@ -40,18 +41,45 @@ def executor(kind: str) -> Callable[[Executor], Executor]:
     return register
 
 
+def _resolve_engine_config(
+    engine_config,
+    cache_dir,
+    engine_workers: int,
+    hf_backend,
+    hf_batch,
+) -> EngineConfig:
+    """The one :class:`EngineConfig` a run executes under.
+
+    ``engine_config`` may be the dataclass itself or its ``to_json()``
+    dict (the form the scheduler ships across the process boundary);
+    when absent, the legacy loose kwargs are folded into one.
+    """
+    if isinstance(engine_config, EngineConfig):
+        return engine_config
+    if engine_config is not None:
+        return EngineConfig.from_json(engine_config)
+    return EngineConfig(
+        workers=engine_workers,
+        cache_dir=None if cache_dir is None else str(cache_dir),
+        hf_backend=hf_backend,
+        hf_batch=hf_batch,
+    )
+
+
 def build_pool_for(
     spec: RunSpec,
     cache_dir=None,
     engine_workers: int = 0,
     hf_backend=None,
     hf_batch=None,
+    engine_config=None,
 ):
     """The proxy pool a spec's run evaluates against.
 
     Built from the spec exactly like the sequential experiment loops
     built theirs, so a ``workers=0`` campaign is bit-identical to the
-    pre-campaign code path.
+    pre-campaign code path. ``engine_config`` (an
+    :class:`EngineConfig` or its JSON dict) supersedes the loose kwargs.
     """
     from repro.experiments.common import (
         GENERAL_PURPOSE_LIMIT,
@@ -59,6 +87,9 @@ def build_pool_for(
         build_suite_pool,
     )
 
+    config = _resolve_engine_config(
+        engine_config, cache_dir, engine_workers, hf_backend, hf_batch
+    )
     if spec.workload == SUITE_WORKLOAD:
         return build_suite_pool(
             area_limit_mm2=(
@@ -68,20 +99,14 @@ def build_pool_for(
             ),
             scale=spec.scale,
             workload_seed=spec.workload_seed,
-            workers=engine_workers,
-            cache_dir=cache_dir,
-            hf_backend=hf_backend,
-            hf_batch=hf_batch,
+            engine=config,
         )
     return build_pool(
         spec.workload,
         area_limit_mm2=spec.area_limit_mm2,
         data_size=spec.data_size,
         workload_seed=spec.workload_seed,
-        workers=engine_workers,
-        cache_dir=cache_dir,
-        hf_backend=hf_backend,
-        hf_batch=hf_batch,
+        engine=config,
     )
 
 
@@ -92,6 +117,7 @@ def execute_run(
     hf_backend=None,
     hf_batch=None,
     store: Optional[RunStore] = None,
+    engine_config=None,
 ) -> Dict[str, Any]:
     """Execute one spec; returns its completed store record.
 
@@ -99,20 +125,24 @@ def execute_run(
     checkpoint under it and resume mid-search from any matching
     checkpoint left by a killed campaign; the checkpoint is cleared once
     the run's payload is complete.
+
+    ``engine_config`` is the per-run evaluation config -- an
+    :class:`EngineConfig` or its ``to_json()`` dict (what the scheduler
+    sends across the process boundary). The loose kwargs remain as a
+    deprecated-in-spirit compatibility path and are ignored when it is
+    given. The resolved config is embedded in the record under
+    ``"engine_config"`` so reports can tell tiered runs apart.
     """
     fn = _EXECUTORS.get(spec.kind)
     if fn is None:
         raise ValueError(
             f"unknown run kind {spec.kind!r}; known: {sorted(_EXECUTORS)}"
         )
-    start = time.perf_counter()
-    pool = build_pool_for(
-        spec,
-        cache_dir=cache_dir,
-        engine_workers=engine_workers,
-        hf_backend=hf_backend,
-        hf_batch=hf_batch,
+    config = _resolve_engine_config(
+        engine_config, cache_dir, engine_workers, hf_backend, hf_batch
     )
+    start = time.perf_counter()
+    pool = build_pool_for(spec, engine_config=config)
     checkpoint = RunCheckpoint(store, spec) if store is not None else None
     payload = fn(spec, pool, checkpoint)
     if checkpoint is not None:
@@ -124,6 +154,7 @@ def execute_run(
         "engine": {
             k: v for k, v in pool.summary().items() if isinstance(v, (int, float))
         },
+        "engine_config": config.to_json(),
         "elapsed_s": time.perf_counter() - start,
     }
 

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.campaign.runner import execute_run
 from repro.campaign.spec import RunSpec
 from repro.campaign.store import RunStore
+from repro.engine.config import EngineConfig
 
 
 @dataclass
@@ -62,11 +63,14 @@ def make_scheduler(
     resume: bool = True,
     hf_backend=None,
     hf_batch=None,
+    engine: Optional[EngineConfig] = None,
 ) -> "CampaignScheduler":
     """The scheduler an experiment runner builds when none was injected.
 
     One place for the store/cache wiring every ``run_*`` entry point
-    shares; ``campaign_dir=None`` keeps records in memory only.
+    shares; ``campaign_dir=None`` keeps records in memory only. An
+    explicit ``engine`` config supersedes the loose evaluation kwargs
+    (``cache_dir`` / ``hf_backend`` / ``hf_batch``).
     """
     return CampaignScheduler(
         workers=workers,
@@ -75,6 +79,7 @@ def make_scheduler(
         resume=resume,
         hf_backend=hf_backend,
         hf_batch=hf_batch,
+        engine_config=engine,
     )
 
 
@@ -96,6 +101,10 @@ class CampaignScheduler:
             :func:`repro.engine.make_backend`; None = auto).
         hf_batch: Designs per design-batched simulator walk inside each
             run (None = kernel default).
+        engine_config: The full per-run :class:`EngineConfig` (store
+            backend, learned tier, ...). Supersedes ``cache_dir`` /
+            ``engine_workers`` / ``hf_backend`` / ``hf_batch``, which are
+            folded into one when it is absent.
     """
 
     def __init__(
@@ -108,15 +117,26 @@ class CampaignScheduler:
         engine_workers: int = 0,
         hf_backend=None,
         hf_batch=None,
+        engine_config: Optional[EngineConfig] = None,
     ):
         self.workers = max(int(workers), 0)
         self.store = store
-        self.cache_dir = cache_dir
         self.resume = resume
         self.progress = progress
-        self.engine_workers = engine_workers
-        self.hf_backend = hf_backend
-        self.hf_batch = hf_batch
+        if engine_config is None:
+            engine_config = EngineConfig(
+                workers=engine_workers,
+                cache_dir=None if cache_dir is None else str(cache_dir),
+                hf_backend=hf_backend,
+                hf_batch=hf_batch,
+            )
+        #: Per-run evaluation config, shipped to workers as plain JSON.
+        self.engine_config = engine_config
+        # Legacy attribute views, derived from the config.
+        self.cache_dir = engine_config.cache_dir
+        self.engine_workers = engine_config.workers
+        self.hf_backend = engine_config.hf_backend
+        self.hf_batch = engine_config.hf_batch
         #: The most recent :class:`CampaignResult` (for summary printing).
         self.last: Optional[CampaignResult] = None
 
@@ -200,10 +220,7 @@ class CampaignScheduler:
             try:
                 record = execute_run(
                     spec,
-                    cache_dir=self.cache_dir,
-                    engine_workers=self.engine_workers,
-                    hf_backend=self.hf_backend,
-                    hf_batch=self.hf_batch,
+                    engine_config=self.engine_config.to_json(),
                     store=self.store,
                 )
             except Exception as error:
@@ -225,10 +242,7 @@ class CampaignScheduler:
                 executor.submit(
                     execute_run,
                     spec,
-                    cache_dir=self.cache_dir,
-                    engine_workers=self.engine_workers,
-                    hf_backend=self.hf_backend,
-                    hf_batch=self.hf_batch,
+                    engine_config=self.engine_config.to_json(),
                     store=self.store,
                 ): spec
                 for spec in pending

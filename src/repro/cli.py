@@ -13,22 +13,29 @@ One subcommand per paper artefact plus a quick end-to-end run:
 - ``methods``  list the registered search methods.
 - ``sweep``    area-budget frontier of the explorer.
 - ``campaign`` parallel, resumable runs of a whole experiment grid.
+- ``store``    inspect/compact/merge/migrate a persistent evaluation
+  store (the ``--cache-dir`` of the simulating commands).
 
 All commands accept ``--fast`` to shrink budgets/problem sizes for smoke
 runs, and print to stdout (pipe to a file to archive results). Commands
 that simulate (``table2``, ``fig5``, ``explore``, ``sweep``,
-``campaign``) also accept ``--workers N`` (process-pool size: across
-runs for the grid commands, across high-fidelity batches for
+``campaign``) share one set of evaluation flags, parsed **once** into an
+:class:`~repro.engine.EngineConfig`: ``--workers N`` (process-pool size:
+across runs for the grid commands, across high-fidelity batches for
 ``explore``), ``--cache-dir DIR`` (persistent cross-run evaluation
-cache), ``--hf-backend {auto,batched,process,serial}`` (how HF batches
-execute; the default engages the design-batched simulator kernel for
-wide batches), ``--hf-batch N`` (designs per batched walk) and
+store), ``--store-backend {auto,sharded,sqlite}`` (store layout),
+``--hf-backend {auto,batched,process,serial}`` (how HF batches execute;
+the default engages the design-batched simulator kernel for wide
+batches), ``--hf-batch N`` (designs per batched walk),
 ``--propose-batch Q`` (designs each search proposes per step -- every
 proposal batch is one HF dispatch; 1 reproduces the sequential paper
-protocol exactly). ``campaign`` additionally takes ``--campaign-dir
-DIR`` (one JSON record per run plus per-step search checkpoints) and
-``--resume`` (skip completed runs and continue interrupted ones
-mid-search).
+protocol exactly) and ``--tier {off,gbrt,rf}`` (learned cost-model
+fidelity tier over the store corpus; off by default, so results stay
+bit-identical to the simulator pipeline). ``campaign`` additionally
+takes ``--campaign-dir DIR`` (one JSON record per run plus per-step
+search checkpoints), ``--resume`` (skip completed runs and continue
+interrupted ones mid-search) and ``--merge-store DIR`` (fold another
+host's evaluation store into ``--cache-dir`` before scheduling).
 """
 
 from __future__ import annotations
@@ -57,6 +64,23 @@ def _fast_config() -> ExplorerConfig:
                           hf_seed_designs=2)
 
 
+def _engine_config(args: argparse.Namespace, engine_workers=None):
+    """The one ``EngineConfig`` a command builds from its parsed flags.
+
+    Grid commands pass ``engine_workers=0``: there ``--workers`` sizes
+    the *campaign* process pool, and the engine inside each run stays
+    serial (the campaign level owns parallelism).
+    """
+    from dataclasses import replace
+
+    from repro.engine import EngineConfig
+
+    config = EngineConfig.from_args(args)
+    if engine_workers is not None and engine_workers != config.workers:
+        config = replace(config, workers=engine_workers)
+    return config
+
+
 # ----------------------------------------------------------------------
 # Subcommand implementations
 # ----------------------------------------------------------------------
@@ -78,9 +102,7 @@ def cmd_table2(args: argparse.Namespace, scheduler=None) -> int:
         data_sizes=FAST_SIZES if args.fast else None,
         propose_batch=args.propose_batch,
         workers=args.workers,
-        cache_dir=args.cache_dir,
-        hf_backend=args.hf_backend,
-        hf_batch=args.hf_batch,
+        engine=_engine_config(args, engine_workers=0),
         scheduler=scheduler,
     )
     print(render_table2(rows))
@@ -96,9 +118,7 @@ def cmd_fig5(args: argparse.Namespace, scheduler=None) -> int:
         scale=0.25 if args.fast else 1.0,
         propose_batch=args.propose_batch,
         workers=args.workers,
-        cache_dir=args.cache_dir,
-        hf_backend=args.hf_backend,
-        hf_batch=args.hf_batch,
+        engine=_engine_config(args, engine_workers=0),
         scheduler=scheduler,
     )
     print("Fig. 5 -- mean best CPI (lower is better):")
@@ -164,10 +184,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
     pool = build_pool(
         args.benchmark,
         data_size=FAST_SIZES.get(args.benchmark) if args.fast else None,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        hf_backend=args.hf_backend,
-        hf_batch=args.hf_batch,
+        engine=_engine_config(args),
     )
     space = pool.space
     print(f"benchmark: {args.benchmark}  "
@@ -230,9 +247,7 @@ def cmd_sweep(args: argparse.Namespace, scheduler=None) -> int:
         data_size=FAST_SIZES.get(args.benchmark) if args.fast else None,
         propose_batch=args.propose_batch,
         workers=args.workers,
-        cache_dir=args.cache_dir,
-        hf_backend=args.hf_backend,
-        hf_batch=args.hf_batch,
+        engine=_engine_config(args, engine_workers=0),
         scheduler=scheduler,
     )
     print(render_sweep(points))
@@ -257,6 +272,19 @@ CAMPAIGN_EXPERIMENTS = {
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro import campaign
 
+    if args.merge_store:
+        if args.cache_dir is None:
+            print("--merge-store requires --cache-dir (the merge target)",
+                  file=sys.stderr)
+            return 2
+        from repro.store import EvalStore
+
+        target = EvalStore(args.cache_dir, backend=args.store_backend)
+        for source in args.merge_store:
+            report = target.merge(source)
+            print(f"merged {source}: +{report['added']} records "
+                  f"({report['duplicates']} duplicates)")
+
     scheduler = campaign.CampaignScheduler(
         workers=args.workers,
         store=(
@@ -264,16 +292,61 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             if args.campaign_dir is not None
             else None
         ),
-        cache_dir=args.cache_dir,
         resume=args.resume,
         progress=print,
-        hf_backend=args.hf_backend,
-        hf_batch=args.hf_batch,
+        engine_config=_engine_config(args, engine_workers=0),
     )
     code = CAMPAIGN_EXPERIMENTS[args.experiment](args, scheduler=scheduler)
     print()
     print(campaign.render_campaign_summary(scheduler.last))
     return code
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import EvalStore, StoreError
+
+    try:
+        store = EvalStore(args.store_dir, backend=args.backend)
+        if args.action == "stats":
+            stats = store.stats()
+            print(f"store: {args.store_dir} (backend {store.backend_name})")
+            for key in sorted(stats):
+                print(f"  {key:<18} {stats[key]}")
+            for tag in store.tags():
+                print(f"  tag {tag!r}: ~{store.count(tag)} records")
+        elif args.action == "compact":
+            before = store.stats()
+            store.compact()
+            print(f"compacted {args.store_dir}: {before['entries']} entries, "
+                  f"{store.stats()['compactions']} compaction pass(es)")
+        elif args.action == "merge":
+            if not args.source:
+                print("store merge requires at least one --source DIR",
+                      file=sys.stderr)
+                return 2
+            for source in args.source:
+                report = store.merge(source)
+                print(f"merged {source}: +{report['added']} records "
+                      f"({report['duplicates']} duplicates, "
+                      f"{report['tags']} tag(s))")
+        elif args.action == "migrate":
+            # Opening the store already migrated any legacy flat
+            # ``evaluations.jsonl`` into the sharded layout; --into
+            # additionally converts between store backends in place.
+            migrated = store.stats().get("migrated_records", 0)
+            if migrated:
+                print(f"migrated {migrated} legacy records")
+            if args.into and args.into != store.backend_name:
+                dest = EvalStore(args.store_dir, backend=args.into)
+                report = dest.merge(store)
+                print(f"converted to {args.into}: +{report['added']} records "
+                      f"({report['duplicates']} already present)")
+            print(f"store: {args.store_dir} (backend "
+                  f"{store.backend_name}, {len(store)} entries)")
+    except StoreError as error:
+        print(f"store error: {error}", file=sys.stderr)
+        return 1
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -312,6 +385,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="designs each search proposes per step (q); "
                        "every batch is one HF dispatch; 1 = the paper's "
                        "sequential protocol (default)")
+        p.add_argument("--store-backend", default="auto",
+                       choices=["auto", "sharded", "sqlite"],
+                       help="layout of the --cache-dir evaluation store: "
+                       "'sharded' = per-workload JSONL shards with a lazy "
+                       "index, 'sqlite' = one database file; 'auto' "
+                       "detects an existing store (default sharded)")
+        p.add_argument("--tier", default="off",
+                       choices=["off", "gbrt", "rf"],
+                       help="learned cost-model fidelity tier trained on "
+                       "the store corpus; serves HF queries when the "
+                       "ensemble is confident, falls back to the "
+                       "simulator otherwise (off = bit-identical "
+                       "simulator pipeline, the default)")
+        p.add_argument("--tier-min-corpus", type=int, default=256,
+                       help="smallest store corpus the tier will fit on")
+        p.add_argument("--tier-max-rel-std", type=float, default=0.02,
+                       help="tier confidence gate: serve only when the "
+                       "ensemble's relative std is below this")
+        p.add_argument("--tier-train-rows", type=int, default=1024,
+                       help="subsample cap per tier fit")
 
     p = sub.add_parser("table1", help="print the Table-1 design space")
     p.set_defaults(func=cmd_table1)
@@ -385,7 +478,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sweep: which kernel")
     p.add_argument("--limits", nargs="*", type=float,
                    help="sweep: area budgets (mm^2)")
+    p.add_argument("--merge-store", action="append", default=None,
+                   metavar="DIR",
+                   help="evaluation store(s) from other hosts to fold "
+                   "into --cache-dir before scheduling (repeatable; "
+                   "refuses on conflicting records)")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect/maintain a persistent evaluation store",
+        description="Operate on the evaluation store behind --cache-dir: "
+        "print stats, compact away dead shard lines, merge stores "
+        "produced on other hosts (refusing on conflicts), or migrate "
+        "legacy flat caches / convert between backends.",
+    )
+    p.add_argument("action", choices=["stats", "compact", "merge", "migrate"])
+    p.add_argument("store_dir", help="store directory (--cache-dir of runs)")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "sharded", "sqlite"],
+                   help="force the store backend (default: auto-detect)")
+    p.add_argument("--source", action="append", default=None, metavar="DIR",
+                   help="merge: source store directory (repeatable)")
+    p.add_argument("--into", default=None, choices=["sharded", "sqlite"],
+                   help="migrate: convert the store to this backend "
+                   "in place")
+    p.set_defaults(func=cmd_store)
 
     return parser
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.fnn.inputs import FuzzyInput, extract_features
 from repro.core.fnn.network import FuzzyNeuralNetwork
+from repro.proxies.interface import Fidelity
 from repro.proxies.pool import ProxyPool
 
 
@@ -103,7 +104,7 @@ class DseEnvironment:
     def features_at(self, levels: np.ndarray) -> np.ndarray:
         """FNN feature vector at ``levels`` (metrics from the LF model)."""
         config = self.pool.space.config(levels)
-        metrics = self.pool.evaluate_low(levels).metrics
+        metrics = self.pool.evaluate(levels, Fidelity.LOW).metrics
         return extract_features(self.inputs, metrics, config)
 
     def rollout(

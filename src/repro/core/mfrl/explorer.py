@@ -128,7 +128,7 @@ class MultiFidelityExplorer:
         stable_count = 0
 
         def lf_ipc(levels: np.ndarray) -> float:
-            return self.pool.evaluate_low(levels).ipc
+            return self.pool.evaluate(levels, Fidelity.LOW).ipc
 
         for episode in range(self.config.lf_episodes):
             reference = best_ipc if np.isfinite(best_ipc) else 0.0

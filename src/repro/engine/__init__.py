@@ -1,12 +1,14 @@
-"""Parallel evaluation engine: backends + persistent cache for the pool.
+"""Parallel evaluation engine: backends + persistent store for the pool.
 
 - :mod:`repro.engine.backends` -- serial / process-pool / vectorised
   execution strategies behind one ``map_evaluate`` interface.
-- :mod:`repro.engine.cache`    -- JSON-lines on-disk result cache shared
-  across runs and explorers.
+- :mod:`repro.engine.cache`    -- legacy flat JSON-lines result cache
+  (superseded by :mod:`repro.store`, kept for compatibility).
+- :mod:`repro.engine.config`   -- :class:`EngineConfig`, every evaluation
+  knob in one JSON-serialisable dataclass.
 - :mod:`repro.engine.core`     -- :class:`EvaluationEngine`, the batched
   evaluation funnel the :class:`~repro.proxies.pool.ProxyPool` routes
-  everything through.
+  everything through (persistent store + learned tier + backend).
 """
 
 from repro.engine.backends import (
@@ -18,16 +20,19 @@ from repro.engine.backends import (
     vectorized_lf_metrics,
 )
 from repro.engine.cache import ResultCache, space_signature
+from repro.engine.config import EngineConfig, normalize_hf_backend
 from repro.engine.core import EvaluationEngine
 
 __all__ = [
     "BatchBackend",
+    "EngineConfig",
     "EvaluationEngine",
     "ExecutionBackend",
     "ProcessPoolBackend",
     "ResultCache",
     "SerialBackend",
     "make_backend",
+    "normalize_hf_backend",
     "space_signature",
     "vectorized_lf_metrics",
 ]

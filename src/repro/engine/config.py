@@ -1,0 +1,134 @@
+"""`EngineConfig`: every evaluation knob in one JSON-serialisable value.
+
+The CLI used to thread five loose flags (``--workers``, ``--cache-dir``,
+``--hf-backend``, ``--hf-batch``, ``--propose-batch``) through every
+experiment entry point and the campaign scheduler; the store and tier
+add three more. This dataclass is built **once** from parsed CLI args
+(or programmatically) and travels as plain JSON -- through campaign
+specs, across process boundaries to campaign workers, into run records --
+so every layer sees the same configuration without a growing kwarg
+tunnel.
+
+``build_store`` / ``build_tier`` are the construction choke points: the
+pool calls them, so *how* a store or tier is made lives here and nowhere
+else. ``tier="off"`` (the default) builds no tier at all -- the engine
+then runs the exact legacy pipeline, which is what keeps the golden and
+regression suites bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Optional
+
+
+def normalize_hf_backend(hf_backend: Optional[str]) -> Optional[str]:
+    """CLI spelling -> ``make_backend`` spec (``auto``/``batched`` sugar)."""
+    if hf_backend in (None, "auto"):
+        return None
+    if hf_backend == "batched":
+        return "batch"
+    return hf_backend
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Evaluation-layer configuration, CLI-shaped and JSON-round-trippable.
+
+    Attributes:
+        workers: ``> 1`` runs HF batches on a process pool of this size.
+        cache_dir: Evaluation-store directory (None = no persistence).
+        store_backend: ``auto`` / ``sharded`` / ``sqlite`` / ``memory``.
+        hf_backend: Execution-backend spec in CLI spelling (``auto`` /
+            ``batched`` / ``batch`` / ``process`` / ``serial`` / None).
+        hf_batch: Designs per design-batched simulator walk (None =
+            kernel default; 1 disables the batched kernel).
+        propose_batch: Search-level designs per step (q).
+        tier: Learned cost-model tier: ``off`` (default), ``gbrt``, ``rf``.
+        tier_min_corpus: Smallest corpus the tier will fit on.
+        tier_max_rel_std: Ensemble-disagreement confidence gate.
+        tier_train_rows: Subsample cap per tier fit.
+    """
+
+    workers: int = 0
+    cache_dir: Optional[str] = None
+    store_backend: str = "auto"
+    hf_backend: Optional[str] = None
+    hf_batch: Optional[int] = None
+    propose_batch: int = 1
+    tier: str = "off"
+    tier_min_corpus: int = 256
+    tier_max_rel_std: float = 0.02
+    tier_train_rows: int = 1024
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (campaign specs, run records, worker hand-off)
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-JSON dict; ``from_json`` inverts it exactly."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: Optional[Dict[str, Any]]) -> "EngineConfig":
+        """Rebuild from :meth:`to_json` output (unknown keys ignored)."""
+        if payload is None:
+            return cls()
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    @classmethod
+    def from_args(cls, args) -> "EngineConfig":
+        """Build from parsed CLI args, defaulting any absent flag."""
+        defaults = cls()
+        cache_dir = getattr(args, "cache_dir", None)
+        return cls(
+            workers=int(getattr(args, "workers", defaults.workers)),
+            cache_dir=None if cache_dir is None else str(cache_dir),
+            store_backend=getattr(args, "store_backend", defaults.store_backend),
+            hf_backend=getattr(args, "hf_backend", defaults.hf_backend),
+            hf_batch=getattr(args, "hf_batch", defaults.hf_batch),
+            propose_batch=int(
+                getattr(args, "propose_batch", defaults.propose_batch) or 1
+            ),
+            tier=getattr(args, "tier", defaults.tier) or "off",
+            tier_min_corpus=int(
+                getattr(args, "tier_min_corpus", defaults.tier_min_corpus)
+            ),
+            tier_max_rel_std=float(
+                getattr(args, "tier_max_rel_std", defaults.tier_max_rel_std)
+            ),
+            tier_train_rows=int(
+                getattr(args, "tier_train_rows", defaults.tier_train_rows)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Builders (lazy imports: config is importable from anywhere)
+    # ------------------------------------------------------------------
+    def build_store(self):
+        """The persistent :class:`~repro.store.EvalStore`, or None."""
+        if self.cache_dir is None:
+            return None
+        from repro.store import make_store
+
+        return make_store(self.cache_dir, backend=self.store_backend)
+
+    def build_tier(self, store, space):
+        """The :class:`~repro.tiers.CostModelTier`, or None when off."""
+        if self.tier in (None, "off"):
+            return None
+        if store is None:
+            raise ValueError(
+                "tier requires a persistent store (pass cache_dir): the "
+                "learned tier trains on the store corpus"
+            )
+        from repro.tiers import CostModelTier
+
+        return CostModelTier(
+            store,
+            space,
+            model=self.tier,
+            min_corpus=self.tier_min_corpus,
+            max_rel_std=self.tier_max_rel_std,
+            train_rows=self.tier_train_rows,
+        )

@@ -12,8 +12,15 @@ Pipeline of :meth:`EvaluationEngine.evaluate_many`:
 1. validate every level vector;
 2. collapse in-batch duplicates (one computation per distinct design);
 3. resolve what the persistent cache already knows;
-4. dispatch the remaining misses to the execution backend;
-5. persist fresh results and return evaluations in input order.
+4. offer the remaining misses to the learned cost-model tier, which
+   serves the queries its ensemble is confident about (off by default);
+5. dispatch what is left to the execution backend;
+6. persist fresh *simulated* results and return evaluations in input
+   order, each labelled with its provenance
+   (``cached`` / ``learned`` / ``simulated``).
+
+Learned answers are never written to the persistent store: the store is
+the tier's training corpus, and it must stay simulation-only.
 """
 
 from __future__ import annotations
@@ -80,7 +87,11 @@ class EvaluationEngine:
         analytical: LF model; required for LOW-fidelity requests.
         high_fidelity: HF proxy; required for HIGH-fidelity requests.
         backend: Execution backend (default: serial).
-        cache: Persistent result cache (default: none).
+        cache: Persistent result store (a legacy :class:`ResultCache` or
+            an :class:`~repro.store.EvalStore`; default: none).
+        tier: Optional :class:`~repro.tiers.CostModelTier` consulted for
+            cache misses before the backend (default: none = always
+            simulate).
     """
 
     def __init__(
@@ -90,17 +101,22 @@ class EvaluationEngine:
         high_fidelity=None,
         backend: Optional[ExecutionBackend] = None,
         cache: Optional[ResultCache] = None,
+        tier=None,
     ):
         self.space = space
         self.analytical = analytical
         self.high_fidelity = high_fidelity
         self.backend: ExecutionBackend = backend or SerialBackend()
         self.cache = cache
+        self.tier = tier
         self._space_sig = space_signature(space)
         #: Evaluations actually computed by a backend, per fidelity value.
         self.computed: Dict[str, int] = {f.value: 0 for f in Fidelity}
         #: Requests answered from the persistent cache.
         self.cache_hits = 0
+        #: Requests answered by the learned tier / declined to the backend.
+        self.tier_served = 0
+        self.tier_fallback = 0
         # Task objects are cached so their identity is stable across
         # batches -- a ProcessPoolBackend keys its persistent worker pool
         # on that identity and skips re-initialisation. Workload tags are
@@ -218,7 +234,8 @@ class EvaluationEngine:
         validated = [self.space.validate_levels(lv) for lv in levels_batch]
         if not validated:
             return []
-        tag = self.workload_tag(fidelity) if self.cache is not None else ""
+        need_tag = self.cache is not None or self.tier is not None
+        tag = self.workload_tag(fidelity) if need_tag else ""
 
         # In-batch dedupe: first position of each distinct design.
         order: List[int] = []          # representative input index per distinct
@@ -233,6 +250,7 @@ class EvaluationEngine:
 
         distinct = [validated[i] for i in order]
         metrics_out: List[Optional[Dict[str, float]]] = [None] * len(distinct)
+        provenance = ["simulated"] * len(distinct)
 
         # Persistent-cache resolution.
         misses: List[int] = []
@@ -243,11 +261,33 @@ class EvaluationEngine:
                 )
                 if cached is not None:
                     metrics_out[j] = cached
+                    provenance[j] = "cached"
                     self.cache_hits += 1
                 else:
                     misses.append(j)
         else:
             misses = list(range(len(distinct)))
+
+        # Learned-tier resolution: confident queries are answered by the
+        # cost-model ensemble and never reach the backend. Learned
+        # metrics are NOT persisted (the store is the training corpus).
+        if misses and self.tier is not None:
+            answers = self.tier.serve(
+                self._space_sig,
+                tag,
+                fidelity.value,
+                [distinct[j] for j in misses],
+            )
+            remaining: List[int] = []
+            for j, learned in zip(misses, answers):
+                if learned is not None:
+                    metrics_out[j] = learned
+                    provenance[j] = "learned"
+                    self.tier_served += 1
+                else:
+                    remaining.append(j)
+            self.tier_fallback += len(remaining)
+            misses = remaining
 
         # Backend dispatch for the remaining distinct designs.
         if misses:
@@ -272,7 +312,12 @@ class EvaluationEngine:
                     )
 
         evaluations = [
-            Evaluation(levels=distinct[j], fidelity=fidelity, metrics=metrics)
+            Evaluation(
+                levels=distinct[j],
+                fidelity=fidelity,
+                metrics=metrics,
+                provenance=provenance[j],
+            )
             for j, metrics in enumerate(metrics_out)
         ]
         return [evaluations[slot[i]] for i in range(len(validated))]
@@ -288,6 +333,12 @@ class EvaluationEngine:
         }
         if self.cache is not None:
             out.update({f"cache_{k}": v for k, v in self.cache.stats().items()})
+        if self.tier is not None:
+            tier_stats = self.tier.stats()
+            out["tier_served"] = self.tier_served
+            out["tier_fallback"] = self.tier_fallback
+            out["tier_fits"] = tier_stats["fits"]
+            out["tier_namespaces"] = tier_stats["namespaces"]
         prepass_stats = getattr(self.high_fidelity, "prepass_stats", None)
         if prepass_stats is not None:
             out.update(prepass_stats())

@@ -26,13 +26,30 @@ AREA_LIMITS: Dict[str, float] = {
 GENERAL_PURPOSE_LIMIT = 8.0
 
 
-def normalize_hf_backend(hf_backend: Optional[str]) -> Optional[str]:
-    """CLI spelling -> ``make_backend`` spec (``auto``/``batched`` sugar)."""
-    if hf_backend in (None, "auto"):
-        return None
-    if hf_backend == "batched":
-        return "batch"
-    return hf_backend
+from repro.engine.config import EngineConfig, normalize_hf_backend  # noqa: E402
+
+
+def _engine_config(
+    engine: Optional[EngineConfig],
+    workers: int,
+    cache_dir: Union[str, Path, None],
+    hf_backend: Optional[str],
+    hf_batch: Optional[int],
+) -> EngineConfig:
+    """The one :class:`EngineConfig` a pool is built from.
+
+    An explicit ``engine`` wins; otherwise the legacy loose kwargs are
+    folded into a config, so both call styles share one construction
+    path (store backend, learned tier, execution backend).
+    """
+    if engine is not None:
+        return engine
+    return EngineConfig(
+        workers=workers,
+        cache_dir=None if cache_dir is None else str(cache_dir),
+        hf_backend=hf_backend,
+        hf_batch=hf_batch,
+    )
 
 
 def build_pool(
@@ -45,6 +62,7 @@ def build_pool(
     cache_dir: Union[str, Path, None] = None,
     hf_backend: Optional[str] = None,
     hf_batch: Optional[int] = None,
+    engine: Optional[EngineConfig] = None,
 ) -> ProxyPool:
     """Proxy pool for one benchmark (Table-2 setting).
 
@@ -55,25 +73,26 @@ def build_pool(
         space: Design space; defaults to Table 1.
         workload_seed: Workload-content seed.
         workers: ``> 1`` runs HF batches on a process pool of this size.
-        cache_dir: Persistent evaluation-cache directory (shared across
+        cache_dir: Persistent evaluation-store directory (shared across
             runs; safe to reuse between benchmarks and area limits).
         hf_backend: Execution-backend spec (``auto``/``batched``/
             ``process``/``serial``); ``auto`` = batch backend, or the
             process pool when ``workers > 1``.
         hf_batch: Designs per design-batched simulator walk (None =
             kernel default; 1 disables the batched kernel).
+        engine: :class:`~repro.engine.EngineConfig` superseding the four
+            kwargs above (and adding store backend + learned tier).
     """
     space = space or default_design_space()
     workload = get_workload(benchmark, data_size=data_size, seed=workload_seed)
     limit = AREA_LIMITS[benchmark] if area_limit_mm2 is None else area_limit_mm2
+    config = _engine_config(engine, workers, cache_dir, hf_backend, hf_batch)
     return ProxyPool(
         space,
         AnalyticalModel(workload.profile, space),
-        SimulationProxy(workload, space, hf_batch=hf_batch),
+        SimulationProxy(workload, space, hf_batch=config.hf_batch),
         area_limit_mm2=limit,
-        workers=workers,
-        cache_dir=cache_dir,
-        hf_backend=normalize_hf_backend(hf_backend),
+        config=config,
     )
 
 
@@ -167,6 +186,7 @@ def build_suite_pool(
     cache_dir: Union[str, Path, None] = None,
     hf_backend: Optional[str] = None,
     hf_batch: Optional[int] = None,
+    engine: Optional[EngineConfig] = None,
 ) -> ProxyPool:
     """Proxy pool for the general-purpose (suite-average) experiment."""
     space = space or default_design_space()
@@ -178,12 +198,11 @@ def build_suite_pool(
         if name == "fft":
             size = max(8, 1 << int(round(size - 1).bit_length()))
         workloads.append(get_workload(name, data_size=size, seed=workload_seed))
+    config = _engine_config(engine, workers, cache_dir, hf_backend, hf_batch)
     return ProxyPool(
         space,
         AnalyticalModel(_average_profiles(workloads), space),
-        SuiteAverageProxy(workloads, space, hf_batch=hf_batch),
+        SuiteAverageProxy(workloads, space, hf_batch=config.hf_batch),
         area_limit_mm2=area_limit_mm2,
-        workers=workers,
-        cache_dir=cache_dir,
-        hf_backend=normalize_hf_backend(hf_backend),
+        config=config,
     )

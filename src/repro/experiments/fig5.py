@@ -147,6 +147,7 @@ def run_fig5(
     resume: bool = True,
     hf_backend=None,
     hf_batch=None,
+    engine=None,
     scheduler: Optional[CampaignScheduler] = None,
 ) -> Fig5Result:
     """Run the Fig.-5 comparison.
@@ -172,7 +173,10 @@ def run_fig5(
         hf_backend: Engine backend spec per run (None = auto: the
             design-batched HF kernel behind the batch backend).
         hf_batch: Designs per batched simulator walk (None = default).
-        scheduler: Pre-built scheduler (overrides the previous six).
+        engine: Per-run :class:`~repro.engine.EngineConfig` (store
+            backend, learned tier, ...); supersedes ``cache_dir`` /
+            ``hf_backend`` / ``hf_batch``.
+        scheduler: Pre-built scheduler (overrides the previous seven).
     """
     specs = fig5_specs(
         seeds=seeds,
@@ -186,7 +190,8 @@ def run_fig5(
     )
     if scheduler is None:
         scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume,
-                                   hf_backend=hf_backend, hf_batch=hf_batch)
+                                   hf_backend=hf_backend, hf_batch=hf_batch,
+                                   engine=engine)
     result = scheduler.run(specs)
     return fig5_reduce(specs, result.records)
 

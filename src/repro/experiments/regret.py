@@ -15,6 +15,7 @@ from typing import List
 
 import numpy as np
 
+from repro.proxies.interface import Fidelity
 from repro.proxies.pool import ProxyPool
 
 
@@ -70,7 +71,7 @@ def estimate_optimum(
 
     best: List[tuple] = []  # (cpi, flat_key, levels)
     for levels, evaluation in zip(
-        samples, pool.evaluate_many_high(samples)
+        samples, pool.evaluate(samples, Fidelity.HIGH)
     ):
         evaluations += 1
         best.append((evaluation.cpi, space.flat_index(levels), levels))
@@ -81,7 +82,7 @@ def estimate_optimum(
     champion_cpi, __, champion = best[0]
     for __, ___, start in list(best):
         levels = start.copy()
-        current = pool.evaluate_high(levels).cpi
+        current = pool.evaluate(levels, Fidelity.HIGH).cpi
         for ____ in range(max_climb_steps):
             # One batched dispatch per descent step; scanning the batch
             # in order reproduces the sequential loop's accept-last-
@@ -91,7 +92,7 @@ def estimate_optimum(
             ]
             improved = False
             for neighbor, evaluation in zip(
-                neighbors, pool.evaluate_many_high(neighbors)
+                neighbors, pool.evaluate(neighbors, Fidelity.HIGH)
             ):
                 evaluations += 1
                 if evaluation.cpi < current - 1e-12:

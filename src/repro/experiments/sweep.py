@@ -95,6 +95,7 @@ def run_area_sweep(
     resume: bool = True,
     hf_backend=None,
     hf_batch=None,
+    engine=None,
     scheduler: Optional[CampaignScheduler] = None,
 ) -> List[SweepPoint]:
     """Frontier of best HF CPI over area budgets for ``benchmark``.
@@ -116,7 +117,10 @@ def run_area_sweep(
         hf_backend: Engine backend spec per run (None = auto: the
             design-batched HF kernel behind the batch backend).
         hf_batch: Designs per batched simulator walk (None = default).
-        scheduler: Pre-built scheduler (overrides the previous six).
+        engine: Per-run :class:`~repro.engine.EngineConfig` (store
+            backend, learned tier, ...); supersedes ``cache_dir`` /
+            ``hf_backend`` / ``hf_batch``.
+        scheduler: Pre-built scheduler (overrides the previous seven).
     """
     specs = sweep_specs(
         benchmark,
@@ -128,7 +132,8 @@ def run_area_sweep(
     )
     if scheduler is None:
         scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume,
-                                   hf_backend=hf_backend, hf_batch=hf_batch)
+                                   hf_backend=hf_backend, hf_batch=hf_batch,
+                                   engine=engine)
     return sweep_reduce(specs, scheduler.run(specs).records)
 
 

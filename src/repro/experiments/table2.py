@@ -110,6 +110,7 @@ def run_table2(
     resume: bool = True,
     hf_backend=None,
     hf_batch=None,
+    engine=None,
     scheduler: Optional[CampaignScheduler] = None,
 ) -> List[Table2Row]:
     """Run the Table-2 experiment.
@@ -130,7 +131,10 @@ def run_table2(
         hf_backend: Engine backend spec per run (None = auto: the
             design-batched HF kernel behind the batch backend).
         hf_batch: Designs per batched simulator walk (None = default).
-        scheduler: Pre-built scheduler (overrides the previous six).
+        engine: Per-run :class:`~repro.engine.EngineConfig` (store
+            backend, learned tier, ...); supersedes ``cache_dir`` /
+            ``hf_backend`` / ``hf_batch``.
+        scheduler: Pre-built scheduler (overrides the previous seven).
     """
     specs = table2_specs(
         benchmarks=benchmarks,
@@ -142,7 +146,8 @@ def run_table2(
     )
     if scheduler is None:
         scheduler = make_scheduler(workers, cache_dir, campaign_dir, resume,
-                                   hf_backend=hf_backend, hf_batch=hf_batch)
+                                   hf_backend=hf_backend, hf_batch=hf_batch,
+                                   engine=engine)
     return table2_reduce(specs, scheduler.run(specs).records)
 
 

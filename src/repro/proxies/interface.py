@@ -25,11 +25,16 @@ class Evaluation:
         fidelity: Which proxy produced the numbers.
         metrics: At least ``{"cpi": ..., "ipc": ...}``; proxies may add
             more (miss rates etc.).
+        provenance: How the numbers were obtained -- ``"simulated"``
+            (backend actually ran the proxy), ``"cached"`` (persistent
+            store hit) or ``"learned"`` (served by the confidence-gated
+            cost-model tier).
     """
 
     levels: np.ndarray
     fidelity: Fidelity
     metrics: Dict[str, float]
+    provenance: str = "simulated"
 
     @property
     def cpi(self) -> float:

@@ -8,6 +8,7 @@ archive, and enforces the area constraint.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
@@ -38,10 +39,14 @@ class ProxyPool:
         area_model: Area estimator for the constraint.
         area_limit_mm2: The episode budget.
         keep_best: Archive leaderboard size.
-        engine: Pre-built evaluation engine; overrides the next three.
+        engine: Pre-built evaluation engine; overrides ``config`` and
+            the legacy engine kwargs below.
+        config: :class:`~repro.engine.EngineConfig` for the default
+            engine (store backend, learned tier, workers, ...); the
+            legacy kwargs below are folded into one when absent.
         workers: ``> 1`` selects a :class:`ProcessPoolBackend` with this
             many workers for the default engine.
-        cache_dir: Directory for the persistent JSONL result cache.
+        cache_dir: Directory for the persistent evaluation store.
         hf_backend: Execution-backend spec for the default engine
             (``"serial"`` / ``"process"`` / ``"batch"``); ``None`` picks
             the process pool when ``workers > 1``, else the vectorised
@@ -57,6 +62,7 @@ class ProxyPool:
         area_limit_mm2: float = 8.0,
         keep_best: int = 16,
         engine: Optional[EvaluationEngine] = None,
+        config=None,
         workers: int = 0,
         cache_dir: Union[str, Path, None] = None,
         hf_backend: Optional[str] = None,
@@ -68,16 +74,31 @@ class ProxyPool:
         self.constraint = AreaConstraint(self.area_model, area_limit_mm2)
         self.archive = DesignArchive(space, keep_best=keep_best)
         if engine is None:
-            from repro.engine import EvaluationEngine, ResultCache, make_backend
+            from repro.engine import (
+                EngineConfig,
+                EvaluationEngine,
+                make_backend,
+                normalize_hf_backend,
+            )
 
-            backend = make_backend(hf_backend, workers=workers)
-            cache = ResultCache(cache_dir) if cache_dir is not None else None
+            if config is None:
+                config = EngineConfig(
+                    workers=workers,
+                    cache_dir=None if cache_dir is None else str(cache_dir),
+                    hf_backend=hf_backend,
+                )
+            backend = make_backend(
+                normalize_hf_backend(config.hf_backend), workers=config.workers
+            )
+            store = config.build_store()
+            tier = config.build_tier(store, space)
             engine = EvaluationEngine(
                 space,
                 analytical=analytical,
                 high_fidelity=high_fidelity,
                 backend=backend,
-                cache=cache,
+                cache=store,
+                tier=tier,
             )
         self.engine = engine
         self.lf_evaluations = 0
@@ -86,30 +107,40 @@ class ProxyPool:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    def evaluate(self, levels: Sequence[int], fidelity: Fidelity) -> Evaluation:
-        """Evaluate (with memoisation) at the requested fidelity."""
-        levels = self.space.validate_levels(levels)
-        cached = self.archive.lookup(levels, fidelity)
-        if cached is not None:
-            return cached
-        evaluation = self.engine.evaluate(levels, fidelity)
-        if fidelity is Fidelity.LOW:
-            self.lf_evaluations += 1
-        else:
-            self.hf_evaluations += 1
-        self.archive.record(evaluation)
-        return evaluation
+    def evaluate(
+        self,
+        designs,
+        fidelity: Fidelity = Fidelity.HIGH,
+    ):
+        """Evaluate design(s) at one fidelity -- THE evaluation entry point.
 
-    def evaluate_many(
+        Accepts either a single level vector (returns one
+        :class:`Evaluation`) or a batch of level vectors (returns a list
+        aligned with the input). Every legacy variant
+        (``evaluate_many`` / ``evaluate_low`` / ``evaluate_high`` /
+        ``evaluate_many_low`` / ``evaluate_many_high``) is now a thin
+        deprecated shim over this method, so cache, tier and archive
+        routing all happen in exactly one place.
+
+        A single vector is dispatched as a batch of one; the resulting
+        archive bookkeeping and counters are identical to the historical
+        scalar path (locked by the seed-history regression suite).
+        """
+        single = len(designs) > 0 and np.ndim(designs[0]) == 0
+        batch = [designs] if single else designs
+        results = self._evaluate_batch(batch, fidelity)
+        return results[0] if single else results
+
+    def _evaluate_batch(
         self, levels_batch: Sequence[Sequence[int]], fidelity: Fidelity
     ) -> List[Evaluation]:
-        """Batched :meth:`evaluate`: one engine dispatch for the misses.
+        """Batched evaluation body: one engine dispatch for the misses.
 
         Results align with ``levels_batch``; designs already in the
         archive (or repeated within the batch) are not re-evaluated and
         do not bump the evaluation counters -- exactly the bookkeeping a
-        sequential loop over :meth:`evaluate` would produce, but with all
-        archive misses dispatched to the backend as one batch.
+        sequential scalar loop would produce, but with all archive
+        misses dispatched to the backend as one batch.
         """
         validated = [self.space.validate_levels(lv) for lv in levels_batch]
         results: List[Optional[Evaluation]] = [None] * len(validated)
@@ -142,25 +173,46 @@ class ProxyPool:
                 results[i] = self.archive.lookup(levels, fidelity)
         return results  # type: ignore[return-value]
 
+    # -- deprecated variants (shims over :meth:`evaluate`) -------------
+    @staticmethod
+    def _deprecated(old: str) -> None:
+        warnings.warn(
+            f"ProxyPool.{old} is deprecated; use ProxyPool.evaluate("
+            "designs, fidelity=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def evaluate_many(
+        self, levels_batch: Sequence[Sequence[int]], fidelity: Fidelity
+    ) -> List[Evaluation]:
+        """Deprecated: use :meth:`evaluate` with a batch."""
+        self._deprecated("evaluate_many")
+        return self._evaluate_batch(levels_batch, fidelity)
+
     def evaluate_low(self, levels: Sequence[int]) -> Evaluation:
-        """LF (analytical) evaluation."""
-        return self.evaluate(levels, Fidelity.LOW)
+        """Deprecated: use ``evaluate(levels, Fidelity.LOW)``."""
+        self._deprecated("evaluate_low")
+        return self._evaluate_batch([levels], Fidelity.LOW)[0]
 
     def evaluate_high(self, levels: Sequence[int]) -> Evaluation:
-        """HF (simulation) evaluation."""
-        return self.evaluate(levels, Fidelity.HIGH)
+        """Deprecated: use ``evaluate(levels, Fidelity.HIGH)``."""
+        self._deprecated("evaluate_high")
+        return self._evaluate_batch([levels], Fidelity.HIGH)[0]
 
     def evaluate_many_low(
         self, levels_batch: Sequence[Sequence[int]]
     ) -> List[Evaluation]:
-        """Batched LF evaluation."""
-        return self.evaluate_many(levels_batch, Fidelity.LOW)
+        """Deprecated: use ``evaluate(batch, Fidelity.LOW)``."""
+        self._deprecated("evaluate_many_low")
+        return self._evaluate_batch(levels_batch, Fidelity.LOW)
 
     def evaluate_many_high(
         self, levels_batch: Sequence[Sequence[int]]
     ) -> List[Evaluation]:
-        """Batched HF evaluation."""
-        return self.evaluate_many(levels_batch, Fidelity.HIGH)
+        """Deprecated: use ``evaluate(batch, Fidelity.HIGH)``."""
+        self._deprecated("evaluate_many_high")
+        return self._evaluate_batch(levels_batch, Fidelity.HIGH)
 
     # ------------------------------------------------------------------
     # Constraint helpers

@@ -4,7 +4,7 @@ The loop owns the protocol bookkeeping the four legacy per-method loops
 each reimplemented: budget accounting (distinct designs), dedup (repeat
 proposals are served from the archive and never burn budget), constraint
 filtering (unless the method opts out, SCBO-style) and stall detection.
-Each proposal batch is dispatched as **one** ``ProxyPool.evaluate_many``
+Each proposal batch is dispatched as **one** ``ProxyPool.evaluate``
 call, so multi-design steps (``propose_batch > 1``) ride the
 design-batched simulator kernel; at ``propose_batch=1`` the dispatch
 sequence is bit-identical to the old sequential loops (locked by the
@@ -138,7 +138,7 @@ class SearchLoop:
         observations: List[Observation] = []
         fresh_any = False
         if proposals:
-            evaluations = self.pool.evaluate_many(proposals, self.fidelity)
+            evaluations = self.pool.evaluate(proposals, self.fidelity)
             for levels, evaluation in zip(proposals, evaluations):
                 key = space.flat_index(levels)
                 fresh = key not in self._seen
@@ -190,6 +190,7 @@ class SearchLoop:
                     "metrics": {
                         k: float(v) for k, v in evaluation.metrics.items()
                     },
+                    "tier": evaluation.provenance,
                 }
                 for evaluation in self.evaluations
             ],
@@ -221,6 +222,11 @@ class SearchLoop:
                 levels=levels,
                 fidelity=self.fidelity,
                 metrics=dict(entry["metrics"]),
+                # Replayed evaluations keep the provenance they were
+                # produced with (pre-provenance checkpoints replay as
+                # simulated), so archive consumers and reports never
+                # mistake a learned number for a simulated one.
+                provenance=entry.get("tier", "simulated"),
             )
             self.pool.archive.record(evaluation)
             self._seen.add(space.flat_index(levels))

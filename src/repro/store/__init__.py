@@ -1,0 +1,25 @@
+"""Persistent evaluation store: sharded/sqlite backends behind EvalStore."""
+
+from repro.store.base import (
+    StoreConflictError,
+    StoreError,
+    StoreKey,
+    decode_record,
+    encode_record,
+    shard_name,
+    store_key,
+)
+from repro.store.evalstore import BACKENDS, EvalStore, make_store
+
+__all__ = [
+    "BACKENDS",
+    "EvalStore",
+    "StoreConflictError",
+    "StoreError",
+    "StoreKey",
+    "decode_record",
+    "encode_record",
+    "make_store",
+    "shard_name",
+    "store_key",
+]

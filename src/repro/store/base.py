@@ -1,0 +1,98 @@
+"""Store plumbing shared by every backend: keys, records, errors.
+
+An evaluation store holds one metrics dict per
+
+``(space signature, workload tag, fidelity, levels tuple)``
+
+key -- the same namespace the legacy :class:`repro.engine.cache.ResultCache`
+used, so a store can answer any cache lookup the engine makes. The
+workload *tag* is the sharding axis: it pins the workload identity, the
+machine timing constants and the metrics schema (see
+``SimulationProxy.cache_tag``), so all records under one tag share one
+metrics schema by construction -- which is exactly what merge-time
+conflict detection protects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from typing import Dict, Optional, Sequence, Tuple
+
+#: Store key: (space signature, workload tag, fidelity value, levels).
+StoreKey = Tuple[str, str, str, Tuple[int, ...]]
+
+
+class StoreError(Exception):
+    """Base class for evaluation-store failures."""
+
+
+class StoreConflictError(StoreError):
+    """A merge found records that must not be mixed.
+
+    Raised -- instead of silently overwriting or interleaving -- when two
+    stores disagree: same key with different metrics, one shard file
+    claiming two different workload tags, or two metrics schemas under
+    one tag.
+    """
+
+
+def store_key(
+    space_sig: str, workload_tag: str, fidelity: str, levels: Sequence[int]
+) -> StoreKey:
+    """Build a store key from its components."""
+    return (
+        str(space_sig),
+        str(workload_tag),
+        str(fidelity),
+        tuple(int(v) for v in levels),
+    )
+
+
+def encode_record(key: StoreKey, metrics: Dict[str, float]) -> str:
+    """One JSONL line for ``(key, metrics)`` (no trailing newline).
+
+    The line layout is the legacy ``ResultCache`` record layout, so a
+    sharded store's shard files stay readable by every tool that read
+    ``evaluations.jsonl``.
+    """
+    record = {
+        "space": key[0],
+        "workload": key[1],
+        "fidelity": key[2],
+        "levels": list(key[3]),
+        "metrics": {k: float(v) for k, v in metrics.items()},
+    }
+    return json.dumps(record, separators=(",", ":"))
+
+
+def decode_record(line: str) -> Optional[Tuple[StoreKey, Dict[str, float]]]:
+    """Parse one JSONL line; ``None`` for corrupt/truncated lines."""
+    try:
+        record = json.loads(line)
+        key = store_key(
+            record["space"],
+            record["workload"],
+            record["fidelity"],
+            record["levels"],
+        )
+        metrics = {str(k): float(v) for k, v in record["metrics"].items()}
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError, AttributeError):
+        return None
+    return key, metrics
+
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def shard_name(workload_tag: str) -> str:
+    """Deterministic, filesystem-safe shard file name for one tag.
+
+    A readable sanitised prefix plus a hash of the exact tag: two
+    distinct tags can never share a shard file, and the file name alone
+    identifies its tag's fingerprint for merge-time cross-checks.
+    """
+    digest = hashlib.sha256(workload_tag.encode("utf-8")).hexdigest()[:12]
+    prefix = _SAFE.sub("_", workload_tag)[:48].strip("_") or "shard"
+    return f"{prefix}-{digest}.jsonl"

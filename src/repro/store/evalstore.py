@@ -1,0 +1,296 @@
+"""`EvalStore`: the engine-facing evaluation store facade.
+
+Drop-in successor of :class:`repro.engine.cache.ResultCache`: same key
+namespace, same ``get``/``put``/``stats``/``compact`` surface, same
+hit/miss counters -- but backed by a pluggable backend (sharded JSONL or
+sqlite, see :mod:`repro.store.jsonl` / :mod:`repro.store.sqlite`) with a
+lazy index, per-tag corpus scans for the learned cost-model tier, and
+cross-host merge with conflict *refusal* instead of silent mixing.
+
+Backend selection (``backend="auto"``): a directory that already holds
+``store.sqlite`` opens as sqlite, anything else as sharded JSONL -- so a
+store directory always reopens as whatever it already is. A legacy flat
+``evaluations.jsonl`` in the directory is migrated into the sharded
+layout on first open (renamed to ``.migrated``, never deleted).
+
+Compaction is opt-in: pass ``auto_compact_dead=N`` to rewrite a shard in
+a background thread once it accumulates ``N`` dead (duplicate/corrupt)
+lines, or call :meth:`compact` explicitly (the ``repro store compact``
+CLI). Auto-compaction assumes this process is the only writer.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.store.base import StoreConflictError, StoreKey, store_key
+from repro.store.jsonl import ShardedJsonlStore
+from repro.store.sqlite import SQLITE_FILE, SqliteStore
+
+#: Recognised backend spec strings.
+BACKENDS = ("auto", "sharded", "sqlite", "memory")
+
+
+class _MemoryStore:
+    """Dict-backed backend for path-less (test) stores."""
+
+    backend_name = "memory"
+
+    def __init__(self) -> None:
+        self._memo: Dict[StoreKey, Dict[str, float]] = {}
+        self.parsed_records = 0
+        self.corrupt_lines = 0
+        self.migrated_records = 0
+
+    def get(self, key: StoreKey) -> Optional[Dict[str, float]]:
+        return self._memo.get(key)
+
+    def put(self, key: StoreKey, metrics: Dict[str, float]) -> bool:
+        if key in self._memo:
+            return False
+        self._memo[key] = dict(metrics)
+        return True
+
+    def tags(self) -> List[str]:
+        return sorted({key[1] for key in self._memo})
+
+    def count(self, tag: Optional[str] = None) -> int:
+        if tag is None:
+            return len(self._memo)
+        return sum(1 for key in self._memo if key[1] == tag)
+
+    def dead(self, tag: str) -> int:
+        return 0
+
+    def iter_tag(self, tag: str) -> Iterator[Tuple[StoreKey, Dict[str, float]]]:
+        for key, metrics in self._memo.items():
+            if key[1] == tag:
+                yield key, metrics
+
+    def shard_map(self) -> Dict[str, str]:
+        return {}
+
+    def compact(self, tag: Optional[str] = None) -> int:
+        return self.count(tag)
+
+    def flush_index(self) -> None:
+        pass
+
+
+def _make_backend(path: Union[str, Path, None], backend: str):
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown store backend {backend!r}; expected {BACKENDS}")
+    if path is None or backend == "memory":
+        return _MemoryStore()
+    root = Path(path)
+    if root.suffix == ".jsonl":
+        # Legacy ResultCache accepted a file path; the store owns the
+        # enclosing directory (and migrates the file if it is the
+        # legacy flat cache).
+        root = root.parent
+    if backend == "auto":
+        backend = "sqlite" if (root / SQLITE_FILE).exists() else "sharded"
+    if backend == "sqlite":
+        return SqliteStore(root)
+    return ShardedJsonlStore(root)
+
+
+class EvalStore:
+    """Evaluation store with hit/miss accounting and safe merge.
+
+    Args:
+        path: Store directory (created on demand). ``None`` keeps the
+            store in memory only.
+        backend: ``"auto"`` / ``"sharded"`` / ``"sqlite"`` / ``"memory"``.
+        auto_compact_dead: When set, a sharded shard that accumulates
+            this many dead lines is compacted in a background thread
+            (single-writer processes only). ``None`` (default) disables
+            auto-compaction.
+    """
+
+    #: ResultCache-compatible key constructor.
+    key = staticmethod(store_key)
+
+    def __init__(
+        self,
+        path: Union[str, Path, None] = None,
+        backend: str = "auto",
+        auto_compact_dead: Optional[int] = None,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.backend = _make_backend(path, backend)
+        self.auto_compact_dead = auto_compact_dead
+        self.hits = 0
+        self.misses = 0
+        self.compactions = 0
+        self._lock = threading.Lock()
+        self._compaction_threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # ResultCache-compatible surface
+    # ------------------------------------------------------------------
+    def get(self, key: StoreKey) -> Optional[Dict[str, float]]:
+        """Stored metrics for ``key``, or None (counts hits/misses)."""
+        with self._lock:
+            metrics = self.backend.get(key)
+            if metrics is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return dict(metrics)
+
+    def put(self, key: StoreKey, metrics: Dict[str, float]) -> bool:
+        """Insert metrics; returns True when the record was new."""
+        with self._lock:
+            fresh = self.backend.put(key, metrics)
+        if fresh and self.auto_compact_dead is not None:
+            self._maybe_auto_compact(key[1])
+        return fresh
+
+    def __len__(self) -> int:
+        return self.backend.count()
+
+    def __contains__(self, key: StoreKey) -> bool:
+        return self.backend.get(key) is not None
+
+    def compact(self, tag: Optional[str] = None) -> int:
+        """Rewrite shard(s) without dead lines; returns live entries."""
+        with self._lock:
+            written = self.backend.compact(tag)
+            self.compactions += 1
+        return written
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for reporting (numeric-only, engine-summary safe)."""
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt_lines": self.backend.corrupt_lines,
+            "tags": len(self.backend.tags()),
+            "parsed_records": self.backend.parsed_records,
+            "migrated_records": self.backend.migrated_records,
+            "compactions": self.compactions,
+        }
+
+    # ------------------------------------------------------------------
+    # Corpus access (the learned tier trains off these)
+    # ------------------------------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        return self.backend.backend_name
+
+    def tags(self) -> List[str]:
+        """All workload tags with records in the store."""
+        return self.backend.tags()
+
+    def count(self, tag: Optional[str] = None) -> int:
+        """Entries in the store (optionally for one tag)."""
+        return self.backend.count(tag)
+
+    def records_for(
+        self, space_sig: str, tag: str, fidelity: str
+    ) -> List[Tuple[Tuple[int, ...], Dict[str, float]]]:
+        """``(levels, metrics)`` corpus rows for one (space, tag, fidelity)."""
+        with self._lock:
+            return [
+                (key[3], dict(metrics))
+                for key, metrics in self.backend.iter_tag(tag)
+                if key[0] == space_sig and key[2] == fidelity
+            ]
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+    def merge(self, other: Union["EvalStore", str, Path]) -> Dict[str, int]:
+        """Fold another store's records into this one.
+
+        Refuses (raises :class:`StoreConflictError`) rather than mixing:
+
+        * same key with different metrics (same simulator must give the
+          same numbers; a mismatch means the tag under-identifies the
+          producing configuration),
+        * one shard file name claimed by two different workload tags
+          across the merged hosts,
+        * two metrics key-sets (schemas) under one tag.
+
+        Returns ``{"added", "duplicates", "tags"}``.
+        """
+        if not isinstance(other, EvalStore):
+            other = EvalStore(other)
+        mine = self.backend.shard_map()
+        for filename, tag in other.backend.shard_map().items():
+            if filename in mine and mine[filename] != tag:
+                raise StoreConflictError(
+                    f"cache_tag mismatch across merged stores: shard "
+                    f"{filename!r} is {mine[filename]!r} here but {tag!r} "
+                    f"in the incoming store"
+                )
+        added = 0
+        duplicates = 0
+        merged_tags = other.tags()
+        with self._lock:
+            for tag in merged_tags:
+                schema = self._tag_schema(tag)
+                for key, metrics in other.backend.iter_tag(tag):
+                    keyset = frozenset(metrics)
+                    if schema is None:
+                        schema = keyset
+                    elif keyset != schema:
+                        raise StoreConflictError(
+                            f"metrics schema mismatch under tag {tag!r}: "
+                            f"{sorted(schema)} vs {sorted(keyset)}"
+                        )
+                    existing = self.backend.get(key)
+                    if existing is None:
+                        self.backend.put(key, metrics)
+                        added += 1
+                    elif existing == metrics:
+                        duplicates += 1
+                    else:
+                        raise StoreConflictError(
+                            f"conflicting metrics for key {key!r}: "
+                            f"{existing} != {metrics}"
+                        )
+            self.backend.flush_index()
+        return {"added": added, "duplicates": duplicates, "tags": len(merged_tags)}
+
+    def _tag_schema(self, tag: str) -> Optional[frozenset]:
+        """Metrics key-set of the first local record under ``tag``."""
+        for _, metrics in self.backend.iter_tag(tag):
+            return frozenset(metrics)
+        return None
+
+    # ------------------------------------------------------------------
+    # Background compaction
+    # ------------------------------------------------------------------
+    def _maybe_auto_compact(self, tag: str) -> None:
+        if self.backend.dead(tag) < self.auto_compact_dead:
+            return
+        self._compaction_threads = [
+            t for t in self._compaction_threads if t.is_alive()
+        ]
+        if self._compaction_threads:
+            return  # one compaction in flight is enough
+        thread = threading.Thread(
+            target=self.compact, args=(tag,), daemon=True
+        )
+        self._compaction_threads.append(thread)
+        thread.start()
+
+    def join_compaction(self) -> None:
+        """Wait for in-flight background compactions (tests)."""
+        for thread in self._compaction_threads:
+            thread.join()
+        self._compaction_threads = []
+
+
+def make_store(
+    path: Union[str, Path, None],
+    backend: str = "auto",
+    auto_compact_dead: Optional[int] = None,
+) -> EvalStore:
+    """Build an :class:`EvalStore` (the one constructor call sites use)."""
+    return EvalStore(path, backend=backend, auto_compact_dead=auto_compact_dead)

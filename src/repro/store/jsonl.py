@@ -1,0 +1,391 @@
+"""Sharded JSON-lines store backend: one shard file per workload tag.
+
+Layout::
+
+    <root>/
+        store.json                  # manifest: shard file -> tag + line/byte index
+        shards/<tag-slug>-<hash>.jsonl
+        evaluations.jsonl           # legacy flat cache (migrated on open)
+
+The manifest is the *lazy index*: opening a store reads it (plus one
+``stat`` per shard) and parses **zero** records -- a shard's records are
+only parsed on the first lookup that touches its tag. A manifest that
+has fallen behind its shard files (appends from a killed process or a
+concurrent writer never rewrite it) is resynced at open by counting the
+appended tail *lines* from the indexed byte offset -- still no record
+parsing. The manifest is purely advisory: correctness always comes from
+the shard files themselves.
+
+Appends are single ``O_APPEND`` writes exactly like the legacy flat
+cache, so concurrent campaign workers sharing one store directory
+interleave at line granularity. Compaction (rewriting a shard without
+duplicate or corrupt lines) assumes a single writer -- run it from the
+``repro store compact`` CLI or the facade's opt-in auto-compaction, not
+while another process appends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.store.base import (
+    StoreKey,
+    decode_record,
+    encode_record,
+    shard_name,
+    store_key,
+)
+
+#: Manifest file name inside a store directory.
+MANIFEST_FILE = "store.json"
+
+#: Sub-directory holding the per-tag shard files.
+SHARDS_DIR = "shards"
+
+#: Legacy flat-cache file name (auto-migrated to shards on open).
+LEGACY_FILE = "evaluations.jsonl"
+
+#: Suffix the legacy file is renamed to after migration.
+MIGRATED_SUFFIX = ".migrated"
+
+#: Manifest layout marker.
+MANIFEST_VERSION = 1
+
+#: Within-shard key: (space signature, fidelity, levels tuple).
+RestKey = Tuple[str, str, Tuple[int, ...]]
+
+
+def _rest(key: StoreKey) -> RestKey:
+    return (key[0], key[2], key[3])
+
+
+@dataclass
+class _Shard:
+    """Index entry + (lazily loaded) in-memory records of one shard."""
+
+    tag: str
+    filename: str
+    lines: int = 0          # physical lines at last index time
+    bytes: int = 0          # file size at last index time
+    records: Optional[Dict[RestKey, Dict[str, float]]] = None
+    dead: int = 0           # duplicate/corrupt lines seen at load time
+    appended: int = 0       # records appended by this process
+    torn_tail: bool = False  # file ends mid-line (crashed append)
+
+    @property
+    def loaded(self) -> bool:
+        return self.records is not None
+
+    def entry_count(self) -> int:
+        """Exact entries when loaded, indexed line count otherwise."""
+        return len(self.records) if self.loaded else self.lines
+
+
+class ShardedJsonlStore:
+    """Sharded JSONL backend with a manifest index and lazy shard loads."""
+
+    backend_name = "sharded"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.shards_dir = self.root / SHARDS_DIR
+        self._shards: Dict[str, _Shard] = {}  # tag -> shard
+        #: Records JSON-parsed since open (the lazy-index figure of merit:
+        #: stays 0 across open + stats on an already-sharded store).
+        self.parsed_records = 0
+        #: Undecodable lines skipped while loading shards.
+        self.corrupt_lines = 0
+        #: Records moved out of a legacy flat cache at open, if any.
+        self.migrated_records = 0
+        self._open()
+
+    # ------------------------------------------------------------------
+    # Open / index
+    # ------------------------------------------------------------------
+    def _open(self) -> None:
+        legacy = self.root / LEGACY_FILE
+        manifest = self._read_manifest()
+        dirty = False
+        for filename, entry in manifest.items():
+            shard = _Shard(
+                tag=str(entry["tag"]),
+                filename=str(filename),
+                lines=int(entry.get("lines", 0)),
+                bytes=int(entry.get("bytes", 0)),
+            )
+            dirty |= self._stat_resync(shard)
+            self._shards[shard.tag] = shard
+        # Shard files the manifest does not know (crashed merge, files
+        # copied in by hand): adopt them by reading just enough to learn
+        # their tag (the first decodable record).
+        if self.shards_dir.is_dir():
+            known = {shard.filename for shard in self._shards.values()}
+            for path in sorted(self.shards_dir.glob("*.jsonl")):
+                if path.name in known:
+                    continue
+                tag = self._peek_tag(path)
+                if tag is None or tag in self._shards:
+                    continue
+                shard = _Shard(tag=tag, filename=path.name)
+                self._stat_resync(shard)
+                self._shards[tag] = shard
+                dirty = True
+        if legacy.exists():
+            self._migrate(legacy)
+            dirty = True
+        if dirty:
+            self._write_manifest()
+
+    def _read_manifest(self) -> Dict[str, Dict]:
+        try:
+            with open(self.root / MANIFEST_FILE, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        shards = payload.get("shards")
+        return shards if isinstance(shards, dict) else {}
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "version": MANIFEST_VERSION,
+            "shards": {
+                shard.filename: {
+                    "tag": shard.tag,
+                    "lines": shard.lines,
+                    "bytes": shard.bytes,
+                }
+                for shard in self._shards.values()
+            },
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.root / (MANIFEST_FILE + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, separators=(",", ":"), sort_keys=True)
+        tmp.replace(self.root / MANIFEST_FILE)
+
+    def _stat_resync(self, shard: _Shard) -> bool:
+        """Refresh a shard's line/byte index from the file on disk.
+
+        Counts only the *tail* beyond the already-indexed byte offset --
+        newline counting, no JSON parsing -- so resync stays O(appended),
+        not O(corpus). Returns True when the index changed.
+        """
+        path = self.shards_dir / shard.filename
+        try:
+            size = path.stat().st_size
+        except OSError:
+            changed = shard.lines != 0 or shard.bytes != 0
+            shard.lines = 0
+            shard.bytes = 0
+            return changed
+        if size == shard.bytes:
+            return False
+        if size < shard.bytes:
+            # Truncated behind the index (manual edit): re-count whole file.
+            shard.lines = 0
+            shard.bytes = 0
+        with open(path, "rb") as fh:
+            fh.seek(shard.bytes)
+            tail = fh.read()
+        shard.lines += tail.count(b"\n")
+        shard.bytes = size
+        return True
+
+    def _peek_tag(self, path: Path) -> Optional[str]:
+        """Tag of a shard file, from its first decodable record."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    decoded = decode_record(line)
+                    self.parsed_records += 1
+                    if decoded is not None:
+                        return decoded[0][1]
+                    self.corrupt_lines += 1
+        except OSError:
+            return None
+        return None
+
+    def _migrate(self, legacy: Path) -> None:
+        """Move a legacy flat ``evaluations.jsonl`` into the shard layout.
+
+        The one unavoidable whole-corpus parse; afterwards the file is
+        renamed (not deleted) so the migration is inspectable, and every
+        later open is back to O(index).
+        """
+        with open(legacy, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                decoded = decode_record(line)
+                self.parsed_records += 1
+                if decoded is None:
+                    self.corrupt_lines += 1
+                    continue
+                key, metrics = decoded
+                if self.put(key, metrics):
+                    self.migrated_records += 1
+        legacy.replace(legacy.with_name(legacy.name + MIGRATED_SUFFIX))
+
+    # ------------------------------------------------------------------
+    # Shard loading
+    # ------------------------------------------------------------------
+    def _load(self, shard: _Shard) -> Dict[RestKey, Dict[str, float]]:
+        if shard.records is not None:
+            return shard.records
+        records: Dict[RestKey, Dict[str, float]] = {}
+        path = self.shards_dir / shard.filename
+        lines = 0
+        size = 0
+        if path.exists():
+            with open(path, "rb") as fh:
+                raw = fh.read()
+            size = len(raw)
+            shard.torn_tail = bool(raw) and not raw.endswith(b"\n")
+            for encoded in raw.split(b"\n"):
+                encoded = encoded.strip()
+                if not encoded:
+                    continue
+                lines += 1
+                decoded = decode_record(encoded.decode("utf-8", "replace"))
+                self.parsed_records += 1
+                if decoded is None:
+                    self.corrupt_lines += 1
+                    shard.dead += 1
+                    continue
+                key, metrics = decoded
+                if key[1] != shard.tag:
+                    # A foreign tag inside a shard is corruption, not
+                    # data: count it and keep it out of the memo.
+                    self.corrupt_lines += 1
+                    shard.dead += 1
+                    continue
+                rest = _rest(key)
+                if rest in records:
+                    shard.dead += 1
+                records[rest] = metrics  # last write wins, like the flat cache
+        shard.records = records
+        shard.lines = lines
+        shard.bytes = size
+        return records
+
+    # ------------------------------------------------------------------
+    # Store interface
+    # ------------------------------------------------------------------
+    def get(self, key: StoreKey) -> Optional[Dict[str, float]]:
+        shard = self._shards.get(key[1])
+        if shard is None:
+            return None
+        return self._load(shard).get(_rest(key))
+
+    def put(self, key: StoreKey, metrics: Dict[str, float]) -> bool:
+        tag = key[1]
+        shard = self._shards.get(tag)
+        if shard is None:
+            shard = _Shard(tag=tag, filename=shard_name(tag), records={})
+            self._shards[tag] = shard
+            self._write_manifest()
+        records = self._load(shard)
+        rest = _rest(key)
+        if rest in records:
+            return False
+        line = (encode_record(key, metrics) + "\n").encode("utf-8")
+        if shard.torn_tail:
+            # The file ends mid-record (a crashed append): close that
+            # line first, so the torn fragment stays one dead line
+            # instead of swallowing this record.
+            line = b"\n" + line
+            shard.torn_tail = False
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        # One O_APPEND write per record (see module docstring).
+        fd = os.open(
+            self.shards_dir / shard.filename,
+            os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+            0o644,
+        )
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+        records[rest] = dict(metrics)
+        shard.lines += 1
+        shard.bytes += len(line)
+        shard.appended += 1
+        return True
+
+    def tags(self) -> List[str]:
+        return sorted(self._shards)
+
+    def count(self, tag: Optional[str] = None) -> int:
+        """Indexed entries (exact for loaded shards, line count otherwise)."""
+        if tag is not None:
+            shard = self._shards.get(tag)
+            return shard.entry_count() if shard is not None else 0
+        return sum(shard.entry_count() for shard in self._shards.values())
+
+    def dead(self, tag: str) -> int:
+        """Known-dead (duplicate/corrupt) lines of one shard."""
+        shard = self._shards.get(tag)
+        return shard.dead if shard is not None else 0
+
+    def iter_tag(self, tag: str) -> Iterator[Tuple[StoreKey, Dict[str, float]]]:
+        shard = self._shards.get(tag)
+        if shard is None:
+            return
+        for (space, fidelity, levels), metrics in self._load(shard).items():
+            yield store_key(space, tag, fidelity, levels), metrics
+
+    def shard_map(self) -> Dict[str, str]:
+        """``{shard filename: tag}`` (merge-time conflict checks)."""
+        return {shard.filename: shard.tag for shard in self._shards.values()}
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self, tag: Optional[str] = None) -> int:
+        """Rewrite shard(s) without duplicate/corrupt lines.
+
+        Returns the number of live entries written. Atomic per shard
+        (temp file + rename); single-writer only.
+        """
+        targets = [tag] if tag is not None else self.tags()
+        written = 0
+        changed = False
+        for target in targets:
+            shard = self._shards.get(target)
+            if shard is None:
+                continue
+            records = self._load(shard)
+            path = self.shards_dir / shard.filename
+            self.shards_dir.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".jsonl.tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for (space, fidelity, levels), metrics in records.items():
+                    fh.write(
+                        encode_record(
+                            store_key(space, target, fidelity, levels), metrics
+                        )
+                        + "\n"
+                    )
+            tmp.replace(path)
+            shard.lines = len(records)
+            shard.bytes = path.stat().st_size
+            shard.dead = 0
+            written += len(records)
+            changed = True
+        if changed:
+            self._write_manifest()
+        return written
+
+    def flush_index(self) -> None:
+        """Rewrite the manifest from the in-memory index."""
+        self._write_manifest()

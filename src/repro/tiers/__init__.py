@@ -1,0 +1,5 @@
+"""Learned fidelity tiers between the analytical model and the simulator."""
+
+from repro.tiers.costmodel import TIER_MODELS, CostModelTier
+
+__all__ = ["CostModelTier", "TIER_MODELS"]

@@ -1,0 +1,184 @@
+"""Learned cost-model fidelity tier: the store's corpus as a surrogate.
+
+The paper trades fidelity for throughput twice (analytical LF model vs
+cycle-approximate simulation); this module adds the third rung the
+ROADMAP calls for. A :class:`CostModelTier` trains one of the repo's
+existing tree ensembles (BagGBRT or random forest, the same machinery as
+the Fig.-5 baselines) on the :class:`~repro.store.EvalStore` corpus of a
+workload, and answers HIGH-fidelity queries in microseconds *when the
+ensemble is confident*: a query is served only if the ensemble's
+disagreement (``predict_std``) stays within ``max_rel_std`` of its
+prediction. Everything else falls back to the real simulator, so the
+tier can only substitute answers it has evidence for.
+
+Provenance rules:
+
+* learned answers are labelled ``tier="learned"`` by the engine and are
+  **never written back to the store** -- the corpus stays simulation-only,
+  so the model never trains on its own output;
+* the tier is off by default everywhere; golden and regression suites
+  run with the exact bit-for-bit pipeline they always had.
+
+Models are fitted per ``(space signature, workload tag)`` namespace,
+lazily on first query, and refitted when the corpus has doubled since
+the last fit. Fits use the ``fast_splits`` tree path and a deterministic
+subsample of at most ``train_rows`` corpus rows, keeping fit cost
+bounded on large stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Recognised tier model specs ("off" means: build no tier).
+TIER_MODELS = ("off", "gbrt", "rf")
+
+
+@dataclass
+class _FittedModel:
+    """One namespace's ensemble + the corpus snapshot it was fitted on."""
+
+    model: object = None
+    corpus_rows: int = 0  # corpus size at fit time (0 = not fitted yet)
+
+
+class CostModelTier:
+    """Confidence-gated learned tier over an evaluation store.
+
+    Args:
+        store: Corpus source (and nothing else: the tier never writes).
+        space: Design space (features are ``space.normalized`` levels).
+        model: ``"gbrt"`` (bagged GBRT) or ``"rf"`` (random forest).
+        min_corpus: Smallest per-namespace corpus worth fitting on.
+        max_rel_std: Confidence gate: serve only when the ensemble's
+            std is at most this fraction of the predicted CPI.
+        train_rows: Deterministic subsample cap per fit.
+        seed: Seed for subsampling and ensemble randomness.
+    """
+
+    def __init__(
+        self,
+        store,
+        space,
+        model: str = "gbrt",
+        min_corpus: int = 256,
+        max_rel_std: float = 0.02,
+        train_rows: int = 1024,
+        seed: int = 0,
+    ):
+        if model not in ("gbrt", "rf"):
+            raise ValueError(f"unknown tier model {model!r}; expected gbrt or rf")
+        if min_corpus < 2:
+            raise ValueError("min_corpus must be >= 2")
+        if max_rel_std <= 0:
+            raise ValueError("max_rel_std must be > 0")
+        self.store = store
+        self.space = space
+        self.model = model
+        self.min_corpus = int(min_corpus)
+        self.max_rel_std = float(max_rel_std)
+        self.train_rows = int(train_rows)
+        self.seed = int(seed)
+        self._fitted: Dict[tuple, _FittedModel] = {}
+        #: Queries answered by the learned model.
+        self.served = 0
+        #: Queries declined (low confidence or thin corpus) -> simulator.
+        self.fallbacks = 0
+        #: Ensemble (re)fits performed.
+        self.fits = 0
+
+    # ------------------------------------------------------------------
+    def _make_model(self, rng: np.random.Generator):
+        if self.model == "rf":
+            from repro.baselines.random_forest import RandomForest
+
+            return RandomForest(
+                num_trees=24, max_depth=6, rng=rng, fast_splits=True
+            )
+        from repro.baselines.gbrt import BaggedGBRT
+
+        return BaggedGBRT(
+            num_bags=6, num_estimators=16, rng=rng, fast_splits=True
+        )
+
+    def _ensure_fitted(self, space_sig: str, tag: str) -> Optional[object]:
+        """Fitted ensemble for a namespace, or None if the corpus is thin."""
+        entry = self._fitted.setdefault((space_sig, tag), _FittedModel())
+        corpus_now = self.store.count(tag)
+        if entry.model is not None and corpus_now < 2 * entry.corpus_rows:
+            return entry.model
+        rows = self.store.records_for(space_sig, tag, "high")
+        if len(rows) < self.min_corpus:
+            entry.model = None
+            entry.corpus_rows = 0
+            return None
+        # Corpus size *before* subsampling: the refit trigger compares
+        # against corpus growth, not against the training-row cap.
+        corpus_rows = len(rows)
+        rng = np.random.default_rng(self.seed)
+        if len(rows) > self.train_rows:
+            # Deterministic subsample: store iteration order is stable
+            # for a given corpus, so the same corpus fits the same model.
+            pick = rng.choice(len(rows), size=self.train_rows, replace=False)
+            rows = [rows[i] for i in sorted(pick)]
+        x = np.asarray(
+            [self.space.normalized(levels) for levels, _ in rows],
+            dtype=np.float64,
+        )
+        y = np.asarray([metrics["cpi"] for _, metrics in rows], dtype=np.float64)
+        entry.model = self._make_model(rng).fit(x, y)
+        entry.corpus_rows = corpus_rows
+        self.fits += 1
+        return entry.model
+
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        space_sig: str,
+        tag: str,
+        fidelity: str,
+        levels_batch: Sequence[Sequence[int]],
+    ) -> List[Optional[Dict[str, float]]]:
+        """Learned metrics per query, ``None`` where the tier declines.
+
+        Only HIGH-fidelity queries are ever served -- the analytical LF
+        model is already microsecond-fast, so learning it would add
+        error for no speedup.
+        """
+        answers: List[Optional[Dict[str, float]]] = [None] * len(levels_batch)
+        if not levels_batch:
+            return answers
+        if fidelity != "high":
+            self.fallbacks += len(levels_batch)
+            return answers
+        ensemble = self._ensure_fitted(space_sig, tag)
+        if ensemble is None:
+            self.fallbacks += len(levels_batch)
+            return answers
+        x = np.asarray(
+            [self.space.normalized(levels) for levels in levels_batch],
+            dtype=np.float64,
+        )
+        pred = ensemble.predict(x)
+        std = ensemble.predict_std(x)
+        confident = (pred > 0) & (std <= self.max_rel_std * np.abs(pred))
+        for i, ok in enumerate(confident):
+            if ok:
+                cpi = float(pred[i])
+                answers[i] = {"cpi": cpi, "ipc": 1.0 / cpi}
+                self.served += 1
+            else:
+                self.fallbacks += 1
+        return answers
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for engine summaries (numeric-only)."""
+        return {
+            "served": self.served,
+            "fallbacks": self.fallbacks,
+            "fits": self.fits,
+            "namespaces": len(self._fitted),
+        }

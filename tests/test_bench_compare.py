@@ -101,6 +101,16 @@ class TestCompare:
                 *(f"batched_speedup_{n}" for n in (1, 4, 16, 64, 256)),
                 *(f"batched_evals_per_sec_{n}" for n in (1, 4, 16, 64, 256)),
             },
+            "test_bench_store_startup": {
+                "store_records", "store_open_s",
+                "store_open_records_per_sec",
+                "store_parsed_at_open", "store_parsed_after_get",
+            },
+            "test_bench_learned_tier": {
+                "tier_corpus_records", "tier_fit_s",
+                "hf_serial_ms_per_eval", "tier_us_per_query",
+                "tier_speedup", "tier_hit_rate", "tier_fallback_rate",
+            },
         }
         assert baseline["metrics"], "baseline must gate something"
         for key in baseline["metrics"]:

@@ -263,3 +263,44 @@ class TestReport:
         assert totals.get("engine_prepass_misses", 0) >= 1
         text = render_campaign_summary(scheduler.last)
         assert "prepass hits" in text
+
+
+class TestEngineConfigThreading:
+    """The per-run EngineConfig travels spec-side through the campaign."""
+
+    SPEC = RunSpec(run_id="ec1", kind="baseline", method="random-search",
+                   seed=0, workload="mm", data_size=12, hf_budget=3)
+
+    def test_execute_run_records_engine_config(self, tmp_path):
+        from repro.campaign.runner import execute_run
+        from repro.engine import EngineConfig
+
+        config = EngineConfig(cache_dir=str(tmp_path), store_backend="sqlite")
+        record = execute_run(self.SPEC, engine_config=config.to_json())
+        assert record["engine_config"] == config.to_json()
+        assert (tmp_path / "store.sqlite").exists()
+        assert record["engine"]["engine_cache_entries"] == 3
+
+    def test_legacy_kwargs_fold_into_config(self, tmp_path):
+        from repro.campaign.runner import execute_run
+
+        record = execute_run(self.SPEC, cache_dir=tmp_path, hf_batch=7)
+        assert record["engine_config"]["cache_dir"] == str(tmp_path)
+        assert record["engine_config"]["hf_batch"] == 7
+        assert record["engine_config"]["tier"] == "off"
+
+    def test_scheduler_ships_config_to_runs(self, tmp_path):
+        from repro.engine import EngineConfig
+
+        config = EngineConfig(cache_dir=str(tmp_path / "store"))
+        scheduler = CampaignScheduler(engine_config=config)
+        assert scheduler.cache_dir == str(tmp_path / "store")  # legacy view
+        result = scheduler.run([self.SPEC])
+        assert result.records["ec1"]["engine_config"] == config.to_json()
+
+    def test_tier_counters_reach_campaign_summary_keys(self, tmp_path):
+        from repro.campaign.report import HEADLINE_COUNTERS
+
+        keys = [key for key, _ in HEADLINE_COUNTERS]
+        assert "engine_tier_served" in keys
+        assert "engine_tier_fallback" in keys

@@ -1,0 +1,171 @@
+"""Tests for EngineConfig and the unified ProxyPool.evaluate surface."""
+
+import argparse
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.designspace import default_design_space
+from repro.engine import EngineConfig, normalize_hf_backend
+from repro.proxies import AnalyticalModel, Fidelity, ProxyPool, SimulationProxy
+from repro.store import EvalStore
+from repro.tiers import CostModelTier
+from repro.workloads import get_workload
+
+SPACE = default_design_space()
+WORKLOAD = get_workload("mm", data_size=12)
+
+
+def make_pool(**kwargs):
+    return ProxyPool(
+        SPACE,
+        AnalyticalModel(WORKLOAD.profile, SPACE),
+        SimulationProxy(WORKLOAD, SPACE),
+        area_limit_mm2=7.5,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# EngineConfig
+# ----------------------------------------------------------------------
+def test_json_roundtrip_exact():
+    config = EngineConfig(
+        workers=3, cache_dir="/tmp/x", store_backend="sqlite",
+        hf_backend="batched", hf_batch=64, propose_batch=4,
+        tier="rf", tier_min_corpus=10, tier_max_rel_std=0.5,
+        tier_train_rows=99,
+    )
+    assert EngineConfig.from_json(config.to_json()) == config
+    assert EngineConfig.from_json(None) == EngineConfig()
+    # Unknown keys (newer writer) are ignored, not fatal.
+    payload = dict(config.to_json(), future_knob=1)
+    assert EngineConfig.from_json(payload) == config
+
+
+def test_from_args_defaults_missing_flags():
+    assert EngineConfig.from_args(argparse.Namespace()) == EngineConfig()
+    args = argparse.Namespace(
+        workers=2, cache_dir="store", store_backend="sharded",
+        hf_backend="serial", hf_batch=8, propose_batch=2, tier="gbrt",
+        tier_min_corpus=32, tier_max_rel_std=0.1, tier_train_rows=256,
+    )
+    config = EngineConfig.from_args(args)
+    assert config.workers == 2
+    assert config.cache_dir == "store"
+    assert config.tier == "gbrt"
+    assert config.tier_min_corpus == 32
+
+
+def test_normalize_hf_backend():
+    assert normalize_hf_backend(None) is None
+    assert normalize_hf_backend("auto") is None
+    assert normalize_hf_backend("batched") == "batch"
+    assert normalize_hf_backend("process") == "process"
+    assert normalize_hf_backend("serial") == "serial"
+
+
+def test_build_store(tmp_path):
+    assert EngineConfig().build_store() is None
+    store = EngineConfig(cache_dir=str(tmp_path)).build_store()
+    assert isinstance(store, EvalStore)
+    assert store.backend_name == "sharded"
+    sqlite_store = EngineConfig(
+        cache_dir=str(tmp_path / "s"), store_backend="sqlite"
+    ).build_store()
+    assert sqlite_store.backend_name == "sqlite"
+
+
+def test_build_tier(tmp_path):
+    config = EngineConfig(cache_dir=str(tmp_path), tier="gbrt")
+    store = config.build_store()
+    assert EngineConfig().build_tier(store, SPACE) is None
+    tier = config.build_tier(store, SPACE)
+    assert isinstance(tier, CostModelTier)
+    assert tier.model == "gbrt"
+    with pytest.raises(ValueError, match="persistent store"):
+        config.build_tier(None, SPACE)
+
+
+def test_pool_built_from_config_wires_store_and_tier(tmp_path):
+    config = EngineConfig(cache_dir=str(tmp_path), tier="gbrt")
+    pool = make_pool(config=config)
+    assert isinstance(pool.engine.cache, EvalStore)
+    assert isinstance(pool.engine.tier, CostModelTier)
+    # Legacy kwargs fold into the same construction path: cache_dir now
+    # builds an EvalStore (lazy index), not the legacy flat cache.
+    legacy = make_pool(cache_dir=tmp_path)
+    assert isinstance(legacy.engine.cache, EvalStore)
+    assert legacy.engine.tier is None
+
+
+def test_pool_config_tier_off_matches_legacy(tmp_path):
+    pool = make_pool(config=EngineConfig())
+    assert pool.engine.cache is None
+    assert pool.engine.tier is None
+
+
+# ----------------------------------------------------------------------
+# Unified ProxyPool.evaluate
+# ----------------------------------------------------------------------
+def sample(count, seed=0):
+    return list(SPACE.sample(np.random.default_rng(seed), count=count))
+
+
+def test_evaluate_scalar_equals_batch_of_one():
+    levels = sample(1)[0]
+    a = make_pool().evaluate(levels, Fidelity.HIGH)
+    b = make_pool().evaluate([levels], Fidelity.HIGH)
+    assert isinstance(b, list) and len(b) == 1
+    assert a.metrics == b[0].metrics
+    assert a.provenance == "simulated"
+
+
+def test_evaluate_defaults_to_high():
+    pool = make_pool()
+    levels = sample(1)[0]
+    evaluation = pool.evaluate(levels)
+    assert evaluation.fidelity is Fidelity.HIGH
+    assert pool.hf_evaluations == 1
+    assert pool.evaluate(levels, Fidelity.LOW).fidelity is Fidelity.LOW
+    assert pool.lf_evaluations == 1
+
+
+def test_evaluate_batch_counters_match_scalar_loop():
+    batch = sample(5, seed=3)
+    batched = make_pool()
+    looped = make_pool()
+    results = batched.evaluate(batch, Fidelity.HIGH)
+    singles = [looped.evaluate(levels, Fidelity.HIGH) for levels in batch]
+    assert [r.cpi for r in results] == [s.cpi for s in singles]
+    assert batched.summary()["hf_evaluations"] == looped.summary()["hf_evaluations"]
+
+
+@pytest.mark.parametrize(
+    "name,call",
+    [
+        ("evaluate_low", lambda p, b: p.evaluate_low(b[0])),
+        ("evaluate_high", lambda p, b: p.evaluate_high(b[0])),
+        ("evaluate_many", lambda p, b: p.evaluate_many(b, Fidelity.HIGH)),
+        ("evaluate_many_low", lambda p, b: p.evaluate_many_low(b)),
+        ("evaluate_many_high", lambda p, b: p.evaluate_many_high(b)),
+    ],
+)
+def test_legacy_evaluate_shims_warn_and_delegate(name, call):
+    pool = make_pool()
+    batch = sample(2, seed=4)
+    with pytest.warns(DeprecationWarning, match=f"ProxyPool.{name}"):
+        result = call(pool, batch)
+    evaluations = result if isinstance(result, list) else [result]
+    assert all(e.metrics["cpi"] > 0 for e in evaluations)
+
+
+def test_config_replace_for_campaign_engine():
+    # The campaign layer zeroes engine workers while keeping everything
+    # else; replace() on the frozen dataclass is the supported spelling.
+    config = EngineConfig(workers=8, tier="rf")
+    engine_side = replace(config, workers=0)
+    assert engine_side.workers == 0
+    assert engine_side.tier == "rf"
+    assert config.workers == 8

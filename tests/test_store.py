@@ -1,0 +1,274 @@
+"""Tests for the evaluation store: backends, corruption, merge safety."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.store import (
+    EvalStore,
+    StoreConflictError,
+    encode_record,
+    make_store,
+    shard_name,
+    store_key,
+)
+from repro.store.jsonl import LEGACY_FILE, MANIFEST_FILE, SHARDS_DIR
+from repro.store.sqlite import SQLITE_FILE
+
+SPACE = "spacesig"
+TAG = "hf:mm:d14:s0:abc:m2"
+OTHER_TAG = "hf:fft:d64:s0:def:m2"
+
+
+def key_at(i, tag=TAG, fidelity="high"):
+    return store_key(SPACE, tag, fidelity, (i, i + 1, i + 2))
+
+
+def metrics_at(i):
+    return {"cpi": 1.0 + i / 100.0, "ipc": 1.0 / (1.0 + i / 100.0)}
+
+
+def fill(store, count, tag=TAG, start=0):
+    for i in range(start, start + count):
+        store.put(key_at(i, tag=tag), metrics_at(i))
+
+
+# ----------------------------------------------------------------------
+# Round-trip + counters
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["sharded", "sqlite", "memory"])
+def test_put_get_roundtrip(tmp_path, backend):
+    path = None if backend == "memory" else tmp_path
+    store = EvalStore(path, backend=backend)
+    assert store.get(key_at(0)) is None
+    assert store.put(key_at(0), metrics_at(0))
+    assert not store.put(key_at(0), metrics_at(0))  # duplicate insert
+    assert store.get(key_at(0)) == metrics_at(0)
+    assert store.stats()["hits"] == 1
+    assert store.stats()["misses"] == 1
+    assert key_at(0) in store
+    assert len(store) == 1
+    assert store.backend_name == backend
+
+
+def test_reopen_persists_and_resyncs(tmp_path):
+    fill(EvalStore(tmp_path, backend="sharded"), 5)
+    store = EvalStore(tmp_path, backend="sharded")
+    assert store.count(TAG) == 5
+    assert store.get(key_at(3)) == metrics_at(3)
+
+
+def test_records_for_filters_fidelity_and_space(tmp_path):
+    store = EvalStore(tmp_path, backend="sharded")
+    fill(store, 4)
+    store.put(key_at(90, fidelity="low"), metrics_at(90))
+    store.put(store_key("otherspace", TAG, "high", (1, 2, 3)), metrics_at(0))
+    rows = store.records_for(SPACE, TAG, "high")
+    assert len(rows) == 4
+    assert all(len(levels) == 3 for levels, _ in rows)
+
+
+# ----------------------------------------------------------------------
+# Lazy index: startup must not parse the corpus
+# ----------------------------------------------------------------------
+def test_open_is_lazy_and_load_is_on_demand(tmp_path):
+    fill(EvalStore(tmp_path, backend="sharded"), 50)
+    fill(EvalStore(tmp_path, backend="sharded"), 50, tag=OTHER_TAG)
+
+    store = EvalStore(tmp_path, backend="sharded")
+    assert store.stats()["parsed_records"] == 0  # manifest only
+    assert store.count(TAG) == 50  # line counts, still no parse
+    assert store.stats()["parsed_records"] == 0
+    assert store.get(key_at(7)) == metrics_at(7)
+    # Only the touched tag's shard was parsed.
+    assert store.stats()["parsed_records"] == 50
+
+
+def test_appended_lines_resync_without_manifest_rewrite(tmp_path):
+    fill(EvalStore(tmp_path, backend="sharded"), 3)
+    # A second writer appends behind the manifest's back.
+    shard = tmp_path / SHARDS_DIR / shard_name(TAG)
+    with shard.open("a") as fh:
+        fh.write(encode_record(key_at(77), metrics_at(77)) + "\n")
+    store = EvalStore(tmp_path, backend="sharded")
+    assert store.count(TAG) == 4
+    assert store.get(key_at(77)) == metrics_at(77)
+
+
+# ----------------------------------------------------------------------
+# Corruption tolerance
+# ----------------------------------------------------------------------
+def test_truncated_shard_line_is_skipped(tmp_path):
+    fill(EvalStore(tmp_path, backend="sharded"), 4)
+    shard = tmp_path / SHARDS_DIR / shard_name(TAG)
+    content = shard.read_text()
+    # Simulate a crash mid-append: last record is cut in half.
+    shard.write_text(content[: len(content) - len(content.splitlines()[-1]) // 2 - 1])
+
+    store = EvalStore(tmp_path, backend="sharded")
+    assert store.get(key_at(0)) == metrics_at(0)
+    assert store.get(key_at(3)) is None  # the truncated record
+    assert store.stats()["corrupt_lines"] == 1
+    # The next write after the torn tail must still produce valid lines.
+    store.put(key_at(3), metrics_at(3))
+    reopened = EvalStore(tmp_path, backend="sharded")
+    assert reopened.get(key_at(3)) == metrics_at(3)
+
+
+def test_compact_drops_dead_lines(tmp_path):
+    store = EvalStore(tmp_path, backend="sharded")
+    fill(store, 4)
+    shard = tmp_path / SHARDS_DIR / shard_name(TAG)
+    with shard.open("a") as fh:
+        fh.write("{torn\n")  # corrupt tail
+        fh.write(encode_record(key_at(0), metrics_at(0)) + "\n")  # duplicate
+    store = EvalStore(tmp_path, backend="sharded")
+    assert store.count(TAG) == 6  # line estimate includes dead lines
+    assert store.compact() == 4
+    assert shard.read_text().count("\n") == 4
+    assert EvalStore(tmp_path).count(TAG) == 4
+
+
+def test_auto_compaction_thread(tmp_path):
+    store = EvalStore(tmp_path, backend="sharded", auto_compact_dead=2)
+    fill(store, 3)
+    shard = tmp_path / SHARDS_DIR / shard_name(TAG)
+    with shard.open("a") as fh:
+        fh.write("{torn\n{torn\n")
+    store = EvalStore(tmp_path, backend="sharded", auto_compact_dead=2)
+    assert store.get(key_at(0)) == metrics_at(0)  # load counts the dead lines
+    store.put(key_at(50), metrics_at(50))  # put triggers the background pass
+    store.join_compaction()
+    assert store.compactions == 1
+    assert shard.read_text().count("\n") == 4
+
+
+# ----------------------------------------------------------------------
+# Legacy migration
+# ----------------------------------------------------------------------
+def test_legacy_flat_cache_migrates_on_open(tmp_path):
+    legacy = tmp_path / LEGACY_FILE
+    with legacy.open("w") as fh:
+        for i in range(6):
+            fh.write(encode_record(key_at(i), metrics_at(i)) + "\n")
+        fh.write("{torn\n")
+
+    store = EvalStore(tmp_path, backend="sharded")
+    assert store.stats()["migrated_records"] == 6
+    assert store.get(key_at(5)) == metrics_at(5)
+    assert not legacy.exists()
+    assert (tmp_path / (LEGACY_FILE + ".migrated")).exists()
+    # Reopen: migration ran once, records live in the sharded layout.
+    reopened = EvalStore(tmp_path, backend="sharded")
+    assert reopened.stats()["migrated_records"] == 0
+    assert reopened.count(TAG) == 6
+
+
+def test_legacy_file_path_opens_enclosing_store(tmp_path):
+    # ResultCache accepted DIR/evaluations.jsonl; EvalStore maps that
+    # spelling onto the directory store.
+    store = EvalStore(tmp_path / LEGACY_FILE)
+    store.put(key_at(0), metrics_at(0))
+    assert EvalStore(tmp_path).get(key_at(0)) == metrics_at(0)
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+def test_auto_detects_existing_sqlite(tmp_path):
+    fill(EvalStore(tmp_path, backend="sqlite"), 3)
+    store = EvalStore(tmp_path)  # auto
+    assert store.backend_name == "sqlite"
+    assert store.get(key_at(1)) == metrics_at(1)
+    assert (tmp_path / SQLITE_FILE).exists()
+    assert not (tmp_path / MANIFEST_FILE).exists()
+
+
+def test_sqlite_roundtrip_and_tags(tmp_path):
+    store = EvalStore(tmp_path, backend="sqlite")
+    fill(store, 3)
+    fill(store, 2, tag=OTHER_TAG)
+    assert store.tags() == sorted([TAG, OTHER_TAG])
+    assert store.count(OTHER_TAG) == 2
+    assert len(store.records_for(SPACE, TAG, "high")) == 3
+
+
+def test_make_store_rejects_unknown_backend(tmp_path):
+    with pytest.raises(ValueError, match="unknown store backend"):
+        make_store(tmp_path, backend="bogus")
+
+
+# ----------------------------------------------------------------------
+# Merge: additive cases and the three refusal rules
+# ----------------------------------------------------------------------
+def test_merge_adds_and_counts_duplicates(tmp_path):
+    a = EvalStore(tmp_path / "a", backend="sharded")
+    b = EvalStore(tmp_path / "b", backend="sharded")
+    fill(a, 4)
+    fill(b, 4, start=2)  # overlap on 2, 3
+    report = a.merge(b)
+    assert report == {"added": 2, "duplicates": 2, "tags": 1}
+    assert a.count(TAG) == 6
+    # Merge persists: a fresh open sees the merged records.
+    assert EvalStore(tmp_path / "a").get(key_at(5)) == metrics_at(5)
+
+
+def test_merge_by_path_and_across_backends(tmp_path):
+    a = EvalStore(tmp_path / "a", backend="sqlite")
+    b = EvalStore(tmp_path / "b", backend="sharded")
+    fill(b, 3)
+    report = a.merge(tmp_path / "b")
+    assert report["added"] == 3
+    assert a.get(key_at(2)) == metrics_at(2)
+
+
+def test_merge_refuses_conflicting_metrics(tmp_path):
+    a = EvalStore(tmp_path / "a")
+    b = EvalStore(tmp_path / "b")
+    a.put(key_at(0), {"cpi": 1.0, "ipc": 1.0})
+    b.put(key_at(0), {"cpi": 2.0, "ipc": 0.5})
+    with pytest.raises(StoreConflictError, match="conflicting metrics"):
+        a.merge(b)
+
+
+def test_merge_refuses_schema_mismatch_under_one_tag(tmp_path):
+    a = EvalStore(tmp_path / "a")
+    b = EvalStore(tmp_path / "b")
+    a.put(key_at(0), {"cpi": 1.0, "ipc": 1.0})
+    b.put(key_at(1), {"cpi": 1.0})  # missing ipc: different producer
+    with pytest.raises(StoreConflictError, match="schema mismatch"):
+        a.merge(b)
+
+
+def test_merge_refuses_shard_claimed_by_two_tags(tmp_path):
+    a = EvalStore(tmp_path / "a")
+    fill(a, 2)
+    # Forge an incoming store whose shard file name (the merge-time
+    # fingerprint) belongs to a *different* tag -- e.g. hosts running
+    # divergent tag schemes.
+    b_dir = tmp_path / "b"
+    (b_dir / SHARDS_DIR).mkdir(parents=True)
+    filename = shard_name(TAG)
+    (b_dir / SHARDS_DIR / filename).write_text(
+        encode_record(key_at(0, tag=OTHER_TAG), metrics_at(0)) + "\n"
+    )
+    (b_dir / MANIFEST_FILE).write_text(json.dumps({
+        "version": 1,
+        "shards": {filename: {"tag": OTHER_TAG, "lines": 1, "bytes": 1}},
+    }))
+    with pytest.raises(StoreConflictError, match="cache_tag mismatch"):
+        a.merge(EvalStore(b_dir))
+
+
+# ----------------------------------------------------------------------
+# sqlite specifics
+# ----------------------------------------------------------------------
+def test_sqlite_survives_concurrent_duplicate_insert(tmp_path):
+    store = EvalStore(tmp_path, backend="sqlite")
+    assert store.put(key_at(0), metrics_at(0))
+    # A second process wrote the same key between our get and put.
+    other = sqlite3.connect(tmp_path / SQLITE_FILE)
+    assert not store.put(key_at(0), metrics_at(0))
+    other.close()
+    assert store.count() == 1

@@ -1,0 +1,249 @@
+"""Tests for the learned cost-model fidelity tier and its engine wiring."""
+
+import numpy as np
+import pytest
+
+from repro.designspace import default_design_space
+from repro.engine import EvaluationEngine
+from repro.proxies import AnalyticalModel, Fidelity, SimulationProxy
+from repro.store import EvalStore, store_key
+from repro.tiers import TIER_MODELS, CostModelTier
+from repro.workloads import get_workload
+
+SPACE = default_design_space()
+SIG = "testsig"
+TAG = "hf:test"
+
+
+def smooth_cpi(levels) -> float:
+    """Deterministic, smooth target over the normalized feature vector."""
+    x = SPACE.normalized(levels)
+    return float(1.0 + 0.5 * x.sum() / len(x) + 0.25 * x[0])
+
+
+def warm_store(count, seed=0, tag=TAG):
+    store = EvalStore(None)
+    rng = np.random.default_rng(seed)
+    for levels in SPACE.sample(rng, count=count):
+        cpi = smooth_cpi(levels)
+        store.put(
+            store_key(SIG, tag, "high", levels), {"cpi": cpi, "ipc": 1.0 / cpi}
+        )
+    return store
+
+
+def queries(count, seed=123):
+    return list(SPACE.sample(np.random.default_rng(seed), count=count))
+
+
+# ----------------------------------------------------------------------
+# Construction / gating
+# ----------------------------------------------------------------------
+def test_tier_models_registry():
+    assert TIER_MODELS == ("off", "gbrt", "rf")
+
+
+def test_tier_rejects_bad_params():
+    store = EvalStore(None)
+    with pytest.raises(ValueError, match="unknown tier model"):
+        CostModelTier(store, SPACE, model="bogus")
+    with pytest.raises(ValueError, match="min_corpus"):
+        CostModelTier(store, SPACE, min_corpus=1)
+    with pytest.raises(ValueError, match="max_rel_std"):
+        CostModelTier(store, SPACE, max_rel_std=0.0)
+
+
+def test_cold_corpus_falls_back():
+    tier = CostModelTier(warm_store(10), SPACE, min_corpus=64)
+    answers = tier.serve(SIG, TAG, "high", queries(5))
+    assert answers == [None] * 5
+    assert tier.stats()["fallbacks"] == 5
+    assert tier.stats()["fits"] == 0
+
+
+def test_low_fidelity_never_served():
+    tier = CostModelTier(warm_store(200), SPACE, min_corpus=64, max_rel_std=10.0)
+    assert tier.serve(SIG, TAG, "low", queries(4)) == [None] * 4
+    assert tier.stats()["served"] == 0
+
+
+@pytest.mark.parametrize("model", ["gbrt", "rf"])
+def test_warm_corpus_serves_accurately(model):
+    tier = CostModelTier(
+        warm_store(400), SPACE, model=model, min_corpus=64, max_rel_std=0.2
+    )
+    batch = queries(32)
+    answers = tier.serve(SIG, TAG, "high", batch)
+    served = [(lv, a) for lv, a in zip(batch, answers) if a is not None]
+    assert len(served) >= 16  # smooth target: the ensemble is confident
+    for levels, metrics in served:
+        assert metrics["cpi"] > 0
+        assert metrics["ipc"] == pytest.approx(1.0 / metrics["cpi"])
+        assert metrics["cpi"] == pytest.approx(smooth_cpi(levels), rel=0.2)
+    stats = tier.stats()
+    assert stats["served"] == len(served)
+    assert stats["served"] + stats["fallbacks"] == len(batch)
+    assert stats["fits"] == 1
+    assert stats["namespaces"] == 1
+
+
+def test_strict_gate_declines_everything():
+    tier = CostModelTier(
+        warm_store(300), SPACE, min_corpus=64, max_rel_std=1e-12
+    )
+    assert tier.serve(SIG, TAG, "high", queries(8)) == [None] * 8
+    assert tier.stats()["fits"] == 1  # fitted, but never confident
+
+
+def test_refit_only_when_corpus_doubles():
+    store = warm_store(64)
+    tier = CostModelTier(store, SPACE, min_corpus=32, max_rel_std=10.0)
+    tier.serve(SIG, TAG, "high", queries(2))
+    assert tier.stats()["fits"] == 1
+    # Small growth: same model answers.
+    rng = np.random.default_rng(7)
+    for levels in SPACE.sample(rng, count=20):
+        cpi = smooth_cpi(levels)
+        store.put(store_key(SIG, TAG, "high", levels),
+                  {"cpi": cpi, "ipc": 1.0 / cpi})
+    tier.serve(SIG, TAG, "high", queries(2))
+    assert tier.stats()["fits"] == 1
+    # Corpus doubled: refit.
+    for levels in SPACE.sample(rng, count=80):
+        cpi = smooth_cpi(levels)
+        store.put(store_key(SIG, TAG, "high", levels),
+                  {"cpi": cpi, "ipc": 1.0 / cpi})
+    tier.serve(SIG, TAG, "high", queries(2))
+    assert tier.stats()["fits"] == 2
+
+
+def test_subsampled_fit_does_not_refit_every_query():
+    # Corpus far above train_rows: the refit trigger must compare
+    # against the corpus size, not the subsample size.
+    tier = CostModelTier(
+        warm_store(120), SPACE, min_corpus=32, max_rel_std=10.0, train_rows=16
+    )
+    tier.serve(SIG, TAG, "high", queries(2))
+    tier.serve(SIG, TAG, "high", queries(2, seed=9))
+    assert tier.stats()["fits"] == 1
+
+
+# ----------------------------------------------------------------------
+# Engine integration: provenance + corpus hygiene
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def warm_engine_setup():
+    """A store warmed by real simulations, plus the proxies that made it."""
+    workload = get_workload("mm", data_size=12)
+    analytical = AnalyticalModel(workload.profile, SPACE)
+    proxy = SimulationProxy(workload, SPACE)
+    store = EvalStore(None)
+    engine = EvaluationEngine(
+        SPACE, analytical=analytical, high_fidelity=proxy, cache=store
+    )
+    designs = list(SPACE.sample(np.random.default_rng(0), count=48))
+    engine.evaluate_many(designs, Fidelity.HIGH)
+    return workload, analytical, proxy, store, designs
+
+
+def tiered_engine(setup, **tier_kwargs):
+    __, analytical, proxy, store, __ = setup
+    kwargs = dict(min_corpus=16, max_rel_std=10.0)
+    kwargs.update(tier_kwargs)
+    tier = CostModelTier(store, SPACE, **kwargs)
+    return (
+        EvaluationEngine(
+            SPACE,
+            analytical=analytical,
+            high_fidelity=proxy,
+            cache=store,
+            tier=tier,
+        ),
+        store,
+    )
+
+
+def test_engine_serves_learned_with_provenance(warm_engine_setup):
+    engine, store = tiered_engine(warm_engine_setup)
+    before = len(store)
+    fresh = list(SPACE.sample(np.random.default_rng(99), count=6))
+    evaluations = engine.evaluate_many(fresh, Fidelity.HIGH)
+    assert engine.tier_served == 6
+    assert engine.computed["high"] == 0
+    assert all(e.provenance == "learned" for e in evaluations)
+    assert all(e.cpi > 0 for e in evaluations)
+    # Corpus hygiene: learned answers are never persisted.
+    assert len(store) == before
+    summary = engine.summary()
+    assert summary["tier_served"] == 6
+    assert summary["tier_fallback"] == 0
+    assert summary["tier_fits"] == 1
+
+
+def test_engine_cache_beats_tier(warm_engine_setup):
+    engine, __ = tiered_engine(warm_engine_setup)
+    designs = warm_engine_setup[4]
+    evaluations = engine.evaluate_many(designs[:4], Fidelity.HIGH)
+    assert all(e.provenance == "cached" for e in evaluations)
+    assert engine.tier_served == 0
+
+
+def test_engine_falls_back_to_simulator_when_unconfident(warm_engine_setup):
+    engine, store = tiered_engine(warm_engine_setup, max_rel_std=1e-12)
+    before = len(store)
+    fresh = list(SPACE.sample(np.random.default_rng(1234), count=3))
+    evaluations = engine.evaluate_many(fresh, Fidelity.HIGH)
+    assert engine.tier_fallback == 3
+    assert engine.computed["high"] == 3
+    assert all(e.provenance == "simulated" for e in evaluations)
+    # Simulated fallbacks ARE persisted: the corpus keeps growing.
+    assert len(store) == before + 3
+
+
+def test_tier_off_is_untouched_pipeline(warm_engine_setup):
+    __, analytical, proxy, store, __ = warm_engine_setup
+    engine = EvaluationEngine(
+        SPACE, analytical=analytical, high_fidelity=proxy, cache=store
+    )
+    fresh = list(SPACE.sample(np.random.default_rng(555), count=2))
+    evaluations = engine.evaluate_many(fresh, Fidelity.HIGH)
+    assert all(e.provenance == "simulated" for e in evaluations)
+    assert "tier_served" not in engine.summary()
+
+
+# ----------------------------------------------------------------------
+# Checkpoint provenance round-trip
+# ----------------------------------------------------------------------
+def test_search_checkpoint_preserves_provenance():
+    from repro.proxies import ProxyPool
+    from repro.search import SearchLoop, make_method
+
+    def fresh_pool():
+        workload = get_workload("mm", data_size=12)
+        return ProxyPool(
+            SPACE,
+            AnalyticalModel(workload.profile, SPACE),
+            SimulationProxy(workload, SPACE),
+            area_limit_mm2=7.5,
+        )
+
+    loop = SearchLoop(
+        fresh_pool(), make_method("random-search"), 3,
+        rng=np.random.default_rng(0),
+    )
+    loop.run()
+    state = loop.state()
+    assert [e["tier"] for e in state["evaluations"]] == ["simulated"] * 3
+
+    # A tier-served evaluation keeps its label through the round-trip;
+    # a pre-provenance checkpoint entry defaults to simulated.
+    state["evaluations"][0]["tier"] = "learned"
+    del state["evaluations"][1]["tier"]
+    restored = SearchLoop(
+        fresh_pool(), make_method("random-search"), 3,
+        rng=np.random.default_rng(0),
+    )
+    restored.restore(state)
+    assert [e.provenance for e in restored.evaluations] == [
+        "learned", "simulated", "simulated"
+    ]
