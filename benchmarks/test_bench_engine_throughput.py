@@ -5,9 +5,16 @@ every future batching/parallelism PR should move these numbers and can
 cite this bench. Records, for one batch of distinct valid designs on the
 ``mm`` workload:
 
-- ``SerialBackend`` HF evaluations/sec (the reference) and the derived
-  simulator throughput in MIPS (simulated instructions/sec / 1e6), the
-  perf trajectory of the two-phase simulator across PRs,
+- ``SerialBackend`` HF evaluations/sec (the reference, on the auto
+  kernel -- compiled when available) and the derived simulator
+  throughput in MIPS (simulated instructions/sec / 1e6), the perf
+  trajectory of the two-phase simulator across PRs,
+- the same serial lane pinned to the pure-Python kernel (the
+  end-to-end cold-start cost of losing the extension), plus a
+  warm-memo simulator-level pair of lanes whose ratio is
+  ``compiled_kernel_speedup`` -- the C extension's win on the serial
+  HF evaluation path once pre-passes are memoised (every evaluation
+  after a geometry's first; 1.0x when the extension is absent),
 - ``ProcessPoolBackend`` evaluations/sec and its speedup,
 - ``BatchBackend`` HF evaluations/sec (the single-process default: the
   design-batched kernel above the crossover, serial semantics below),
@@ -38,6 +45,12 @@ from repro.engine import (
 )
 from repro.experiments.common import run_search
 from repro.proxies import AnalyticalModel, Fidelity, ProxyPool, SimulationProxy
+from repro.simulator import OutOfOrderSimulator
+from repro.simulator.kernels import (
+    KERNEL_PYTHON,
+    _force_python,
+    compiled_available,
+)
 from repro.workloads import get_workload
 
 
@@ -70,11 +83,11 @@ def test_bench_engine_throughput(benchmark, report):
     cores = os.cpu_count() or 1
     workers = min(cores, 4)
 
-    def build(backend):
+    def build(backend, kernel=None):
         return EvaluationEngine(
             space,
             analytical=analytical,
-            high_fidelity=SimulationProxy(workload, space),
+            high_fidelity=SimulationProxy(workload, space, kernel=kernel),
             backend=backend,
         )
 
@@ -83,6 +96,25 @@ def test_bench_engine_throughput(benchmark, report):
         out["hf_serial"], __ = _throughput(
             build(SerialBackend()), hf_batch, Fidelity.HIGH
         )
+        # Same lane pinned to the pure-Python kernel: the end-to-end
+        # cold-start cost of losing the extension (pre-pass builds and
+        # engine dispatch dilute the kernel's own win here).
+        out["hf_serial_python"], __ = _throughput(
+            build(SerialBackend(), kernel=KERNEL_PYTHON), hf_batch, Fidelity.HIGH
+        )
+        # Kernel-level lanes: same designs, warm pre-pass memos, so the
+        # ratio isolates the timing-kernel swap -- the cost every
+        # evaluation after a geometry's first actually pays.
+        configs = [space.config(levels) for levels in hf_batch]
+        for name, kernel in (("kernel_auto", None),
+                             ("kernel_python", KERNEL_PYTHON)):
+            simulator = OutOfOrderSimulator(kernel=kernel)
+            for config in configs:
+                simulator.run(workload.trace, config)  # warm the memo
+            start = time.perf_counter()
+            for config in configs:
+                simulator.run(workload.trace, config)
+            out[name] = len(configs) / (time.perf_counter() - start)
         # The single-process default backend: HF batches ride the
         # design-batched kernel when wide enough (the CI-scale batch sits
         # below the crossover and must transparently match serial).
@@ -123,13 +155,23 @@ def test_bench_engine_throughput(benchmark, report):
         return out
 
     rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    compiled_active = compiled_available() and not _force_python()
     hf_speedup = rates["hf_parallel"] / rates["hf_serial"]
     hf_batched_speedup = rates["hf_batched"] / rates["hf_serial"]
+    compiled_kernel_speedup = rates["kernel_auto"] / rates["kernel_python"]
+    hf_cold_python_speedup = rates["hf_serial"] / rates["hf_serial_python"]
     lf_speedup = rates["lf_vector"] / rates["lf_scalar"]
     # Simulator throughput: every serial HF evaluation replays the whole
     # trace, so evals/sec x trace length = simulated instructions/sec.
     serial_mips = rates["hf_serial"] * workload.num_instructions / 1e6
     benchmark.extra_info["hf_serial_evals_per_sec"] = rates["hf_serial"]
+    benchmark.extra_info["hf_serial_python_evals_per_sec"] = rates[
+        "hf_serial_python"
+    ]
+    benchmark.extra_info["hf_cold_python_speedup"] = hf_cold_python_speedup
+    benchmark.extra_info["kernel_auto_evals_per_sec"] = rates["kernel_auto"]
+    benchmark.extra_info["kernel_python_evals_per_sec"] = rates["kernel_python"]
+    benchmark.extra_info["compiled_kernel_speedup"] = compiled_kernel_speedup
     benchmark.extra_info["hf_batched_evals_per_sec"] = rates["hf_batched"]
     benchmark.extra_info["hf_batched_speedup"] = hf_batched_speedup
     search_batch_speedup = rates["search_q8"] / rates["search_q1"]
@@ -145,6 +187,16 @@ def test_bench_engine_throughput(benchmark, report):
         f"  HF serial   {rates['hf_serial']:>9.1f}/s   "
         f"HF process-pool({workers}) {rates['hf_parallel']:>9.1f}/s   "
         f"speedup {hf_speedup:.2f}x  ({cores} cores)"
+    )
+    report.append(
+        f"  HF python-kernel {rates['hf_serial_python']:>9.1f}/s   "
+        f"cold end-to-end speedup {hf_cold_python_speedup:.2f}x  "
+        f"({'compiled' if compiled_active else 'python'} kernel active)"
+    )
+    report.append(
+        f"  kernel (warm memo): auto {rates['kernel_auto']:>9.1f}/s   "
+        f"python {rates['kernel_python']:>9.1f}/s   "
+        f"compiled-kernel speedup {compiled_kernel_speedup:.2f}x"
     )
     report.append(
         f"  HF batch-backend {rates['hf_batched']:>9.1f}/s   "
@@ -170,6 +222,20 @@ def test_bench_engine_throughput(benchmark, report):
 
     # The vectorised LF path must pay off everywhere.
     assert lf_speedup > 1.5, f"vectorised LF only {lf_speedup:.2f}x"
+    if compiled_active:
+        # The C extension's whole reason to exist: a hard serial-path
+        # win over the Python kernel on fresh geometries (the baseline
+        # gate owns the precise band on top of this floor).
+        assert compiled_kernel_speedup > 5.0, (
+            f"compiled kernel only {compiled_kernel_speedup:.2f}x the "
+            "python kernel"
+        )
+    else:
+        # Both lanes ran the Python kernel; anything far from parity
+        # means the lanes measured different things.
+        assert 0.5 < compiled_kernel_speedup < 2.0, (
+            f"python-vs-python lanes diverged: {compiled_kernel_speedup:.2f}x"
+        )
     # The batch backend must never lose badly to serial: below the
     # lockstep crossover it *is* the serial kernel (plus dispatch), so a
     # collapse here means the fallback policy broke. Coarse net only --

@@ -25,6 +25,13 @@ HEADLINE_COUNTERS = (
     # from the memo instead of rebuilt (per run, summed over the grid).
     ("engine_prepass_hits", "prepass hits"),
     ("engine_prepass_misses", "prepass builds"),
+    # Kernel provenance: which timing kernel actually ran each HF
+    # evaluation (compiled C extension / pure Python / design-batched
+    # numpy lockstep). A campaign silently falling back to the Python
+    # kernel shows up here, not just as a slow wall clock.
+    ("engine_kernel_compiled_evals", "compiled-kernel evals"),
+    ("engine_kernel_python_evals", "python-kernel evals"),
+    ("engine_kernel_batched_evals", "batched-kernel evals"),
 )
 
 

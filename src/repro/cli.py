@@ -11,6 +11,8 @@ One subcommand per paper artefact plus a quick end-to-end run:
 - ``explore``  one search run on a chosen benchmark (any registered
   method via ``--method``; default: the paper's multi-fidelity flow).
 - ``methods``  list the registered search methods.
+- ``kernels``  report which timing kernels run on this host (compiled C
+  extension vs pure Python vs design-batched numpy) + micro-bench.
 - ``sweep``    area-budget frontier of the explorer.
 - ``campaign`` parallel, resumable runs of a whole experiment grid.
 - ``store``    inspect/compact/merge/migrate a persistent evaluation
@@ -26,7 +28,9 @@ across runs for the grid commands, across high-fidelity batches for
 store), ``--store-backend {auto,sharded,sqlite}`` (store layout),
 ``--hf-backend {auto,batched,process,serial}`` (how HF batches execute;
 the default engages the design-batched simulator kernel for wide
-batches), ``--hf-batch N`` (designs per batched walk),
+batches), ``--hf-batch N`` (designs per batched walk), ``--hf-kernel
+{auto,compiled,python}`` (which serial timing kernel runs each HF
+evaluation; auto picks the compiled C extension when it builds),
 ``--propose-batch Q`` (designs each search proposes per step -- every
 proposal batch is one HF dispatch; 1 reproduces the sequential paper
 protocol exactly) and ``--tier {off,gbrt,rf}`` (learned cost-model
@@ -236,6 +240,48 @@ def cmd_methods(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_kernels(args: argparse.Namespace) -> int:
+    """Report which timing kernels run on this host, and how fast.
+
+    The triage table for "why is this host slow": a missing compiled
+    kernel (toolchain problem) silently costs ~an order of magnitude on
+    every serial HF evaluation.
+    """
+    import os
+
+    from repro.simulator.kernels import (
+        FORCE_PY_ENV,
+        KERNEL_COMPILED,
+        KERNEL_PYTHON,
+        compiled_available,
+        compiled_build_error,
+        kernel_microbench,
+        select_kernel,
+    )
+
+    available = {
+        KERNEL_COMPILED: compiled_available(),
+        KERNEL_PYTHON: True,
+        "batched": True,
+    }
+    timings = {} if args.no_bench else kernel_microbench()
+    selected = select_kernel(None)
+    print(f"{'kernel':<10} {'available':<10} {'evals/s':<10} note")
+    print("-" * 60)
+    for name in (KERNEL_COMPILED, KERNEL_PYTHON, "batched"):
+        rate = timings.get(name)
+        note = ""
+        if name == selected:
+            note = "selected (auto)"
+        if name == KERNEL_COMPILED and not available[name]:
+            note = compiled_build_error() or "unavailable"
+        print(f"{name:<10} {'yes' if available[name] else 'no':<10} "
+              f"{f'{rate:.1f}' if rate else '-':<10} {note}")
+    if os.environ.get(FORCE_PY_ENV, "") not in ("", "0"):
+        print(f"note: {FORCE_PY_ENV} is set; the python kernel is forced")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace, scheduler=None) -> int:
     from repro.experiments.sweep import frontier_knee, render_sweep, run_area_sweep
 
@@ -381,6 +427,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="designs per batched simulator walk (default "
                        "256); values >= 2 also engage the batched "
                        "kernel at that width; 1 disables it")
+        p.add_argument("--hf-kernel", default="auto",
+                       choices=["auto", "compiled", "python"],
+                       help="serial timing kernel: 'compiled' = the C "
+                       "extension (error if it cannot build), 'python' "
+                       "= the pure-Python walk; 'auto' picks compiled "
+                       "when available (default); see `repro kernels`")
         p.add_argument("--propose-batch", type=int, default=1,
                        help="designs each search proposes per step (q); "
                        "every batch is one HF dispatch; 1 = the paper's "
@@ -447,6 +499,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("methods", help="list the registered search methods")
     p.set_defaults(func=cmd_methods)
+
+    p = sub.add_parser(
+        "kernels",
+        help="report importable timing kernels + micro-bench timings",
+    )
+    p.add_argument("--no-bench", action="store_true",
+                   help="skip the one-shot micro-bench (just availability)")
+    p.set_defaults(func=cmd_kernels)
 
     p = sub.add_parser("sweep", help="area-budget frontier sweep")
     common(p)

@@ -31,6 +31,13 @@ def normalize_hf_backend(hf_backend: Optional[str]) -> Optional[str]:
     return hf_backend
 
 
+def normalize_hf_kernel(hf_kernel: Optional[str]) -> Optional[str]:
+    """CLI spelling -> ``select_kernel`` request (``auto`` -> None)."""
+    if hf_kernel in (None, "auto"):
+        return None
+    return hf_kernel
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Evaluation-layer configuration, CLI-shaped and JSON-round-trippable.
@@ -43,6 +50,10 @@ class EngineConfig:
             ``batched`` / ``batch`` / ``process`` / ``serial`` / None).
         hf_batch: Designs per design-batched simulator walk (None =
             kernel default; 1 disables the batched kernel).
+        hf_kernel: Serial timing kernel: ``auto``/None (compiled when
+            available, else python), ``compiled`` (error when absent)
+            or ``python``. Resolved per process by
+            :func:`repro.simulator.kernels.select_kernel`.
         propose_batch: Search-level designs per step (q).
         tier: Learned cost-model tier: ``off`` (default), ``gbrt``, ``rf``.
         tier_min_corpus: Smallest corpus the tier will fit on.
@@ -55,6 +66,7 @@ class EngineConfig:
     store_backend: str = "auto"
     hf_backend: Optional[str] = None
     hf_batch: Optional[int] = None
+    hf_kernel: Optional[str] = None
     propose_batch: int = 1
     tier: str = "off"
     tier_min_corpus: int = 256
@@ -87,6 +99,9 @@ class EngineConfig:
             store_backend=getattr(args, "store_backend", defaults.store_backend),
             hf_backend=getattr(args, "hf_backend", defaults.hf_backend),
             hf_batch=getattr(args, "hf_batch", defaults.hf_batch),
+            hf_kernel=normalize_hf_kernel(
+                getattr(args, "hf_kernel", defaults.hf_kernel)
+            ),
             propose_batch=int(
                 getattr(args, "propose_batch", defaults.propose_batch) or 1
             ),

@@ -90,7 +90,10 @@ def build_pool(
     return ProxyPool(
         space,
         AnalyticalModel(workload.profile, space),
-        SimulationProxy(workload, space, hf_batch=config.hf_batch),
+        SimulationProxy(
+            workload, space,
+            hf_batch=config.hf_batch, kernel=config.hf_kernel,
+        ),
         area_limit_mm2=limit,
         config=config,
     )
@@ -202,7 +205,10 @@ def build_suite_pool(
     return ProxyPool(
         space,
         AnalyticalModel(_average_profiles(workloads), space),
-        SuiteAverageProxy(workloads, space, hf_batch=config.hf_batch),
+        SuiteAverageProxy(
+            workloads, space,
+            hf_batch=config.hf_batch, kernel=config.hf_kernel,
+        ),
         area_limit_mm2=area_limit_mm2,
         config=config,
     )

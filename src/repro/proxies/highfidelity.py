@@ -41,20 +41,32 @@ def params_signature(params) -> str:
 
 
 def _prepass_stats(simulator: OutOfOrderSimulator) -> dict:
-    """Pre-pass memo efficacy counters of one simulator instance.
+    """Pre-pass memo efficacy + kernel provenance of one simulator.
 
     Counters are per-process: under a ``ProcessPoolBackend`` the
     evaluating simulators live in the workers, so the parent proxy's
     counters stay at the work it did locally. Campaign runs execute
     (and snapshot their summary) inside the worker, so campaign
     reports aggregate the real numbers.
+
+    Kernel provenance mirrors the tier/cache provenance pattern: one
+    ``kernel_<name>_evals`` counter per kernel that actually ran
+    (compiled / python / batched), plus the resolved serial kernel
+    under ``hf_kernel`` once known (a string -- campaign aggregation
+    skips non-numeric values by design).
     """
     memo = simulator.prepass_memo
-    return {
+    out = {
         "prepass_hits": memo.hits,
         "prepass_misses": memo.misses,
         "prepass_entries": len(memo),
     }
+    for name, count in sorted(simulator.kernel_counts.items()):
+        out[f"kernel_{name}_evals"] = count
+    resolved = simulator.resolved_kernel
+    if resolved is not None:
+        out["hf_kernel"] = resolved
+    return out
 
 
 def _result_metrics(result) -> dict:
@@ -85,6 +97,9 @@ class SimulationProxy:
             :meth:`evaluate_many` (None = the kernel default). An
             explicit width >= 2 also engages the batched kernel at
             that width; ``1`` disables it entirely.
+        kernel: Requested serial timing kernel (None/"auto",
+            "compiled", "python"); resolved per process -- see
+            :func:`repro.simulator.kernels.select_kernel`.
     """
 
     fidelity = Fidelity.HIGH
@@ -95,11 +110,12 @@ class SimulationProxy:
         space: DesignSpace,
         params: SimulatorParams = DEFAULT_PARAMS,
         hf_batch: int = None,
+        kernel: str = None,
     ):
         self.workload = workload
         self.space = space
         self.hf_batch = hf_batch
-        self._simulator = OutOfOrderSimulator(params)
+        self._simulator = OutOfOrderSimulator(params, kernel=kernel)
         self.num_evaluations = 0
 
     @property
@@ -165,13 +181,14 @@ class SuiteAverageProxy:
         space: DesignSpace,
         params: SimulatorParams = DEFAULT_PARAMS,
         hf_batch: int = None,
+        kernel: str = None,
     ):
         if not workloads:
             raise ValueError("need at least one workload")
         self.workloads = tuple(workloads)
         self.space = space
         self.hf_batch = hf_batch
-        self._simulator = OutOfOrderSimulator(params)
+        self._simulator = OutOfOrderSimulator(params, kernel=kernel)
         self.num_evaluations = 0
 
     @property

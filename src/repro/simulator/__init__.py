@@ -25,12 +25,26 @@ memoised across the design space, and a slimmed timing kernel consumes
 them per design. The original single-phase formulation is preserved as
 ``reference.py``; the two must stay bit-identical (golden suite in
 ``tests/test_simulator_golden.py``).
+
+The timing kernel itself exists in three interchangeable forms -- a C
+extension (``_ckernel``, the default when it builds), the pure-Python
+walk, and the design-batched numpy lockstep walk -- resolved per
+process by :mod:`repro.simulator.kernels`.
 """
 
 from repro.simulator.params import SimulatorParams
 from repro.simulator.cache import SetAssociativeCache
 from repro.simulator.branch import GsharePredictor
 from repro.simulator.core import OutOfOrderSimulator, SimulationResult, simulate
+from repro.simulator.kernels import (
+    KERNEL_BATCHED,
+    KERNEL_CHOICES,
+    KERNEL_COMPILED,
+    KERNEL_PYTHON,
+    KernelUnavailableError,
+    compiled_available,
+    select_kernel,
+)
 from repro.simulator.prepass import (
     BranchPrepass,
     L1Prepass,
@@ -57,4 +71,11 @@ __all__ = [
     "l1_prepass",
     "l2_prepass",
     "reference_simulate",
+    "KERNEL_BATCHED",
+    "KERNEL_CHOICES",
+    "KERNEL_COMPILED",
+    "KERNEL_PYTHON",
+    "KernelUnavailableError",
+    "compiled_available",
+    "select_kernel",
 ]

@@ -1,0 +1,171 @@
+"""Loader for the compiled timing kernel.
+
+The extension is a single-file C module (``ckernel.c``).  It can arrive
+two ways:
+
+1. **Prebuilt** -- ``pip install -e . --no-build-isolation`` or
+   ``python setup.py build_ext --inplace`` drops
+   ``_ckernel<EXT_SUFFIX>`` next to this file.
+2. **On demand** -- when the repo runs straight off ``PYTHONPATH=src``
+   (the test/CI default, and process-pool workers), :func:`load` builds
+   the module itself with the system C compiler: into the package
+   directory when writable, else into a per-interpreter cache under the
+   system temp dir.  Builds go to a unique temp name and are moved into
+   place with ``os.replace``, so concurrent workers race benignly.
+
+``load`` never raises: any failure (no compiler, read-only checkout,
+bad object) is remembered, warned about once, and reported as ``None``
+-- callers fall back to the pure-Python kernel.  Set
+``REPRO_NO_CKERNEL=1`` to skip the extension (and the build attempt)
+entirely; see :mod:`repro.simulator.kernels` for the higher-level
+selection knobs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+import sysconfig
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Optional
+
+_SOURCE = Path(__file__).with_name("ckernel.c")
+_BASENAME = "_ckernel"
+_UNSET = object()
+
+_module = _UNSET
+_build_error: Optional[str] = None
+
+
+def _ext_suffix() -> str:
+    return sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+
+
+def _candidates() -> list:
+    """Possible homes for the built module, preferred first."""
+    paths = [_SOURCE.parent / (_BASENAME + _ext_suffix())]
+    tag = getattr(sys.implementation, "cache_tag", None) or "py"
+    paths.append(
+        Path(tempfile.gettempdir())
+        / f"repro-ckernel-{tag}"
+        / (_BASENAME + _ext_suffix())
+    )
+    return paths
+
+
+def _fresh(so_path: Path) -> bool:
+    """Is the built object at least as new as the C source?"""
+    try:
+        return so_path.stat().st_mtime >= _SOURCE.stat().st_mtime
+    except OSError:
+        return False
+
+
+def _compiler() -> list:
+    cc = os.environ.get("CC") or sysconfig.get_config_var("CC") or "gcc"
+    return cc.split()
+
+
+def _build(target: Path) -> None:
+    """Compile ckernel.c into ``target`` (atomic via temp + replace)."""
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(f"{target.name}.build{os.getpid()}")
+    cmd = _compiler() + ["-O2", "-fPIC", "-shared"]
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        cmd += ["-undefined", "dynamic_lookup"]
+    cmd += [
+        f"-I{sysconfig.get_paths()['include']}",
+        str(_SOURCE),
+        "-o",
+        str(tmp),
+    ]
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{' '.join(cmd)} failed:\n{proc.stderr.strip()}"
+            )
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+def _import_from(so_path: Path):
+    spec = importlib.util.spec_from_file_location(
+        f"{__name__}.{_BASENAME}", so_path
+    )
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load extension from {so_path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    if getattr(module, "API_VERSION", None) != 1:
+        raise ImportError(
+            f"{so_path} has API version "
+            f"{getattr(module, 'API_VERSION', None)!r}, expected 1"
+        )
+    # The KIND codes are baked into the C switch; refuse a module that
+    # disagrees with the trace encoding rather than silently miscompute.
+    from repro.workloads import trace as _trace
+
+    for name in (
+        "KIND_LOAD", "KIND_STORE", "KIND_BRANCH",
+        "KIND_UNPIPELINED", "KIND_SIMPLE",
+    ):
+        if getattr(module, name) != getattr(_trace, name):
+            raise ImportError(f"{so_path}: {name} code mismatch with trace")
+    return module
+
+
+def load(rebuild: bool = False):
+    """The compiled kernel module, or ``None`` when unavailable.
+
+    The result (including failure) is cached for the process; pass
+    ``rebuild=True`` to retry after fixing the environment.
+    """
+    global _module, _build_error
+    if _module is not _UNSET and not rebuild:
+        return _module
+    _module = None
+    _build_error = None
+    if os.environ.get("REPRO_NO_CKERNEL", "") not in ("", "0"):
+        _build_error = "disabled by REPRO_NO_CKERNEL"
+        return None
+    errors = []
+    candidates = _candidates()
+    for so_path in candidates:
+        if _fresh(so_path):
+            try:
+                _module = _import_from(so_path)
+                return _module
+            except Exception as exc:  # stale/foreign object: rebuild
+                errors.append(f"{so_path}: {exc}")
+    for so_path in candidates:
+        try:
+            _build(so_path)
+            _module = _import_from(so_path)
+            return _module
+        except Exception as exc:
+            errors.append(f"{so_path}: {exc}")
+    _build_error = "; ".join(errors) or "unknown failure"
+    warnings.warn(
+        "compiled timing kernel unavailable, falling back to the "
+        f"pure-Python kernel ({_build_error})",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return None
+
+
+def build_error() -> Optional[str]:
+    """Why the last :func:`load` failed (``None`` when it succeeded)."""
+    return _build_error

@@ -1,0 +1,669 @@
+/* Compiled timing kernel: a C port of repro.simulator.core._timing_kernel.
+ *
+ * One function, `run_timing`, walks a trace in program order propagating
+ * the same four timestamps (dispatch, issue, complete, commit) as the
+ * Python kernel, over the same precomputed flag streams.  Semantics are a
+ * line-for-line transliteration -- bounded-parallel-list MSHR file,
+ * run-length decode/commit windows, IQ heappushpop, first-strict-min FU
+ * scan, MRU-list set-associative caches for the live L1/L2 paths
+ * (prefetch / merge fallback) -- so results are bit-identical to
+ * `reference.py`; `tests/test_simulator_golden.py` enforces it.
+ *
+ * Inputs cross the boundary through the buffer protocol (PyBUF_SIMPLE):
+ * seven contiguous int64 arrays for the per-instruction columns, one
+ * uint8 array per precomputed flag stream (branch mispredicts, optional
+ * L1 hits, optional no-merge L2 hits).  No numpy headers needed.  The
+ * GIL is released for the whole walk.
+ *
+ * The no-merge L2 stream is abandoned exactly like the Python kernel:
+ * the first load that would merge into an in-flight MSHR returns with
+ * merged=1 and the caller replays with a live L2.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <string.h>
+
+/* Kept in sync with repro.workloads.trace; the loader cross-checks the
+ * module-level KIND constants against the Python side on import. */
+#define K_LOAD 0
+#define K_STORE 1
+#define K_BRANCH 2
+#define K_UNPIPELINED 3
+#define K_SIMPLE 4
+
+#define API_VERSION 1
+
+typedef long long i64;
+
+/* ------------------------------------------------------------------ */
+/* Set-associative LRU cache: each set is a small MRU-first array.     */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    i64 *lines;   /* sets * ways line addresses, MRU-first per set */
+    int *count;   /* live lines per set */
+    i64 sets;
+    i64 ways;
+    i64 hits;
+    i64 misses;
+} Cache;
+
+static int
+cache_init(Cache *c, i64 sets, i64 ways)
+{
+    c->sets = sets;
+    c->ways = ways;
+    c->hits = 0;
+    c->misses = 0;
+    c->lines = (i64 *)malloc((size_t)(sets * ways) * sizeof(i64));
+    c->count = (int *)calloc((size_t)sets, sizeof(int));
+    return (c->lines != NULL && c->count != NULL) ? 0 : -1;
+}
+
+static void
+cache_free(Cache *c)
+{
+    free(c->lines);
+    free(c->count);
+    c->lines = NULL;
+    c->count = NULL;
+}
+
+/* Touch `line`; 1 on hit (MRU update), allocate + LRU-drop on miss. */
+static int
+cache_access(Cache *c, i64 line)
+{
+    i64 set = line % c->sets;
+    i64 *slot = c->lines + set * c->ways;
+    int n = c->count[set];
+    int pos;
+    for (pos = 0; pos < n; pos++) {
+        if (slot[pos] == line) {
+            c->hits++;
+            if (pos) {
+                memmove(slot + 1, slot, (size_t)pos * sizeof(i64));
+                slot[0] = line;
+            }
+            return 1;
+        }
+    }
+    c->misses++;
+    if (n >= c->ways)
+        n = (int)c->ways - 1;  /* drop LRU tail */
+    memmove(slot + 1, slot, (size_t)n * sizeof(i64));
+    slot[0] = line;
+    c->count[set] = n + 1;
+    return 0;
+}
+
+/* Install without stats; a present line keeps its LRU position. */
+static void
+cache_warm(Cache *c, i64 line)
+{
+    i64 set = line % c->sets;
+    i64 *slot = c->lines + set * c->ways;
+    int n = c->count[set];
+    int pos;
+    for (pos = 0; pos < n; pos++) {
+        if (slot[pos] == line)
+            return;
+    }
+    if (n >= c->ways)
+        n = (int)c->ways - 1;
+    memmove(slot + 1, slot, (size_t)n * sizeof(i64));
+    slot[0] = line;
+    c->count[set] = n + 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* Binary min-heap over int64 (issue-queue occupancy).                 */
+/* Only the popped minima are observable, so any correct binary heap   */
+/* matches heapq's behaviour exactly (values are plain ints).          */
+/* ------------------------------------------------------------------ */
+static void
+heap_push(i64 *h, int *len, i64 v)
+{
+    int i = (*len)++;
+    h[i] = v;
+    while (i > 0) {
+        int parent = (i - 1) >> 1;
+        if (h[parent] <= h[i])
+            break;
+        i64 tmp = h[parent];
+        h[parent] = h[i];
+        h[i] = tmp;
+        i = parent;
+    }
+}
+
+/* heapq.heappushpop: push v then pop the min, in one sift. */
+static i64
+heap_pushpop(i64 *h, int len, i64 v)
+{
+    if (len == 0 || h[0] >= v)
+        return v;
+    i64 ret = h[0];
+    h[0] = v;
+    int i = 0;
+    for (;;) {
+        int l = 2 * i + 1;
+        int r = l + 1;
+        int s = i;
+        if (l < len && h[l] < h[s])
+            s = l;
+        if (r < len && h[r] < h[s])
+            s = r;
+        if (s == i)
+            break;
+        i64 tmp = h[s];
+        h[s] = h[i];
+        h[i] = tmp;
+        i = s;
+    }
+    return ret;
+}
+
+/* ------------------------------------------------------------------ */
+/* The walk itself (GIL released).  Returns 0 ok, -1 alloc failure,    */
+/* -2 prepass stream exhausted (caller raises).                        */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    i64 cycles;
+    i64 mshr_stall;
+    i64 l1_hits;
+    i64 l1_misses;
+    i64 l2_hits;
+    i64 l2_misses;
+    int merged;
+} WalkResult;
+
+static int
+walk(Py_ssize_t n,
+     const i64 *kind, const i64 *lat, const i64 *fu,
+     const i64 *src_a, const i64 *src_b, const i64 *mem_dep,
+     const i64 *address,
+     const unsigned char *bp, Py_ssize_t bp_len,
+     const unsigned char *l1h, Py_ssize_t l1h_len,
+     const unsigned char *l2h, Py_ssize_t l2h_len,
+     i64 width, i64 rob_size, i64 iq_size, i64 n_mshr,
+     i64 int_fu, i64 mem_fu, i64 fp_fu,
+     i64 l1_sets, i64 l1_ways, i64 l2_sets, i64 l2_ways,
+     i64 l1_hit_lat, i64 l2_lat, i64 mem_lat, i64 redirect,
+     i64 line_shift, int prefetch,
+     WalkResult *out)
+{
+    int status = -1;
+    Cache l1c = {0}, l2c = {0};
+    int have_l1c = (l1h == NULL);
+    int have_l2c = (l2h == NULL);
+
+    i64 *complete = NULL, *iq_heap = NULL, *mshr_lines = NULL,
+        *mshr_fins = NULL, *ring = NULL, *servers[3] = {NULL, NULL, NULL};
+    i64 fu_counts[3];
+    fu_counts[0] = int_fu;
+    fu_counts[1] = mem_fu;
+    fu_counts[2] = fp_fu;
+
+    complete = (i64 *)malloc((size_t)n * sizeof(i64));
+    iq_heap = (i64 *)malloc((size_t)(iq_size + 2) * sizeof(i64));
+    mshr_lines = (i64 *)malloc((size_t)(n_mshr + 2) * sizeof(i64));
+    mshr_fins = (i64 *)malloc((size_t)(n_mshr + 2) * sizeof(i64));
+    ring = (i64 *)malloc((size_t)rob_size * sizeof(i64));
+    if (!complete || !iq_heap || !mshr_lines || !mshr_fins || !ring)
+        goto cleanup;
+    for (int f = 0; f < 3; f++) {
+        servers[f] = (i64 *)calloc((size_t)fu_counts[f], sizeof(i64));
+        if (!servers[f])
+            goto cleanup;
+    }
+    if (have_l1c && cache_init(&l1c, l1_sets, l1_ways) < 0)
+        goto cleanup;
+    if (have_l2c && cache_init(&l2c, l2_sets, l2_ways) < 0)
+        goto cleanup;
+
+    for (i64 j = 0; j < rob_size; j++)
+        ring[j] = -1;
+    i64 ring_head = 0;  /* ring[ring_head] is the commit rob_size ago */
+
+    int iq_heap_len = 0;
+    i64 iq_len = 0;
+    i64 iq_pending = 0;
+    int has_pending = 0;
+
+    i64 mshr_len = 0;
+    i64 mshr_stall = 0;
+
+    i64 disp_run_val = -1, disp_run_len = 0;
+    i64 commit_run_val = -1, commit_run_len = 0;
+    i64 fetch_resume = 0;
+
+    Py_ssize_t bp_pos = 0, l1_pos = 0, l2_pos = 0;
+    int merged = 0, stream_err = 0;
+
+    for (Py_ssize_t i = 0; i < n; i++) {
+        /* ---------------- dispatch ------------------------------- */
+        i64 t = fetch_resume;
+        if (disp_run_val > t)
+            t = disp_run_val;
+        i64 r = ring[ring_head] + 1;
+        if (r > t)
+            t = r;
+        if (iq_len >= iq_size) {
+            i64 q = heap_pushpop(iq_heap, iq_heap_len, iq_pending);
+            if (q > t)
+                t = q;
+        } else {
+            if (has_pending)
+                heap_push(iq_heap, &iq_heap_len, iq_pending);
+            iq_len++;
+        }
+        if (t == disp_run_val) {
+            if (disp_run_len >= width) {
+                t += 1;
+                disp_run_val = t;
+                disp_run_len = 1;
+            } else {
+                disp_run_len++;
+            }
+        } else {
+            disp_run_val = t;
+            disp_run_len = 1;
+        }
+
+        /* ---------------- ready ---------------------------------- */
+        i64 ready = t + 1;
+        i64 dep = src_a[i];
+        if (dep >= 0 && complete[dep] > ready)
+            ready = complete[dep];
+        dep = src_b[i];
+        if (dep >= 0 && complete[dep] > ready)
+            ready = complete[dep];
+        dep = mem_dep[i];
+        if (dep >= 0 && complete[dep] > ready)
+            ready = complete[dep];
+
+        /* ---------------- issue: FU structural hazard ------------ */
+        i64 *srv = servers[fu[i]];
+        i64 m = fu_counts[fu[i]];
+        i64 best = 0;
+        i64 best_t = srv[0];
+        for (i64 s = 1; s < m; s++) {
+            if (srv[s] < best_t) {
+                best_t = srv[s];
+                best = s;
+            }
+        }
+        i64 issue = ready >= best_t ? ready : best_t;
+
+        /* ---------------- execute -------------------------------- */
+        i64 k = kind[i];
+        i64 fin;
+        if (k == K_SIMPLE) {
+            fin = issue + lat[i];
+            srv[best] = issue + 1;
+        } else if (k == K_LOAD) {
+            i64 line = 0;
+            int hit;
+            if (l1h == NULL) {
+                line = address[i] >> line_shift;
+                hit = cache_access(&l1c, line);
+            } else {
+                if (l1_pos >= l1h_len) {
+                    stream_err = 1;
+                    break;
+                }
+                hit = l1h[l1_pos++];
+            }
+            if (hit) {
+                fin = issue + l1_hit_lat;
+            } else {
+                if (l1h != NULL)
+                    line = address[i] >> line_shift;
+                /* prune completed MSHRs (order-preserving compaction) */
+                i64 w = 0;
+                for (i64 q = 0; q < mshr_len; q++) {
+                    if (mshr_fins[q] > issue) {
+                        mshr_fins[w] = mshr_fins[q];
+                        mshr_lines[w] = mshr_lines[q];
+                        w++;
+                    }
+                }
+                mshr_len = w;
+                i64 found = -1;
+                for (i64 q = 0; q < mshr_len; q++) {
+                    if (mshr_lines[q] == line) {
+                        found = q;
+                        break;
+                    }
+                }
+                if (found >= 0) {
+                    if (l2h != NULL) {
+                        /* no-merge L2 stream invalid from here on */
+                        merged = 1;
+                        break;
+                    }
+                    fin = mshr_fins[found];
+                } else {
+                    i64 start = issue;
+                    if (mshr_len > 0 && mshr_len >= n_mshr) {
+                        i64 jm = 0;
+                        i64 fmin = mshr_fins[0];
+                        i64 lmin = mshr_lines[0];
+                        for (i64 q = 1; q < mshr_len; q++) {
+                            i64 fq = mshr_fins[q];
+                            if (fq < fmin ||
+                                (fq == fmin && mshr_lines[q] < lmin)) {
+                                jm = q;
+                                fmin = fq;
+                                lmin = mshr_lines[q];
+                            }
+                        }
+                        memmove(mshr_fins + jm, mshr_fins + jm + 1,
+                                (size_t)(mshr_len - jm - 1) * sizeof(i64));
+                        memmove(mshr_lines + jm, mshr_lines + jm + 1,
+                                (size_t)(mshr_len - jm - 1) * sizeof(i64));
+                        mshr_len--;
+                        if (fmin > start) {
+                            mshr_stall += fmin - start;
+                            start = fmin;
+                        }
+                    }
+                    i64 extra;
+                    if (l2h == NULL) {
+                        extra = cache_access(&l2c, line) ? l2_lat
+                                                         : l2_lat + mem_lat;
+                    } else {
+                        if (l2_pos >= l2h_len) {
+                            stream_err = 1;
+                            break;
+                        }
+                        extra = l2h[l2_pos++] ? l2_lat : l2_lat + mem_lat;
+                    }
+                    fin = start + l1_hit_lat + extra;
+                    mshr_lines[mshr_len] = line;
+                    mshr_fins[mshr_len] = fin;
+                    mshr_len++;
+                    if (prefetch) {
+                        cache_warm(&l1c, line + 1);
+                        cache_warm(&l2c, line + 1);
+                    }
+                }
+            }
+            srv[best] = issue + 1;
+        } else if (k == K_STORE) {
+            if (l1h == NULL) {
+                i64 line = address[i] >> line_shift;
+                if (!cache_access(&l1c, line)) {
+                    /* write-allocate fill path */
+                    if (l2h == NULL) {
+                        cache_access(&l2c, line);
+                    } else {
+                        if (l2_pos >= l2h_len) {
+                            stream_err = 1;
+                            break;
+                        }
+                        l2_pos++;
+                    }
+                }
+            } else {
+                if (l1_pos >= l1h_len) {
+                    stream_err = 1;
+                    break;
+                }
+                if (!l1h[l1_pos++]) {
+                    if (l2h == NULL) {
+                        cache_access(&l2c, address[i] >> line_shift);
+                    } else {
+                        /* outcome pre-accounted; consume to stay aligned */
+                        if (l2_pos >= l2h_len) {
+                            stream_err = 1;
+                            break;
+                        }
+                        l2_pos++;
+                    }
+                }
+            }
+            fin = issue + 1;
+            srv[best] = issue + 1;
+        } else if (k == K_BRANCH) {
+            fin = issue + 1;
+            srv[best] = issue + 1;
+            if (bp_pos >= bp_len) {
+                stream_err = 1;
+                break;
+            }
+            if (bp[bp_pos++]) {
+                i64 resume = fin + redirect;
+                if (resume > fetch_resume)
+                    fetch_resume = resume;
+            }
+        } else {  /* K_UNPIPELINED: divides hog their unit */
+            fin = issue + lat[i];
+            srv[best] = issue + lat[i];
+        }
+        complete[i] = fin;
+        iq_pending = issue;
+        has_pending = 1;
+
+        /* ---------------- commit --------------------------------- */
+        i64 c = fin + 1;
+        if (commit_run_val >= c) {
+            if (commit_run_len >= width) {
+                c = commit_run_val + 1;
+                commit_run_val = c;
+                commit_run_len = 1;
+            } else {
+                c = commit_run_val;
+                commit_run_len++;
+            }
+        } else {
+            commit_run_val = c;
+            commit_run_len = 1;
+        }
+        ring[ring_head] = c;
+        ring_head++;
+        if (ring_head >= rob_size)
+            ring_head = 0;
+    }
+
+    out->cycles = commit_run_val;
+    out->mshr_stall = mshr_stall;
+    out->l1_hits = have_l1c ? l1c.hits : 0;
+    out->l1_misses = have_l1c ? l1c.misses : 0;
+    out->l2_hits = have_l2c ? l2c.hits : 0;
+    out->l2_misses = have_l2c ? l2c.misses : 0;
+    out->merged = merged;
+    status = stream_err ? -2 : 0;
+
+cleanup:
+    free(complete);
+    free(iq_heap);
+    free(mshr_lines);
+    free(mshr_fins);
+    free(ring);
+    for (int f = 0; f < 3; f++)
+        free(servers[f]);
+    cache_free(&l1c);
+    cache_free(&l2c);
+    return status;
+}
+
+/* ------------------------------------------------------------------ */
+/* Python boundary                                                     */
+/* ------------------------------------------------------------------ */
+static int
+get_i64_buffer(PyObject *obj, Py_buffer *view, const i64 **data,
+               Py_ssize_t *len, const char *name)
+{
+    if (PyObject_GetBuffer(obj, view, PyBUF_SIMPLE) < 0)
+        return -1;
+    if (view->len % (Py_ssize_t)sizeof(i64) != 0) {
+        PyErr_Format(PyExc_ValueError,
+                     "%s: buffer size %zd is not a multiple of 8",
+                     name, view->len);
+        PyBuffer_Release(view);
+        view->obj = NULL;
+        return -1;
+    }
+    *data = (const i64 *)view->buf;
+    *len = view->len / (Py_ssize_t)sizeof(i64);
+    return 0;
+}
+
+static int
+get_u8_buffer(PyObject *obj, Py_buffer *view, const unsigned char **data,
+              Py_ssize_t *len)
+{
+    if (obj == Py_None) {
+        *data = NULL;
+        *len = 0;
+        view->obj = NULL;
+        return 0;
+    }
+    if (PyObject_GetBuffer(obj, view, PyBUF_SIMPLE) < 0)
+        return -1;
+    *data = (const unsigned char *)view->buf;
+    *len = view->len;
+    return 0;
+}
+
+static PyObject *
+run_timing(PyObject *self, PyObject *args)
+{
+    PyObject *kind_o, *lat_o, *fu_o, *src_a_o, *src_b_o, *mem_dep_o,
+        *address_o, *bp_o, *l1h_o, *l2h_o;
+    i64 width, rob_size, iq_size, n_mshr, int_fu, mem_fu, fp_fu;
+    i64 l1_sets, l1_ways, l2_sets, l2_ways;
+    i64 l1_hit_lat, l2_lat, mem_lat, redirect, line_shift;
+    int prefetch;
+
+    if (!PyArg_ParseTuple(
+            args, "OOOOOOOOOOLLLLLLLLLLLLLLLLi:run_timing",
+            &kind_o, &lat_o, &fu_o, &src_a_o, &src_b_o, &mem_dep_o,
+            &address_o, &bp_o, &l1h_o, &l2h_o,
+            &width, &rob_size, &iq_size, &n_mshr,
+            &int_fu, &mem_fu, &fp_fu,
+            &l1_sets, &l1_ways, &l2_sets, &l2_ways,
+            &l1_hit_lat, &l2_lat, &mem_lat, &redirect, &line_shift,
+            &prefetch))
+        return NULL;
+
+    if (width < 1 || rob_size < 1 || iq_size < 1 || n_mshr < 1 ||
+        int_fu < 1 || mem_fu < 1 || fp_fu < 1 ||
+        l1_sets < 1 || l1_ways < 1 || l2_sets < 1 || l2_ways < 1 ||
+        line_shift < 0) {
+        PyErr_SetString(PyExc_ValueError, "invalid machine geometry");
+        return NULL;
+    }
+
+    Py_buffer views[10];
+    const i64 *cols[7];
+    Py_ssize_t col_lens[7];
+    const unsigned char *bp = NULL, *l1h = NULL, *l2h = NULL;
+    Py_ssize_t bp_len = 0, l1h_len = 0, l2h_len = 0;
+    int acquired = 0;
+    PyObject *result = NULL;
+
+    PyObject *col_objs[7] = {kind_o, lat_o, fu_o, src_a_o, src_b_o,
+                             mem_dep_o, address_o};
+    static const char *col_names[7] = {"kind", "lat", "fu", "src_a",
+                                       "src_b", "mem_dep", "address"};
+    for (int j = 0; j < 7; j++) {
+        if (get_i64_buffer(col_objs[j], &views[j], &cols[j], &col_lens[j],
+                           col_names[j]) < 0)
+            goto release;
+        acquired = j + 1;
+    }
+    if (get_u8_buffer(bp_o, &views[7], &bp, &bp_len) < 0)
+        goto release;
+    acquired = 8;
+    if (get_u8_buffer(l1h_o, &views[8], &l1h, &l1h_len) < 0)
+        goto release;
+    acquired = 9;
+    if (get_u8_buffer(l2h_o, &views[9], &l2h, &l2h_len) < 0)
+        goto release;
+    acquired = 10;
+
+    Py_ssize_t n = col_lens[0];
+    for (int j = 1; j < 7; j++) {
+        if (col_lens[j] != n) {
+            PyErr_Format(PyExc_ValueError,
+                         "%s: length %zd != trace length %zd",
+                         col_names[j], col_lens[j], n);
+            goto release;
+        }
+    }
+    if (n == 0) {
+        PyErr_SetString(PyExc_ValueError, "empty trace");
+        goto release;
+    }
+
+    WalkResult out;
+    int status;
+    Py_BEGIN_ALLOW_THREADS
+    status = walk(n, cols[0], cols[1], cols[2], cols[3], cols[4], cols[5],
+                  cols[6], bp, bp_len, l1h, l1h_len, l2h, l2h_len,
+                  width, rob_size, iq_size, n_mshr, int_fu, mem_fu, fp_fu,
+                  l1_sets, l1_ways, l2_sets, l2_ways,
+                  l1_hit_lat, l2_lat, mem_lat, redirect, line_shift,
+                  prefetch, &out);
+    Py_END_ALLOW_THREADS
+
+    if (status == -1) {
+        PyErr_NoMemory();
+        goto release;
+    }
+    if (status == -2) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "prepass stream exhausted mid-walk (stream/trace "
+                        "mismatch)");
+        goto release;
+    }
+    result = Py_BuildValue("(LLLLLLi)", out.cycles, out.mshr_stall,
+                           out.l1_hits, out.l1_misses, out.l2_hits,
+                           out.l2_misses, out.merged);
+
+release:
+    for (int j = 0; j < acquired; j++) {
+        if (views[j].obj != NULL)
+            PyBuffer_Release(&views[j]);
+    }
+    return result;
+}
+
+static PyMethodDef ckernel_methods[] = {
+    {"run_timing", run_timing, METH_VARARGS,
+     "run_timing(kind, lat, fu, src_a, src_b, mem_dep, address, "
+     "bp_mispredict, l1_hit_or_none, l2_hit_or_none, decode_width, "
+     "rob_entries, iq_entries, n_mshr, int_fu, mem_fu, fp_fu, l1_sets, "
+     "l1_ways, l2_sets, l2_ways, l1_hit_cycles, l2_hit_cycles, "
+     "mem_cycles, redirect_cycles, line_shift, prefetch) -> (cycles, "
+     "mshr_stall_cycles, l1_hits, l1_misses, l2_hits, l2_misses, merged)"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    "_ckernel",
+    "Compiled timing kernel (C port of core._timing_kernel).",
+    -1,
+    ckernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    PyObject *mod = PyModule_Create(&ckernel_module);
+    if (mod == NULL)
+        return NULL;
+    if (PyModule_AddIntConstant(mod, "API_VERSION", API_VERSION) < 0 ||
+        PyModule_AddIntConstant(mod, "KIND_LOAD", K_LOAD) < 0 ||
+        PyModule_AddIntConstant(mod, "KIND_STORE", K_STORE) < 0 ||
+        PyModule_AddIntConstant(mod, "KIND_BRANCH", K_BRANCH) < 0 ||
+        PyModule_AddIntConstant(mod, "KIND_UNPIPELINED", K_UNPIPELINED) < 0 ||
+        PyModule_AddIntConstant(mod, "KIND_SIMPLE", K_SIMPLE) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
+}

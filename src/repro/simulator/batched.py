@@ -64,12 +64,22 @@ from repro.workloads.trace import (
     TraceKernelView,
 )
 
-#: Below this many designs the lockstep walk loses to the serial kernel
-#: (numpy per-step dispatch overhead is ~flat in the batch size, so the
-#: walk only pays off once enough lanes share it); smaller batches run
-#: serially. Set just past the measured crossover so engagement is
-#: always a win; see ``benchmarks/test_bench_simulator_batched.py``.
+#: Below this many designs the lockstep walk loses to the *Python*
+#: serial kernel (numpy per-step dispatch overhead is ~flat in the batch
+#: size, so the walk only pays off once enough lanes share it); smaller
+#: batches run serially. Set just past the measured crossover so
+#: engagement is always a win; see
+#: ``benchmarks/test_bench_simulator_batched.py``.
 BATCH_MIN_DESIGNS = 48
+
+#: Crossover against the *compiled* serial kernel: there is none. The
+#: compiled walk beats the lockstep kernel at every width (measured
+#: ~284 vs ~129 evals/s even at 256 lanes on the bench workload), so
+#: when the serial floor is compiled the default policy routes every
+#: batch to the serial path and the old sub-1.0x small-batch region
+#: disappears. An explicit ``min_designs``/``max_designs`` still
+#: engages the lockstep walk (tests and diagnostics rely on that).
+BATCH_NEVER = 1 << 30
 
 #: Designs per lockstep walk; larger batches are chunked. Throughput
 #: still rises toward 256 lanes (the per-step cost is ~11us flat plus
@@ -109,18 +119,29 @@ def run_batch(
             (owns the params and the pre-pass memo).
         trace: The instruction trace.
         configs: Design points to evaluate.
-        min_designs: Lockstep engagement threshold (default
-            :data:`BATCH_MIN_DESIGNS`).
+        min_designs: Lockstep engagement threshold (default: the
+            measured crossover against the active serial kernel --
+            :data:`BATCH_MIN_DESIGNS` over the Python kernel, never
+            over the compiled one, which wins at every width).
         max_designs: Lockstep chunk width (default
             :data:`BATCH_MAX_DESIGNS`), further shrunk for long traces
             by :data:`MAX_STATE_ELEMENTS`.
     """
+    from repro.simulator.kernels import KERNEL_PYTHON
+
     configs = list(configs)
     if not configs:
         return []
     if trace.num_instructions == 0:
         raise ValueError("empty trace")
-    lo = BATCH_MIN_DESIGNS if min_designs is None else max(int(min_designs), 1)
+    if min_designs is None:
+        lo = (
+            BATCH_MIN_DESIGNS
+            if simulator.kernel_name == KERNEL_PYTHON
+            else BATCH_NEVER
+        )
+    else:
+        lo = max(int(min_designs), 1)
     hi = BATCH_MAX_DESIGNS if max_designs is None else max(int(max_designs), 1)
     if max_designs is not None and min_designs is None and hi >= 2:
         # An explicit walk width is a request to batch at that width,
@@ -508,6 +529,13 @@ def _lockstep_walk(simulator, trace, configs: Sequence[MicroArchConfig]):
     cycles = (CCprev - 1).tolist()
     mis_rate = bp.mispredict_rate
     fu_counts = dict(view.fu_issue_counts)
+    # Kernel provenance: lockstep lanes count as "batched"; fallback
+    # designs re-run through simulator.run, which counts them itself.
+    lanes = D - len(fallback)
+    if lanes:
+        simulator.kernel_counts["batched"] = (
+            simulator.kernel_counts.get("batched", 0) + lanes
+        )
     results: List[SimulationResult] = []
     for d, config in enumerate(configs):
         if d in fallback:

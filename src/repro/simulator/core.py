@@ -59,6 +59,12 @@ import numpy as np
 
 from repro.designspace.config import MicroArchConfig
 from repro.simulator.cache import SetAssociativeCache
+from repro.simulator.kernels import (
+    KERNEL_CHOICES,
+    KERNEL_COMPILED,
+    compiled_kernel_module,
+    select_kernel,
+)
 from repro.simulator.params import SimulatorParams, DEFAULT_PARAMS
 from repro.simulator.prepass import (
     BranchPrepass,
@@ -123,24 +129,61 @@ class OutOfOrderSimulator:
     state. The only cross-run state is the pre-pass memo, which holds
     immutable phase-1 artefacts; it is dropped on pickling so process-
     pool workers start cold and warm their own.
+
+    Args:
+        params: Machine timing constants.
+        kernel: Requested timing kernel -- ``None``/"auto" (compiled
+            when available, else python), "compiled" or "python". The
+            request is resolved lazily per process (see
+            :func:`repro.simulator.kernels.select_kernel`), so a pickled
+            simulator re-resolves on whatever host unpickles it.
     """
 
-    def __init__(self, params: SimulatorParams = DEFAULT_PARAMS):
+    def __init__(
+        self,
+        params: SimulatorParams = DEFAULT_PARAMS,
+        kernel: Optional[str] = None,
+    ):
         params.validate()
+        if kernel is not None and kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; known: {', '.join(KERNEL_CHOICES)}"
+            )
         self.params = params
+        self.kernel = kernel
         self._memo = PrepassMemo()
+        self._kernel_name: Optional[str] = None
+        #: Evaluations per resolved kernel ("compiled"/"python" from
+        #: :meth:`run`, "batched" from the lockstep walk) -- the source
+        #: of the per-query kernel provenance counters.
+        self.kernel_counts: Dict[str, int] = {}
 
     @property
     def prepass_memo(self) -> PrepassMemo:
         """The bounded pre-pass memo (exposed for tests and diagnostics)."""
         return self._memo
 
+    @property
+    def kernel_name(self) -> str:
+        """The serial kernel this process resolved to (resolves lazily)."""
+        if self._kernel_name is None:
+            self._kernel_name = select_kernel(self.kernel)
+        return self._kernel_name
+
+    @property
+    def resolved_kernel(self) -> Optional[str]:
+        """The resolved kernel, or ``None`` before the first resolution."""
+        return self._kernel_name
+
     def __getstate__(self) -> Dict[str, object]:
-        return {"params": self.params}
+        return {"params": self.params, "kernel": self.kernel}
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         self.params = state["params"]
+        self.kernel = state.get("kernel")
         self._memo = PrepassMemo()
+        self._kernel_name = None
+        self.kernel_counts = {}
 
     # ------------------------------------------------------------------
     def branch_prepass_for(self, trace: InstructionTrace) -> BranchPrepass:
@@ -212,13 +255,18 @@ class OutOfOrderSimulator:
             l2pre = self.l2_prepass_for(trace, config, l1pre)
 
         # Phase 2: the timing kernel.
+        name = self.kernel_name
+        self.kernel_counts[name] = self.kernel_counts.get(name, 0) + 1
+        kernel = (
+            _compiled_kernel if name == KERNEL_COMPILED else _timing_kernel
+        )
         try:
-            return _timing_kernel(view, config, p, bp, l1pre, line_shift, l2pre)
+            return kernel(view, config, p, bp, l1pre, line_shift, l2pre)
         except MshrMergeDetected:
             # Rare: a load merged into an in-flight miss, so the no-merge
             # L2 stream is invalid for this design. Replay with the live
             # L2 (exact for any merge pattern).
-            return _timing_kernel(view, config, p, bp, l1pre, line_shift, None)
+            return kernel(view, config, p, bp, l1pre, line_shift, None)
 
     def run_batch(
         self,
@@ -521,6 +569,63 @@ def _timing_kernel(
         ipc=n / cycles,
         l1_miss_rate=l1_miss_count / l1_total if l1_total else 0.0,
         l2_miss_rate=l2_miss_rate,
+        branch_mispredict_rate=bp.mispredict_rate,
+        mshr_stall_cycles=mshr_stall,
+        fu_issue_counts=dict(view.fu_issue_counts),
+    )
+
+
+def _compiled_kernel(
+    view: TraceKernelView,
+    config: MicroArchConfig,
+    params: SimulatorParams,
+    bp: BranchPrepass,
+    l1pre: Optional[L1Prepass],
+    line_shift: int,
+    l2pre: Optional[L2Prepass] = None,
+) -> SimulationResult:
+    """The C-extension walk behind the same interface as the Python one.
+
+    Same streams in (as contiguous buffers), same result out, including
+    :class:`MshrMergeDetected` on an L2-stream merge -- so :meth:`run`'s
+    retry logic is kernel-agnostic. Bit-identity with the Python kernel
+    (and therefore ``reference.py``) is golden-suite enforced.
+    """
+    mod = compiled_kernel_module()
+    if mod is None:  # pragma: no cover - selection guarantees presence
+        raise RuntimeError("compiled kernel selected but not importable")
+    cols = view.columns
+    (cycles, mshr_stall, l1_hits, l1_misses, l2_hits, l2_misses, merged) = (
+        mod.run_timing(
+            cols.kind, cols.lat, cols.fu,
+            cols.src_a, cols.src_b, cols.mem_dep, cols.address,
+            bp.mispredict_u8,
+            None if l1pre is None else l1pre.hit_u8,
+            None if l2pre is None else l2pre.hit_u8,
+            config.decode_width, config.rob_entries, config.iq_entries,
+            config.n_mshr, config.int_fu, config.mem_fu, config.fp_fu,
+            config.l1_sets, config.l1_ways, config.l2_sets, config.l2_ways,
+            params.l1_hit_cycles, params.l2_hit_cycles, params.mem_cycles,
+            params.redirect_cycles, line_shift,
+            1 if params.next_line_prefetch else 0,
+        )
+    )
+    if merged:
+        raise MshrMergeDetected
+    if l1pre is not None:
+        l1_hits, l1_misses = l1pre.hits, l1pre.misses
+    if l2pre is not None:
+        l2_hits, l2_misses = l2pre.hits, l2pre.misses
+    n = view.n
+    l1_total = l1_hits + l1_misses
+    l2_total = l2_hits + l2_misses
+    return SimulationResult(
+        cycles=cycles,
+        instructions=n,
+        cpi=cycles / n,
+        ipc=n / cycles,
+        l1_miss_rate=l1_misses / l1_total if l1_total else 0.0,
+        l2_miss_rate=l2_misses / l2_total if l2_total else 0.0,
         branch_mispredict_rate=bp.mispredict_rate,
         mshr_stall_cycles=mshr_stall,
         fu_issue_counts=dict(view.fu_issue_counts),

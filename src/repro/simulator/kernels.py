@@ -1,0 +1,162 @@
+"""Timing-kernel selection: compiled C extension vs pure Python.
+
+Three kernels can execute a serial high-fidelity evaluation:
+
+- ``compiled`` -- the C extension (``simulator/_ckernel``), ~an order of
+  magnitude faster than CPython on the hot loop;
+- ``python``   -- ``core._timing_kernel``, the always-available
+  reference implementation of the two-phase walk;
+- (``batched`` -- the design-batched numpy lockstep walk, which is not
+  selected here: ``run_batch`` engages it by batch width.  It appears
+  alongside the two serial kernels in provenance counters.)
+
+:func:`select_kernel` resolves a *requested* kernel (the
+``EngineConfig.hf_kernel`` knob / ``--hf-kernel`` flag) to the kernel a
+process will actually run, in the order ``compiled -> python``:
+
+1. ``REPRO_FORCE_PY_KERNEL=1`` in the environment wins over everything
+   (the forced-fallback CI lane): the answer is ``python``.
+2. An explicit request is honored: ``python`` always works;
+   ``compiled`` raises :class:`KernelUnavailableError` when the
+   extension cannot be imported or built, so a user who asked for it
+   finds out instead of silently benchmarking the wrong kernel.
+3. ``auto`` (or ``None``) picks ``compiled`` when available, else
+   ``python``.
+
+Selection is per-process on purpose: a pickled simulator carries only
+the *requested* kernel, so process-pool workers re-resolve against
+their own host (and degrade independently when a worker cannot build
+the extension).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional
+
+KERNEL_COMPILED = "compiled"
+KERNEL_PYTHON = "python"
+KERNEL_BATCHED = "batched"
+KERNEL_AUTO = "auto"
+
+#: Accepted values for the ``hf_kernel`` knob / ``kernel=`` argument.
+KERNEL_CHOICES = (KERNEL_AUTO, KERNEL_COMPILED, KERNEL_PYTHON)
+
+#: Environment knob: force the pure-Python kernel everywhere (test lane).
+FORCE_PY_ENV = "REPRO_FORCE_PY_KERNEL"
+
+
+class KernelUnavailableError(RuntimeError):
+    """An explicitly requested kernel cannot run in this process."""
+
+
+def _force_python() -> bool:
+    return os.environ.get(FORCE_PY_ENV, "") not in ("", "0")
+
+
+def compiled_kernel_module():
+    """The C extension module, or ``None`` when unavailable (cached)."""
+    from repro.simulator import _ckernel
+
+    return _ckernel.load()
+
+
+def compiled_available() -> bool:
+    """Can this process import (or build) the C extension?"""
+    return compiled_kernel_module() is not None
+
+
+def compiled_build_error() -> Optional[str]:
+    """Why the extension is unavailable (``None`` when it loaded)."""
+    from repro.simulator import _ckernel
+
+    return _ckernel.build_error()
+
+
+def select_kernel(requested: Optional[str] = None) -> str:
+    """Resolve a requested kernel to the one this process will run.
+
+    Args:
+        requested: ``None``/"auto", "compiled" or "python".
+
+    Returns:
+        ``"compiled"`` or ``"python"``.
+
+    Raises:
+        ValueError: Unknown kernel name.
+        KernelUnavailableError: ``"compiled"`` was requested explicitly
+            but the extension cannot be imported or built here.
+    """
+    if requested is not None and requested not in KERNEL_CHOICES:
+        raise ValueError(
+            f"unknown kernel {requested!r}; known: {', '.join(KERNEL_CHOICES)}"
+        )
+    if _force_python():
+        return KERNEL_PYTHON
+    if requested == KERNEL_PYTHON:
+        return KERNEL_PYTHON
+    if requested == KERNEL_COMPILED:
+        if not compiled_available():
+            raise KernelUnavailableError(
+                "compiled kernel requested but unavailable: "
+                f"{compiled_build_error() or 'unknown reason'}"
+            )
+        return KERNEL_COMPILED
+    return KERNEL_COMPILED if compiled_available() else KERNEL_PYTHON
+
+
+# ----------------------------------------------------------------------
+# Host triage (`repro kernels`)
+# ----------------------------------------------------------------------
+def kernel_microbench(
+    data_size: int = 10, designs: int = 24, repeat: int = 1
+) -> Dict[str, float]:
+    """One-shot evals/sec of every runnable kernel on a small workload.
+
+    Deliberately quick (fractions of a second): this feeds the
+    ``repro kernels`` triage table, not the benchmark suite.
+
+    Returns:
+        Kernel name -> evaluations per second.  The ``batched`` entry
+        times the design-batched lockstep walk at its full width over
+        the same designs.
+    """
+    import numpy as np
+
+    from repro.designspace import default_design_space
+    from repro.simulator.core import OutOfOrderSimulator
+    from repro.workloads.suite import get_workload
+
+    workload = get_workload("mm", data_size=data_size)
+    trace = workload.trace
+    space = default_design_space()
+    rng = np.random.default_rng(1234)
+    rng_configs: List = [
+        space.config(space.sample(rng)) for _ in range(designs)
+    ]
+
+    out: Dict[str, float] = {}
+    serial_kernels = [KERNEL_PYTHON]
+    if not _force_python() and compiled_available():
+        serial_kernels.append(KERNEL_COMPILED)
+    for name in serial_kernels:
+        simulator = OutOfOrderSimulator(kernel=name)
+        simulator.run(trace, rng_configs[0])  # warm pre-passes + build
+        start = time.perf_counter()
+        for _ in range(repeat):
+            for config in rng_configs:
+                simulator.run(trace, config)
+        elapsed = time.perf_counter() - start
+        out[name] = designs * repeat / elapsed if elapsed > 0 else float("inf")
+
+    simulator = OutOfOrderSimulator(kernel=KERNEL_PYTHON)
+    simulator.run(trace, rng_configs[0])
+    start = time.perf_counter()
+    for _ in range(repeat):
+        simulator.run_batch(trace, rng_configs, min_designs=2)
+    elapsed = time.perf_counter() - start
+    out[KERNEL_BATCHED] = (
+        designs * repeat / elapsed if elapsed > 0 else float("inf")
+    )
+    return out

@@ -74,6 +74,21 @@ from repro.simulator.branch import (
 from repro.simulator.cache import SetAssociativeCache
 
 
+def _packed_flags(obj, flags: List[bool]) -> np.ndarray:
+    """Cached contiguous uint8 view of a bool flag list.
+
+    The compiled timing kernel consumes the pre-pass streams as raw
+    byte buffers; the pack is built once per artefact and cached on the
+    (frozen) dataclass instance via ``object.__setattr__`` so repeated
+    runs over one pre-pass share it.
+    """
+    cached = obj.__dict__.get("_flags_u8")
+    if cached is None:
+        cached = np.ascontiguousarray(flags, dtype=np.uint8)
+        object.__setattr__(obj, "_flags_u8", cached)
+    return cached
+
+
 @dataclass(frozen=True)
 class BranchPrepass:
     """Per-branch mispredict stream for one (trace, predictor geometry).
@@ -95,6 +110,11 @@ class BranchPrepass:
             return 0.0
         return self.mispredictions / self.predictions
 
+    @property
+    def mispredict_u8(self) -> np.ndarray:
+        """The mispredict stream as a contiguous uint8 array (cached)."""
+        return _packed_flags(self, self.mispredict)
+
 
 @dataclass(frozen=True)
 class L1Prepass:
@@ -110,6 +130,11 @@ class L1Prepass:
     hit: List[bool]
     hits: int
     misses: int
+
+    @property
+    def hit_u8(self) -> np.ndarray:
+        """The hit stream as a contiguous uint8 array (cached)."""
+        return _packed_flags(self, self.hit)
 
 
 def branch_prepass(
@@ -175,6 +200,11 @@ class L2Prepass:
     hit: List[bool]
     hits: int
     misses: int
+
+    @property
+    def hit_u8(self) -> np.ndarray:
+        """The hit stream as a contiguous uint8 array (cached)."""
+        return _packed_flags(self, self.hit)
 
 
 def l1_prepass(lines: np.ndarray, sets: int, ways: int) -> L1Prepass:

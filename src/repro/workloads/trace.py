@@ -48,6 +48,27 @@ _LAT_LUT = np.array([OP_LATENCY[cls] for cls in OpClass], dtype=np.int64)
 
 
 @dataclass(frozen=True)
+class TraceColumns:
+    """The per-instruction columns as contiguous int64 arrays.
+
+    This is the memory layout the compiled timing kernel reads through
+    the buffer protocol (see ``simulator/_ckernel``): seven parallel
+    C-contiguous int64 vectors of trace length. ``src_a``/``src_b``/
+    ``mem_dep``/``address`` alias the trace's own arrays (already int64
+    and contiguous); ``kind``/``lat``/``fu`` are the LUT gathers the
+    kernel view materialises anyway.
+    """
+
+    kind: np.ndarray
+    lat: np.ndarray
+    fu: np.ndarray
+    src_a: np.ndarray
+    src_b: np.ndarray
+    mem_dep: np.ndarray
+    address: np.ndarray
+
+
+@dataclass(frozen=True)
 class TraceKernelView:
     """Design-independent unpacking of a trace for the timing kernel.
 
@@ -64,6 +85,8 @@ class TraceKernelView:
         src_a / src_b / mem_dep: Producer indices as plain lists (fast
             CPython access; ``NO_DEP`` for none).
         address: Byte addresses as a plain list.
+        columns: The same seven columns as contiguous int64 arrays (the
+            compiled kernel's input layout).
         branch_taken: ``(num_branches,)`` int64 outcomes of the BRANCH
             instructions in program order (feeds the branch pre-pass).
         mem_indices: int64 indices of LOAD/STORE instructions in program
@@ -80,6 +103,7 @@ class TraceKernelView:
     src_b: List[int]
     mem_dep: List[int]
     address: List[int]
+    columns: TraceColumns
     branch_taken: np.ndarray
     mem_indices: np.ndarray
     fu_issue_counts: Dict[str, int]
@@ -141,17 +165,32 @@ class InstructionTrace:
         unpacking. Dropped on pickling -- see :meth:`__getstate__`.
         """
         op = self.op.astype(np.int64)
+        kind = _KIND_LUT[op]
+        lat = _LAT_LUT[op]
         fu = _FU_LUT[op]
         hist = np.bincount(fu, minlength=3)
+
+        def col(arr: np.ndarray) -> np.ndarray:
+            return np.ascontiguousarray(arr, dtype=np.int64)
+
         return TraceKernelView(
             n=len(op),
-            kind=_KIND_LUT[op].tolist(),
-            lat=_LAT_LUT[op].tolist(),
+            kind=kind.tolist(),
+            lat=lat.tolist(),
             fu=fu.tolist(),
             src_a=self.src_a.tolist(),
             src_b=self.src_b.tolist(),
             mem_dep=self.mem_dep.tolist(),
             address=self.address.tolist(),
+            columns=TraceColumns(
+                kind=col(kind),
+                lat=col(lat),
+                fu=col(fu),
+                src_a=col(self.src_a),
+                src_b=col(self.src_b),
+                mem_dep=col(self.mem_dep),
+                address=col(self.address),
+            ),
             branch_taken=self.taken[op == int(OpClass.BRANCH)].astype(np.int64),
             mem_indices=self.memory_indices(),
             fu_issue_counts={

@@ -10,6 +10,44 @@ from repro.proxies import AnalyticalModel, ProxyPool, SimulationProxy
 from repro.workloads import get_workload
 
 
+def serial_kernel_params():
+    """Parametrization axis over the serial timing kernels.
+
+    Both lanes (python + compiled); the compiled lane is skipped with
+    the build error as the reason when the extension cannot be built,
+    and the axis collapses to Python under ``REPRO_FORCE_PY_KERNEL=1``
+    (the env knob overrides explicit requests, so a "compiled" lane
+    would silently re-test Python there).
+    """
+    from repro.simulator.kernels import (
+        KERNEL_COMPILED,
+        KERNEL_PYTHON,
+        _force_python,
+        compiled_available,
+        compiled_build_error,
+    )
+
+    if _force_python():
+        return [KERNEL_PYTHON]
+    if compiled_available():
+        return [KERNEL_PYTHON, KERNEL_COMPILED]
+    return [
+        KERNEL_PYTHON,
+        pytest.param(
+            KERNEL_COMPILED,
+            marks=pytest.mark.skip(
+                reason=f"compiled kernel unavailable: {compiled_build_error()}"
+            ),
+        ),
+    ]
+
+
+@pytest.fixture(params=serial_kernel_params())
+def hf_kernel(request):
+    """Serial timing kernel lane (see :func:`serial_kernel_params`)."""
+    return request.param
+
+
 @pytest.fixture(scope="session")
 def space():
     """The Table-1 design space (stateless, safe to share)."""

@@ -95,11 +95,16 @@ class TestCompare:
                 "trace_instructions",
                 "search_loop_q1_evals_per_sec", "search_loop_q8_evals_per_sec",
                 "search_loop_batch_speedup",
+                "hf_serial_python_evals_per_sec", "hf_cold_python_speedup",
+                "kernel_auto_evals_per_sec", "kernel_python_evals_per_sec",
+                "compiled_kernel_speedup",
             },
             "test_bench_simulator_batched": {
-                "serial_evals_per_sec",
+                "serial_evals_per_sec", "serial_python_evals_per_sec",
                 *(f"batched_speedup_{n}" for n in (1, 4, 16, 64, 256)),
                 *(f"batched_evals_per_sec_{n}" for n in (1, 4, 16, 64, 256)),
+                *(f"lockstep_speedup_{n}" for n in (1, 4, 16, 64, 256)),
+                *(f"lockstep_evals_per_sec_{n}" for n in (1, 4, 16, 64, 256)),
             },
             "test_bench_store_startup": {
                 "store_records", "store_open_s",

@@ -145,13 +145,21 @@ def _append_cache_entries(args):
 # Backends
 # ----------------------------------------------------------------------
 class TestBackends:
-    def test_process_pool_matches_serial_bit_identical(self, engine):
+    def test_process_pool_matches_serial_bit_identical(self, hf_kernel):
+        """Workers re-resolve the kernel per process; results must be
+        bit-identical to serial for both serial kernels."""
         batch = sample_batch(8)
-        serial = engine.evaluate_many(batch, Fidelity.HIGH)
+        analytical = AnalyticalModel(WORKLOAD.profile, SPACE)
+        serial_engine = EvaluationEngine(
+            SPACE,
+            analytical=analytical,
+            high_fidelity=SimulationProxy(WORKLOAD, SPACE, kernel=hf_kernel),
+        )
+        serial = serial_engine.evaluate_many(batch, Fidelity.HIGH)
         parallel_engine = EvaluationEngine(
             SPACE,
-            analytical=engine.analytical,
-            high_fidelity=engine.high_fidelity,
+            analytical=analytical,
+            high_fidelity=SimulationProxy(WORKLOAD, SPACE, kernel=hf_kernel),
             backend=ProcessPoolBackend(workers=2, chunk_size=3),
         )
         parallel = parallel_engine.evaluate_many(batch, Fidelity.HIGH)
@@ -415,8 +423,13 @@ class TestProxyEvaluateMany:
         proxy = SimulationProxy(WORKLOAD, SPACE)
         proxy.evaluate(SPACE.smallest())
         stats = proxy.prepass_stats()
-        assert set(stats) == {"prepass_hits", "prepass_misses", "prepass_entries"}
+        resolved = stats["hf_kernel"]  # whichever kernel this host runs
+        assert set(stats) == {
+            "prepass_hits", "prepass_misses", "prepass_entries",
+            "hf_kernel", f"kernel_{resolved}_evals",
+        }
         assert stats["prepass_misses"] >= 1
+        assert stats[f"kernel_{resolved}_evals"] == 1
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,278 @@
+"""Kernel-selection layer: resolution order, provenance, plumbing.
+
+The bit-equality of the compiled kernel itself lives in
+``test_simulator_golden.py`` (both serial kernels run the full golden
+sweep there). This file covers the machinery around it: the
+``select_kernel`` resolution order, the ``REPRO_FORCE_PY_KERNEL`` env
+knob, per-kernel provenance counters, the ``EngineConfig.hf_kernel``
+knob and CLI flag, pickling semantics, and the batch-crossover routing
+(the lockstep walk engages by default over the Python kernel only).
+"""
+
+import argparse
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.designspace import MicroArchConfig, default_design_space
+from repro.engine.config import EngineConfig, normalize_hf_kernel
+from repro.proxies import SimulationProxy
+from repro.simulator import OutOfOrderSimulator
+from repro.simulator.kernels import (
+    FORCE_PY_ENV,
+    KERNEL_COMPILED,
+    KERNEL_PYTHON,
+    KernelUnavailableError,
+    _force_python,
+    compiled_available,
+    kernel_microbench,
+    select_kernel,
+)
+from repro.workloads import get_workload
+
+needs_compiled = pytest.mark.skipif(
+    not compiled_available(), reason="compiled kernel unavailable"
+)
+#: For tests that need selection to actually *resolve* to compiled
+#: (direct `_compiled_kernel` calls bypass selection and stay valid).
+needs_compiled_selected = pytest.mark.skipif(
+    not compiled_available() or _force_python(),
+    reason="compiled kernel unavailable or forced off",
+)
+
+SPACE = default_design_space()
+
+
+def sample_configs(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [SPACE.config(levels) for levels in SPACE.sample(rng, count=count)]
+
+
+# ----------------------------------------------------------------------
+# select_kernel resolution order
+# ----------------------------------------------------------------------
+class TestSelectKernel:
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            select_kernel("fortran")
+
+    def test_explicit_python_always_honored(self, monkeypatch):
+        monkeypatch.delenv(FORCE_PY_ENV, raising=False)
+        assert select_kernel(KERNEL_PYTHON) == KERNEL_PYTHON
+
+    @needs_compiled
+    def test_auto_prefers_compiled(self, monkeypatch):
+        monkeypatch.delenv(FORCE_PY_ENV, raising=False)
+        assert select_kernel(None) == KERNEL_COMPILED
+        assert select_kernel("auto") == KERNEL_COMPILED
+        assert select_kernel(KERNEL_COMPILED) == KERNEL_COMPILED
+
+    def test_force_env_wins_over_everything(self, monkeypatch):
+        monkeypatch.setenv(FORCE_PY_ENV, "1")
+        assert select_kernel(None) == KERNEL_PYTHON
+        # Even an explicit "compiled" request yields python: the env
+        # knob exists to pin the whole process tree to the fallback.
+        assert select_kernel(KERNEL_COMPILED) == KERNEL_PYTHON
+
+    def test_force_env_zero_means_unset(self, monkeypatch):
+        monkeypatch.delenv(FORCE_PY_ENV, raising=False)
+        unset = select_kernel(None)
+        monkeypatch.setenv(FORCE_PY_ENV, "0")
+        assert select_kernel(None) == unset
+
+    def test_explicit_compiled_raises_when_unavailable(self, monkeypatch):
+        import repro.simulator.kernels as kernels_mod
+
+        monkeypatch.delenv(FORCE_PY_ENV, raising=False)
+        monkeypatch.setattr(kernels_mod, "compiled_available", lambda: False)
+        with pytest.raises(KernelUnavailableError):
+            select_kernel(KERNEL_COMPILED)
+        # auto degrades silently to python on the same host
+        assert select_kernel(None) == KERNEL_PYTHON
+
+
+# ----------------------------------------------------------------------
+# Simulator integration: lazy resolution, counters, pickling
+# ----------------------------------------------------------------------
+class TestSimulatorKernel:
+    def test_invalid_kernel_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            OutOfOrderSimulator(kernel="fortran")
+
+    def test_resolution_is_lazy_and_counted(self, hf_kernel):
+        sim = OutOfOrderSimulator(kernel=hf_kernel)
+        assert sim.resolved_kernel is None  # nothing resolved yet
+        trace = get_workload("mm", data_size=8).trace
+        (config,) = sample_configs(1)
+        sim.run(trace, config)
+        sim.run(trace, config)
+        assert sim.resolved_kernel == hf_kernel
+        assert sim.kernel_counts == {hf_kernel: 2}
+
+    def test_batched_lanes_counted(self):
+        sim = OutOfOrderSimulator(kernel=KERNEL_PYTHON)
+        trace = get_workload("mm", data_size=8).trace
+        configs = sample_configs(6, seed=3)
+        sim.run_batch(trace, configs, min_designs=2)
+        assert sim.kernel_counts.get("batched") == 6
+
+    def test_pickle_keeps_request_drops_resolution(self, hf_kernel):
+        sim = OutOfOrderSimulator(kernel=hf_kernel)
+        trace = get_workload("mm", data_size=8).trace
+        (config,) = sample_configs(1)
+        expected = sim.run(trace, config)
+        clone = pickle.loads(pickle.dumps(sim))
+        # The *request* travels; resolution and counters are per-process.
+        assert clone.kernel == hf_kernel
+        assert clone.resolved_kernel is None
+        assert clone.kernel_counts == {}
+        assert clone.run(trace, config) == expected
+
+    @needs_compiled
+    def test_compiled_merge_raises_inside_prepass_kernel(self):
+        """The compiled kernel must abandon the no-merge L2 stream the
+        moment a merge happens, exactly like the Python kernel."""
+        from repro.simulator.core import MshrMergeDetected, _compiled_kernel
+
+        sim = OutOfOrderSimulator()
+        trace = get_workload("mm", data_size=8).trace
+        # A config known to trigger an MSHR merge on mm@8 (golden
+        # suite's MERGE_CASES): tiny direct-mapped L1, single MSHR.
+        config = MicroArchConfig(
+            l1_sets=16, l1_ways=1, l2_sets=512, l2_ways=1, n_mshr=1,
+            decode_width=1, rob_entries=160, mem_fu=2, int_fu=2, fp_fu=1,
+            iq_entries=24)
+        p = sim.params
+        bp = sim.branch_prepass_for(trace)
+        l1pre = sim.l1_prepass_for(trace, config.l1_sets, config.l1_ways)
+        l2pre = sim.l2_prepass_for(trace, config, l1pre)
+        line_shift = p.line_bytes.bit_length() - 1
+        with pytest.raises(MshrMergeDetected):
+            _compiled_kernel(
+                trace.kernel_view, config, p, bp, l1pre, line_shift, l2pre
+            )
+
+
+# ----------------------------------------------------------------------
+# Provenance through the proxy layer
+# ----------------------------------------------------------------------
+class TestProvenance:
+    def test_proxy_reports_kernel_and_counts(self, hf_kernel):
+        proxy = SimulationProxy(
+            get_workload("mm", data_size=8), SPACE, kernel=hf_kernel
+        )
+        stats = proxy.prepass_stats()
+        assert "hf_kernel" not in stats  # unresolved until the first run
+        rng = np.random.default_rng(7)
+        proxy.evaluate(SPACE.sample(rng))
+        stats = proxy.prepass_stats()
+        assert stats["hf_kernel"] == hf_kernel
+        assert stats[f"kernel_{hf_kernel}_evals"] == 1
+
+    def test_proxy_reports_batched_lanes(self):
+        proxy = SimulationProxy(
+            get_workload("mm", data_size=8), SPACE,
+            hf_batch=4, kernel=KERNEL_PYTHON,
+        )
+        rng = np.random.default_rng(11)
+        proxy.evaluate_many(list(SPACE.sample(rng, count=4)))
+        stats = proxy.prepass_stats()
+        assert stats["kernel_batched_evals"] == 4
+
+
+# ----------------------------------------------------------------------
+# Batch-crossover routing
+# ----------------------------------------------------------------------
+class TestCrossoverRouting:
+    def _count_walks(self, monkeypatch):
+        import repro.simulator.batched as batched_mod
+
+        calls = []
+        orig = batched_mod._lockstep_walk
+
+        def counting(sim, trace, configs):
+            calls.append(len(configs))
+            return orig(sim, trace, configs)
+
+        monkeypatch.setattr(batched_mod, "_lockstep_walk", counting)
+        return calls
+
+    def test_python_kernel_engages_lockstep_at_crossover(self, monkeypatch):
+        from repro.simulator.batched import BATCH_MIN_DESIGNS
+
+        calls = self._count_walks(monkeypatch)
+        sim = OutOfOrderSimulator(kernel=KERNEL_PYTHON)
+        trace = get_workload("mm", data_size=8).trace
+        configs = sample_configs(BATCH_MIN_DESIGNS, seed=5)
+        sim.run_batch(trace, configs)
+        assert calls == [BATCH_MIN_DESIGNS]
+
+    @needs_compiled_selected
+    def test_compiled_kernel_never_engages_by_default(self, monkeypatch):
+        from repro.simulator.batched import BATCH_MIN_DESIGNS
+
+        calls = self._count_walks(monkeypatch)
+        sim = OutOfOrderSimulator(kernel=KERNEL_COMPILED)
+        trace = get_workload("mm", data_size=8).trace
+        configs = sample_configs(BATCH_MIN_DESIGNS, seed=5)
+        results = sim.run_batch(trace, configs)
+        assert calls == []  # compiled serial beats the walk at every width
+        # An explicit width is still a request to batch.
+        batched = sim.run_batch(trace, configs, max_designs=16)
+        assert calls and all(c <= 16 for c in calls)
+        assert batched == results
+
+
+# ----------------------------------------------------------------------
+# EngineConfig / CLI plumbing
+# ----------------------------------------------------------------------
+class TestEngineConfigKernel:
+    def test_normalize(self):
+        assert normalize_hf_kernel(None) is None
+        assert normalize_hf_kernel("auto") is None
+        assert normalize_hf_kernel("python") == "python"
+        assert normalize_hf_kernel("compiled") == "compiled"
+
+    def test_json_round_trip(self):
+        config = EngineConfig(hf_kernel="python")
+        assert EngineConfig.from_json(config.to_json()) == config
+
+    def test_from_args(self):
+        args = argparse.Namespace(hf_kernel="auto")
+        assert EngineConfig.from_args(args).hf_kernel is None
+        args = argparse.Namespace(hf_kernel="compiled")
+        assert EngineConfig.from_args(args).hf_kernel == "compiled"
+        # absent flag defaults cleanly
+        assert EngineConfig.from_args(argparse.Namespace()).hf_kernel is None
+
+    def test_cli_flag_parses_and_validates(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["explore", "--hf-kernel", "python"])
+        assert args.hf_kernel == "python"
+        args = build_parser().parse_args(["explore"])
+        assert args.hf_kernel == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--hf-kernel", "gpu"])
+
+
+# ----------------------------------------------------------------------
+# `repro kernels` triage
+# ----------------------------------------------------------------------
+class TestKernelsCommand:
+    def test_no_bench_lists_kernels(self, capsys):
+        from repro.cli import main
+
+        assert main(["kernels", "--no-bench"]) == 0
+        out = capsys.readouterr().out
+        assert "python" in out and "compiled" in out and "batched" in out
+
+    def test_microbench_covers_runnable_kernels(self):
+        rates = kernel_microbench(data_size=8, designs=4)
+        assert rates[KERNEL_PYTHON] > 0
+        assert rates["batched"] > 0
+        if compiled_available() and not _force_python():
+            assert rates[KERNEL_COMPILED] > 0
+        else:
+            assert KERNEL_COMPILED not in rates

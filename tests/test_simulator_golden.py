@@ -12,6 +12,14 @@ reference run fresh.
 One simulator instance is reused across every comparison on purpose:
 that exercises the pre-pass memo (hits must be as correct as misses,
 across workloads and geometries).
+
+The shared fixtures are parametrized over both serial timing kernels
+(pure Python and the compiled C extension), so every sweep in this file
+pins each kernel to the reference independently. When the extension
+cannot be built the compiled lane is skipped with the build error as
+the reason; under ``REPRO_FORCE_PY_KERNEL=1`` it collapses to the
+Python lane only (requesting ``compiled`` there would silently re-test
+Python -- the env knob wins over explicit requests by design).
 """
 
 import pickle
@@ -30,6 +38,13 @@ from repro.simulator import (
     l1_prepass,
     l2_prepass,
     reference_simulate,
+)
+from repro.simulator.kernels import (
+    KERNEL_COMPILED,
+    KERNEL_PYTHON,
+    _force_python,
+    compiled_available,
+    compiled_build_error,
 )
 from repro.simulator.batched import _lockstep_walk, run_batch
 from repro.workloads import get_workload
@@ -79,15 +94,37 @@ EDGE_CONFIGS = [
 ]
 
 
-@pytest.fixture(scope="module")
-def simulator():
-    """One shared simulator: comparisons run through a warm memo."""
-    return OutOfOrderSimulator()
+def kernel_params():
+    """Both serial kernels; compiled skips (with the build error as the
+    reason) when unavailable, and the whole axis collapses to Python
+    under the forced-fallback env knob."""
+    if _force_python():
+        return [KERNEL_PYTHON]
+    if compiled_available():
+        return [KERNEL_PYTHON, KERNEL_COMPILED]
+    return [
+        KERNEL_PYTHON,
+        pytest.param(
+            KERNEL_COMPILED,
+            marks=pytest.mark.skip(
+                reason=f"compiled kernel unavailable: {compiled_build_error()}"
+            ),
+        ),
+    ]
 
 
-@pytest.fixture(scope="module")
-def prefetch_simulator():
-    return OutOfOrderSimulator(SimulatorParams(next_line_prefetch=True))
+@pytest.fixture(scope="module", params=kernel_params())
+def simulator(request):
+    """One shared simulator per kernel: comparisons run through a warm
+    memo, on both the Python and the compiled timing kernel."""
+    return OutOfOrderSimulator(kernel=request.param)
+
+
+@pytest.fixture(scope="module", params=kernel_params())
+def prefetch_simulator(request):
+    return OutOfOrderSimulator(
+        SimulatorParams(next_line_prefetch=True), kernel=request.param
+    )
 
 
 class TestGoldenEquivalence:
